@@ -1,0 +1,49 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared helpers for the experiment benches: every bench binary first
+/// prints the qualitative reproduction row(s) for its paper artefact
+/// (claim -> measured verdict), then runs its timed benchmarks. The rows
+/// are what EXPERIMENTS.md records.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACESAFE_BENCH_BENCHUTIL_H
+#define TRACESAFE_BENCH_BENCHUTIL_H
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+namespace tracesafe::benchutil {
+
+inline int Failures = 0;
+
+/// Prints one claim row and tracks failures for the process exit code.
+inline void claim(const std::string &What, bool ExpectedMatchesMeasured) {
+  std::printf("  [%s] %s\n", ExpectedMatchesMeasured ? "ok" : "MISMATCH",
+              What.c_str());
+  if (!ExpectedMatchesMeasured)
+    ++Failures;
+}
+
+inline void header(const std::string &Experiment, const std::string &Paper) {
+  std::printf("==== %s — %s ====\n", Experiment.c_str(), Paper.c_str());
+}
+
+/// Standard bench main: print claims, then run benchmarks.
+#define TRACESAFE_BENCH_MAIN(CLAIMS_FN)                                       \
+  int main(int argc, char **argv) {                                           \
+    CLAIMS_FN();                                                               \
+    ::benchmark::Initialize(&argc, argv);                                     \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv))                 \
+      return 1;                                                                \
+    ::benchmark::RunSpecifiedBenchmarks();                                    \
+    ::benchmark::Shutdown();                                                  \
+    return ::tracesafe::benchutil::Failures == 0 ? 0 : 2;                     \
+  }
+
+} // namespace tracesafe::benchutil
+
+#endif // TRACESAFE_BENCH_BENCHUTIL_H

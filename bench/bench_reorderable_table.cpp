@@ -1,0 +1,81 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// E6 — the §4 reorderability table. Recomputes the 5x5 matrix from the
+/// predicate and checks it cell-by-cell against the paper, then measures
+/// the predicate.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "semantics/Reorderable.h"
+
+using namespace tracesafe;
+using namespace tracesafe::benchutil;
+
+namespace {
+
+void claims() {
+  header("E6 / §4 table", "a reorderable-with b");
+  const char *Expected[5][5] = {
+      {"x!=y", "x!=y", "yes", "no", "yes"},
+      {"x!=y", "yes", "yes", "no", "yes"},
+      {"no", "no", "no", "no", "no"},
+      {"yes", "yes", "no", "no", "no"},
+      {"yes", "yes", "no", "no", "no"},
+  };
+  auto Table = computeReorderTable();
+  std::printf("  %-9s", "a \\ b");
+  for (size_t Col = 0; Col < 5; ++Col)
+    std::printf("%-9s", ReorderTableLabels[Col]);
+  std::printf("\n");
+  bool AllMatch = true;
+  for (size_t Row = 0; Row < 5; ++Row) {
+    std::printf("  %-9s", ReorderTableLabels[Row]);
+    for (size_t Col = 0; Col < 5; ++Col) {
+      std::printf("%-9s", Table[Row][Col].c_str());
+      AllMatch &= Table[Row][Col] == Expected[Row][Col];
+    }
+    std::printf("\n");
+  }
+  claim("all 25 cells match the paper's table", AllMatch);
+  claim("roach-motel asymmetry: W reorderable with later Acq",
+        reorderableWith(Action::mkWrite(Symbol::intern("x"), 1),
+                        Action::mkLock(Symbol::intern("m"))));
+  claim("...but Acq reorderable with nothing",
+        !reorderableWith(Action::mkLock(Symbol::intern("m")),
+                         Action::mkWrite(Symbol::intern("x"), 1)));
+}
+
+void benchPredicate(benchmark::State &State) {
+  SymbolId X = Symbol::intern("x"), Y = Symbol::intern("y"),
+           M = Symbol::intern("m");
+  std::vector<Action> Actions = {
+      Action::mkWrite(X, 1),       Action::mkWrite(Y, 1),
+      Action::mkRead(X, 0),        Action::mkRead(Y, 0),
+      Action::mkLock(M),           Action::mkUnlock(M),
+      Action::mkExternal(1),       Action::mkWrite(X, 1, true),
+      Action::mkRead(X, 0, true),
+  };
+  for (auto _ : State) {
+    size_t Yes = 0;
+    for (const Action &A : Actions)
+      for (const Action &B : Actions)
+        Yes += reorderableWith(A, B);
+    benchmark::DoNotOptimize(Yes);
+  }
+}
+BENCHMARK(benchPredicate);
+
+void benchTableRecomputation(benchmark::State &State) {
+  for (auto _ : State) {
+    auto Table = computeReorderTable();
+    benchmark::DoNotOptimize(Table[0][0].size());
+  }
+}
+BENCHMARK(benchTableRecomputation);
+
+} // namespace
+
+TRACESAFE_BENCH_MAIN(claims)

@@ -1,0 +1,110 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// E12 — the DRF guarantee at scale (Theorems 1-4). Runs the theorem
+/// harness over seeded random DRF programs and measures how verification
+/// cost scales with program size and chain length.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "verify/ProgramGen.h"
+#include "verify/Theorems.h"
+
+using namespace tracesafe;
+using namespace tracesafe::benchutil;
+
+namespace {
+
+void claims() {
+  header("E12 / Theorems 1-4", "DRF guarantee on random chains");
+  size_t Cases = 0, Held = 0;
+  for (uint64_t Seed = 1; Seed <= 20; ++Seed) {
+    for (GenDiscipline D :
+         {GenDiscipline::LockDiscipline, GenDiscipline::VolatileLocations}) {
+      GenOptions Options;
+      Options.Discipline = D;
+      Options.MaxStmtsPerThread = 4;
+      Rng R(Seed);
+      Program P = generateProgram(R, Options);
+      TransformChain Chain = randomChain(P, RuleSet::all(), 3, R);
+      TheoremCaseReport Report = checkTheoremsOnChain(P, Chain);
+      ++Cases;
+      Held += Report.allHold();
+    }
+  }
+  claim("all " + std::to_string(Cases) +
+            " random DRF cases uphold Theorems 1-5 and Lemmas 4/5",
+        Held == Cases);
+}
+
+/// Picks the first seed whose generated program admits a non-empty chain,
+/// so the scaling numbers always include per-step semantic verification.
+std::pair<Program, TransformChain> caseWithChain(GenOptions Options,
+                                                 size_t MaxSteps) {
+  std::pair<Program, TransformChain> Best;
+  size_t BestLen = 0;
+  for (uint64_t Seed = 1; Seed <= 100; ++Seed) {
+    Rng Gen(Seed);
+    Program P = generateProgram(Gen, Options);
+    Rng ChainRng(Seed + 1000);
+    TransformChain Chain = randomChain(P, RuleSet::all(), MaxSteps, ChainRng);
+    if (Chain.Steps.size() >= MaxSteps)
+      return {std::move(P), std::move(Chain)};
+    if (Chain.Steps.size() >= BestLen) {
+      BestLen = Chain.Steps.size();
+      Best = {std::move(P), std::move(Chain)};
+    }
+  }
+  return Best;
+}
+
+void benchHarnessVsProgramSize(benchmark::State &State) {
+  GenOptions Options;
+  Options.Discipline = GenDiscipline::LockDiscipline;
+  Options.MinStmtsPerThread = static_cast<unsigned>(State.range(0));
+  Options.MaxStmtsPerThread = static_cast<unsigned>(State.range(0));
+  auto [P, Chain] = caseWithChain(Options, 2);
+  for (auto _ : State) {
+    TheoremCaseReport Report = checkTheoremsOnChain(P, Chain);
+    benchmark::DoNotOptimize(Report.allHold());
+  }
+  State.counters["chain_len"] = static_cast<double>(Chain.Steps.size());
+}
+BENCHMARK(benchHarnessVsProgramSize)->Arg(2)->Arg(4)->Arg(6);
+
+void benchHarnessVsChainLength(benchmark::State &State) {
+  GenOptions Options;
+  Options.Discipline = GenDiscipline::LockDiscipline;
+  Options.MaxStmtsPerThread = 5;
+  auto [P, Chain] =
+      caseWithChain(Options, static_cast<size_t>(State.range(0)));
+  for (auto _ : State) {
+    TheoremCaseReport Report = checkTheoremsOnChain(P, Chain);
+    benchmark::DoNotOptimize(Report.allHold());
+  }
+  State.counters["chain_len"] = static_cast<double>(Chain.Steps.size());
+}
+BENCHMARK(benchHarnessVsChainLength)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void benchEndToEndWithoutSemantics(benchmark::State &State) {
+  // Ablation: behaviour/DRF checks only (no per-step traceset checks).
+  GenOptions Options;
+  Options.Discipline = GenDiscipline::LockDiscipline;
+  Rng Gen(15);
+  Program P = generateProgram(Gen, Options);
+  Rng ChainRng(16);
+  TransformChain Chain = randomChain(P, RuleSet::all(), 4, ChainRng);
+  TheoremCheckOptions TOpts;
+  TOpts.VerifySemanticSteps = false;
+  for (auto _ : State) {
+    TheoremCaseReport Report = checkTheoremsOnChain(P, Chain, TOpts);
+    benchmark::DoNotOptimize(Report.allHold());
+  }
+}
+BENCHMARK(benchEndToEndWithoutSemantics);
+
+} // namespace
+
+TRACESAFE_BENCH_MAIN(claims)

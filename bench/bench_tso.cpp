@@ -1,0 +1,106 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// E13 — §8: TSO explained by transformations. The litmus battery on SC
+/// and TSO, the explanation check, and machine throughput.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "lang/Parser.h"
+#include "tso/Litmus.h"
+#include "tso/PsoMachine.h"
+#include "tso/TsoExplain.h"
+
+using namespace tracesafe;
+using namespace tracesafe::benchutil;
+
+namespace {
+
+void claims() {
+  header("E13 / §8", "TSO (and PSO) as safe transformations");
+  for (const LitmusTest &T : litmusTests()) {
+    Program P = parseOrDie(T.Source);
+    bool ScHas = T.observedIn(programBehaviours(P));
+    bool TsoHas = T.observedIn(tsoBehaviours(P));
+    bool PsoHas = T.observedIn(psoBehaviours(P));
+    claim(T.Name + ": SC " + (T.ScAllows ? "allows" : "forbids") +
+              " the asked outcome",
+          ScHas == T.ScAllows);
+    claim(T.Name + ": TSO " + (T.TsoAllows ? "allows" : "forbids") + " it",
+          TsoHas == T.TsoAllows);
+    claim(T.Name + ": PSO " + (T.PsoAllows ? "allows" : "forbids") + " it",
+          PsoHas == T.PsoAllows);
+    TsoExplainResult E = explainTsoByTransformations(P, 3);
+    claim(T.Name + ": every TSO behaviour reached by W->R reordering + "
+                   "RaW elimination",
+          E.Explained && !E.Truncated);
+    bool UnionTruncated = false;
+    std::set<Behaviour> Union =
+        reachableScBehaviours(P, 3, {}, {}, &UnionTruncated);
+    bool PsoExplained = !UnionTruncated;
+    for (const Behaviour &B : psoBehaviours(P))
+      PsoExplained &= Union.count(B) != 0;
+    claim(T.Name + ": PSO behaviours also explained (adds R-WW, §8 "
+                   "conjecture)",
+          PsoExplained);
+  }
+}
+
+void benchTsoMachine(benchmark::State &State) {
+  const LitmusTest &T = litmusTests()[static_cast<size_t>(State.range(0))];
+  Program P = parseOrDie(T.Source);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(tsoBehaviours(P).size());
+  State.SetLabel(T.Name);
+}
+BENCHMARK(benchTsoMachine)->DenseRange(0, 7);
+
+void benchPsoMachine(benchmark::State &State) {
+  const LitmusTest &T = litmusTests()[static_cast<size_t>(State.range(0))];
+  Program P = parseOrDie(T.Source);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(psoBehaviours(P).size());
+  State.SetLabel(T.Name);
+}
+BENCHMARK(benchPsoMachine)->DenseRange(0, 7);
+
+void benchScBaseline(benchmark::State &State) {
+  const LitmusTest &T = litmusTests()[static_cast<size_t>(State.range(0))];
+  Program P = parseOrDie(T.Source);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(programBehaviours(P).size());
+  State.SetLabel(T.Name);
+}
+BENCHMARK(benchScBaseline)->DenseRange(0, 7);
+
+void benchExplanationSearch(benchmark::State &State) {
+  Program P = parseOrDie(litmusTests()[0].Source); // SB.
+  size_t Programs = 0;
+  for (auto _ : State) {
+    TsoExplainResult E = explainTsoByTransformations(
+        P, static_cast<size_t>(State.range(0)));
+    Programs = E.ProgramsExplored;
+    benchmark::DoNotOptimize(E.Explained);
+  }
+  State.counters["programs"] = static_cast<double>(Programs);
+}
+BENCHMARK(benchExplanationSearch)->Arg(1)->Arg(2)->Arg(3);
+
+void benchBufferBoundAblation(benchmark::State &State) {
+  Program P = parseOrDie(litmusTests()[5].Source); // SB+RFI.
+  TsoLimits Limits;
+  Limits.MaxBufferedStores = static_cast<size_t>(State.range(0));
+  size_t Behaviours = 0;
+  for (auto _ : State) {
+    Behaviours = tsoBehaviours(P, Limits).size();
+    benchmark::DoNotOptimize(Behaviours);
+  }
+  State.counters["behaviours"] = static_cast<double>(Behaviours);
+}
+BENCHMARK(benchBufferBoundAblation)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+} // namespace
+
+TRACESAFE_BENCH_MAIN(claims)

@@ -1,0 +1,156 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// E7 — Fig 5 / Lemma 1. The unelimination construction on the paper's
+/// example and the Lemma-1 property over all executions of the eliminated
+/// program; measures the construction.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "lang/Explore.h"
+#include "lang/Parser.h"
+#include "semantics/Unelimination.h"
+#include "semantics/Unordering.h"
+#include "trace/Enumerate.h"
+
+#include <map>
+#include <memory>
+
+using namespace tracesafe;
+using namespace tracesafe::benchutil;
+
+namespace {
+
+Program fig5Original() {
+  return parseOrDie(R"(
+volatile v;
+thread { v := 1; y := 1; }
+thread { r1 := x; r2 := v; print r2; }
+)");
+}
+
+Program fig5Eliminated() {
+  return parseOrDie(R"(
+volatile v;
+thread { y := 1; }
+thread { r2 := v; print r2; }
+)");
+}
+
+Interleaving fig5Execution() {
+  SymbolId Y = Symbol::intern("y"), V = Symbol::intern("v");
+  return Interleaving({{0, Action::mkStart(0)},
+                       {1, Action::mkStart(1)},
+                       {0, Action::mkWrite(Y, 1)},
+                       {1, Action::mkRead(V, 0, true)},
+                       {1, Action::mkExternal(0)}});
+}
+
+void claims() {
+  header("E7 / Fig 5", "unelimination construction (Lemma 1)");
+  std::vector<Value> D = {0, 1};
+  Traceset TO = programTraceset(fig5Original(), D);
+  Traceset TT = programTraceset(fig5Eliminated(), D);
+  claim("the eliminated traceset is an elimination of the original",
+        checkElimination(TO, TT).Verdict == CheckVerdict::Holds);
+  UneliminationResult R = findUnelimination(TO, fig5Execution());
+  claim("an unelimination of Fig 5's execution exists",
+        R.Verdict == CheckVerdict::Holds);
+  claim("it satisfies conditions (i)-(iv)",
+        R.Verdict == CheckVerdict::Holds &&
+            isUneliminationFunction(fig5Execution(), R.I, R.F));
+  claim("its instance is an execution of the original (DRF case)",
+        R.Verdict == CheckVerdict::Holds &&
+            R.I.instance().isExecutionOf(TO));
+  // Lemma 1 over every execution of the eliminated program.
+  size_t Total = 0, Ok = 0;
+  forEachExecution(TT, [&](const Interleaving &IPrime) {
+    ++Total;
+    UneliminationResult U = findUnelimination(TO, IPrime);
+    Ok += U.Verdict == CheckVerdict::Holds &&
+          U.I.instance().isExecutionOf(TO);
+    return true;
+  });
+  claim("Lemma 1 property on all " + std::to_string(Total) +
+            " executions of the eliminated traceset",
+        Total > 0 && Ok == Total);
+
+  // The reordering proof's other device: unorder an execution of a
+  // transformed program into T-bar, uneliminate into T, land on an
+  // execution of T — the complete §5 pipeline.
+  Program RO = parseOrDie(
+      "thread { lock m; print 1; unlock m; x := 1; } "
+      "thread { lock m; print 2; unlock m; }");
+  Program RT = parseOrDie(
+      "thread { lock m; print 1; x := 1; unlock m; } "
+      "thread { lock m; print 2; unlock m; }");
+  Traceset TRO = programTraceset(RO, D);
+  Traceset TRT = programTraceset(RT, D);
+  auto Memo = std::make_shared<std::map<Trace, bool>>();
+  auto Oracle = [&TRO, Memo](const Trace &Tr) {
+    auto It = Memo->find(Tr);
+    if (It != Memo->end())
+      return It->second;
+    bool In = findEliminationWitness(TRO, Tr).has_value();
+    Memo->emplace(Tr, In);
+    return In;
+  };
+  size_t PTotal = 0, POk = 0;
+  forEachMaximalExecution(TRT, [&](const Interleaving &IPrime) {
+    ++PTotal;
+    UnorderingResult UR = findUnordering(IPrime, Oracle);
+    if (UR.Verdict != CheckVerdict::Holds)
+      return true;
+    UneliminationResult UE =
+        findUnelimination(TRO, applyUnordering(IPrime, UR.F));
+    POk += UE.Verdict == CheckVerdict::Holds &&
+           UE.I.instance().isExecutionOf(TRO);
+    return true;
+  });
+  claim("§5 proof pipeline (unorder, then uneliminate) on all " +
+            std::to_string(PTotal) + " executions of an R-UW transform",
+        PTotal > 0 && POk == PTotal);
+}
+
+void benchUneliminationConstruction(benchmark::State &State) {
+  std::vector<Value> D = {0, 1};
+  Traceset TO = programTraceset(fig5Original(), D);
+  Interleaving IPrime = fig5Execution();
+  for (auto _ : State) {
+    UneliminationResult R = findUnelimination(TO, IPrime);
+    benchmark::DoNotOptimize(R.Verdict);
+  }
+}
+BENCHMARK(benchUneliminationConstruction);
+
+void benchUneliminationSweep(benchmark::State &State) {
+  std::vector<Value> D = {0, 1};
+  Traceset TO = programTraceset(fig5Original(), D);
+  Traceset TT = programTraceset(fig5Eliminated(), D);
+  for (auto _ : State) {
+    size_t Count = 0;
+    forEachExecution(TT, [&](const Interleaving &IPrime) {
+      UneliminationResult R = findUnelimination(TO, IPrime);
+      Count += R.Verdict == CheckVerdict::Holds;
+      return true;
+    });
+    benchmark::DoNotOptimize(Count);
+  }
+}
+BENCHMARK(benchUneliminationSweep);
+
+void benchFunctionValidation(benchmark::State &State) {
+  std::vector<Value> D = {0, 1};
+  Traceset TO = programTraceset(fig5Original(), D);
+  Interleaving IPrime = fig5Execution();
+  UneliminationResult R = findUnelimination(TO, IPrime);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(isUneliminationFunction(IPrime, R.I, R.F));
+}
+BENCHMARK(benchFunctionValidation);
+
+} // namespace
+
+TRACESAFE_BENCH_MAIN(claims)

@@ -1,0 +1,123 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small certified-optimiser command-line tool: reads a program in the
+/// paper's language, greedily applies the Fig 10/11 rules, and *verifies
+/// every step semantically* (Lemma 4/5) plus the end-to-end DRF and
+/// thin-air guarantees before printing the optimised program.
+///
+/// Usage:
+///   safe_optimizer_cli [file]            # default: a built-in demo
+///   safe_optimizer_cli --rules=elim|reorder|all [--max-steps=N] [file]
+///
+/// Exit code 0 iff every verification passed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+#include "lang/Printer.h"
+#include "verify/Theorems.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace tracesafe;
+
+namespace {
+
+const char *DemoProgram = R"(
+// Built-in demo: a lock-protected producer with redundant accesses.
+thread {
+  lock m;
+  buf := 1;
+  r1 := buf;
+  r2 := buf;
+  print r2;
+  buf := r2;
+  unlock m;
+}
+thread {
+  lock m;
+  r3 := buf;
+  print r3;
+  unlock m;
+}
+)";
+
+void usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--rules=elim|reorder|all] [--max-steps=N] "
+               "[file]\n",
+               Argv0);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  RuleSet Rules = RuleSet::all();
+  size_t MaxSteps = 16;
+  std::string Source = DemoProgram;
+  std::string SourceName = "<builtin demo>";
+
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    if (std::strncmp(Arg, "--rules=", 8) == 0) {
+      std::string Mode = Arg + 8;
+      if (Mode == "elim")
+        Rules = RuleSet::eliminationsOnly();
+      else if (Mode == "reorder")
+        Rules = RuleSet::reorderingsOnly();
+      else if (Mode == "all")
+        Rules = RuleSet::all();
+      else {
+        usage(argv[0]);
+        return 1;
+      }
+    } else if (std::strncmp(Arg, "--max-steps=", 12) == 0) {
+      MaxSteps = static_cast<size_t>(std::atoi(Arg + 12));
+    } else if (Arg[0] == '-') {
+      usage(argv[0]);
+      return 1;
+    } else {
+      std::ifstream In(Arg);
+      if (!In) {
+        std::fprintf(stderr, "error: cannot open %s\n", Arg);
+        return 1;
+      }
+      std::ostringstream Buf;
+      Buf << In.rdbuf();
+      Source = Buf.str();
+      SourceName = Arg;
+    }
+  }
+
+  ParseResult Parsed = parseProgram(Source);
+  if (!Parsed) {
+    std::fprintf(stderr, "error: %s: %s\n", SourceName.c_str(),
+                 Parsed.Error.c_str());
+    return 1;
+  }
+  Program P = std::move(*Parsed.Prog);
+  std::printf("== input (%s) ==\n%s\n", SourceName.c_str(),
+              printProgram(P).c_str());
+
+  TransformChain Chain = greedyChain(P, Rules, MaxSteps);
+  if (Chain.Steps.empty()) {
+    std::printf("no applicable transformations.\n");
+    return 0;
+  }
+  std::printf("== applied %zu transformation(s) ==\n", Chain.Steps.size());
+  for (const RewriteSite &S : Chain.Steps)
+    std::printf("  %s\n", S.str().c_str());
+  std::printf("\n== optimised program ==\n%s\n",
+              printProgram(Chain.Result).c_str());
+
+  std::printf("== certification ==\n");
+  TheoremCaseReport Report = checkTheoremsOnChain(P, Chain);
+  std::printf("%s\n", Report.summary().c_str());
+  std::printf("verdict: %s\n",
+              Report.allHold() ? "CERTIFIED" : "NOT certified");
+  return Report.allHold() ? 0 : 1;
+}

@@ -1,0 +1,58 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scenario: a security audit in the style of §5's out-of-thin-air
+/// guarantee. The sandbox cares that a *racy* plugin can never output a
+/// capability token (the constant 42) it does not possess — no matter
+/// which safe compiler optimisations are applied. We fuzz transformation
+/// chains and audit each result.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lang/Explore.h"
+#include "lang/Parser.h"
+#include "lang/Printer.h"
+#include "opt/Pipeline.h"
+#include "verify/Checks.h"
+
+#include <cstdio>
+
+using namespace tracesafe;
+
+int main() {
+  // The paper's §5 example: a racy exchange with copy-through-memory; 42
+  // appears nowhere and cannot be built (the language has no arithmetic).
+  Program P = parseOrDie(R"(
+thread { r2 := y; x := r2; print r2; }
+thread { r1 := x; y := r1; }
+)");
+  std::printf("program under audit:\n%s\n", printProgram(P).c_str());
+  std::printf("racy: %s (the guarantee must hold anyway)\n\n",
+              isProgramDrf(P) ? "no" : "yes");
+
+  const Value Token = 42;
+  size_t Chains = 0, Violations = 0;
+  for (uint64_t Seed = 1; Seed <= 50; ++Seed) {
+    Rng R(Seed);
+    TransformChain Chain = randomChain(P, RuleSet::withExtensions(),
+                                       /*MaxSteps=*/4, R);
+    ++Chains;
+    ThinAirReport Rep = checkThinAir(P, Chain.Result, Token);
+    if (!Rep.holds()) {
+      ++Violations;
+      std::printf("VIOLATION after chain of %zu steps:\n%s\n",
+                  Chain.Steps.size(), printProgram(Chain.Result).c_str());
+    }
+  }
+  std::printf("audited %zu random transformation chains: %zu violations\n",
+              Chains, Violations);
+
+  // Contrast: a program that *does* contain the token is (rightly) outside
+  // the guarantee.
+  Program Leaky = parseOrDie("thread { r1 := 42; print r1; }");
+  ThinAirReport Rep = checkThinAir(Leaky, Leaky, Token);
+  std::printf("control (program containing 42): guarantee %s\n",
+              Rep.OrigContainsConstant ? "vacuous, as expected"
+                                       : "unexpectedly applicable");
+  return Violations == 0 ? 0 : 1;
+}

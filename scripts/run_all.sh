@@ -1,0 +1,13 @@
+#!/bin/sh
+# Build, test and run every bench + example; the one-button check.
+set -e
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+for b in build/bench/bench_*; do "$b" --benchmark_min_time=0.01; done
+for e in build/examples/*; do
+  [ -f "$e" ] && [ -x "$e" ] || continue
+  echo "===== $e ====="
+  "$e"
+done

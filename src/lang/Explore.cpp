@@ -1,0 +1,137 @@
+#include "lang/Explore.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace tracesafe;
+
+namespace {
+
+class ThreadExplorer {
+public:
+  ThreadExplorer(const LangContext &Ctx, Traceset &Out, ExploreLimits Limits)
+      : Ctx(Ctx), Out(Out), Limits(Limits) {}
+
+  ExploreStats run(const Program &P, ThreadId Tid) {
+    Current.push_back(Action::mkStart(Tid));
+    Out.insert(Current);
+    dfs(initialThreadState(P, Tid), Limits.MaxSilentRun);
+    return Stats;
+  }
+
+private:
+  void dfs(const ThreadState &S, size_t SilentBudget) {
+    if (++Stats.Visited > Limits.MaxStates) {
+      Stats.Truncated = true;
+      return;
+    }
+    if (S.done())
+      return;
+    for (Step &St : possibleSteps(S, Ctx)) {
+      if (!St.Act) {
+        if (SilentBudget == 0) {
+          Stats.Truncated = true;
+          continue;
+        }
+        dfs(St.Next, SilentBudget - 1);
+        continue;
+      }
+      if (Current.size() - 1 >= Limits.MaxActions) {
+        Stats.Truncated = true;
+        continue;
+      }
+      Current.push_back(*St.Act);
+      Out.insert(Current);
+      dfs(St.Next, Limits.MaxSilentRun);
+      Current.pop_back();
+    }
+  }
+
+  const LangContext &Ctx;
+  Traceset &Out;
+  ExploreLimits Limits;
+  ExploreStats Stats;
+  Trace Current;
+};
+
+void collectConstants(const Stmt &S, std::set<Value> &Out) {
+  auto FromOperand = [&Out](const Operand &O) {
+    if (O.IsImm)
+      Out.insert(O.Imm);
+  };
+  switch (S.kind()) {
+  case StmtKind::Assign:
+    FromOperand(cast<AssignStmt>(S).src());
+    break;
+  case StmtKind::Store:
+    FromOperand(cast<StoreStmt>(S).src());
+    break;
+  case StmtKind::Print:
+    FromOperand(cast<PrintStmt>(S).src());
+    break;
+  case StmtKind::Block:
+    for (const StmtPtr &Sub : cast<BlockStmt>(S).body())
+      collectConstants(*Sub, Out);
+    break;
+  case StmtKind::If: {
+    const auto &I = cast<IfStmt>(S);
+    FromOperand(I.cond().Lhs);
+    FromOperand(I.cond().Rhs);
+    collectConstants(I.thenStmt(), Out);
+    collectConstants(I.elseStmt(), Out);
+    break;
+  }
+  case StmtKind::While: {
+    const auto &W = cast<WhileStmt>(S);
+    FromOperand(W.cond().Lhs);
+    FromOperand(W.cond().Rhs);
+    collectConstants(W.body(), Out);
+    break;
+  }
+  case StmtKind::Load:
+  case StmtKind::Lock:
+  case StmtKind::Unlock:
+  case StmtKind::Skip:
+  case StmtKind::Input:
+    break;
+  }
+}
+
+} // namespace
+
+ExploreStats tracesafe::exploreThread(const Program &P, ThreadId Tid,
+                                      const std::vector<Value> &Domain,
+                                      Traceset &Out, ExploreLimits Limits) {
+  LangContext Ctx(P, Domain);
+  ThreadExplorer E(Ctx, Out, Limits);
+  return E.run(P, Tid);
+}
+
+Traceset tracesafe::programTraceset(const Program &P,
+                                    const std::vector<Value> &Domain,
+                                    ExploreLimits Limits,
+                                    ExploreStats *Stats) {
+  Traceset Out(Domain);
+  ExploreStats Total;
+  for (ThreadId Tid = 0; Tid < P.threadCount(); ++Tid) {
+    ExploreStats S = exploreThread(P, Tid, Domain, Out, Limits);
+    Total.Visited += S.Visited;
+    Total.Truncated |= S.Truncated;
+  }
+  if (Stats)
+    *Stats = Total;
+  return Out;
+}
+
+std::vector<Value> tracesafe::defaultDomainFor(const Program &P,
+                                               size_t MinSize) {
+  std::set<Value> Vals;
+  Vals.insert(DefaultValue);
+  for (ThreadId Tid = 0; Tid < P.threadCount(); ++Tid)
+    for (const StmtPtr &S : P.thread(Tid))
+      collectConstants(*S, Vals);
+  Value Fresh = Vals.empty() ? 1 : *Vals.rbegin() + 1;
+  while (Vals.size() < MinSize)
+    Vals.insert(Fresh++);
+  return std::vector<Value>(Vals.begin(), Vals.end());
+}

@@ -1,0 +1,64 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Traceset generation: the meaning [[P]] of a program (paper §6).
+///
+/// The meaning of a code fragment is the set of traces it may issue, where
+/// reads non-deterministically return any value of the domain (rule READ).
+/// Over a finite value domain and with bounded trace length this set is
+/// finite and we compute it by exhaustive DFS. Loop-free programs are
+/// explored exactly (their traces are shorter than any sensible bound);
+/// loops are truncated at the action bound, which keeps the set
+/// prefix-closed — exactly the paper's model of partial executions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACESAFE_LANG_EXPLORE_H
+#define TRACESAFE_LANG_EXPLORE_H
+
+#include "lang/SmallStep.h"
+#include "trace/Traceset.h"
+
+#include <cstdint>
+
+namespace tracesafe {
+
+/// Bounds for thread exploration.
+struct ExploreLimits {
+  /// Maximum number of actions per trace (excluding the start action).
+  size_t MaxActions = 24;
+  /// Maximum consecutive silent steps before a thread is declared stuck
+  /// (cuts `while (r0 == r0) skip;`).
+  size_t MaxSilentRun = 512;
+  /// Global cap on explored configurations.
+  uint64_t MaxStates = 20'000'000;
+};
+
+struct ExploreStats {
+  uint64_t Visited = 0;
+  bool Truncated = false;
+};
+
+/// Adds every trace thread \p Tid of \p P may issue — prefixed with
+/// S(Tid) — to \p Out.
+ExploreStats exploreThread(const Program &P, ThreadId Tid,
+                           const std::vector<Value> &Domain, Traceset &Out,
+                           ExploreLimits Limits = {});
+
+/// [[P]]: the union over all threads, with the traceset's value domain set
+/// to \p Domain.
+Traceset programTraceset(const Program &P, const std::vector<Value> &Domain,
+                         ExploreLimits Limits = {},
+                         ExploreStats *Stats = nullptr);
+
+/// Picks a value domain large enough for \p P: every constant mentioned by
+/// the program plus the default value, padded with fresh values up to at
+/// least \p MinSize. Using the constants that actually occur keeps
+/// tracesets small without losing any SC behaviour of the program itself
+/// (reads can only ever observe written constants or 0); the padding gives
+/// wildcard-instantiation room for the transformation checkers.
+std::vector<Value> defaultDomainFor(const Program &P, size_t MinSize = 2);
+
+} // namespace tracesafe
+
+#endif // TRACESAFE_LANG_EXPLORE_H

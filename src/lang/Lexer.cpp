@@ -1,0 +1,91 @@
+#include "lang/Lexer.h"
+
+#include <cctype>
+
+using namespace tracesafe;
+
+std::vector<Token> tracesafe::lex(const std::string &Source) {
+  std::vector<Token> Out;
+  unsigned Line = 1;
+  size_t I = 0, N = Source.size();
+  auto Push = [&](TokenKind K, std::string Text = "", Value Num = 0) {
+    Out.push_back(Token{K, std::move(Text), Num, Line});
+  };
+  while (I < N) {
+    char C = Source[I];
+    if (C == '\n') {
+      ++Line;
+      ++I;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++I;
+      continue;
+    }
+    if (C == '/' && I + 1 < N && Source[I + 1] == '/') {
+      while (I < N && Source[I] != '\n')
+        ++I;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Start = I;
+      while (I < N && (std::isalnum(static_cast<unsigned char>(Source[I])) ||
+                       Source[I] == '_'))
+        ++I;
+      Push(TokenKind::Ident, Source.substr(Start, I - Start));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      size_t Start = I;
+      while (I < N && std::isdigit(static_cast<unsigned char>(Source[I])))
+        ++I;
+      Push(TokenKind::Number, "",
+           static_cast<Value>(std::stol(Source.substr(Start, I - Start))));
+      continue;
+    }
+    if (C == ':' && I + 1 < N && Source[I + 1] == '=') {
+      Push(TokenKind::Assign);
+      I += 2;
+      continue;
+    }
+    if (C == '=' && I + 1 < N && Source[I + 1] == '=') {
+      Push(TokenKind::EqEq);
+      I += 2;
+      continue;
+    }
+    if (C == '!' && I + 1 < N && Source[I + 1] == '=') {
+      Push(TokenKind::NotEq);
+      I += 2;
+      continue;
+    }
+    switch (C) {
+    case ';':
+      Push(TokenKind::Semi);
+      break;
+    case ',':
+      Push(TokenKind::Comma);
+      break;
+    case '{':
+      Push(TokenKind::LBrace);
+      break;
+    case '}':
+      Push(TokenKind::RBrace);
+      break;
+    case '(':
+      Push(TokenKind::LParen);
+      break;
+    case ')':
+      Push(TokenKind::RParen);
+      break;
+    default:
+      Push(TokenKind::Error,
+           std::string("unexpected character '") + C + "' at line " +
+               std::to_string(Line));
+      Push(TokenKind::EndOfFile);
+      return Out;
+    }
+    ++I;
+  }
+  Push(TokenKind::EndOfFile);
+  return Out;
+}

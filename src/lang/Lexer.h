@@ -1,0 +1,47 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokeniser for the concrete syntax of the simple concurrent language.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACESAFE_LANG_LEXER_H
+#define TRACESAFE_LANG_LEXER_H
+
+#include "trace/Action.h"
+
+#include <string>
+#include <vector>
+
+namespace tracesafe {
+
+enum class TokenKind : uint8_t {
+  Ident,     ///< identifier (location, register, monitor or keyword)
+  Number,    ///< integer literal
+  Assign,    ///< :=
+  Semi,      ///< ;
+  Comma,     ///< ,
+  LBrace,    ///< {
+  RBrace,    ///< }
+  LParen,    ///< (
+  RParen,    ///< )
+  EqEq,      ///< ==
+  NotEq,     ///< !=
+  EndOfFile, ///< sentinel
+  Error,     ///< lexing error; Text holds a message
+};
+
+struct Token {
+  TokenKind Kind;
+  std::string Text; ///< identifier spelling or error message
+  Value Num = 0;    ///< for Number
+  unsigned Line = 1;
+};
+
+/// Lexes \p Source. Line comments start with "//". On error the last token
+/// is Error (followed by EndOfFile).
+std::vector<Token> lex(const std::string &Source);
+
+} // namespace tracesafe
+
+#endif // TRACESAFE_LANG_LEXER_H

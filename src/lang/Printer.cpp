@@ -1,0 +1,84 @@
+#include "lang/Printer.h"
+
+#include "support/Format.h"
+
+using namespace tracesafe;
+
+namespace {
+
+std::string pad(unsigned Indent) { return std::string(Indent, ' '); }
+
+} // namespace
+
+std::string tracesafe::printStmt(const Stmt &S, unsigned Indent) {
+  std::string P = pad(Indent);
+  switch (S.kind()) {
+  case StmtKind::Assign: {
+    const auto &A = cast<AssignStmt>(S);
+    return P + Symbol::name(A.reg()) + " := " + A.src().str() + ";";
+  }
+  case StmtKind::Load: {
+    const auto &L = cast<LoadStmt>(S);
+    return P + Symbol::name(L.reg()) + " := " + Symbol::name(L.loc()) + ";";
+  }
+  case StmtKind::Store: {
+    const auto &St = cast<StoreStmt>(S);
+    return P + Symbol::name(St.loc()) + " := " + St.src().str() + ";";
+  }
+  case StmtKind::Lock:
+    return P + "lock " + Symbol::name(cast<LockStmt>(S).monitor()) + ";";
+  case StmtKind::Unlock:
+    return P + "unlock " + Symbol::name(cast<UnlockStmt>(S).monitor()) + ";";
+  case StmtKind::Skip:
+    return P + "skip;";
+  case StmtKind::Print:
+    return P + "print " + cast<PrintStmt>(S).src().str() + ";";
+  case StmtKind::Input:
+    return P + "input " + Symbol::name(cast<InputStmt>(S).reg()) + ";";
+  case StmtKind::Block: {
+    const auto &B = cast<BlockStmt>(S);
+    std::string Out = P + "{\n";
+    Out += printStmtList(B.body(), Indent + 2);
+    Out += P + "}";
+    return Out;
+  }
+  case StmtKind::If: {
+    const auto &I = cast<IfStmt>(S);
+    std::string Out = P + "if (" + I.cond().str() + ")\n";
+    Out += printStmt(I.thenStmt(), Indent + 2) + "\n";
+    Out += P + "else\n";
+    Out += printStmt(I.elseStmt(), Indent + 2);
+    return Out;
+  }
+  case StmtKind::While: {
+    const auto &W = cast<WhileStmt>(S);
+    std::string Out = P + "while (" + W.cond().str() + ")\n";
+    Out += printStmt(W.body(), Indent + 2);
+    return Out;
+  }
+  }
+  return P + "<invalid>";
+}
+
+std::string tracesafe::printStmtList(const StmtList &L, unsigned Indent) {
+  std::string Out;
+  for (const StmtPtr &S : L)
+    Out += printStmt(*S, Indent) + "\n";
+  return Out;
+}
+
+std::string tracesafe::printProgram(const Program &P) {
+  std::string Out;
+  if (!P.volatiles().empty()) {
+    std::vector<std::string> Names;
+    for (SymbolId V : P.volatiles())
+      Names.push_back(Symbol::name(V));
+    Out += "volatile " + join(Names, ", ") + ";\n";
+  }
+  for (ThreadId Tid = 0; Tid < P.threadCount(); ++Tid) {
+    Out += "thread {\n";
+    Out += printStmtList(P.thread(Tid), 2);
+    Out += "}\n";
+  }
+  return Out;
+}

@@ -1,0 +1,32 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pretty printer for the simple concurrent language.
+///
+/// The output is re-parseable by the Parser, which the test suite checks by
+/// round-tripping every program it touches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACESAFE_LANG_PRINTER_H
+#define TRACESAFE_LANG_PRINTER_H
+
+#include "lang/Ast.h"
+
+#include <string>
+
+namespace tracesafe {
+
+/// Renders one statement, indented by \p Indent spaces.
+std::string printStmt(const Stmt &S, unsigned Indent = 0);
+
+/// Renders a statement list (one statement per line).
+std::string printStmtList(const StmtList &L, unsigned Indent = 0);
+
+/// Renders a whole program: volatile declarations, then one
+/// `thread { ... }` section per thread.
+std::string printProgram(const Program &P);
+
+} // namespace tracesafe
+
+#endif // TRACESAFE_LANG_PRINTER_H

@@ -1,0 +1,214 @@
+#include "lang/ProgramExec.h"
+
+#include "lang/Explore.h"
+
+#include <cassert>
+
+using namespace tracesafe;
+
+namespace {
+
+/// Global SC state: per-thread configurations (kept silently closed, i.e.
+/// each thread is either done or about to emit an action), the shared
+/// memory, and the global lock table.
+struct GlobalState {
+  std::vector<ThreadState> Threads;
+  std::map<SymbolId, Value> Memory;
+  /// Monitor -> (owner, depth); entries with depth 0 are erased.
+  std::map<SymbolId, std::pair<ThreadId, int>> Locks;
+
+  friend auto operator<=>(const GlobalState &, const GlobalState &) = default;
+};
+
+class Executor {
+public:
+  Executor(const Program &P, ExecLimits Limits)
+      : Ctx(P, Limits.InputDomain.empty() ? defaultDomainFor(P)
+                                          : Limits.InputDomain),
+        Limits(Limits) {
+    State.Threads.reserve(P.threadCount());
+    for (ThreadId Tid = 0; Tid < P.threadCount(); ++Tid) {
+      bool Trunc = false;
+      State.Threads.push_back(silentClosure(initialThreadState(P, Tid), Ctx,
+                                            Limits.MaxSilentRun, &Trunc));
+      Stats.Truncated |= Trunc;
+    }
+    ActionsDone.assign(P.threadCount(), 0);
+  }
+
+  Value memoryValue(SymbolId Loc) const {
+    auto It = State.Memory.find(Loc);
+    return It == State.Memory.end() ? DefaultValue : It->second;
+  }
+
+  /// The pending action steps of thread \p Tid that are enabled (locks
+  /// respect the global lock table). Deterministic statements yield one
+  /// step; `input` yields one per domain value.
+  std::vector<Step> pendingSteps(ThreadId Tid) {
+    const ThreadState &S = State.Threads[Tid];
+    if (S.done())
+      return {};
+    if (ActionsDone[Tid] >= Limits.MaxActionsPerThread) {
+      Stats.Truncated = true;
+      return {};
+    }
+    std::vector<Step> Steps = possibleStepsWithMemory(
+        S, Ctx, [this](SymbolId Loc) { return memoryValue(Loc); });
+    assert(!Steps.empty() && Steps[0].Act &&
+           "silently closed thread must have pending actions");
+    std::vector<Step> Enabled;
+    for (Step &St : Steps) {
+      const Action &A = *St.Act;
+      if (A.isLock()) {
+        auto It = State.Locks.find(A.monitor());
+        if (It != State.Locks.end() && It->second.first != Tid)
+          continue; // Monitor held by another thread.
+      }
+      Enabled.push_back(std::move(St));
+    }
+    return Enabled;
+  }
+
+  /// Applies \p St (an action step of \p Tid), silently closing the thread
+  /// afterwards. The DFS saves and restores the whole GlobalState around
+  /// this call (states are small).
+  void apply(ThreadId Tid, const Step &St) {
+    const Action &A = *St.Act;
+    bool Trunc = false;
+    State.Threads[Tid] =
+        silentClosure(St.Next, Ctx, Limits.MaxSilentRun, &Trunc);
+    Stats.Truncated |= Trunc;
+    ++ActionsDone[Tid];
+    if (A.isWrite())
+      State.Memory[A.location()] = A.value();
+    if (A.isLock()) {
+      auto &Slot = State.Locks[A.monitor()];
+      Slot = {Tid, Slot.second + 1};
+    }
+    if (A.isUnlock()) {
+      auto It = State.Locks.find(A.monitor());
+      assert(It != State.Locks.end() && It->second.first == Tid &&
+             "unlock of unheld monitor must be silent (E-ULK)");
+      if (--It->second.second == 0)
+        State.Locks.erase(It);
+    }
+  }
+
+  LangContext Ctx;
+  ExecLimits Limits;
+  GlobalState State;
+  std::vector<size_t> ActionsDone;
+  ExecStats Stats;
+};
+
+/// Memoised DFS over global states. TailT is the extra future-relevant
+/// context included in the memo key: the behaviour so far (behaviour
+/// collection) or the previous event (race search). OnStep additionally
+/// sees the full action path for witness extraction; the path is *not*
+/// part of the key.
+template <typename TailT, typename OnStepT>
+class MemoDfs {
+public:
+  MemoDfs(const Program &P, ExecLimits Limits, OnStepT OnStep)
+      : Exec(P, Limits), OnStep(OnStep) {}
+
+  void run(TailT Tail) { dfs(std::move(Tail)); }
+
+  Executor Exec;
+  OnStepT OnStep;
+  std::vector<Event> Path;
+  bool StopAll = false;
+
+private:
+  struct Key {
+    GlobalState State;
+    std::vector<size_t> ActionsDone;
+    TailT Tail;
+    friend auto operator<=>(const Key &, const Key &) = default;
+  };
+
+  void dfs(TailT Tail) {
+    if (StopAll)
+      return;
+    if (++Exec.Stats.Visited > Exec.Limits.MaxVisited) {
+      Exec.Stats.Truncated = true;
+      return;
+    }
+    if (!Seen.insert(Key{Exec.State, Exec.ActionsDone, Tail}).second)
+      return;
+    for (ThreadId Tid = 0; Tid < Exec.State.Threads.size(); ++Tid) {
+      if (StopAll)
+        return;
+      for (const Step &St : Exec.pendingSteps(Tid)) {
+        if (StopAll)
+          return;
+        Path.push_back(Event{Tid, *St.Act});
+        TailT NextTail = OnStep(Tail, Path, StopAll);
+        if (StopAll)
+          return;
+        GlobalState Saved = Exec.State;
+        std::vector<size_t> SavedDone = Exec.ActionsDone;
+        Exec.apply(Tid, St);
+        dfs(std::move(NextTail));
+        Exec.State = std::move(Saved);
+        Exec.ActionsDone = std::move(SavedDone);
+        Path.pop_back();
+      }
+    }
+  }
+
+  std::set<Key> Seen;
+};
+
+} // namespace
+
+std::set<Behaviour> tracesafe::programBehaviours(const Program &P,
+                                                 ExecLimits Limits,
+                                                 ExecStats *Stats) {
+  std::set<Behaviour> Result;
+  Result.insert(Behaviour{});
+  auto OnStep = [&](const Behaviour &Tail, const std::vector<Event> &Path,
+                    bool &) -> Behaviour {
+    const Action &A = Path.back().Act;
+    if (!A.isExternal())
+      return Tail;
+    Behaviour Next = Tail;
+    Next.push_back(A.value());
+    Result.insert(Next);
+    return Next;
+  };
+  MemoDfs<Behaviour, decltype(OnStep)> Dfs(P, Limits, OnStep);
+  Dfs.run(Behaviour{});
+  if (Stats)
+    *Stats = Dfs.Exec.Stats;
+  return Result;
+}
+
+ProgramRaceReport tracesafe::findProgramRace(const Program &P,
+                                             ExecLimits Limits) {
+  ProgramRaceReport Report;
+  // Memo tail: the previous event only — the future's race potential is a
+  // function of (state, previous event), so merging on it is sound.
+  using Tail = std::optional<Event>;
+  auto OnStep = [&](const Tail &Prev, const std::vector<Event> &Path,
+                    bool &Stop) -> Tail {
+    const Event &E = Path.back();
+    if (Prev && Prev->Tid != E.Tid && Prev->Act.conflictsWith(E.Act)) {
+      Report.HasRace = true;
+      Report.Witness = Interleaving(Path);
+      Stop = true;
+      return Prev;
+    }
+    return Tail(E);
+  };
+  MemoDfs<Tail, decltype(OnStep)> Dfs(P, Limits, OnStep);
+  Dfs.run(Tail{});
+  Report.Stats = Dfs.Exec.Stats;
+  return Report;
+}
+
+bool tracesafe::isProgramDrf(const Program &P, ExecLimits Limits) {
+  ProgramRaceReport R = findProgramRace(P, Limits);
+  assert(!R.Stats.Truncated && "DRF query truncated; raise limits");
+  return !R.HasRace;
+}

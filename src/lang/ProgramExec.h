@@ -1,0 +1,65 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Direct sequentially consistent execution of programs.
+///
+/// This executes the thread machines of SmallStep.h against a real shared
+/// memory, enumerating all SC interleavings. It computes the same behaviour
+/// sets and data-race verdicts as going through [[P]] and the traceset
+/// execution enumerator (the test suite asserts this agreement on every
+/// program it touches), but avoids the |Domain|^reads blow-up of traceset
+/// generation, so it is the engine of choice for the verification harness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACESAFE_LANG_PROGRAMEXEC_H
+#define TRACESAFE_LANG_PROGRAMEXEC_H
+
+#include "lang/SmallStep.h"
+#include "trace/Interleaving.h"
+
+#include <cstdint>
+#include <set>
+
+namespace tracesafe {
+
+struct ExecLimits {
+  /// Values the environment may supply to `input` statements; empty means
+  /// "use defaultDomainFor(P)".
+  std::vector<Value> InputDomain{};
+  /// Maximum actions per thread.
+  size_t MaxActionsPerThread = 64;
+  /// Maximum consecutive silent steps per thread (cuts silent loops).
+  size_t MaxSilentRun = 512;
+  /// Global cap on explored states.
+  uint64_t MaxVisited = 50'000'000;
+};
+
+struct ExecStats {
+  uint64_t Visited = 0;
+  bool Truncated = false;
+};
+
+/// The set of observable behaviours of \p P under sequential consistency.
+/// Prefix-closed, includes the empty behaviour.
+std::set<Behaviour> programBehaviours(const Program &P, ExecLimits Limits = {},
+                                      ExecStats *Stats = nullptr);
+
+struct ProgramRaceReport {
+  bool HasRace = false;
+  /// Witness action interleaving ending in the adjacent conflicting pair.
+  Interleaving Witness;
+  ExecStats Stats;
+};
+
+/// §3 data race search (adjacent conflicting actions of different threads)
+/// over the program's SC executions.
+ProgramRaceReport findProgramRace(const Program &P, ExecLimits Limits = {});
+
+/// True iff no SC execution has an adjacent race. Asserts the search was
+/// exhaustive (not truncated).
+bool isProgramDrf(const Program &P, ExecLimits Limits = {});
+
+} // namespace tracesafe
+
+#endif // TRACESAFE_LANG_PROGRAMEXEC_H

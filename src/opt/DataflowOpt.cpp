@@ -1,0 +1,249 @@
+#include "opt/DataflowOpt.h"
+
+#include <functional>
+#include <map>
+
+using namespace tracesafe;
+
+namespace {
+
+/// The per-list optimiser. Facts map a non-volatile location to an operand
+/// (register or literal) known to hold its current value. Fact lifetime
+/// follows Definition 1's conditions semantically, with one conservative
+/// extra: any synchronisation kills all facts (Definition 1 would allow
+/// surviving a lone acquire — see Fig 3 — but we stay on the
+/// unquestionably-implemented side of the paper).
+class ListOptimiser {
+public:
+  ListOptimiser(const std::set<SymbolId> &Volatiles, DataflowOptReport &Report,
+                const std::function<void()> &OnChange)
+      : Volatiles(Volatiles), Report(Report), OnChange(OnChange) {}
+
+  bool run(StmtList &L) {
+    bool Changed = false;
+    Changed |= forwardValues(L);
+    Changed |= removeOverwrittenStores(L);
+    Changed |= removeWriteBacks(L);
+    Changed |= removeDeadReads(L);
+    // Recurse into nested lists.
+    for (StmtPtr &S : L)
+      Changed |= runNested(*S);
+    return Changed;
+  }
+
+private:
+  bool isVolatile(SymbolId Loc) const { return Volatiles.count(Loc) != 0; }
+
+  bool runNested(Stmt &S) {
+    switch (S.kind()) {
+    case StmtKind::Block:
+      return run(static_cast<BlockStmt &>(S).body());
+    case StmtKind::If: {
+      auto &If = static_cast<IfStmt &>(S);
+      bool Changed = runNested(If.thenStmt());
+      Changed |= runNested(If.elseStmt());
+      return Changed;
+    }
+    case StmtKind::While:
+      return runNested(static_cast<WhileStmt &>(S).body());
+    default:
+      return false;
+    }
+  }
+
+  /// Kills every fact whose operand is register \p Reg.
+  void killRegister(std::map<SymbolId, Operand> &Avail, SymbolId Reg) {
+    for (auto It = Avail.begin(); It != Avail.end();)
+      if (!It->second.IsImm && It->second.Reg == Reg)
+        It = Avail.erase(It);
+      else
+        ++It;
+  }
+
+  /// Forward available-value pass: E-RAR / E-RAW instances.
+  bool forwardValues(StmtList &L) {
+    bool Changed = false;
+    std::map<SymbolId, Operand> Avail;
+    for (StmtPtr &S : L) {
+      switch (S->kind()) {
+      case StmtKind::Load: {
+        const auto &Load = cast<LoadStmt>(*S);
+        if (isVolatile(Load.loc())) {
+          Avail.clear(); // Acquire.
+          break;
+        }
+        killRegister(Avail, Load.reg());
+        auto It = Avail.find(Load.loc());
+        if (It != Avail.end() &&
+            (It->second.IsImm || It->second.Reg != Load.reg())) {
+          S = std::make_unique<AssignStmt>(Load.reg(), It->second);
+          ++Report.LoadsForwarded;
+          OnChange();
+          Changed = true;
+        } else {
+          Avail[Load.loc()] = Operand::reg(Load.reg());
+        }
+        break;
+      }
+      case StmtKind::Store: {
+        const auto &Store = cast<StoreStmt>(*S);
+        if (isVolatile(Store.loc())) {
+          Avail.clear(); // Release.
+          break;
+        }
+        Avail[Store.loc()] = Store.src();
+        break;
+      }
+      case StmtKind::Assign:
+        killRegister(Avail, cast<AssignStmt>(*S).reg());
+        break;
+      case StmtKind::Input:
+        killRegister(Avail, cast<InputStmt>(*S).reg());
+        break;
+      case StmtKind::Lock:
+      case StmtKind::Unlock:
+        Avail.clear();
+        break;
+      case StmtKind::Skip:
+      case StmtKind::Print:
+        break; // Neither writes memory nor registers.
+      case StmtKind::Block:
+      case StmtKind::If:
+      case StmtKind::While: {
+        // Nested control flow: keep only facts the statement cannot
+        // disturb.
+        if (!S->isSyncFree(Volatiles)) {
+          Avail.clear();
+          break;
+        }
+        std::set<SymbolId> Regs, Locs, Mons;
+        S->collectSymbols(Regs, Locs, Mons);
+        for (auto It = Avail.begin(); It != Avail.end();) {
+          bool Clobbered = Locs.count(It->first) ||
+                           (!It->second.IsImm && Regs.count(It->second.Reg));
+          It = Clobbered ? Avail.erase(It) : std::next(It);
+        }
+        break;
+      }
+      }
+    }
+    return Changed;
+  }
+
+  /// Statements at (I, J) exclusive are sync-free and do not access \p Loc.
+  bool cleanGap(const StmtList &L, size_t I, size_t J, SymbolId Loc) const {
+    for (size_t K = I + 1; K < J; ++K) {
+      if (!L[K]->isSyncFree(Volatiles))
+        return false;
+      std::set<SymbolId> Regs, Locs, Mons;
+      L[K]->collectSymbols(Regs, Locs, Mons);
+      if (Locs.count(Loc))
+        return false;
+    }
+    return true;
+  }
+
+  /// E-WBW: a store overwritten by a later store with a clean gap.
+  bool removeOverwrittenStores(StmtList &L) {
+    for (size_t I = 0; I < L.size(); ++I) {
+      const auto *Store = dyn_cast<StoreStmt>(L[I].get());
+      if (!Store || isVolatile(Store->loc()))
+        continue;
+      for (size_t J = I + 1; J < L.size(); ++J) {
+        const auto *Later = dyn_cast<StoreStmt>(L[J].get());
+        if (Later && Later->loc() == Store->loc() &&
+            cleanGap(L, I, J, Store->loc())) {
+          L.erase(L.begin() + static_cast<ptrdiff_t>(I));
+          ++Report.StoresRemoved;
+          OnChange();
+          return true; // Indices shifted; the fixpoint loop re-runs us.
+        }
+        // Any statement that breaks the gap also ends the scan.
+        if (J + 1 < L.size() && !cleanGap(L, I, J + 1, Store->loc()))
+          break;
+      }
+    }
+    return false;
+  }
+
+  /// E-WAR: `r := x; ...; x := r` with a clean gap also avoiding r.
+  bool removeWriteBacks(StmtList &L) {
+    for (size_t I = 0; I < L.size(); ++I) {
+      const auto *Load = dyn_cast<LoadStmt>(L[I].get());
+      if (!Load || isVolatile(Load->loc()))
+        continue;
+      for (size_t J = I + 1; J < L.size(); ++J) {
+        const auto *Store = dyn_cast<StoreStmt>(L[J].get());
+        if (Store && Store->loc() == Load->loc() && !Store->src().IsImm &&
+            Store->src().Reg == Load->reg() &&
+            cleanGap(L, I, J, Load->loc()) &&
+            !anyMentions(L, I + 1, J, Load->reg())) {
+          L.erase(L.begin() + static_cast<ptrdiff_t>(J));
+          ++Report.StoresRemoved;
+          OnChange();
+          return true;
+        }
+        if (!cleanGap(L, I, J + 1, Load->loc()) ||
+            anyMentions(L, I + 1, J + 1, Load->reg()))
+          break;
+      }
+    }
+    return false;
+  }
+
+  bool anyMentions(const StmtList &L, size_t Begin, size_t End,
+                   SymbolId Sym) const {
+    for (size_t K = Begin; K < End; ++K)
+      if (L[K]->mentionsAny({Sym}))
+        return true;
+    return false;
+  }
+
+  /// E-IR: `r := x; r := i`.
+  bool removeDeadReads(StmtList &L) {
+    for (size_t I = 0; I + 1 < L.size(); ++I) {
+      const auto *Load = dyn_cast<LoadStmt>(L[I].get());
+      const auto *Assign = dyn_cast<AssignStmt>(L[I + 1].get());
+      if (Load && Assign && !isVolatile(Load->loc()) &&
+          Assign->reg() == Load->reg() && Assign->src().IsImm) {
+        L.erase(L.begin() + static_cast<ptrdiff_t>(I));
+        ++Report.DeadReadsRemoved;
+        OnChange();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  const std::set<SymbolId> &Volatiles;
+  DataflowOptReport &Report;
+  const std::function<void()> &OnChange;
+};
+
+} // namespace
+
+Program tracesafe::runDataflowOpt(const Program &P,
+                                  DataflowOptReport *Report,
+                                  std::vector<Program> *ChainOut) {
+  Program Out = P;
+  if (ChainOut) {
+    ChainOut->clear();
+    ChainOut->push_back(P);
+  }
+  DataflowOptReport Local;
+  std::function<void()> OnChange = [&]() {
+    if (ChainOut)
+      ChainOut->push_back(Out);
+  };
+  ListOptimiser Opt(Out.volatiles(), Local, OnChange);
+  bool Changed = true;
+  while (Changed && Local.Iterations < 64) {
+    ++Local.Iterations;
+    Changed = false;
+    for (ThreadId Tid = 0; Tid < Out.threadCount(); ++Tid)
+      Changed |= Opt.run(Out.thread(Tid));
+  }
+  if (Report)
+    *Report = Local;
+  return Out;
+}

@@ -1,0 +1,64 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dataflow-analysis-based optimiser in the style of a real compiler —
+/// the §2.1 claim made concrete: "the semantic elimination transformation
+/// is general enough to cover optimisations that eliminate memory accesses
+/// based on data-flow analyses, i.e., common subexpression elimination,
+/// constant propagation".
+///
+/// Two passes per statement list:
+///
+///  - forward *available-value* analysis: after `x := ri` or `r := x` the
+///    location x is known to hold ri (resp. r); a later load of x is
+///    forwarded to a register copy or constant. Facts are killed exactly
+///    by the Fig 10 side conditions — a statement that is not sync-free,
+///    or that mentions the fact's location or register, invalidates it —
+///    so every forwarding is an instance of E-RAR/E-RAW and the result is
+///    certifiable by the semantic elimination checker;
+///
+///  - backward *dead-store* elimination: a store overwritten before any
+///    intervening access/synchronisation (E-WBW), or writing back a value
+///    just read (E-WAR), is deleted under the same side conditions.
+///
+/// The pass iterates to a fixpoint. runDataflowOpt(P) is behaviourally a
+/// restriction of greedyChain(P, eliminationsOnly()) but runs in one sweep
+/// per iteration instead of re-scanning all site pairs; the E9 bench
+/// compares the two.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACESAFE_OPT_DATAFLOWOPT_H
+#define TRACESAFE_OPT_DATAFLOWOPT_H
+
+#include "lang/Ast.h"
+
+namespace tracesafe {
+
+struct DataflowOptReport {
+  size_t LoadsForwarded = 0;  ///< E-RAR/E-RAW instances applied.
+  size_t StoresRemoved = 0;   ///< E-WBW/E-WAR instances applied.
+  size_t DeadReadsRemoved = 0; ///< E-IR instances applied.
+  size_t Iterations = 0;
+
+  size_t total() const {
+    return LoadsForwarded + StoresRemoved + DeadReadsRemoved;
+  }
+};
+
+/// Runs the optimiser to a fixpoint; returns the transformed program.
+///
+/// When \p ChainOut is non-null it receives the audit trail: a snapshot of
+/// the program after every individual rewrite, starting with the input.
+/// Adjacent snapshots are single Definition-1 eliminations; the *whole*
+/// pass generally is not one (eliminations do not compose into a single
+/// elimination — e.g. E-WBW exposing an E-WAR leaves the write-back with
+/// no Definition-1 justification in the original trace), which is exactly
+/// why the paper states its main theorem over finite chains. Certify with
+/// checkChain over the snapshots.
+Program runDataflowOpt(const Program &P, DataflowOptReport *Report = nullptr,
+                       std::vector<Program> *ChainOut = nullptr);
+
+} // namespace tracesafe
+
+#endif // TRACESAFE_OPT_DATAFLOWOPT_H

@@ -1,0 +1,32 @@
+#include "opt/Pipeline.h"
+
+using namespace tracesafe;
+
+TransformChain tracesafe::randomChain(const Program &P, const RuleSet &Rules,
+                                      size_t MaxSteps, Rng &R) {
+  TransformChain Chain;
+  Chain.Result = P;
+  for (size_t Step = 0; Step < MaxSteps; ++Step) {
+    std::vector<RewriteSite> Sites = findRewriteSites(Chain.Result, Rules);
+    if (Sites.empty())
+      break;
+    const RewriteSite &Site = Sites[R.below(Sites.size())];
+    Chain.Result = applyRewrite(Chain.Result, Site);
+    Chain.Steps.push_back(Site);
+  }
+  return Chain;
+}
+
+TransformChain tracesafe::greedyChain(const Program &P, const RuleSet &Rules,
+                                      size_t MaxSteps) {
+  TransformChain Chain;
+  Chain.Result = P;
+  for (size_t Step = 0; Step < MaxSteps; ++Step) {
+    std::vector<RewriteSite> Sites = findRewriteSites(Chain.Result, Rules);
+    if (Sites.empty())
+      break;
+    Chain.Result = applyRewrite(Chain.Result, Sites.front());
+    Chain.Steps.push_back(Sites.front());
+  }
+  return Chain;
+}

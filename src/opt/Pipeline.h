@@ -1,0 +1,38 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Composition of syntactic transformations.
+///
+/// Theorems 3/4 are closed under composition (a finite chain of programs
+/// with adjacent members related by a rule application). The pipeline
+/// helpers build such chains: all single-step successors, greedy fixpoint
+/// application, and seeded random chains for the property-test harness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACESAFE_OPT_PIPELINE_H
+#define TRACESAFE_OPT_PIPELINE_H
+
+#include "opt/Rewrite.h"
+#include "support/Rng.h"
+
+namespace tracesafe {
+
+/// A chain P_0 -> P_1 -> ... -> P_n of rule applications.
+struct TransformChain {
+  Program Result;                 ///< P_n.
+  std::vector<RewriteSite> Steps; ///< The applied sites, in order.
+};
+
+/// Applies up to \p MaxSteps randomly chosen applicable rewrites.
+TransformChain randomChain(const Program &P, const RuleSet &Rules,
+                           size_t MaxSteps, Rng &R);
+
+/// Applies rewrites greedily (always the first applicable site) until no
+/// rule applies or \p MaxSteps is reached. Deterministic.
+TransformChain greedyChain(const Program &P, const RuleSet &Rules,
+                           size_t MaxSteps = 64);
+
+} // namespace tracesafe
+
+#endif // TRACESAFE_OPT_PIPELINE_H

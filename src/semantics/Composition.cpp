@@ -1,0 +1,73 @@
+#include "semantics/Composition.h"
+
+#include <cassert>
+
+using namespace tracesafe;
+
+std::string tracesafe::transformKindName(TransformKind K) {
+  switch (K) {
+  case TransformKind::Elimination:
+    return "elimination";
+  case TransformKind::Reordering:
+    return "reordering";
+  case TransformKind::EliminationThenReordering:
+    return "elimination+reordering";
+  }
+  return "<invalid>";
+}
+
+ChainReport tracesafe::checkChain(const std::vector<Traceset> &Chain,
+                                  const std::vector<TransformKind> &Kinds,
+                                  const EliminationSearchLimits &ElimLimits,
+                                  const ReorderingSearchLimits &ReorderLimits) {
+  assert(Chain.size() >= 1 && Kinds.size() + 1 == Chain.size() &&
+         "one kind per adjacent pair");
+  ChainReport Report;
+  for (size_t K = 0; K < Kinds.size(); ++K) {
+    ChainLink Link;
+    Link.Kind = Kinds[K];
+    switch (Kinds[K]) {
+    case TransformKind::Elimination:
+      Link.Verdict =
+          checkElimination(Chain[K], Chain[K + 1], ElimLimits).Verdict;
+      break;
+    case TransformKind::Reordering:
+      Link.Verdict =
+          checkReordering(Chain[K], Chain[K + 1], ReorderLimits).Verdict;
+      break;
+    case TransformKind::EliminationThenReordering:
+      Link.Verdict = checkEliminationThenReordering(Chain[K], Chain[K + 1],
+                                                    ElimLimits, ReorderLimits)
+                         .Verdict;
+      break;
+    }
+    Report.Links.push_back(Link);
+  }
+  return Report;
+}
+
+ChainReport tracesafe::checkChainConclusion(
+    const std::vector<Traceset> &Chain, const std::vector<TransformKind> &Kinds,
+    const EliminationSearchLimits &ElimLimits,
+    const ReorderingSearchLimits &ReorderLimits,
+    EnumerationLimits EnumLimits) {
+  ChainReport Report = checkChain(Chain, Kinds, ElimLimits, ReorderLimits);
+
+  RaceReport First = findAdjacentRace(Chain.front(), EnumLimits);
+  RaceReport Last = findAdjacentRace(Chain.back(), EnumLimits);
+  Report.OriginalDrf = !First.HasRace;
+  Report.FinalDrf = !Last.HasRace;
+  Report.Truncated |= First.Stats.Truncated || Last.Stats.Truncated;
+
+  EnumerationStats SA, SB;
+  std::set<Behaviour> Base = collectBehaviours(Chain.front(), EnumLimits, &SA);
+  std::set<Behaviour> Final = collectBehaviours(Chain.back(), EnumLimits, &SB);
+  Report.Truncated |= SA.Truncated || SB.Truncated;
+  Report.BehavioursPreserved = true;
+  for (const Behaviour &B : Final)
+    if (!Base.count(B)) {
+      Report.BehavioursPreserved = false;
+      break;
+    }
+  return Report;
+}

@@ -1,0 +1,86 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Finite chains of semantic transformations — the composition form of the
+/// main result (§5, and the paper's abstract: "any composition of these
+/// transformations is sound with respect to the DRF guarantee").
+///
+/// A chain is T_0 -> T_1 -> ... -> T_n of tracesets with every adjacent
+/// pair related by a declared transformation kind. checkChain verifies
+/// each link with the corresponding decision procedure, and
+/// checkChainConclusion additionally validates the Theorem 1/2 conclusions
+/// end to end: if T_0 is data race free then T_n is data race free and
+/// behaviours(T_n) are among behaviours(T_0) — computed entirely at the
+/// traceset level.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACESAFE_SEMANTICS_COMPOSITION_H
+#define TRACESAFE_SEMANTICS_COMPOSITION_H
+
+#include "semantics/Reordering.h"
+#include "trace/Enumerate.h"
+
+#include <vector>
+
+namespace tracesafe {
+
+/// What a chain link claims to be.
+enum class TransformKind : uint8_t {
+  Elimination,
+  Reordering,
+  EliminationThenReordering,
+};
+
+std::string transformKindName(TransformKind K);
+
+/// One verified link.
+struct ChainLink {
+  TransformKind Kind = TransformKind::Elimination;
+  CheckVerdict Verdict = CheckVerdict::Unknown;
+};
+
+struct ChainReport {
+  std::vector<ChainLink> Links;
+  /// Conclusion checks (filled by checkChainConclusion).
+  bool OriginalDrf = false;
+  bool FinalDrf = false;
+  bool BehavioursPreserved = false;
+  bool Truncated = false;
+
+  bool linksHold() const {
+    for (const ChainLink &L : Links)
+      if (L.Verdict != CheckVerdict::Holds)
+        return false;
+    return true;
+  }
+
+  /// Theorem 1/2 composition: vacuous for racy originals.
+  bool conclusionHolds() const {
+    if (Truncated)
+      return false;
+    if (!OriginalDrf)
+      return true;
+    return FinalDrf && BehavioursPreserved;
+  }
+};
+
+/// Verifies each adjacent pair of \p Chain with the checker selected by
+/// \p Kinds (Kinds.size() == Chain.size() - 1).
+ChainReport checkChain(const std::vector<Traceset> &Chain,
+                       const std::vector<TransformKind> &Kinds,
+                       const EliminationSearchLimits &ElimLimits = {},
+                       const ReorderingSearchLimits &ReorderLimits = {});
+
+/// checkChain plus the end-to-end DRF/behaviour conclusions at the
+/// traceset level.
+ChainReport
+checkChainConclusion(const std::vector<Traceset> &Chain,
+                     const std::vector<TransformKind> &Kinds,
+                     const EliminationSearchLimits &ElimLimits = {},
+                     const ReorderingSearchLimits &ReorderLimits = {},
+                     EnumerationLimits EnumLimits = {});
+
+} // namespace tracesafe
+
+#endif // TRACESAFE_SEMANTICS_COMPOSITION_H

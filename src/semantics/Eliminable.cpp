@@ -1,0 +1,180 @@
+#include "semantics/Eliminable.h"
+
+#include <cassert>
+
+using namespace tracesafe;
+
+std::string tracesafe::eliminableKindName(EliminableKind K) {
+  switch (K) {
+  case EliminableKind::RedundantReadAfterRead:
+    return "redundant read after read";
+  case EliminableKind::RedundantReadAfterWrite:
+    return "redundant read after write";
+  case EliminableKind::IrrelevantRead:
+    return "irrelevant read";
+  case EliminableKind::RedundantWriteAfterRead:
+    return "redundant write after read";
+  case EliminableKind::OverwrittenWrite:
+    return "overwritten write";
+  case EliminableKind::RedundantLastWrite:
+    return "redundant last write";
+  case EliminableKind::RedundantRelease:
+    return "redundant release";
+  case EliminableKind::RedundantExternal:
+    return "redundant external action";
+  }
+  return "<invalid>";
+}
+
+namespace {
+
+/// No write to \p Loc strictly between \p Lo and \p Hi.
+bool noWriteBetween(const Trace &T, SymbolId Loc, size_t Lo, size_t Hi) {
+  for (size_t K = Lo + 1; K < Hi; ++K)
+    if (T[K].isWrite() && T[K].location() == Loc)
+      return false;
+  return true;
+}
+
+/// No access (read or write) to \p Loc strictly between \p Lo and \p Hi.
+bool noAccessBetween(const Trace &T, SymbolId Loc, size_t Lo, size_t Hi) {
+  for (size_t K = Lo + 1; K < Hi; ++K)
+    if (T[K].isMemoryAccess() && T[K].location() == Loc)
+      return false;
+  return true;
+}
+
+bool caseRedundantReadAfterRead(const Trace &T, size_t I) {
+  const Action &A = T[I];
+  if (!A.isRead() || A.isWildcard() || A.isVolatileAccess())
+    return false;
+  for (size_t J = 0; J < I; ++J) {
+    if (T[J] != A)
+      continue;
+    if (!T.hasReleaseAcquirePairBetween(J, I) &&
+        noWriteBetween(T, A.location(), J, I))
+      return true;
+  }
+  return false;
+}
+
+bool caseRedundantReadAfterWrite(const Trace &T, size_t I) {
+  const Action &A = T[I];
+  if (!A.isRead() || A.isWildcard() || A.isVolatileAccess())
+    return false;
+  for (size_t J = 0; J < I; ++J) {
+    if (!T[J].isWrite() || T[J].location() != A.location() ||
+        T[J].value() != A.value())
+      continue;
+    // "No write to l between j and i": T[J] itself is at j, the window is
+    // strictly between.
+    if (!T.hasReleaseAcquirePairBetween(J, I) &&
+        noWriteBetween(T, A.location(), J, I))
+      return true;
+  }
+  return false;
+}
+
+bool caseIrrelevantRead(const Trace &T, size_t I) {
+  const Action &A = T[I];
+  return A.isRead() && A.isWildcard() && !A.isVolatileAccess();
+}
+
+bool caseRedundantWriteAfterRead(const Trace &T, size_t I) {
+  const Action &A = T[I];
+  if (!A.isWrite() || A.isVolatileAccess())
+    return false;
+  for (size_t J = 0; J < I; ++J) {
+    if (!T[J].isRead() || T[J].isWildcard() ||
+        T[J].location() != A.location() || T[J].value() != A.value())
+      continue;
+    if (!T.hasReleaseAcquirePairBetween(J, I) &&
+        noAccessBetween(T, A.location(), J, I))
+      return true;
+  }
+  return false;
+}
+
+bool caseOverwrittenWrite(const Trace &T, size_t I) {
+  const Action &A = T[I];
+  if (!A.isWrite() || A.isVolatileAccess())
+    return false;
+  for (size_t J = I + 1; J < T.size(); ++J) {
+    if (!T[J].isWrite() || T[J].location() != A.location())
+      continue;
+    if (!T.hasReleaseAcquirePairBetween(I, J) &&
+        noAccessBetween(T, A.location(), I, J))
+      return true;
+    // The nearest later write is the only candidate: anything beyond it has
+    // an intervening access (that write itself).
+    return false;
+  }
+  return false;
+}
+
+bool caseRedundantLastWrite(const Trace &T, size_t I) {
+  const Action &A = T[I];
+  if (!A.isWrite() || A.isVolatileAccess())
+    return false;
+  for (size_t K = I + 1; K < T.size(); ++K) {
+    if (T[K].isRelease())
+      return false;
+    if (T[K].isMemoryAccess() && T[K].location() == A.location())
+      return false;
+  }
+  return true;
+}
+
+bool caseRedundantRelease(const Trace &T, size_t I) {
+  if (!T[I].isRelease())
+    return false;
+  for (size_t K = I + 1; K < T.size(); ++K)
+    if (T[K].isSynchronisation() || T[K].isExternal())
+      return false;
+  return true;
+}
+
+bool caseRedundantExternal(const Trace &T, size_t I) {
+  if (!T[I].isExternal())
+    return false;
+  for (size_t K = I + 1; K < T.size(); ++K)
+    if (T[K].isSynchronisation() || T[K].isExternal())
+      return false;
+  return true;
+}
+
+} // namespace
+
+std::vector<EliminableKind> tracesafe::eliminableKinds(const Trace &T,
+                                                       size_t I) {
+  assert(I < T.size() && "index out of range");
+  std::vector<EliminableKind> Out;
+  if (caseRedundantReadAfterRead(T, I))
+    Out.push_back(EliminableKind::RedundantReadAfterRead);
+  if (caseRedundantReadAfterWrite(T, I))
+    Out.push_back(EliminableKind::RedundantReadAfterWrite);
+  if (caseIrrelevantRead(T, I))
+    Out.push_back(EliminableKind::IrrelevantRead);
+  if (caseRedundantWriteAfterRead(T, I))
+    Out.push_back(EliminableKind::RedundantWriteAfterRead);
+  if (caseOverwrittenWrite(T, I))
+    Out.push_back(EliminableKind::OverwrittenWrite);
+  if (caseRedundantLastWrite(T, I))
+    Out.push_back(EliminableKind::RedundantLastWrite);
+  if (caseRedundantRelease(T, I))
+    Out.push_back(EliminableKind::RedundantRelease);
+  if (caseRedundantExternal(T, I))
+    Out.push_back(EliminableKind::RedundantExternal);
+  return Out;
+}
+
+bool tracesafe::isEliminable(const Trace &T, size_t I) {
+  return !eliminableKinds(T, I).empty();
+}
+
+bool tracesafe::isProperlyEliminable(const Trace &T, size_t I) {
+  for (EliminableKind K : eliminableKinds(T, I))
+    if (static_cast<int>(K) <= 5)
+      return true;
+  return false;
+}

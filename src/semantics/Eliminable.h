@@ -1,0 +1,56 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Eliminable indices of a wildcard trace — Definition 1 of the paper (§4).
+///
+/// The eight cases. For the redundancy cases the "justifier" index j must
+/// not be separated from i by a release-acquire pair (two distinct actions
+/// r < a strictly between them, r a release, a an acquire) nor by writes
+/// (cases 1, 2) or any other access (cases 4, 5) to the location.
+///
+/// Note on case 5 (overwritten write): the overwritten — i.e. *earlier* —
+/// write is the eliminable one; the justifying overwriting write comes
+/// later. This orientation is fixed by the paper's worked example (index 6,
+/// W[x=2], is eliminable in [..., W[x=2], W[x=1], U[m]]).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACESAFE_SEMANTICS_ELIMINABLE_H
+#define TRACESAFE_SEMANTICS_ELIMINABLE_H
+
+#include "trace/Trace.h"
+
+#include <string>
+#include <vector>
+
+namespace tracesafe {
+
+/// The cases of Definition 1 (numbering matches the paper).
+enum class EliminableKind : uint8_t {
+  RedundantReadAfterRead = 1,
+  RedundantReadAfterWrite = 2,
+  IrrelevantRead = 3,
+  RedundantWriteAfterRead = 4,
+  OverwrittenWrite = 5,
+  RedundantLastWrite = 6,
+  RedundantRelease = 7,
+  RedundantExternal = 8,
+};
+
+/// Human-readable name ("redundant read after read", ...).
+std::string eliminableKindName(EliminableKind K);
+
+/// All Definition-1 cases that apply to index \p I of wildcard trace \p T.
+std::vector<EliminableKind> eliminableKinds(const Trace &T, size_t I);
+
+/// Index \p I is eliminable: some case applies.
+bool isEliminable(const Trace &T, size_t I);
+
+/// §6.1: properly eliminable = cases 1-5 only (no last-action
+/// eliminations); proper eliminations compose under trace concatenation,
+/// which is what makes the syntactic rules compositional.
+bool isProperlyEliminable(const Trace &T, size_t I);
+
+} // namespace tracesafe
+
+#endif // TRACESAFE_SEMANTICS_ELIMINABLE_H

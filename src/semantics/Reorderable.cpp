@@ -1,0 +1,70 @@
+#include "semantics/Reorderable.h"
+
+using namespace tracesafe;
+
+bool tracesafe::reorderableWith(const Action &A, const Action &B) {
+  bool NonConflicting = !A.conflictsWith(B);
+  // (i) a normal access; b normal non-conflicting access, acquire, or
+  // external.
+  if (A.isNormalAccess()) {
+    if (B.isNormalAccess() && NonConflicting)
+      return true;
+    if (B.isAcquire() || B.isExternal())
+      return true;
+  }
+  // (ii) b normal access; a normal non-conflicting access, release, or
+  // external.
+  if (B.isNormalAccess()) {
+    if (A.isNormalAccess() && NonConflicting)
+      return true;
+    if (A.isRelease() || A.isExternal())
+      return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// Representative actions for the table. Row/column index order matches
+/// ReorderTableLabels: Write, Read, Acquire, Release, External.
+Action representative(size_t Idx, SymbolId Loc, SymbolId Mon) {
+  switch (Idx) {
+  case 0:
+    return Action::mkWrite(Loc, 1);
+  case 1:
+    return Action::mkRead(Loc, 1);
+  case 2:
+    return Action::mkLock(Mon);
+  case 3:
+    return Action::mkUnlock(Mon);
+  default:
+    return Action::mkExternal(1);
+  }
+}
+
+} // namespace
+
+std::array<std::array<std::string, 5>, 5> tracesafe::computeReorderTable() {
+  SymbolId X = Symbol::intern("x");
+  SymbolId Y = Symbol::intern("y");
+  SymbolId M = Symbol::intern("m");
+  std::array<std::array<std::string, 5>, 5> Table;
+  for (size_t Row = 0; Row < 5; ++Row) {
+    for (size_t Col = 0; Col < 5; ++Col) {
+      Action A = representative(Row, X, M);
+      Action BSame = representative(Col, X, M);
+      Action BDiff = representative(Col, Y, M);
+      bool Same = reorderableWith(A, BSame);
+      bool Diff = reorderableWith(A, BDiff);
+      if (Same == Diff)
+        Table[Row][Col] = Same ? "yes" : "no";
+      else
+        Table[Row][Col] = Diff ? "x!=y" : "x==y";
+    }
+  }
+  return Table;
+}
+
+std::string tracesafe::reorderTableEntry(size_t Row, size_t Col) {
+  return computeReorderTable()[Row][Col];
+}

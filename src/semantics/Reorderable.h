@@ -1,0 +1,59 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The reorderability predicate and its §4 summary table.
+///
+/// a is reorderable with b iff
+///   (i)  a is a non-volatile memory access, and b is a non-conflicting
+///        non-volatile memory access, an acquire, or an external action; or
+///   (ii) b is a non-volatile memory access, and a is a non-conflicting
+///        non-volatile memory access, a release, or an external action.
+///
+/// The predicate is deliberately asymmetric: a write may move across a later
+/// acquire (roach-motel: the access moves *into* the critical section) but
+/// an acquire may never move across anything.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACESAFE_SEMANTICS_REORDERABLE_H
+#define TRACESAFE_SEMANTICS_REORDERABLE_H
+
+#include "trace/Action.h"
+
+#include <array>
+#include <string>
+
+namespace tracesafe {
+
+/// §4 predicate: may action \p A be reordered with (moved after) action
+/// \p B? (In a reordering function, t'_j reorderable-with t'_i is required
+/// when the function swaps their order.)
+bool reorderableWith(const Action &A, const Action &B);
+
+/// Row/column classes of the paper's summary table.
+enum class ReorderClass : uint8_t {
+  NormalWriteSame,  ///< W[x], paired against same-location column
+  NormalWriteDiff,  ///< W[x] vs a different location y
+  NormalReadSame,   ///< R[x] same location
+  NormalReadDiff,   ///< R[x] different location
+  Acquire,          ///< lock or volatile read
+  Release,          ///< unlock or volatile write
+  External,         ///< X(v)
+};
+
+/// The five paper rows/columns: W, R (location-parametric), Acq, Rel, Ext.
+inline constexpr std::array<const char *, 5> ReorderTableLabels = {
+    "Write", "Read", "Acquire", "Release", "External"};
+
+/// Entry of the reproduced table for row action class \p RowA and column
+/// class \p ColB: "yes", "no", or "x!=y" (allowed iff different locations).
+/// Row = a, column = b in `a reorderable with b`.
+std::string reorderTableEntry(size_t Row, size_t Col);
+
+/// The table the paper prints, as expected by the tests/bench: computed by
+/// evaluating reorderableWith on representative actions, *not* hard-coded.
+std::array<std::array<std::string, 5>, 5> computeReorderTable();
+
+} // namespace tracesafe
+
+#endif // TRACESAFE_SEMANTICS_REORDERABLE_H

@@ -1,0 +1,230 @@
+#include "semantics/Unelimination.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace tracesafe;
+
+bool tracesafe::isUneliminationFunction(const Interleaving &IPrime,
+                                        const Interleaving &I,
+                                        const std::vector<size_t> &F) {
+  if (F.size() != IPrime.size())
+    return false;
+  std::vector<bool> InRange(I.size(), false);
+  for (size_t K = 0; K < F.size(); ++K) {
+    if (F[K] >= I.size() || InRange[F[K]])
+      return false; // Not injective into dom(I).
+    InRange[F[K]] = true;
+    // Matching: I'_k = I_{F[k]} (thread and action).
+    if (IPrime[K].Tid != I[F[K]].Tid || IPrime[K].Act != I[F[K]].Act)
+      return false;
+  }
+  for (size_t A = 0; A < F.size(); ++A)
+    for (size_t B = A + 1; B < F.size(); ++B) {
+      // (i) program order per thread.
+      if (IPrime[A].Tid == IPrime[B].Tid && F[A] >= F[B])
+        return false;
+      // (ii) synchronisation/external order.
+      bool SyncA = IPrime[A].Act.isSynchronisation() ||
+                   IPrime[A].Act.isExternal();
+      bool SyncB = IPrime[B].Act.isSynchronisation() ||
+                   IPrime[B].Act.isExternal();
+      if (SyncA && SyncB && F[A] >= F[B])
+        return false;
+    }
+  // (iii) introduced sync/external after all image sync/external.
+  for (size_t J = 0; J < I.size(); ++J) {
+    if (InRange[J])
+      continue;
+    if (!I[J].Act.isSynchronisation() && !I[J].Act.isExternal())
+      continue;
+    for (size_t K = 0; K < F.size(); ++K) {
+      bool SyncK = IPrime[K].Act.isSynchronisation() ||
+                   IPrime[K].Act.isExternal();
+      if (SyncK && F[K] > J)
+        return false;
+    }
+  }
+  // (iv) introduced indices eliminable in their thread's trace of I.
+  std::map<ThreadId, Trace> Traces;
+  std::map<ThreadId, std::vector<size_t>> PosInTrace; // I index -> trace idx
+  std::vector<size_t> TraceIdx(I.size(), 0);
+  std::map<ThreadId, size_t> Counter;
+  for (size_t J = 0; J < I.size(); ++J) {
+    Traces[I[J].Tid].push_back(I[J].Act);
+    TraceIdx[J] = Counter[I[J].Tid]++;
+  }
+  for (size_t J = 0; J < I.size(); ++J)
+    if (!InRange[J] && !isEliminable(Traces[I[J].Tid], TraceIdx[J]))
+      return false;
+  return true;
+}
+
+namespace {
+
+/// Per-thread material for the interleaving search.
+struct ThreadPlan {
+  ThreadId Tid = 0;
+  Trace Witness;                 ///< Uneliminated (wildcard) trace t_tau.
+  std::vector<bool> IsDropped;   ///< Per witness index.
+  std::vector<size_t> KeptToIPrime; ///< k-th kept index -> I' position.
+};
+
+class Interleaver {
+public:
+  Interleaver(std::vector<ThreadPlan> Plans,
+              std::vector<size_t> KeptSyncOrder, const Interleaving &IPrime)
+      : Plans(std::move(Plans)), KeptSyncOrder(std::move(KeptSyncOrder)),
+        IPrime(IPrime) {
+    Pos.assign(this->Plans.size(), 0);
+    KeptDone.assign(this->Plans.size(), 0);
+  }
+
+  bool run(Interleaving &OutI, std::vector<size_t> &OutF) {
+    if (!dfs())
+      return false;
+    OutI = Interleaving(Events);
+    OutF.assign(IPrime.size(), 0);
+    for (size_t J = 0; J < FInverse.size(); ++J)
+      if (FInverse[J] != SIZE_MAX)
+        OutF[FInverse[J]] = J;
+    return true;
+  }
+
+private:
+  size_t totalRemaining() const {
+    size_t N = 0;
+    for (size_t P = 0; P < Plans.size(); ++P)
+      N += Plans[P].Witness.size() - Pos[P];
+    return N;
+  }
+
+  bool dfs() {
+    if (totalRemaining() == 0)
+      return true;
+    for (size_t P = 0; P < Plans.size(); ++P) {
+      ThreadPlan &Plan = Plans[P];
+      if (Pos[P] == Plan.Witness.size())
+        continue;
+      size_t W = Pos[P];
+      const Action &A = Plan.Witness[W];
+      bool Sync = A.isSynchronisation() || A.isExternal();
+      bool IsDropped = Plan.IsDropped[W];
+      // (ii): a kept sync/external action must be the globally next one.
+      if (!IsDropped && Sync) {
+        size_t IPrimePos = Plan.KeptToIPrime[KeptDone[P]];
+        if (SyncEmitted >= KeptSyncOrder.size() ||
+            KeptSyncOrder[SyncEmitted] != IPrimePos)
+          continue;
+      }
+      // (iii): a dropped sync/external action must wait for all kept ones.
+      if (IsDropped && Sync && SyncEmitted < KeptSyncOrder.size())
+        continue;
+      // Mutual exclusion.
+      if (A.isLock()) {
+        auto It = Locks.find(A.monitor());
+        if (It != Locks.end() && It->second.second > 0 &&
+            It->second.first != Plan.Tid)
+          continue;
+      }
+      // Apply.
+      Events.push_back(Event{Plan.Tid, A});
+      FInverse.push_back(IsDropped ? SIZE_MAX : Plan.KeptToIPrime[KeptDone[P]]);
+      ++Pos[P];
+      size_t SavedKept = KeptDone[P];
+      if (!IsDropped)
+        ++KeptDone[P];
+      size_t SavedSync = SyncEmitted;
+      if (!IsDropped && Sync)
+        ++SyncEmitted;
+      std::optional<std::pair<ThreadId, int>> SavedLock;
+      if (A.isLock() || A.isUnlock()) {
+        auto &Slot = Locks[A.monitor()];
+        SavedLock = Slot;
+        Slot = A.isLock()
+                   ? std::make_pair(Plan.Tid, Slot.second + 1)
+                   : std::make_pair(Slot.first, Slot.second - 1);
+      }
+      if (dfs())
+        return true;
+      // Undo.
+      if (SavedLock)
+        Locks[A.monitor()] = *SavedLock;
+      SyncEmitted = SavedSync;
+      KeptDone[P] = SavedKept;
+      --Pos[P];
+      FInverse.pop_back();
+      Events.pop_back();
+    }
+    return false;
+  }
+
+  std::vector<ThreadPlan> Plans;
+  std::vector<size_t> KeptSyncOrder; ///< I' positions of sync/ext, in order.
+  const Interleaving &IPrime;
+
+  std::vector<size_t> Pos;      ///< Next witness index per plan.
+  std::vector<size_t> KeptDone; ///< Kept actions emitted per plan.
+  size_t SyncEmitted = 0;       ///< Prefix of KeptSyncOrder emitted.
+  std::vector<Event> Events;
+  std::vector<size_t> FInverse; ///< I index -> I' index (SIZE_MAX dropped).
+  std::map<SymbolId, std::pair<ThreadId, int>> Locks;
+};
+
+} // namespace
+
+UneliminationResult
+tracesafe::findUnelimination(const Traceset &Orig, const Interleaving &IPrime,
+                             const EliminationSearchLimits &Limits) {
+  UneliminationResult Result;
+
+  // Step 1: per-thread elimination witnesses.
+  std::vector<ThreadPlan> Plans;
+  for (ThreadId Tid : IPrime.threads()) {
+    ThreadPlan Plan;
+    Plan.Tid = Tid;
+    Trace TPrime = IPrime.traceOf(Tid);
+    bool Truncated = false;
+    std::vector<size_t> Dropped;
+    std::optional<Trace> W = findEliminationWitness(
+        Orig, TPrime, Limits, &Truncated, /*ProperOnly=*/false, &Dropped);
+    if (!W) {
+      Result.Verdict = Truncated ? CheckVerdict::Unknown : CheckVerdict::Fails;
+      return Result;
+    }
+    Plan.Witness = *W;
+    Plan.IsDropped.assign(W->size(), false);
+    for (size_t D : Dropped)
+      Plan.IsDropped[D] = true;
+    // Map the k-th kept witness index to the I' position of the k-th action
+    // of this thread.
+    std::vector<size_t> ThreadPositions;
+    for (size_t K = 0; K < IPrime.size(); ++K)
+      if (IPrime[K].Tid == Tid)
+        ThreadPositions.push_back(K);
+    assert(ThreadPositions.size() + Dropped.size() == W->size() &&
+           "witness size mismatch");
+    Plan.KeptToIPrime = ThreadPositions;
+    Plans.push_back(std::move(Plan));
+  }
+
+  // Step 2: the I' positions of synchronisation/external actions, in order.
+  std::vector<size_t> KeptSyncOrder;
+  for (size_t K = 0; K < IPrime.size(); ++K)
+    if (IPrime[K].Act.isSynchronisation() || IPrime[K].Act.isExternal())
+      KeptSyncOrder.push_back(K);
+
+  // Step 3: interleave.
+  Interleaver Merge(std::move(Plans), std::move(KeptSyncOrder), IPrime);
+  Interleaving I;
+  std::vector<size_t> F;
+  if (!Merge.run(I, F)) {
+    Result.Verdict = CheckVerdict::Fails;
+    return Result;
+  }
+  Result.Verdict = CheckVerdict::Holds;
+  Result.I = std::move(I);
+  Result.F = std::move(F);
+  return Result;
+}

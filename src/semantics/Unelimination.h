@@ -1,0 +1,64 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The unelimination construction of Lemma 1 (§5, Fig 5).
+///
+/// Given an execution I' of an eliminated traceset T', Lemma 1 asserts the
+/// existence of a wildcard interleaving I belonging-to the original traceset
+/// T and an *unelimination function* f: a complete matching from I' to I
+/// such that
+///   (i)   f preserves the program order of each thread,
+///   (ii)  f preserves the relative order of synchronisation and external
+///         actions of I',
+///   (iii) every synchronisation or external action *introduced* by the
+///         unelimination (an index of I outside rng(f)) comes after all
+///         images of I' synchronisation/external actions, and
+///   (iv)  every introduced index is eliminable in I.
+///
+/// We implement the lemma as a search: per-thread elimination witnesses are
+/// obtained from the elimination checker, then a backtracking interleaver
+/// looks for a linearisation satisfying (i)-(iii) plus the interleaving
+/// well-formedness conditions (mutual exclusion, entry points). Condition
+/// (iv) holds by construction of the witnesses.
+///
+/// The paper's follow-up property — the instance of any unelimination of a
+/// race-free-prefixed execution is itself an execution of T with the same
+/// behaviour — is what the tests and the E7 bench check on top of this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACESAFE_SEMANTICS_UNELIMINATION_H
+#define TRACESAFE_SEMANTICS_UNELIMINATION_H
+
+#include "semantics/Elimination.h"
+#include "trace/Interleaving.h"
+
+#include <optional>
+
+namespace tracesafe {
+
+/// Result of an unelimination search.
+struct UneliminationResult {
+  /// Verdict: Holds = unelimination found; Fails = provably none under the
+  /// given witnesses; Unknown = search truncated.
+  CheckVerdict Verdict = CheckVerdict::Fails;
+  /// The uneliminated wildcard interleaving I.
+  Interleaving I;
+  /// The unelimination function: F[i] = index in I of the image of I'_i.
+  std::vector<size_t> F;
+};
+
+/// Searches for an unelimination of \p IPrime (an execution of an
+/// elimination of \p Orig) into \p Orig.
+UneliminationResult
+findUnelimination(const Traceset &Orig, const Interleaving &IPrime,
+                  const EliminationSearchLimits &Limits = {});
+
+/// Checks that \p F is an unelimination function from \p IPrime to \p I
+/// (conditions (i)-(iv) above plus the matching property).
+bool isUneliminationFunction(const Interleaving &IPrime, const Interleaving &I,
+                             const std::vector<size_t> &F);
+
+} // namespace tracesafe
+
+#endif // TRACESAFE_SEMANTICS_UNELIMINATION_H

@@ -1,0 +1,167 @@
+#include "semantics/Unordering.h"
+
+#include "semantics/Reorderable.h"
+#include "semantics/Reordering.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace tracesafe;
+
+namespace {
+
+/// Positions of thread \p Tid in \p I, in order.
+std::vector<size_t> threadPositions(const Interleaving &I, ThreadId Tid) {
+  std::vector<size_t> Out;
+  for (size_t K = 0; K < I.size(); ++K)
+    if (I[K].Tid == Tid)
+      Out.push_back(K);
+  return Out;
+}
+
+bool isSyncOrExternal(const Action &A) {
+  return A.isSynchronisation() || A.isExternal();
+}
+
+/// Extracts the thread-internal permutation induced by the global matching
+/// \p F on the positions \p Pos of one thread: internal source k maps to
+/// the rank of F[Pos[k]] among the F-images of the thread.
+Permutation restrictToThread(const std::vector<size_t> &F,
+                             const std::vector<size_t> &Pos) {
+  std::vector<std::pair<size_t, size_t>> Images; // (global target, k)
+  for (size_t K = 0; K < Pos.size(); ++K)
+    Images.emplace_back(F[Pos[K]], K);
+  std::sort(Images.begin(), Images.end());
+  Permutation FThread(Pos.size());
+  for (size_t Rank = 0; Rank < Images.size(); ++Rank)
+    FThread[Images[Rank].second] = Rank;
+  return FThread;
+}
+
+} // namespace
+
+bool tracesafe::isUnorderingFunction(
+    const Interleaving &IPrime, const std::vector<size_t> &F,
+    const std::function<bool(const Trace &)> &Contains) {
+  if (F.size() != IPrime.size() || !isPermutation(F))
+    return false;
+  for (size_t I = 0; I < F.size(); ++I)
+    for (size_t J = I + 1; J < F.size(); ++J) {
+      // (i) same-thread pairs that are not reorderable keep their order.
+      if (IPrime[I].Tid == IPrime[J].Tid &&
+          !reorderableWith(IPrime[J].Act, IPrime[I].Act) && F[I] >= F[J])
+        return false;
+      // (ii) synchronisation/external actions keep their order.
+      if (isSyncOrExternal(IPrime[I].Act) && isSyncOrExternal(IPrime[J].Act) &&
+          F[I] >= F[J])
+        return false;
+    }
+  // (iii) each thread's restriction de-permutes its trace into T.
+  for (ThreadId Tid : IPrime.threads()) {
+    std::vector<size_t> Pos = threadPositions(IPrime, Tid);
+    Trace TPrime = IPrime.traceOf(Tid);
+    Permutation FThread = restrictToThread(F, Pos);
+    if (!isReorderingFunction(TPrime, FThread))
+      return false;
+    for (size_t N = 0; N <= TPrime.size(); ++N)
+      if (!Contains(depermutePrefix(TPrime, FThread, N)))
+        return false;
+  }
+  return true;
+}
+
+Interleaving tracesafe::applyUnordering(const Interleaving &IPrime,
+                                        const std::vector<size_t> &F) {
+  assert(F.size() == IPrime.size() && isPermutation(F) &&
+         "unordering must be a bijection");
+  std::vector<Event> Out(IPrime.size(), Event{0, Action::mkStart(0)});
+  for (size_t I = 0; I < F.size(); ++I)
+    Out[F[I]] = IPrime[I];
+  return Interleaving(std::move(Out));
+}
+
+UnorderingResult tracesafe::findUnordering(
+    const Interleaving &IPrime,
+    const std::function<bool(const Trace &)> &Contains,
+    const ReorderingSearchLimits &Limits) {
+  UnorderingResult Result;
+
+  // Step 1: per-thread de-permutations.
+  struct ThreadPlan {
+    ThreadId Tid;
+    std::vector<size_t> Pos;  ///< I' positions.
+    Trace TPrime;             ///< Thread trace in I'.
+    Permutation F;            ///< De-permutation of TPrime.
+    Trace Depermuted;         ///< depermute(TPrime, F).
+    std::vector<size_t> SourceAt; ///< SourceAt[q] = internal source of slot q.
+  };
+  std::vector<ThreadPlan> Plans;
+  for (ThreadId Tid : IPrime.threads()) {
+    ThreadPlan Plan;
+    Plan.Tid = Tid;
+    Plan.Pos = threadPositions(IPrime, Tid);
+    Plan.TPrime = IPrime.traceOf(Tid);
+    bool Truncated = false;
+    std::optional<Permutation> F =
+        findDepermutation(Plan.TPrime, Contains, Limits, &Truncated);
+    if (!F) {
+      Result.Verdict = Truncated ? CheckVerdict::Unknown : CheckVerdict::Fails;
+      return Result;
+    }
+    Plan.F = *F;
+    Plan.Depermuted = depermute(Plan.TPrime, Plan.F);
+    Plan.SourceAt = invertPermutation(Plan.F);
+    Plans.push_back(std::move(Plan));
+  }
+
+  // Step 2: greedy merge of the de-permuted thread traces, emitting
+  // synchronisation/external actions in their I' order. Per-thread
+  // de-permutations never invert two sync/external actions (nothing is
+  // reorderable with them in the required direction), so the globally
+  // next one is always some thread's earliest remaining sync action and
+  // the merge cannot deadlock.
+  std::vector<size_t> SyncOrder; // I' positions of sync/ext, in order.
+  for (size_t K = 0; K < IPrime.size(); ++K)
+    if (isSyncOrExternal(IPrime[K].Act))
+      SyncOrder.push_back(K);
+
+  std::vector<size_t> Next(Plans.size(), 0); // Cursor into Depermuted.
+  std::vector<size_t> F(IPrime.size(), 0);
+  size_t Emitted = 0, SyncEmitted = 0;
+  while (Emitted < IPrime.size()) {
+    bool Progress = false;
+    for (size_t P = 0; P < Plans.size() && !Progress; ++P) {
+      ThreadPlan &Plan = Plans[P];
+      if (Next[P] == Plan.Depermuted.size())
+        continue;
+      size_t Slot = Next[P];
+      size_t InternalSource = Plan.SourceAt[Slot];
+      size_t GlobalSource = Plan.Pos[InternalSource];
+      const Action &A = Plan.Depermuted[Slot];
+      if (isSyncOrExternal(A)) {
+        if (SyncEmitted >= SyncOrder.size() ||
+            SyncOrder[SyncEmitted] != GlobalSource)
+          continue; // Not globally next yet.
+        ++SyncEmitted;
+      }
+      F[GlobalSource] = Emitted++;
+      ++Next[P];
+      Progress = true;
+    }
+    if (!Progress) {
+      // Should be impossible (see the merge argument above); report
+      // honestly rather than asserting in release builds.
+      Result.Verdict = CheckVerdict::Fails;
+      return Result;
+    }
+  }
+
+  if (!isUnorderingFunction(IPrime, F, Contains)) {
+    Result.Verdict = CheckVerdict::Fails;
+    return Result;
+  }
+  Result.Verdict = CheckVerdict::Holds;
+  Result.F = std::move(F);
+  return Result;
+}

@@ -1,0 +1,62 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unordering functions (§5) — the proof device of the reordering safety
+/// theorem, as an executable construction.
+///
+/// Given a traceset T and an interleaving I' of a reordering of T, a
+/// complete matching f : dom(I') -> dom(I') is an *unordering* from I' to
+/// T when
+///   (i)   for i < j with T(I'_i) = T(I'_j): if A(I'_j) is not reorderable
+///         with A(I'_i) then f(i) < f(j) (program order may only be
+///         permuted where the reorderability predicate allows),
+///   (ii)  synchronisation and external actions keep their relative order,
+///   (iii) restricted to each thread, f de-permutes the thread's trace of
+///         I' into T.
+///
+/// The §5 induction then shows: if T is data race free and I' is an
+/// execution, the unordered interleaving f.(I') is an execution of T. The
+/// tests and the E5 bench exercise exactly that property.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACESAFE_SEMANTICS_UNORDERING_H
+#define TRACESAFE_SEMANTICS_UNORDERING_H
+
+#include "semantics/Reordering.h"
+#include "support/Permutation.h"
+#include "trace/Interleaving.h"
+
+#include <functional>
+#include <optional>
+
+namespace tracesafe {
+
+/// Checks conditions (i)-(iii) for \p F against the membership oracle
+/// \p Contains (typically Traceset::contains of the original set, or the
+/// elimination-closure oracle for composite transformations).
+bool isUnorderingFunction(const Interleaving &IPrime,
+                          const std::vector<size_t> &F,
+                          const std::function<bool(const Trace &)> &Contains);
+
+/// Applies \p F to \p IPrime: element i moves to position F[i].
+Interleaving applyUnordering(const Interleaving &IPrime,
+                             const std::vector<size_t> &F);
+
+struct UnorderingResult {
+  CheckVerdict Verdict = CheckVerdict::Fails;
+  std::vector<size_t> F; ///< The unordering function (valid when Holds).
+};
+
+/// Searches for an unordering from \p IPrime into the traceset given by
+/// \p Contains: per-thread de-permutations are found first, then merged
+/// into a global matching that preserves the synchronisation/external
+/// order of I'.
+UnorderingResult
+findUnordering(const Interleaving &IPrime,
+               const std::function<bool(const Trace &)> &Contains,
+               const ReorderingSearchLimits &Limits = {});
+
+} // namespace tracesafe
+
+#endif // TRACESAFE_SEMANTICS_UNORDERING_H

@@ -1,0 +1,27 @@
+#include "support/Format.h"
+
+using namespace tracesafe;
+
+std::string tracesafe::join(const std::vector<std::string> &Parts,
+                            const std::string &Sep) {
+  std::string Out;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+std::string tracesafe::indent(const std::string &Text, unsigned Spaces) {
+  std::string Pad(Spaces, ' ');
+  std::string Out;
+  bool AtLineStart = true;
+  for (char C : Text) {
+    if (AtLineStart && C != '\n')
+      Out += Pad;
+    Out += C;
+    AtLineStart = (C == '\n');
+  }
+  return Out;
+}

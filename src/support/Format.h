@@ -1,0 +1,25 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tiny string-formatting helpers shared by the printing code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACESAFE_SUPPORT_FORMAT_H
+#define TRACESAFE_SUPPORT_FORMAT_H
+
+#include <string>
+#include <vector>
+
+namespace tracesafe {
+
+/// Joins \p Parts with \p Sep: join({"a","b"}, ", ") == "a, b".
+std::string join(const std::vector<std::string> &Parts,
+                 const std::string &Sep);
+
+/// Indents every line of \p Text by \p Spaces spaces.
+std::string indent(const std::string &Text, unsigned Spaces);
+
+} // namespace tracesafe
+
+#endif // TRACESAFE_SUPPORT_FORMAT_H

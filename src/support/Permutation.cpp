@@ -1,0 +1,75 @@
+#include "support/Permutation.h"
+
+#include <cassert>
+
+using namespace tracesafe;
+
+bool tracesafe::isPermutation(const Permutation &P) {
+  std::vector<bool> Seen(P.size(), false);
+  for (size_t V : P) {
+    if (V >= P.size() || Seen[V])
+      return false;
+    Seen[V] = true;
+  }
+  return true;
+}
+
+Permutation tracesafe::invertPermutation(const Permutation &P) {
+  assert(isPermutation(P) && "invertPermutation requires a bijection");
+  Permutation Inv(P.size());
+  for (size_t I = 0; I < P.size(); ++I)
+    Inv[P[I]] = I;
+  return Inv;
+}
+
+Permutation tracesafe::identityPermutation(size_t N) {
+  Permutation P(N);
+  for (size_t I = 0; I < N; ++I)
+    P[I] = I;
+  return P;
+}
+
+std::vector<size_t> tracesafe::sourceAtTarget(const Permutation &P) {
+  return invertPermutation(P);
+}
+
+namespace {
+
+bool enumerateRec(size_t N, Permutation &P, std::vector<bool> &Used, size_t I,
+                  const std::function<bool(const Permutation &, size_t)> &Adm,
+                  const std::function<bool(const Permutation &)> &Visit) {
+  if (I == N)
+    return Visit(P);
+  for (size_t V = 0; V < N; ++V) {
+    if (Used[V])
+      continue;
+    P[I] = V;
+    Used[V] = true;
+    bool Continue = true;
+    if (Adm(P, I))
+      Continue = enumerateRec(N, P, Used, I + 1, Adm, Visit);
+    Used[V] = false;
+    if (!Continue)
+      return false;
+  }
+  return true;
+}
+
+} // namespace
+
+bool tracesafe::forEachPermutation(
+    size_t N, const std::function<bool(const Permutation &, size_t)> &Admissible,
+    const std::function<bool(const Permutation &)> &Visit) {
+  Permutation P(N, 0);
+  std::vector<bool> Used(N, false);
+  return enumerateRec(N, P, Used, 0, Admissible, Visit);
+}
+
+size_t tracesafe::inversionCount(const Permutation &P) {
+  size_t Count = 0;
+  for (size_t I = 0; I < P.size(); ++I)
+    for (size_t J = I + 1; J < P.size(); ++J)
+      if (P[I] > P[J])
+        ++Count;
+  return Count;
+}

@@ -1,0 +1,56 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Permutation helpers for the reordering checker.
+///
+/// A reordering function in the paper is a bijection f : dom(t) -> dom(t)
+/// with ordering side conditions. We represent a permutation as a vector P
+/// with P[i] = f(i), and provide inversion, application, validity checks and
+/// a constrained backtracking enumerator used by the semantic reordering
+/// search.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACESAFE_SUPPORT_PERMUTATION_H
+#define TRACESAFE_SUPPORT_PERMUTATION_H
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace tracesafe {
+
+/// P[i] = image of index i. Valid iff P is a bijection on {0..n-1}.
+using Permutation = std::vector<size_t>;
+
+/// Returns true iff \p P maps {0..n-1} bijectively onto itself.
+bool isPermutation(const Permutation &P);
+
+/// Returns the inverse permutation; asserts that \p P is valid.
+Permutation invertPermutation(const Permutation &P);
+
+/// Returns the identity permutation on N elements.
+Permutation identityPermutation(size_t N);
+
+/// Applies \p P to a sequence of indices {0..n-1}: Result[P[i]] = i is the
+/// *position map*; what we return is the reordered index list L with
+/// L[P[i]] = i, i.e. which source index lands at each target slot.
+std::vector<size_t> sourceAtTarget(const Permutation &P);
+
+/// Enumerates all permutations of {0..N-1} that satisfy \p Admissible at
+/// every partial assignment. \p Admissible(P, I) is called with P[0..I]
+/// assigned and must return true if the partial assignment can still lead to
+/// a valid permutation (it is a pruning predicate, not a final check).
+/// \p Visit is called with each complete permutation; returning false stops
+/// the enumeration early. Returns false iff stopped early.
+bool forEachPermutation(
+    size_t N, const std::function<bool(const Permutation &, size_t)> &Admissible,
+    const std::function<bool(const Permutation &)> &Visit);
+
+/// Number of inversions of P (pairs i<j with P[i]>P[j]); a cheap measure of
+/// how much reordering a permutation performs. Used by benches.
+size_t inversionCount(const Permutation &P);
+
+} // namespace tracesafe
+
+#endif // TRACESAFE_SUPPORT_PERMUTATION_H

@@ -1,0 +1,5 @@
+#include "support/Rng.h"
+
+// Rng is header-only; this file anchors the translation unit so the support
+// library always has at least one object per header and stays linkable on
+// toolchains that dislike empty archives.

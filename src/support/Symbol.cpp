@@ -1,0 +1,40 @@
+#include "support/Symbol.h"
+
+#include <cassert>
+#include <unordered_map>
+#include <vector>
+
+using namespace tracesafe;
+
+namespace {
+
+struct Interner {
+  std::unordered_map<std::string, SymbolId> Ids;
+  std::vector<std::string> Names;
+};
+
+Interner &interner() {
+  static Interner I;
+  return I;
+}
+
+} // namespace
+
+SymbolId Symbol::intern(const std::string &Name) {
+  Interner &I = interner();
+  auto It = I.Ids.find(Name);
+  if (It != I.Ids.end())
+    return It->second;
+  SymbolId Id = static_cast<SymbolId>(I.Names.size());
+  I.Names.push_back(Name);
+  I.Ids.emplace(Name, Id);
+  return Id;
+}
+
+const std::string &Symbol::name(SymbolId Id) {
+  Interner &I = interner();
+  assert(Id < I.Names.size() && "unknown symbol id");
+  return I.Names[Id];
+}
+
+size_t Symbol::count() { return interner().Names.size(); }

@@ -1,0 +1,58 @@
+#include "trace/Action.h"
+
+using namespace tracesafe;
+
+Action Action::mkStart(ThreadId Entry) {
+  return Action(ActionKind::Start, static_cast<SymbolId>(Entry), 0,
+                /*Volatile=*/false, /*Wildcard=*/false);
+}
+
+Action Action::mkRead(SymbolId Loc, Value V, bool Volatile) {
+  return Action(ActionKind::Read, Loc, V, Volatile, /*Wildcard=*/false);
+}
+
+Action Action::mkWildcardRead(SymbolId Loc, bool Volatile) {
+  return Action(ActionKind::Read, Loc, 0, Volatile, /*Wildcard=*/true);
+}
+
+Action Action::mkWrite(SymbolId Loc, Value V, bool Volatile) {
+  return Action(ActionKind::Write, Loc, V, Volatile, /*Wildcard=*/false);
+}
+
+Action Action::mkLock(SymbolId Mon) {
+  return Action(ActionKind::Lock, Mon, 0, /*Volatile=*/false,
+                /*Wildcard=*/false);
+}
+
+Action Action::mkUnlock(SymbolId Mon) {
+  return Action(ActionKind::Unlock, Mon, 0, /*Volatile=*/false,
+                /*Wildcard=*/false);
+}
+
+Action Action::mkExternal(Value V) {
+  return Action(ActionKind::External, 0, V, /*Volatile=*/false,
+                /*Wildcard=*/false);
+}
+
+std::string Action::str() const {
+  switch (Kind) {
+  case ActionKind::Start:
+    return "S(" + std::to_string(Id) + ")";
+  case ActionKind::Read: {
+    std::string K = Volatile ? "Rv" : "R";
+    std::string V = Wildcard ? "*" : std::to_string(Val);
+    return K + "[" + Symbol::name(Id) + "=" + V + "]";
+  }
+  case ActionKind::Write: {
+    std::string K = Volatile ? "Wv" : "W";
+    return K + "[" + Symbol::name(Id) + "=" + std::to_string(Val) + "]";
+  }
+  case ActionKind::Lock:
+    return "L[" + Symbol::name(Id) + "]";
+  case ActionKind::Unlock:
+    return "U[" + Symbol::name(Id) + "]";
+  case ActionKind::External:
+    return "X(" + std::to_string(Val) + ")";
+  }
+  return "<invalid>";
+}

@@ -1,0 +1,169 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Memory actions — the alphabet of the trace semantics (paper §2, §3).
+///
+/// The paper's actions are: R[l=v] read, W[l=v] write, L[m] lock, U[m]
+/// unlock, X(v) external (input/output), S(e) thread start with entry point
+/// e. Wildcard traces additionally contain wildcard reads R[l=*] whose value
+/// is irrelevant (§4, eliminations).
+///
+/// Volatility is a property of locations in a program; we record it on each
+/// access so that classification of an action (acquire/release/normal) is a
+/// local question, exactly as in the paper's terminology of §3:
+///   - acquire  = lock or volatile read,
+///   - release  = unlock or volatile write,
+///   - synchronisation action = acquire or release,
+///   - normal access = access to a non-volatile location.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACESAFE_TRACE_ACTION_H
+#define TRACESAFE_TRACE_ACTION_H
+
+#include "support/Symbol.h"
+
+#include <cassert>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace tracesafe {
+
+/// Values are the naturals in the paper; int is convenient and the library
+/// only ever manufactures non-negative values.
+using Value = int32_t;
+
+/// Thread identifiers double as entry points (threads are static, §3).
+using ThreadId = uint32_t;
+
+/// Default value of every location (paper: all locations zero-initialised).
+inline constexpr Value DefaultValue = 0;
+
+/// The six action kinds of the paper plus nothing else; wildcardness is a
+/// flag on reads, not a separate kind.
+enum class ActionKind : uint8_t {
+  Start,    ///< S(e) — first action of every thread.
+  Read,     ///< R[l=v] or wildcard R[l=*].
+  Write,    ///< W[l=v].
+  Lock,     ///< L[m].
+  Unlock,   ///< U[m].
+  External, ///< X(v) — observable input/output.
+};
+
+/// A single memory action. Value-type, 16 bytes, totally ordered so traces
+/// can live in ordered sets.
+class Action {
+public:
+  /// S(\p Entry): thread start carrying its entry point.
+  static Action mkStart(ThreadId Entry);
+  /// R[\p Loc = \p V]; \p Volatile marks an access to a volatile location.
+  static Action mkRead(SymbolId Loc, Value V, bool Volatile = false);
+  /// R[\p Loc = *]: wildcard read used in wildcard traces (§4).
+  static Action mkWildcardRead(SymbolId Loc, bool Volatile = false);
+  /// W[\p Loc = \p V].
+  static Action mkWrite(SymbolId Loc, Value V, bool Volatile = false);
+  /// L[\p Mon].
+  static Action mkLock(SymbolId Mon);
+  /// U[\p Mon].
+  static Action mkUnlock(SymbolId Mon);
+  /// X(\p V).
+  static Action mkExternal(Value V);
+
+  ActionKind kind() const { return Kind; }
+
+  /// Location of a read/write. Asserts isMemoryAccess().
+  SymbolId location() const {
+    assert(isMemoryAccess() && "location() on non-access");
+    return Id;
+  }
+
+  /// Monitor of a lock/unlock. Asserts lock or unlock.
+  SymbolId monitor() const {
+    assert((Kind == ActionKind::Lock || Kind == ActionKind::Unlock) &&
+           "monitor() on non-synchronisation action");
+    return Id;
+  }
+
+  /// Entry point of a start action.
+  ThreadId entry() const {
+    assert(Kind == ActionKind::Start && "entry() on non-start action");
+    return static_cast<ThreadId>(Id);
+  }
+
+  /// Value of a concrete read, a write, or an external action.
+  Value value() const {
+    assert((Kind == ActionKind::Write || Kind == ActionKind::External ||
+            (Kind == ActionKind::Read && !Wildcard)) &&
+           "value() on an action without a concrete value");
+    return Val;
+  }
+
+  bool isWildcard() const { return Wildcard; }
+  bool isVolatileAccess() const { return Volatile; }
+
+  bool isStart() const { return Kind == ActionKind::Start; }
+  bool isRead() const { return Kind == ActionKind::Read; }
+  bool isWrite() const { return Kind == ActionKind::Write; }
+  bool isLock() const { return Kind == ActionKind::Lock; }
+  bool isUnlock() const { return Kind == ActionKind::Unlock; }
+  bool isExternal() const { return Kind == ActionKind::External; }
+
+  /// Memory access = read or write (to any location).
+  bool isMemoryAccess() const { return isRead() || isWrite(); }
+  /// Normal access = access to a non-volatile location.
+  bool isNormalAccess() const { return isMemoryAccess() && !Volatile; }
+  /// Acquire = lock or volatile read (§3).
+  bool isAcquire() const { return isLock() || (isRead() && Volatile); }
+  /// Release = unlock or volatile write (§3).
+  bool isRelease() const { return isUnlock() || (isWrite() && Volatile); }
+  /// Synchronisation action = acquire or release.
+  bool isSynchronisation() const { return isAcquire() || isRelease(); }
+
+  /// §3: two actions conflict iff they access the same *non-volatile*
+  /// location and at least one is a write. Wildcard reads access their
+  /// location like any read.
+  bool conflictsWith(const Action &Other) const {
+    if (!isNormalAccess() || !Other.isNormalAccess())
+      return false;
+    if (location() != Other.location())
+      return false;
+    return isWrite() || Other.isWrite();
+  }
+
+  /// Instance matching: a concrete action is an instance of this action if
+  /// they are equal, or this is a wildcard read and the other is a concrete
+  /// read of the same location with the same volatility.
+  bool matchesInstance(const Action &Concrete) const {
+    if (*this == Concrete)
+      return true;
+    return Wildcard && Concrete.isRead() && !Concrete.isWildcard() &&
+           isRead() && Id == Concrete.Id && Volatile == Concrete.Volatile;
+  }
+
+  /// The concrete read obtained by plugging \p V into a wildcard read.
+  Action instantiate(Value V) const {
+    assert(Wildcard && "instantiate() on a non-wildcard action");
+    return mkRead(Id, V, Volatile);
+  }
+
+  friend auto operator<=>(const Action &, const Action &) = default;
+
+  /// Paper-style rendering: "R[x=1]", "W[y=0]", "Rv[v=*]", "L[m]", "U[m]",
+  /// "X(1)", "S(0)". Volatile accesses get a 'v' suffix on the kind letter.
+  std::string str() const;
+
+private:
+  Action(ActionKind K, SymbolId Id, Value V, bool Volatile, bool Wildcard)
+      : Kind(K), Volatile(Volatile), Wildcard(Wildcard), Id(Id), Val(V) {}
+
+  ActionKind Kind;
+  bool Volatile;
+  bool Wildcard;
+  SymbolId Id;  ///< Location, monitor, or entry point depending on Kind.
+  Value Val;    ///< Value for reads/writes/externals; 0 otherwise.
+};
+
+} // namespace tracesafe
+
+#endif // TRACESAFE_TRACE_ACTION_H

@@ -1,0 +1,415 @@
+#include "trace/Enumerate.h"
+
+#include "trace/HappensBefore.h"
+
+#include <cassert>
+#include <map>
+#include <tuple>
+
+using namespace tracesafe;
+
+namespace {
+
+/// Shared DFS machinery over global traceset states.
+class Enumerator {
+public:
+  Enumerator(const Traceset &T, EnumerationLimits Limits)
+      : T(T), Limits(Limits) {
+    for (ThreadId Tid : T.entryPoints())
+      ThreadTraces.emplace(Tid, Trace());
+  }
+
+  /// An action of thread Tid is enabled in the current global state when
+  /// the extended thread trace stays in T, reads see memory, locks respect
+  /// mutual exclusion, and the thread's first action is its own start.
+  bool enabled(ThreadId Tid, const Action &A) const {
+    const Trace &Cur = ThreadTraces.at(Tid);
+    if (Cur.empty() && (!A.isStart() || A.entry() != Tid))
+      return false;
+    if (A.isRead()) {
+      auto It = Memory.find(A.location());
+      Value Expected = It == Memory.end() ? DefaultValue : It->second;
+      if (A.value() != Expected)
+        return false;
+    }
+    if (A.isLock()) {
+      auto It = LockDepth.find(A.monitor());
+      if (It != LockDepth.end() && It->second.second > 0 &&
+          It->second.first != Tid)
+        return false;
+    }
+    return true;
+  }
+
+  /// All (Tid, Action) steps enabled now.
+  std::vector<Event> enabledSteps() const {
+    std::vector<Event> Out;
+    for (const auto &[Tid, Cur] : ThreadTraces)
+      for (const Action &A : T.successors(Cur))
+        if (enabled(Tid, A))
+          Out.push_back(Event{Tid, A});
+    return Out;
+  }
+
+  void apply(const Event &E) {
+    ThreadTraces[E.Tid].push_back(E.Act);
+    if (E.Act.isWrite())
+      MemoryLog.push_back({E.Act.location(), setMemory(E.Act.location(),
+                                                       E.Act.value())});
+    if (E.Act.isLock()) {
+      auto &Slot = LockDepth[E.Act.monitor()];
+      Slot.first = E.Tid;
+      ++Slot.second;
+    }
+    if (E.Act.isUnlock())
+      --LockDepth[E.Act.monitor()].second;
+    Current.push_back(E);
+  }
+
+  void undo(const Event &E) {
+    Current.pop_back();
+    if (E.Act.isUnlock()) {
+      auto &Slot = LockDepth[E.Act.monitor()];
+      Slot.first = E.Tid; // Re-owner: the unlocker held it.
+      ++Slot.second;
+    }
+    if (E.Act.isLock())
+      --LockDepth[E.Act.monitor()].second;
+    if (E.Act.isWrite()) {
+      auto [Loc, Old] = MemoryLog.back();
+      MemoryLog.pop_back();
+      if (Old)
+        Memory[Loc] = *Old;
+      else
+        Memory.erase(Loc);
+    }
+    // Pop the thread trace.
+    Trace &Cur = ThreadTraces[E.Tid];
+    Cur = Cur.prefix(Cur.size() - 1);
+  }
+
+  /// DFS visiting every execution prefix. Visit=false stops everything.
+  bool dfs(const std::function<bool(const Interleaving &)> &Visit,
+           bool MaximalOnly, EnumerationStats &Stats) {
+    if (++Stats.Visited > Limits.MaxVisited ||
+        Current.size() >= Limits.MaxEvents) {
+      Stats.Truncated = true;
+      return true;
+    }
+    std::vector<Event> Steps = enabledSteps();
+    if (!MaximalOnly && !Current.empty())
+      if (!Visit(Current))
+        return false;
+    if (MaximalOnly && Steps.empty())
+      if (!Visit(Current))
+        return false;
+    for (const Event &E : Steps) {
+      apply(E);
+      bool Continue = dfs(Visit, MaximalOnly, Stats);
+      undo(E);
+      if (!Continue)
+        return false;
+    }
+    return true;
+  }
+
+  const Interleaving &current() const { return Current; }
+
+private:
+  std::optional<Value> setMemory(SymbolId Loc, Value V) {
+    std::optional<Value> Old;
+    auto It = Memory.find(Loc);
+    if (It != Memory.end())
+      Old = It->second;
+    Memory[Loc] = V;
+    return Old;
+  }
+
+  const Traceset &T;
+  EnumerationLimits Limits;
+  std::map<ThreadId, Trace> ThreadTraces;
+  std::map<SymbolId, Value> Memory;
+  std::vector<std::pair<SymbolId, std::optional<Value>>> MemoryLog;
+  std::map<SymbolId, std::pair<ThreadId, int>> LockDepth;
+  Interleaving Current;
+};
+
+} // namespace
+
+EnumerationStats tracesafe::forEachExecution(
+    const Traceset &T, const std::function<bool(const Interleaving &)> &Visit,
+    EnumerationLimits Limits) {
+  EnumerationStats Stats;
+  Enumerator E(T, Limits);
+  E.dfs(Visit, /*MaximalOnly=*/false, Stats);
+  return Stats;
+}
+
+EnumerationStats tracesafe::forEachMaximalExecution(
+    const Traceset &T, const std::function<bool(const Interleaving &)> &Visit,
+    EnumerationLimits Limits) {
+  EnumerationStats Stats;
+  Enumerator E(T, Limits);
+  E.dfs(Visit, /*MaximalOnly=*/true, Stats);
+  return Stats;
+}
+
+namespace {
+
+/// Memoisation key for the behaviour/race searches: the full global state.
+/// Per-thread traces determine enabled continuations; memory and locks
+/// determine enabledness; the tail component disambiguates what else the
+/// future can depend on (behaviour so far, or the previous event for the
+/// adjacent-race search).
+struct StateKey {
+  std::vector<std::pair<ThreadId, Trace>> ThreadTraces;
+  std::vector<std::pair<SymbolId, Value>> Memory;
+  std::vector<std::pair<SymbolId, std::pair<ThreadId, int>>> Locks;
+  std::vector<Event> Tail;
+
+  friend auto operator<=>(const StateKey &, const StateKey &) = default;
+};
+
+class MemoSearch {
+public:
+  MemoSearch(const Traceset &T, EnumerationLimits Limits)
+      : T(T), Limits(Limits) {
+    for (ThreadId Tid : T.entryPoints())
+      ThreadTraces.emplace(Tid, Trace());
+  }
+
+  const Traceset &T;
+  EnumerationLimits Limits;
+  std::map<ThreadId, Trace> ThreadTraces;
+  std::map<SymbolId, Value> Memory;
+  std::map<SymbolId, std::pair<ThreadId, int>> LockDepth;
+  std::set<StateKey> Seen;
+  EnumerationStats Stats;
+
+  bool enabled(ThreadId Tid, const Action &A) const {
+    const Trace &Cur = ThreadTraces.at(Tid);
+    if (Cur.empty() && (!A.isStart() || A.entry() != Tid))
+      return false;
+    if (A.isRead()) {
+      auto It = Memory.find(A.location());
+      Value Expected = It == Memory.end() ? DefaultValue : It->second;
+      if (A.value() != Expected)
+        return false;
+    }
+    if (A.isLock()) {
+      auto It = LockDepth.find(A.monitor());
+      if (It != LockDepth.end() && It->second.second > 0 &&
+          It->second.first != Tid)
+        return false;
+    }
+    return true;
+  }
+
+  StateKey key(std::vector<Event> Tail) const {
+    StateKey K;
+    for (const auto &[Tid, Tr] : ThreadTraces)
+      K.ThreadTraces.emplace_back(Tid, Tr);
+    for (const auto &[Loc, V] : Memory)
+      K.Memory.emplace_back(Loc, V);
+    for (const auto &[Mon, Slot] : LockDepth)
+      if (Slot.second > 0)
+        K.Locks.emplace_back(Mon, Slot);
+    K.Tail = std::move(Tail);
+    return K;
+  }
+
+  template <typename OnStep>
+  void search(std::vector<Event> Tail, const OnStep &Step) {
+    if (++Stats.Visited > Limits.MaxVisited) {
+      Stats.Truncated = true;
+      return;
+    }
+    if (!Seen.insert(key(Tail)).second)
+      return;
+    for (const auto &[Tid, Cur] : ThreadTraces) {
+      if (Cur.size() >= Limits.MaxEvents) {
+        Stats.Truncated = true;
+        continue;
+      }
+      for (const Action &A : T.successors(Cur)) {
+        if (!enabled(Tid, A))
+          continue;
+        Event E{Tid, A};
+        std::vector<Event> NextTail = Step(Tail, E);
+        // Apply.
+        ThreadTraces[Tid].push_back(A);
+        std::optional<Value> OldMem;
+        if (A.isWrite()) {
+          auto It = Memory.find(A.location());
+          if (It != Memory.end())
+            OldMem = It->second;
+          Memory[A.location()] = A.value();
+        }
+        std::optional<std::pair<ThreadId, int>> OldLock;
+        if (A.isLock() || A.isUnlock()) {
+          auto &Slot = LockDepth[A.monitor()];
+          OldLock = Slot;
+          if (A.isLock()) {
+            Slot = {Tid, Slot.second + 1};
+          } else {
+            Slot = {Slot.first, Slot.second - 1};
+          }
+        }
+        search(std::move(NextTail), Step);
+        // Undo.
+        if (OldLock)
+          LockDepth[A.monitor()] = *OldLock;
+        if (A.isWrite()) {
+          if (OldMem)
+            Memory[A.location()] = *OldMem;
+          else
+            Memory.erase(A.location());
+        }
+        Trace &C = ThreadTraces[Tid];
+        C = C.prefix(C.size() - 1);
+      }
+    }
+  }
+};
+
+} // namespace
+
+std::set<Behaviour> tracesafe::collectBehaviours(const Traceset &T,
+                                                 EnumerationLimits Limits,
+                                                 EnumerationStats *Stats) {
+  std::set<Behaviour> Result;
+  Result.insert(Behaviour{});
+  MemoSearch S(T, Limits);
+  // Tail carries the behaviour so far, encoded as external events.
+  S.search({}, [&](const std::vector<Event> &Tail, const Event &E) {
+    std::vector<Event> Next = Tail;
+    if (E.Act.isExternal()) {
+      Next.push_back(E);
+      Behaviour B;
+      for (const Event &Ev : Next)
+        B.push_back(Ev.Act.value());
+      Result.insert(std::move(B));
+    }
+    return Next;
+  });
+  if (Stats)
+    *Stats = S.Stats;
+  return Result;
+}
+
+RaceReport tracesafe::findAdjacentRace(const Traceset &T,
+                                       EnumerationLimits Limits) {
+  RaceReport Report;
+  // DFS (no memo shortcut for the witness path: we re-run a plain DFS, but
+  // with a memoised feasibility filter keyed on (state, previous event); the
+  // previous event is all the future needs to know to detect adjacency).
+  MemoSearch S(T, Limits);
+  // We detect the race inside the Step callback; to reconstruct a witness we
+  // keep the current path separately.
+  std::vector<Event> Path;
+  bool Found = false;
+  Interleaving Witness;
+
+  // Plain recursive DFS with memoisation on (state, last event).
+  std::function<void()> Dfs = [&]() {
+    if (Found)
+      return;
+    if (++S.Stats.Visited > Limits.MaxVisited) {
+      S.Stats.Truncated = true;
+      return;
+    }
+    std::vector<Event> Tail;
+    if (!Path.empty())
+      Tail.push_back(Path.back());
+    if (!S.Seen.insert(S.key(Tail)).second)
+      return;
+    for (const auto &[Tid, Cur] : S.ThreadTraces) {
+      if (Found)
+        return;
+      if (Cur.size() >= Limits.MaxEvents) {
+        S.Stats.Truncated = true;
+        continue;
+      }
+      for (const Action &A : S.T.successors(Cur)) {
+        if (Found)
+          return;
+        if (!S.enabled(Tid, A))
+          continue;
+        Event E{Tid, A};
+        if (!Path.empty() && Path.back().Tid != Tid &&
+            Path.back().Act.conflictsWith(A)) {
+          Found = true;
+          std::vector<Event> W = Path;
+          W.push_back(E);
+          Witness = Interleaving(std::move(W));
+          return;
+        }
+        // Apply.
+        S.ThreadTraces[Tid].push_back(A);
+        std::optional<Value> OldMem;
+        if (A.isWrite()) {
+          auto It = S.Memory.find(A.location());
+          if (It != S.Memory.end())
+            OldMem = It->second;
+          S.Memory[A.location()] = A.value();
+        }
+        std::optional<std::pair<ThreadId, int>> OldLock;
+        if (A.isLock() || A.isUnlock()) {
+          auto &Slot = S.LockDepth[A.monitor()];
+          OldLock = Slot;
+          Slot = A.isLock() ? std::make_pair(Tid, Slot.second + 1)
+                            : std::make_pair(Slot.first, Slot.second - 1);
+        }
+        Path.push_back(E);
+        Dfs();
+        Path.pop_back();
+        if (OldLock)
+          S.LockDepth[A.monitor()] = *OldLock;
+        if (A.isWrite()) {
+          if (OldMem)
+            S.Memory[A.location()] = *OldMem;
+          else
+            S.Memory.erase(A.location());
+        }
+        Trace &C = S.ThreadTraces[Tid];
+        C = C.prefix(C.size() - 1);
+      }
+    }
+  };
+  Dfs();
+  Report.HasRace = Found;
+  Report.Witness = Witness;
+  Report.Stats = S.Stats;
+  return Report;
+}
+
+RaceReport tracesafe::findHappensBeforeRace(const Traceset &T,
+                                            EnumerationLimits Limits) {
+  RaceReport Report;
+  Report.Stats = forEachMaximalExecution(
+      T,
+      [&](const Interleaving &I) {
+        HappensBefore Hb(I);
+        for (size_t A = 0; A < I.size(); ++A)
+          for (size_t B = A + 1; B < I.size(); ++B) {
+            if (I[A].Tid == I[B].Tid)
+              continue;
+            if (!I[A].Act.conflictsWith(I[B].Act))
+              continue;
+            if (!Hb.ordered(A, B) && !Hb.ordered(B, A)) {
+              Report.HasRace = true;
+              Report.Witness = I.prefix(B + 1);
+              return false;
+            }
+          }
+        return true;
+      },
+      Limits);
+  return Report;
+}
+
+bool tracesafe::isDataRaceFree(const Traceset &T, EnumerationLimits Limits) {
+  RaceReport R = findAdjacentRace(T, Limits);
+  assert(!R.Stats.Truncated && "DRF query truncated; raise limits");
+  return !R.HasRace;
+}

@@ -1,0 +1,96 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exhaustive enumeration of the executions of a traceset (§3).
+///
+/// Executions are sequentially consistent interleavings of a traceset. The
+/// enumerator does a DFS over global states: each step picks a thread whose
+/// current trace can be extended inside the traceset by an action that is
+/// enabled (reads must see the most recent write or the default value; locks
+/// require that no other thread holds the monitor). Because tracesets are
+/// prefix-closed and finite, the search is finite.
+///
+/// Two memoised derived queries are provided: the set of observable
+/// behaviours, and adjacent-conflict data-race detection. Both are the
+/// workhorses of the DRF-guarantee experiments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACESAFE_TRACE_ENUMERATE_H
+#define TRACESAFE_TRACE_ENUMERATE_H
+
+#include "trace/Interleaving.h"
+
+#include <cstdint>
+#include <functional>
+#include <set>
+
+namespace tracesafe {
+
+/// Safety rails for the exhaustive searches. A truncated result means the
+/// query is *unknown*, never silently wrong; callers (and all tests) check
+/// the flag.
+struct EnumerationLimits {
+  /// Upper bound on interleaving length (tracesets generated from loops can
+  /// be deep).
+  size_t MaxEvents = 256;
+  /// Upper bound on DFS node expansions across the whole query.
+  uint64_t MaxVisited = 50'000'000;
+};
+
+/// Bookkeeping returned by every enumeration query.
+struct EnumerationStats {
+  uint64_t Visited = 0;
+  bool Truncated = false;
+};
+
+/// Visits every execution of \p T in DFS order (each execution prefix is
+/// itself an execution and is visited once per DFS path). Returning false
+/// from \p Visit stops the search. No memoisation: intended for small
+/// tracesets and for tests that need the raw execution stream.
+EnumerationStats
+forEachExecution(const Traceset &T,
+                 const std::function<bool(const Interleaving &)> &Visit,
+                 EnumerationLimits Limits = {});
+
+/// Visits every *maximal* execution (one that no enabled action extends).
+EnumerationStats
+forEachMaximalExecution(const Traceset &T,
+                        const std::function<bool(const Interleaving &)> &Visit,
+                        EnumerationLimits Limits = {});
+
+/// The set of behaviours of all executions of \p T. Prefix-closed by
+/// construction (includes the empty behaviour). Memoised on global states,
+/// so it is usually far cheaper than enumerating executions.
+std::set<Behaviour> collectBehaviours(const Traceset &T,
+                                      EnumerationLimits Limits = {},
+                                      EnumerationStats *Stats = nullptr);
+
+/// Result of a data-race search.
+struct RaceReport {
+  bool HasRace = false;
+  /// A witness execution ending in the adjacent conflicting pair (valid only
+  /// when HasRace).
+  Interleaving Witness;
+  EnumerationStats Stats;
+};
+
+/// §3 data race freedom, primary definition: searches all executions for two
+/// adjacent conflicting actions of different threads.
+RaceReport findAdjacentRace(const Traceset &T, EnumerationLimits Limits = {});
+
+/// Alternative definition via happens-before: searches maximal executions
+/// for a conflicting pair unordered by happens-before. The paper cites the
+/// equivalence of the two definitions; tests assert it on every program in
+/// the suite. In the HB witness the two conflicting actions are the last
+/// pair checked, not necessarily adjacent.
+RaceReport findHappensBeforeRace(const Traceset &T,
+                                 EnumerationLimits Limits = {});
+
+/// Convenience wrapper: true iff no adjacent race exists. Asserts the
+/// search was not truncated.
+bool isDataRaceFree(const Traceset &T, EnumerationLimits Limits = {});
+
+} // namespace tracesafe
+
+#endif // TRACESAFE_TRACE_ENUMERATE_H

@@ -1,0 +1,66 @@
+#include "trace/HappensBefore.h"
+
+#include <map>
+
+using namespace tracesafe;
+
+bool HappensBefore::isReleaseAcquirePair(const Action &A, const Action &B) {
+  if (A.isUnlock() && B.isLock())
+    return A.monitor() == B.monitor();
+  if (A.isWrite() && A.isVolatileAccess() && B.isRead() &&
+      B.isVolatileAccess())
+    return A.location() == B.location();
+  return false;
+}
+
+bool HappensBefore::programOrdered(const Interleaving &I, size_t A, size_t B) {
+  return A <= B && I[A].Tid == I[B].Tid;
+}
+
+bool HappensBefore::synchronisesWith(const Interleaving &I, size_t A,
+                                     size_t B) {
+  return A < B && isReleaseAcquirePair(I[A].Act, I[B].Act);
+}
+
+std::string HappensBefore::toDot(const Interleaving &I) {
+  std::string Out = "digraph hb {\n  rankdir=TB;\n";
+  for (size_t K = 0; K < I.size(); ++K)
+    Out += "  n" + std::to_string(K) + " [label=\"" +
+           std::to_string(I[K].Tid) + ": " + I[K].Act.str() + "\"];\n";
+  // Covering program-order edges: each event to the thread's next event.
+  std::map<ThreadId, size_t> LastOf;
+  for (size_t K = 0; K < I.size(); ++K) {
+    auto It = LastOf.find(I[K].Tid);
+    if (It != LastOf.end())
+      Out += "  n" + std::to_string(It->second) + " -> n" +
+             std::to_string(K) + ";\n";
+    LastOf[I[K].Tid] = K;
+  }
+  for (size_t A = 0; A < I.size(); ++A)
+    for (size_t B = A + 1; B < I.size(); ++B)
+      if (synchronisesWith(I, A, B))
+        Out += "  n" + std::to_string(A) + " -> n" + std::to_string(B) +
+               " [style=dashed, label=\"sw\"];\n";
+  Out += "}\n";
+  return Out;
+}
+
+HappensBefore::HappensBefore(const Interleaving &I) {
+  size_t N = I.size();
+  Reach.assign(N, std::vector<bool>(N, false));
+  for (size_t A = 0; A < N; ++A)
+    for (size_t B = A; B < N; ++B)
+      if (programOrdered(I, A, B) || synchronisesWith(I, A, B))
+        Reach[A][B] = true;
+  // Transitive closure. Both base relations only relate i <= j, so a simple
+  // forward dynamic-programming pass suffices: process targets in increasing
+  // order and extend paths through intermediate nodes.
+  for (size_t K = 0; K < N; ++K)
+    for (size_t A = 0; A <= K; ++A) {
+      if (!Reach[A][K])
+        continue;
+      for (size_t B = K; B < N; ++B)
+        if (Reach[K][B])
+          Reach[A][B] = true;
+    }
+}

@@ -1,0 +1,57 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The happens-before partial order of an interleaving (§3).
+///
+/// Program order relates positions of the same thread; i synchronises-with j
+/// when i < j and (A(Ii), A(Ij)) is a release-acquire pair: unlock/lock of
+/// the same monitor, or volatile write/volatile read of the same location.
+/// Happens-before is the transitive closure of their union. It is used for
+/// the alternative data-race-freedom definition and for the internal
+/// consistency checks of the transformation proofs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACESAFE_TRACE_HAPPENSBEFORE_H
+#define TRACESAFE_TRACE_HAPPENSBEFORE_H
+
+#include "trace/Interleaving.h"
+
+#include <vector>
+
+namespace tracesafe {
+
+/// Reachability matrix of the happens-before order of one interleaving.
+/// Quadratic in the interleaving length, which is fine for the exhaustively
+/// enumerated executions this library works with.
+class HappensBefore {
+public:
+  explicit HappensBefore(const Interleaving &I);
+
+  /// i <=hb j (reflexive on equal indices by program order).
+  bool ordered(size_t I, size_t J) const { return Reach[I][J]; }
+
+  /// i <=po j: same thread and i <= j.
+  static bool programOrdered(const Interleaving &I, size_t A, size_t B);
+
+  /// i <sw j: release-acquire pair with i < j.
+  static bool synchronisesWith(const Interleaving &I, size_t A, size_t B);
+
+  /// §3: a and b form a release-acquire pair (a unlock of m / b lock of m,
+  /// or a volatile write of l / b volatile read of l).
+  static bool isReleaseAcquirePair(const Action &A, const Action &B);
+
+  size_t size() const { return Reach.size(); }
+
+  /// Graphviz dot rendering of the order's covering edges over \p I
+  /// (program-order edges solid, synchronises-with edges dashed); handy
+  /// for debugging race reports and for documentation.
+  static std::string toDot(const Interleaving &I);
+
+private:
+  std::vector<std::vector<bool>> Reach;
+};
+
+} // namespace tracesafe
+
+#endif // TRACESAFE_TRACE_HAPPENSBEFORE_H

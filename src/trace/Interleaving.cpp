@@ -1,0 +1,163 @@
+#include "trace/Interleaving.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace tracesafe;
+
+Interleaving Interleaving::prefix(size_t N) const {
+  N = std::min(N, Events.size());
+  return Interleaving(std::vector<Event>(Events.begin(), Events.begin() + N));
+}
+
+Trace Interleaving::traceOf(ThreadId Tid) const {
+  Trace Out;
+  for (const Event &E : Events)
+    if (E.Tid == Tid)
+      Out.push_back(E.Act);
+  return Out;
+}
+
+std::vector<ThreadId> Interleaving::threads() const {
+  std::vector<ThreadId> Out;
+  for (const Event &E : Events)
+    if (std::find(Out.begin(), Out.end(), E.Tid) == Out.end())
+      Out.push_back(E.Tid);
+  return Out;
+}
+
+bool Interleaving::entryPointsConsistent() const {
+  std::map<ThreadId, bool> Started;
+  for (const Event &E : Events) {
+    if (E.Act.isStart()) {
+      if (E.Act.entry() != E.Tid)
+        return false;
+      if (Started[E.Tid])
+        return false;
+      Started[E.Tid] = true;
+    } else if (!Started[E.Tid]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Interleaving::respectsMutualExclusion() const {
+  // Balance[{Tid, Mon}] = #locks - #unlocks so far.
+  std::map<std::pair<ThreadId, SymbolId>, int> Balance;
+  for (const Event &E : Events) {
+    if (E.Act.isLock()) {
+      SymbolId M = E.Act.monitor();
+      for (const auto &[Key, Bal] : Balance)
+        if (Key.second == M && Key.first != E.Tid && Bal != 0)
+          return false;
+      ++Balance[{E.Tid, M}];
+    } else if (E.Act.isUnlock()) {
+      --Balance[{E.Tid, E.Act.monitor()}];
+    }
+  }
+  return true;
+}
+
+std::optional<size_t> Interleaving::mostRecentWriteBefore(size_t R) const {
+  assert(R < Events.size() && Events[R].Act.isRead() &&
+         "mostRecentWriteBefore requires a read position");
+  SymbolId Loc = Events[R].Act.location();
+  for (size_t I = R; I > 0; --I)
+    if (Events[I - 1].Act.isWrite() && Events[I - 1].Act.location() == Loc)
+      return I - 1;
+  return std::nullopt;
+}
+
+bool Interleaving::seesMostRecentWrite(size_t I) const {
+  const Action &A = Events[I].Act;
+  if (!A.isRead() || A.isWildcard())
+    return true;
+  std::optional<size_t> W = mostRecentWriteBefore(I);
+  if (W)
+    return Events[*W].Act.value() == A.value();
+  return A.value() == DefaultValue;
+}
+
+bool Interleaving::isSequentiallyConsistent() const {
+  // Single left-to-right pass with current memory contents.
+  std::map<SymbolId, Value> Mem;
+  for (const Event &E : Events) {
+    const Action &A = E.Act;
+    if (A.isWrite()) {
+      Mem[A.location()] = A.value();
+    } else if (A.isRead() && !A.isWildcard()) {
+      auto It = Mem.find(A.location());
+      Value Expected = It == Mem.end() ? DefaultValue : It->second;
+      if (A.value() != Expected)
+        return false;
+    }
+  }
+  return true;
+}
+
+bool Interleaving::isInterleavingOf(const Traceset &T) const {
+  if (!entryPointsConsistent() || !respectsMutualExclusion())
+    return false;
+  for (ThreadId Tid : threads())
+    if (!T.belongsTo(traceOf(Tid)))
+      return false;
+  return true;
+}
+
+bool Interleaving::isExecutionOf(const Traceset &T) const {
+  return isSequentiallyConsistent() && isInterleavingOf(T);
+}
+
+bool Interleaving::hasWildcards() const {
+  for (const Event &E : Events)
+    if (E.Act.isWildcard())
+      return true;
+  return false;
+}
+
+Interleaving Interleaving::instance() const {
+  std::map<SymbolId, Value> Mem;
+  std::vector<Event> Out;
+  Out.reserve(Events.size());
+  for (const Event &E : Events) {
+    Action A = E.Act;
+    if (A.isWrite()) {
+      Mem[A.location()] = A.value();
+    } else if (A.isRead() && A.isWildcard()) {
+      auto It = Mem.find(A.location());
+      A = A.instantiate(It == Mem.end() ? DefaultValue : It->second);
+    }
+    Out.push_back(Event{E.Tid, A});
+  }
+  return Interleaving(std::move(Out));
+}
+
+std::optional<size_t> Interleaving::findAdjacentRace() const {
+  for (size_t I = 0; I + 1 < Events.size(); ++I) {
+    if (Events[I].Tid == Events[I + 1].Tid)
+      continue;
+    if (Events[I].Act.conflictsWith(Events[I + 1].Act))
+      return I;
+  }
+  return std::nullopt;
+}
+
+Behaviour Interleaving::behaviour() const {
+  Behaviour Out;
+  for (const Event &E : Events)
+    if (E.Act.isExternal())
+      Out.push_back(E.Act.value());
+  return Out;
+}
+
+std::string Interleaving::str() const {
+  std::vector<std::string> Parts;
+  Parts.reserve(Events.size());
+  for (const Event &E : Events)
+    Parts.push_back("(" + std::to_string(E.Tid) + "," + E.Act.str() + ")");
+  return "[" + join(Parts, ", ") + "]";
+}

@@ -1,0 +1,125 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interleavings and executions (§3).
+///
+/// An interleaving is a sequence of (thread id, action) pairs. An
+/// interleaving of a traceset T additionally has each thread's projection in
+/// T, consistent entry points, and respects mutual exclusion. A sequentially
+/// consistent interleaving (every read sees the most recent write, or the
+/// default value) of T is an *execution* of T.
+///
+/// Wildcard interleavings (used by the unelimination construction, §5) are
+/// interleavings containing wildcard reads; their unique instance replaces
+/// each wildcard with the most-recent-write value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACESAFE_TRACE_INTERLEAVING_H
+#define TRACESAFE_TRACE_INTERLEAVING_H
+
+#include "trace/Traceset.h"
+
+#include <compare>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tracesafe {
+
+/// One interleaving element: the paper's pair p = (tau, a) with projections
+/// T(p) and A(p).
+struct Event {
+  ThreadId Tid;
+  Action Act;
+
+  friend auto operator<=>(const Event &, const Event &) = default;
+};
+
+/// Externally observable behaviour: the sequence of external-action values
+/// of an interleaving.
+using Behaviour = std::vector<Value>;
+
+class Interleaving {
+public:
+  Interleaving() = default;
+  explicit Interleaving(std::vector<Event> Events)
+      : Events(std::move(Events)) {}
+
+  size_t size() const { return Events.size(); }
+  bool empty() const { return Events.empty(); }
+  const Event &operator[](size_t I) const { return Events[I]; }
+  std::vector<Event>::const_iterator begin() const { return Events.begin(); }
+  std::vector<Event>::const_iterator end() const { return Events.end(); }
+
+  void push_back(const Event &E) { Events.push_back(E); }
+  void pop_back() { Events.pop_back(); }
+
+  Interleaving prefix(size_t N) const;
+
+  /// The trace of thread \p Tid: [A(p) | p in I, T(p) = Tid].
+  Trace traceOf(ThreadId Tid) const;
+
+  /// All thread ids occurring in the interleaving.
+  std::vector<ThreadId> threads() const;
+
+  /// §3: every start action S(e) is performed by thread e, and it is that
+  /// thread's first action.
+  bool entryPointsConsistent() const;
+
+  /// §3 lock validity: position i with A(Ii) = L[m] requires that every
+  /// *other* thread has performed equally many locks and unlocks of m
+  /// before i.
+  bool respectsMutualExclusion() const;
+
+  /// Index of the write seen by the read at position \p R: the latest
+  /// earlier write to the same location. std::nullopt when the read sees
+  /// the default value (no earlier write). Asserts that position R is a
+  /// concrete read.
+  std::optional<size_t> mostRecentWriteBefore(size_t R) const;
+
+  /// §3: position \p I sees the most recent write (trivially true for
+  /// non-reads; reads must return the latest write's value, or the default
+  /// value when none exists). Wildcard reads never "see" anything and
+  /// return true here (their instance fixes the value).
+  bool seesMostRecentWrite(size_t I) const;
+
+  /// §3: sequential consistency = every position sees the most recent write.
+  bool isSequentiallyConsistent() const;
+
+  /// Interleaving-of-T check: projections in T (for wildcard interleavings,
+  /// belongs-to T), consistent entry points, mutual exclusion.
+  bool isInterleavingOf(const Traceset &T) const;
+
+  /// Execution = sequentially consistent interleaving of T.
+  bool isExecutionOf(const Traceset &T) const;
+
+  /// True iff some element is a wildcard read.
+  bool hasWildcards() const;
+
+  /// §4: the unique instance of a wildcard interleaving — each wildcard
+  /// read replaced by the most recent write's value (or the default).
+  Interleaving instance() const;
+
+  /// §3 data race: two *adjacent* conflicting actions from different
+  /// threads. Returns the index of the first element of the first such
+  /// pair.
+  std::optional<size_t> findAdjacentRace() const;
+
+  /// Projection to external actions.
+  Behaviour behaviour() const;
+
+  std::string str() const;
+
+  const std::vector<Event> &events() const { return Events; }
+
+  friend auto operator<=>(const Interleaving &, const Interleaving &) =
+      default;
+
+private:
+  std::vector<Event> Events;
+};
+
+} // namespace tracesafe
+
+#endif // TRACESAFE_TRACE_INTERLEAVING_H

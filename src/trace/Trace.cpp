@@ -1,0 +1,150 @@
+#include "trace/Trace.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace tracesafe;
+
+Trace Trace::concat(const Trace &Other) const {
+  std::vector<Action> Out = Actions;
+  Out.insert(Out.end(), Other.Actions.begin(), Other.Actions.end());
+  return Trace(std::move(Out));
+}
+
+Trace Trace::prefix(size_t N) const {
+  N = std::min(N, Actions.size());
+  return Trace(std::vector<Action>(Actions.begin(), Actions.begin() + N));
+}
+
+bool Trace::isPrefixOf(const Trace &Other) const {
+  if (size() > Other.size())
+    return false;
+  return std::equal(Actions.begin(), Actions.end(), Other.Actions.begin());
+}
+
+Trace Trace::restrictTo(const std::vector<size_t> &SortedIndices) const {
+  std::vector<Action> Out;
+  Out.reserve(SortedIndices.size());
+  for (size_t I : SortedIndices) {
+    assert(I < Actions.size() && "restrictTo index out of range");
+    Out.push_back(Actions[I]);
+  }
+  return Trace(std::move(Out));
+}
+
+bool Trace::hasWildcards() const {
+  for (const Action &A : Actions)
+    if (A.isWildcard())
+      return true;
+  return false;
+}
+
+std::vector<size_t> Trace::wildcardIndices() const {
+  std::vector<size_t> Out;
+  for (size_t I = 0; I < Actions.size(); ++I)
+    if (Actions[I].isWildcard())
+      Out.push_back(I);
+  return Out;
+}
+
+bool Trace::hasInstance(const Trace &Concrete) const {
+  if (size() != Concrete.size())
+    return false;
+  for (size_t I = 0; I < size(); ++I)
+    if (!Actions[I].matchesInstance(Concrete[I]))
+      return false;
+  return true;
+}
+
+std::vector<Trace> Trace::instances(const std::vector<Value> &Domain) const {
+  std::vector<Trace> Result;
+  std::vector<size_t> Wild = wildcardIndices();
+  if (Wild.empty()) {
+    Result.push_back(*this);
+    return Result;
+  }
+  // Odometer over Domain^|Wild|.
+  std::vector<size_t> Counter(Wild.size(), 0);
+  for (;;) {
+    std::vector<Action> Out = Actions;
+    for (size_t K = 0; K < Wild.size(); ++K)
+      Out[Wild[K]] = Actions[Wild[K]].instantiate(Domain[Counter[K]]);
+    Result.push_back(Trace(std::move(Out)));
+    size_t K = 0;
+    while (K < Counter.size() && ++Counter[K] == Domain.size())
+      Counter[K++] = 0;
+    if (K == Counter.size())
+      break;
+  }
+  return Result;
+}
+
+bool Trace::isProperlyStarted() const {
+  if (Actions.empty())
+    return true;
+  if (!Actions.front().isStart())
+    return false;
+  for (size_t I = 1; I < Actions.size(); ++I)
+    if (Actions[I].isStart())
+      return false;
+  return true;
+}
+
+bool Trace::isWellLocked() const {
+  std::map<SymbolId, int> Depth;
+  for (const Action &A : Actions) {
+    if (A.isLock())
+      ++Depth[A.monitor()];
+    else if (A.isUnlock()) {
+      if (--Depth[A.monitor()] < 0)
+        return false;
+    }
+  }
+  return true;
+}
+
+bool Trace::hasReleaseAcquirePairBetween(size_t Lo, size_t Hi) const {
+  assert(Hi <= Actions.size() && "range out of bounds");
+  // Find the earliest release strictly after Lo, then any acquire strictly
+  // after it and strictly before Hi.
+  for (size_t R = Lo + 1; R + 1 < Hi; ++R) {
+    if (!Actions[R].isRelease())
+      continue;
+    for (size_t A = R + 1; A < Hi; ++A)
+      if (Actions[A].isAcquire())
+        return true;
+    return false; // Later releases only shrink the acquire window.
+  }
+  return false;
+}
+
+bool Trace::isOriginFor(Value V) const {
+  for (size_t I = 0; I < Actions.size(); ++I) {
+    const Action &A = Actions[I];
+    bool Produces = (A.isWrite() && A.value() == V) ||
+                    (A.isExternal() && A.value() == V);
+    if (!Produces)
+      continue;
+    bool PrecededByRead = false;
+    for (size_t J = 0; J < I; ++J)
+      if (Actions[J].isRead() && !Actions[J].isWildcard() &&
+          Actions[J].value() == V) {
+        PrecededByRead = true;
+        break;
+      }
+    if (!PrecededByRead)
+      return true;
+  }
+  return false;
+}
+
+std::string Trace::str() const {
+  std::vector<std::string> Parts;
+  Parts.reserve(Actions.size());
+  for (const Action &A : Actions)
+    Parts.push_back(A.str());
+  return "[" + join(Parts, ", ") + "]";
+}

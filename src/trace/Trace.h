@@ -1,0 +1,105 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Traces — finite sequences of memory actions of a single thread (§3).
+///
+/// A trace may contain wildcard reads, in which case it is a *wildcard
+/// trace* (§4); ordinary traces are wildcard traces without wildcards. The
+/// class provides the paper's list notation: prefixes (t <= t'), restriction
+/// to an index set (t|S), instances of wildcard traces, and the structural
+/// well-formedness predicates required of traceset members (properly
+/// started, well locked).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACESAFE_TRACE_TRACE_H
+#define TRACESAFE_TRACE_TRACE_H
+
+#include "trace/Action.h"
+
+#include <compare>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace tracesafe {
+
+/// A sequence of actions of one thread. Cheap value type over
+/// std::vector<Action>; ordered lexicographically so tracesets can be
+/// ordered sets (which also makes prefix queries contiguous ranges).
+class Trace {
+public:
+  Trace() = default;
+  explicit Trace(std::vector<Action> Actions) : Actions(std::move(Actions)) {}
+  Trace(std::initializer_list<Action> Init) : Actions(Init) {}
+
+  size_t size() const { return Actions.size(); }
+  bool empty() const { return Actions.empty(); }
+  const Action &operator[](size_t I) const { return Actions[I]; }
+
+  std::vector<Action>::const_iterator begin() const { return Actions.begin(); }
+  std::vector<Action>::const_iterator end() const { return Actions.end(); }
+
+  void push_back(const Action &A) { Actions.push_back(A); }
+
+  void pop_back() {
+    assert(!Actions.empty() && "pop_back on empty trace");
+    Actions.pop_back();
+  }
+
+  /// Concatenation (the paper's t ++ t').
+  Trace concat(const Trace &Other) const;
+
+  /// The prefix of length \p N (N clamped to size()).
+  Trace prefix(size_t N) const;
+
+  /// True iff *this = other, i.e. *this is a prefix of \p Other.
+  bool isPrefixOf(const Trace &Other) const;
+
+  /// The paper's t|S for a sorted index set \p SortedIndices.
+  Trace restrictTo(const std::vector<size_t> &SortedIndices) const;
+
+  /// True iff some element is a wildcard read.
+  bool hasWildcards() const;
+
+  /// Indices of all wildcard reads.
+  std::vector<size_t> wildcardIndices() const;
+
+  /// True iff \p Concrete can be obtained by replacing every wildcard read
+  /// with some concrete value (non-wildcard positions must match exactly).
+  bool hasInstance(const Trace &Concrete) const;
+
+  /// All instances over the value \p Domain. For k wildcards this is
+  /// |Domain|^k traces; callers bound k.
+  std::vector<Trace> instances(const std::vector<Value> &Domain) const;
+
+  /// §3 well-formedness: empty, or the first action is a start action (and
+  /// no other action is).
+  bool isProperlyStarted() const;
+
+  /// §3 well-formedness: for every monitor m and every prefix, the number of
+  /// unlocks of m does not exceed the number of locks of m.
+  bool isWellLocked() const;
+
+  /// §4, Definition 1 helper: true iff there exist r, a with
+  /// Lo < r < a < Hi such that t_r is a release and t_a is an acquire.
+  bool hasReleaseAcquirePairBetween(size_t Lo, size_t Hi) const;
+
+  /// §5: a trace is an origin for value v if it contains a write of v or an
+  /// external action with value v that is not preceded by a read of v.
+  bool isOriginFor(Value V) const;
+
+  /// "[S(0), R[x=1], W[y=1]]".
+  std::string str() const;
+
+  const std::vector<Action> &actions() const { return Actions; }
+
+  friend auto operator<=>(const Trace &, const Trace &) = default;
+
+private:
+  std::vector<Action> Actions;
+};
+
+} // namespace tracesafe
+
+#endif // TRACESAFE_TRACE_TRACE_H

@@ -1,0 +1,113 @@
+#include "tso/Litmus.h"
+
+using namespace tracesafe;
+
+const std::vector<LitmusTest> &tracesafe::litmusTests() {
+  static const std::vector<LitmusTest> Tests = {
+      {"SB",
+       R"(
+thread { x := 1; r1 := y; print r1; }
+thread { y := 1; r2 := x; print r2; }
+)",
+       {{0, 0}},
+       /*ScAllows=*/false,
+       /*TsoAllows=*/true,
+       /*PsoAllows=*/true},
+
+      {"SB+vol",
+       R"(
+volatile x, y;
+thread { x := 1; r1 := y; print r1; }
+thread { y := 1; r2 := x; print r2; }
+)",
+       {{0, 0}},
+       /*ScAllows=*/false,
+       /*TsoAllows=*/false,
+       /*PsoAllows=*/false},
+
+      {"MP",
+       R"(
+thread { x := 1; y := 1; }
+thread { r1 := y; r2 := x; print r1; print r2; }
+)",
+       {{1, 0}},
+       /*ScAllows=*/false,
+       /*TsoAllows=*/false,
+       /*PsoAllows=*/true},
+
+      {"LB",
+       R"(
+thread { r1 := x; y := 1; print r1; }
+thread { r2 := y; x := 1; print r2; }
+)",
+       {{1, 1}},
+       /*ScAllows=*/false,
+       /*TsoAllows=*/false,
+       /*PsoAllows=*/false},
+
+      {"CoRR",
+       R"(
+thread { x := 1; }
+thread { r1 := x; r2 := x; print r1; print r2; }
+)",
+       {{1, 0}},
+       /*ScAllows=*/false,
+       /*TsoAllows=*/false,
+       /*PsoAllows=*/false},
+
+      {"SB+RFI",
+       R"(
+thread { x := 1; r1 := x; r2 := y; print r1; print r2; }
+thread { y := 1; r3 := y; r4 := x; print r3; print r4; }
+)",
+       {{1, 0, 1, 0}},
+       /*ScAllows=*/false,
+       /*TsoAllows=*/true,
+       /*PsoAllows=*/true},
+
+      // IRIW: two writers, two readers that disagree about the order of
+      // the independent writes. Reader 2 prints 3 iff it saw x before y;
+      // reader 3 prints 4 iff it saw y before x. Both machines here are
+      // multi-copy atomic (a drained store is visible to everyone), so
+      // like SC they forbid the 3-and-4 outcome.
+      {"IRIW",
+       R"(
+thread { x := 1; }
+thread { y := 1; }
+thread {
+  r1 := x; r2 := y;
+  if (r1 == 1) { if (r2 == 0) { print 3; } else { skip; } } else { skip; }
+}
+thread {
+  r3 := y; r4 := x;
+  if (r3 == 1) { if (r4 == 0) { print 4; } else { skip; } } else { skip; }
+}
+)",
+       {{3, 4}, {4, 3}},
+       /*ScAllows=*/false,
+       /*TsoAllows=*/false,
+       /*PsoAllows=*/false},
+
+      // WRC: write-to-read causality. Thread 1 forwards thread 0's write;
+      // thread 2 must not see the forwarded flag yet miss the original
+      // write. Store buffers preserve this (the flag write drains after
+      // thread 1 *read* x from memory), so TSO and PSO forbid it like SC.
+      {"WRC",
+       R"(
+thread { x := 1; }
+thread {
+  r1 := x;
+  if (r1 == 1) { y := 1; } else { skip; }
+}
+thread {
+  r2 := y; r3 := x;
+  if (r2 == 1) { if (r3 == 0) { print 5; } else { skip; } } else { skip; }
+}
+)",
+       {{5}},
+       /*ScAllows=*/false,
+       /*TsoAllows=*/false,
+       /*PsoAllows=*/false},
+  };
+  return Tests;
+}

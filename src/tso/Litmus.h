@@ -1,0 +1,60 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Standard memory-model litmus tests, in the paper's language.
+///
+/// Each test records the source, the canonical relaxed outcome(s) asked
+/// about, and whether SC / TSO / PSO allow the phenomenon. Multi-reader
+/// tests (IRIW, WRC) encode their witness with per-thread conditional
+/// prints of distinct tags, so the observable behaviour is unambiguous;
+/// the phenomenon is observable iff *any* of the listed behaviours occurs.
+///
+/// These drive the E13 experiment: the TSO/PSO-only outcomes must be
+/// reachable through the paper's safe transformations (W->R and W->W
+/// reordering plus read-after-write elimination), and the forbidden ones
+/// must stay unreachable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACESAFE_TSO_LITMUS_H
+#define TRACESAFE_TSO_LITMUS_H
+
+#include "lang/Ast.h"
+#include "trace/Interleaving.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace tracesafe {
+
+struct LitmusTest {
+  std::string Name;
+  std::string Source;
+  /// The phenomenon is observed iff any of these behaviours occurs.
+  std::vector<Behaviour> AskedOutcomes;
+  /// Does sequential consistency allow it?
+  bool ScAllows;
+  /// Does TSO allow it?
+  bool TsoAllows;
+  /// Does PSO (per-location buffers, W->W relaxation) allow it?
+  bool PsoAllows;
+
+  /// True iff some asked outcome is in \p Behaviours.
+  bool observedIn(const std::set<Behaviour> &Behaviours) const {
+    for (const Behaviour &B : AskedOutcomes)
+      if (Behaviours.count(B))
+        return true;
+    return false;
+  }
+};
+
+/// The battery: SB (store buffering), SB+vol (fenced), MP (message
+/// passing), LB (load buffering), CoRR (read-read coherence), SB+RFI
+/// (store forwarding), IRIW (independent reads of independent writes),
+/// WRC (write-to-read causality).
+const std::vector<LitmusTest> &litmusTests();
+
+} // namespace tracesafe
+
+#endif // TRACESAFE_TSO_LITMUS_H

@@ -1,0 +1,42 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A PSO (partial store order) machine — the paper's §8 conjecture probe.
+///
+/// The conclusion of the paper reports TSO is explained by the semantic
+/// transformations and conjectures "similar results can be achieved for
+/// other processor memory models". PSO is the natural next model: store
+/// buffers are *per location*, so stores to different locations may drain
+/// out of order (the extra relaxation over TSO is W->W reordering, which
+/// is exactly the R-WW rule). The E13 bench checks that the PSO-only
+/// behaviours of the litmus battery are indeed explained by the rule set.
+///
+/// Machine model: like TsoMachine, but each thread has one FIFO buffer per
+/// location; a drain step commits the oldest entry of any (thread,
+/// location) buffer. Reads forward from the own buffer of that location;
+/// synchronisation actions require all of the thread's buffers to be
+/// empty.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACESAFE_TSO_PSOMACHINE_H
+#define TRACESAFE_TSO_PSOMACHINE_H
+
+#include "tso/TsoMachine.h"
+
+namespace tracesafe {
+
+/// The set of observable behaviours of \p P on the PSO machine.
+/// A superset of tsoBehaviours(P) (a TSO buffer schedule is a PSO schedule
+/// that happens to respect inter-location store order).
+std::set<Behaviour> psoBehaviours(const Program &P, TsoLimits Limits = {},
+                                  ExecStats *Stats = nullptr);
+
+/// Behaviours PSO exhibits that SC does not.
+std::set<Behaviour> psoOnlyBehaviours(const Program &P,
+                                      TsoLimits Limits = {},
+                                      ExecStats *Stats = nullptr);
+
+} // namespace tracesafe
+
+#endif // TRACESAFE_TSO_PSOMACHINE_H

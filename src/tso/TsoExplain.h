@@ -1,0 +1,57 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// "TSO as transformations" — the paper's §8 claim as a checkable
+/// statement.
+///
+/// For a program P, every behaviour of the TSO machine should be a
+/// sequentially consistent behaviour of *some* program reachable from P by
+/// the paper's safe transformations. The relevant rules are the write-read
+/// reordering R-WR (store buffering delays a write past later reads of
+/// other locations) and the read-after-write elimination E-RAW
+/// (store-to-load forwarding: a read of one's own buffered store).
+///
+/// explainTsoByTransformations explores the transformation neighbourhood
+/// of P breadth-first up to a depth bound, unions the SC behaviours of all
+/// reachable programs, and reports any TSO behaviour left unexplained.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACESAFE_TSO_TSOEXPLAIN_H
+#define TRACESAFE_TSO_TSOEXPLAIN_H
+
+#include "opt/Rewrite.h"
+#include "tso/TsoMachine.h"
+
+namespace tracesafe {
+
+struct TsoExplainResult {
+  bool Explained = false;
+  Behaviour Unexplained;     ///< Witness when !Explained.
+  size_t ProgramsExplored = 0;
+  size_t TsoBehaviours = 0;
+  size_t ScBehaviours = 0;   ///< Of the union over reachable programs.
+  bool Truncated = false;
+};
+
+/// The union of the SC behaviours of every program reachable from \p P by
+/// at most \p MaxDepth applications of the rules in \p Rules. This is the
+/// "explanation set": any hardware behaviour inside it is accounted for by
+/// the paper's transformations.
+std::set<Behaviour>
+reachableScBehaviours(const Program &P, size_t MaxDepth,
+                      const RuleSet &Rules = {}, ExecLimits Limits = {},
+                      bool *Truncated = nullptr,
+                      size_t *ProgramsExplored = nullptr);
+
+/// Checks that every TSO behaviour of \p P is an SC behaviour of some
+/// program reachable by at most \p MaxDepth applications of the rules in
+/// \p Rules (default: the full safe rule set).
+TsoExplainResult
+explainTsoByTransformations(const Program &P, size_t MaxDepth = 3,
+                            const RuleSet &Rules = {},
+                            TsoLimits Limits = {});
+
+} // namespace tracesafe
+
+#endif // TRACESAFE_TSO_TSOEXPLAIN_H

@@ -1,0 +1,95 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Program-level verification queries: behaviour inclusion, the DRF
+/// guarantee, and the out-of-thin-air guarantee.
+///
+/// These are the observable statements of Theorems 1-5, phrased on concrete
+/// programs: the original program's behaviours must contain the transformed
+/// program's behaviours whenever the original is data race free; the
+/// transformed program must stay data race free; and no transformation may
+/// output a constant the original program cannot build.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACESAFE_VERIFY_CHECKS_H
+#define TRACESAFE_VERIFY_CHECKS_H
+
+#include "lang/Explore.h"
+#include "lang/ProgramExec.h"
+
+#include <optional>
+#include <string>
+
+namespace tracesafe {
+
+/// Comparison of the SC behaviour sets of two programs.
+struct BehaviourComparison {
+  bool Subset = false; ///< behaviours(Transformed) within behaviours(Orig).
+  bool Equal = false;
+  std::optional<Behaviour> NewBehaviour; ///< Witness when !Subset.
+  bool Truncated = false;
+};
+
+BehaviourComparison compareBehaviours(const Program &Orig,
+                                      const Program &Transformed,
+                                      ExecLimits Limits = {});
+
+/// The statement of the DRF guarantee for one original/transformed pair.
+struct DrfGuaranteeReport {
+  bool OriginalDrf = false;
+  bool TransformedDrf = false;
+  bool BehavioursPreserved = false;
+  std::optional<Behaviour> NewBehaviour;
+  bool Truncated = false;
+
+  /// Vacuously true for racy originals; otherwise requires DRF preservation
+  /// and behaviour inclusion (Theorems 1-4).
+  bool holds() const {
+    if (Truncated)
+      return false;
+    if (!OriginalDrf)
+      return true;
+    return TransformedDrf && BehavioursPreserved;
+  }
+};
+
+DrfGuaranteeReport checkDrfGuarantee(const Program &Orig,
+                                     const Program &Transformed,
+                                     ExecLimits Limits = {});
+
+/// Can \p P output \p V in some SC execution?
+bool programCanOutput(const Program &P, Value V, ExecLimits Limits = {});
+
+/// The out-of-thin-air statement (Theorem 5 shape) for one pair: if the
+/// original program does not contain constant \p C (and C != 0), the
+/// transformed program must not output C. Also checks the semantic origin
+/// property (Lemma 2/6): [[Transformed]] has no origin for C when
+/// [[Orig]] has none.
+struct ThinAirReport {
+  Value Constant = 0;
+  bool OrigContainsConstant = false;
+  bool TransformedOutputs = false;
+  bool OrigHasOrigin = false;
+  bool TransformedHasOrigin = false;
+  bool Truncated = false;
+
+  bool holds() const {
+    if (Truncated)
+      return false;
+    if (OrigContainsConstant)
+      return true; // Vacuous.
+    return !TransformedOutputs && (OrigHasOrigin || !TransformedHasOrigin);
+  }
+};
+
+ThinAirReport checkThinAir(const Program &Orig, const Program &Transformed,
+                           Value C, ExecLimits Limits = {},
+                           ExploreLimits TracesetLimits = {});
+
+/// A fresh constant guaranteed not to occur in \p P (and nonzero).
+Value freshConstantFor(const Program &P);
+
+} // namespace tracesafe
+
+#endif // TRACESAFE_VERIFY_CHECKS_H

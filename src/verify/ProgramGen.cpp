@@ -1,0 +1,175 @@
+#include "verify/ProgramGen.h"
+
+#include <optional>
+
+using namespace tracesafe;
+
+namespace {
+
+class Generator {
+public:
+  Generator(Rng &R, const GenOptions &O) : R(R), O(O) {}
+
+  Program run() {
+    Program P;
+    if (O.Discipline == GenDiscipline::VolatileLocations)
+      for (unsigned L = 0; L < O.Locations; ++L)
+        P.markVolatile(locName(L));
+    if (O.Discipline == GenDiscipline::Mixed)
+      for (unsigned L = 0; L < O.Locations; ++L) {
+        if (R.chance(1, 2))
+          P.markVolatile(locName(L));
+        else
+          LockedLocs.insert(Symbol::intern(locName(L)));
+      }
+    Volatiles = &P.volatiles();
+    for (unsigned T = 0; T < O.Threads; ++T) {
+      StmtList Body;
+      size_t N = static_cast<size_t>(
+          R.range(O.MinStmtsPerThread, O.MaxStmtsPerThread));
+      while (Body.size() < N)
+        emitTopLevel(Body);
+      P.addThread(std::move(Body));
+    }
+    return P;
+  }
+
+private:
+  std::string locName(unsigned I) const { return "x" + std::to_string(I); }
+
+  SymbolId randomLoc() {
+    return Symbol::intern(locName(static_cast<unsigned>(R.below(O.Locations))));
+  }
+  SymbolId randomReg() {
+    return Symbol::intern("r" +
+                          std::to_string(R.below(O.Registers)));
+  }
+  SymbolId monitor() { return Symbol::intern("m"); }
+
+  Operand randomOperand() {
+    if (R.chance(1, 2))
+      return Operand::imm(static_cast<Value>(R.range(0, O.MaxConst)));
+    return Operand::reg(randomReg());
+  }
+
+  /// A register-only statement (always race-free).
+  StmtPtr localStmt() {
+    uint64_t Kinds = 2 + (O.AllowPrint ? 1 : 0) + (O.AllowInput ? 1 : 0);
+    switch (R.below(Kinds)) {
+    case 0:
+      return std::make_unique<AssignStmt>(randomReg(), randomOperand());
+    case 1:
+      return std::make_unique<SkipStmt>();
+    case 2:
+      if (O.AllowPrint)
+        return std::make_unique<PrintStmt>(randomOperand());
+      [[fallthrough]];
+    default:
+      return std::make_unique<InputStmt>(randomReg());
+    }
+  }
+
+  /// A shared-memory access (to \p Loc when given, else a random one).
+  StmtPtr sharedStmt(std::optional<SymbolId> Loc = std::nullopt) {
+    SymbolId L = Loc ? *Loc : randomLoc();
+    if (R.chance(1, 2))
+      return std::make_unique<LoadStmt>(randomReg(), L);
+    return std::make_unique<StoreStmt>(L, randomOperand());
+  }
+
+  StmtPtr ifStmt(bool AllowShared) {
+    Cond C = R.chance(1, 2)
+                 ? Cond::eq(Operand::reg(randomReg()), randomOperand())
+                 : Cond::ne(Operand::reg(randomReg()), randomOperand());
+    auto Branch = [&]() {
+      StmtList Body;
+      size_t N = 1 + R.below(2);
+      for (size_t I = 0; I < N; ++I)
+        Body.push_back(AllowShared && R.chance(1, 2) ? sharedStmt()
+                                                     : localStmt());
+      return std::make_unique<BlockStmt>(std::move(Body));
+    };
+    return std::make_unique<IfStmt>(C, Branch(), Branch());
+  }
+
+  /// A volatile location of the program, if any (Mixed mode).
+  std::optional<SymbolId> randomVolatileLoc() {
+    if (Volatiles->empty())
+      return std::nullopt;
+    auto It = Volatiles->begin();
+    std::advance(It, static_cast<long>(R.below(Volatiles->size())));
+    return *It;
+  }
+
+  /// A lock-protected location of the program, if any (Mixed mode).
+  std::optional<SymbolId> randomLockedLoc() {
+    if (LockedLocs.empty())
+      return std::nullopt;
+    auto It = LockedLocs.begin();
+    std::advance(It, static_cast<long>(R.below(LockedLocs.size())));
+    return *It;
+  }
+
+  /// A `lock m; ...; unlock m;` section with 1-3 accesses to \p Loc (or
+  /// random locations when nullopt).
+  void emitCriticalSection(StmtList &Out, std::optional<SymbolId> Loc) {
+    Out.push_back(std::make_unique<LockStmt>(monitor()));
+    size_t N = 1 + R.below(3);
+    for (size_t I = 0; I < N; ++I)
+      Out.push_back(R.chance(3, 4) ? sharedStmt(Loc) : localStmt());
+    Out.push_back(std::make_unique<UnlockStmt>(monitor()));
+  }
+
+  void emitTopLevel(StmtList &Out) {
+    bool SharedAllowedAnywhere = O.Discipline == GenDiscipline::Racy ||
+                                 O.Discipline ==
+                                     GenDiscipline::VolatileLocations;
+    uint64_t Kind = R.below(10);
+    if (Kind < 3) {
+      Out.push_back(localStmt());
+      return;
+    }
+    if (Kind < 4 && O.AllowIf) {
+      Out.push_back(ifStmt(SharedAllowedAnywhere));
+      return;
+    }
+    if (SharedAllowedAnywhere) {
+      Out.push_back(sharedStmt());
+      return;
+    }
+    if (O.Discipline == GenDiscipline::Mixed) {
+      // Volatile locations may be touched anywhere; lock-protected ones
+      // only inside critical sections.
+      std::optional<SymbolId> Vol = randomVolatileLoc();
+      if (Vol && R.chance(1, 2)) {
+        Out.push_back(sharedStmt(*Vol));
+        return;
+      }
+      if (std::optional<SymbolId> Locked = randomLockedLoc()) {
+        emitCriticalSection(Out, *Locked);
+        return;
+      }
+      if (Vol) {
+        Out.push_back(sharedStmt(*Vol));
+        return;
+      }
+      Out.push_back(localStmt());
+      return;
+    }
+    // Lock discipline: a critical section with 1-3 shared accesses (and
+    // perhaps a local statement), under the single global monitor.
+    emitCriticalSection(Out, std::nullopt);
+  }
+
+  Rng &R;
+  const GenOptions &O;
+  const std::set<SymbolId> *Volatiles = nullptr;
+  std::set<SymbolId> LockedLocs;
+};
+
+} // namespace
+
+Program tracesafe::generateProgram(Rng &R, const GenOptions &Options) {
+  Generator G(R, Options);
+  return G.run();
+}

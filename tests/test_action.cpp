@@ -1,0 +1,166 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for Action: the §3 classification of actions (memory access,
+/// acquire, release, synchronisation, conflicts) and wildcard matching.
+///
+//===----------------------------------------------------------------------===//
+
+#include "trace/Action.h"
+
+#include <gtest/gtest.h>
+
+using namespace tracesafe;
+
+namespace {
+
+SymbolId locX() { return Symbol::intern("x"); }
+SymbolId locY() { return Symbol::intern("y"); }
+SymbolId monM() { return Symbol::intern("m"); }
+
+TEST(Action, FactoriesAndAccessors) {
+  Action S = Action::mkStart(3);
+  EXPECT_TRUE(S.isStart());
+  EXPECT_EQ(S.entry(), 3u);
+
+  Action R = Action::mkRead(locX(), 7);
+  EXPECT_TRUE(R.isRead());
+  EXPECT_EQ(R.location(), locX());
+  EXPECT_EQ(R.value(), 7);
+  EXPECT_FALSE(R.isWildcard());
+
+  Action W = Action::mkWrite(locY(), 1, /*Volatile=*/true);
+  EXPECT_TRUE(W.isWrite());
+  EXPECT_TRUE(W.isVolatileAccess());
+
+  Action L = Action::mkLock(monM());
+  EXPECT_TRUE(L.isLock());
+  EXPECT_EQ(L.monitor(), monM());
+
+  Action X = Action::mkExternal(9);
+  EXPECT_TRUE(X.isExternal());
+  EXPECT_EQ(X.value(), 9);
+}
+
+TEST(Action, Section3Terminology) {
+  Action NormalRead = Action::mkRead(locX(), 0);
+  Action NormalWrite = Action::mkWrite(locX(), 0);
+  Action VolRead = Action::mkRead(locX(), 0, true);
+  Action VolWrite = Action::mkWrite(locX(), 0, true);
+  Action Lock = Action::mkLock(monM());
+  Action Unlock = Action::mkUnlock(monM());
+  Action Ext = Action::mkExternal(0);
+  Action Start = Action::mkStart(0);
+
+  // Memory accesses.
+  for (const Action &A : {NormalRead, NormalWrite, VolRead, VolWrite})
+    EXPECT_TRUE(A.isMemoryAccess());
+  for (const Action &A : {Lock, Unlock, Ext, Start})
+    EXPECT_FALSE(A.isMemoryAccess());
+
+  // Normal accesses are non-volatile accesses.
+  EXPECT_TRUE(NormalRead.isNormalAccess());
+  EXPECT_TRUE(NormalWrite.isNormalAccess());
+  EXPECT_FALSE(VolRead.isNormalAccess());
+  EXPECT_FALSE(VolWrite.isNormalAccess());
+
+  // Acquire = lock or volatile read.
+  EXPECT_TRUE(Lock.isAcquire());
+  EXPECT_TRUE(VolRead.isAcquire());
+  EXPECT_FALSE(Unlock.isAcquire());
+  EXPECT_FALSE(VolWrite.isAcquire());
+  EXPECT_FALSE(NormalRead.isAcquire());
+
+  // Release = unlock or volatile write.
+  EXPECT_TRUE(Unlock.isRelease());
+  EXPECT_TRUE(VolWrite.isRelease());
+  EXPECT_FALSE(Lock.isRelease());
+  EXPECT_FALSE(VolRead.isRelease());
+  EXPECT_FALSE(NormalWrite.isRelease());
+
+  // Synchronisation = acquire or release.
+  for (const Action &A : {Lock, Unlock, VolRead, VolWrite})
+    EXPECT_TRUE(A.isSynchronisation());
+  for (const Action &A : {NormalRead, NormalWrite, Ext, Start})
+    EXPECT_FALSE(A.isSynchronisation());
+}
+
+struct ConflictCase {
+  Action A;
+  Action B;
+  bool Conflicts;
+  const char *Why;
+};
+
+class ConflictTest : public ::testing::TestWithParam<ConflictCase> {};
+
+TEST_P(ConflictTest, MatchesSection3Definition) {
+  const ConflictCase &C = GetParam();
+  EXPECT_EQ(C.A.conflictsWith(C.B), C.Conflicts) << C.Why;
+  EXPECT_EQ(C.B.conflictsWith(C.A), C.Conflicts) << C.Why << " (symmetric)";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, ConflictTest,
+    ::testing::Values(
+        ConflictCase{Action::mkWrite(Symbol::intern("x"), 1),
+                     Action::mkWrite(Symbol::intern("x"), 2), true,
+                     "write/write same location"},
+        ConflictCase{Action::mkWrite(Symbol::intern("x"), 1),
+                     Action::mkRead(Symbol::intern("x"), 0), true,
+                     "write/read same location"},
+        ConflictCase{Action::mkRead(Symbol::intern("x"), 0),
+                     Action::mkRead(Symbol::intern("x"), 1), false,
+                     "two reads never conflict"},
+        ConflictCase{Action::mkWrite(Symbol::intern("x"), 1),
+                     Action::mkWrite(Symbol::intern("y"), 1), false,
+                     "different locations"},
+        ConflictCase{Action::mkWrite(Symbol::intern("x"), 1, true),
+                     Action::mkRead(Symbol::intern("x"), 0, true), false,
+                     "volatile accesses never conflict (§3)"},
+        ConflictCase{Action::mkWrite(Symbol::intern("x"), 1),
+                     Action::mkRead(Symbol::intern("x"), 0, true), false,
+                     "mixed volatility: the volatile access is not normal"},
+        ConflictCase{Action::mkWrite(Symbol::intern("x"), 1),
+                     Action::mkLock(Symbol::intern("m")), false,
+                     "locks are not accesses"},
+        ConflictCase{Action::mkWildcardRead(Symbol::intern("x")),
+                     Action::mkWrite(Symbol::intern("x"), 3), true,
+                     "wildcard reads access their location"}));
+
+TEST(Action, WildcardMatchingAndInstantiation) {
+  Action W = Action::mkWildcardRead(locX());
+  EXPECT_TRUE(W.isWildcard());
+  EXPECT_TRUE(W.matchesInstance(Action::mkRead(locX(), 0)));
+  EXPECT_TRUE(W.matchesInstance(Action::mkRead(locX(), 5)));
+  EXPECT_FALSE(W.matchesInstance(Action::mkRead(locY(), 0)));
+  EXPECT_FALSE(W.matchesInstance(Action::mkRead(locX(), 0, true)));
+  EXPECT_FALSE(W.matchesInstance(Action::mkWrite(locX(), 0)));
+  EXPECT_EQ(W.instantiate(4), Action::mkRead(locX(), 4));
+}
+
+TEST(Action, ConcreteMatchesOnlyItself) {
+  Action R = Action::mkRead(locX(), 1);
+  EXPECT_TRUE(R.matchesInstance(Action::mkRead(locX(), 1)));
+  EXPECT_FALSE(R.matchesInstance(Action::mkRead(locX(), 2)));
+}
+
+TEST(Action, TotalOrderIsConsistent) {
+  Action A = Action::mkRead(locX(), 0);
+  Action B = Action::mkRead(locX(), 1);
+  EXPECT_TRUE(A < B || B < A);
+  EXPECT_FALSE(A < A);
+  EXPECT_EQ(A, Action::mkRead(locX(), 0));
+}
+
+TEST(Action, Rendering) {
+  EXPECT_EQ(Action::mkStart(1).str(), "S(1)");
+  EXPECT_EQ(Action::mkRead(locX(), 2).str(), "R[x=2]");
+  EXPECT_EQ(Action::mkWildcardRead(locX()).str(), "R[x=*]");
+  EXPECT_EQ(Action::mkWrite(locY(), 0, true).str(), "Wv[y=0]");
+  EXPECT_EQ(Action::mkLock(monM()).str(), "L[m]");
+  EXPECT_EQ(Action::mkUnlock(monM()).str(), "U[m]");
+  EXPECT_EQ(Action::mkExternal(3).str(), "X(3)");
+}
+
+} // namespace

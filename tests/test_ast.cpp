@@ -1,0 +1,139 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the AST: cloning, structural equality, symbol
+/// collection, sync-freedom, and constant containment (the Theorem 5 side
+/// condition).
+///
+//===----------------------------------------------------------------------===//
+
+#include "lang/Ast.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace tracesafe;
+
+namespace {
+
+TEST(Ast, CloneIsDeepAndEqual) {
+  Program P = parseOrDie(R"(
+volatile v;
+thread {
+  r1 := x;
+  if (r1 == 0) { v := 1; } else { while (r1 != 0) { r1 := 0; } }
+}
+)");
+  Program Q = P; // Copy constructor deep-clones.
+  EXPECT_TRUE(P.equals(Q));
+  // Mutating the copy does not affect the original.
+  Q.thread(0).push_back(std::make_unique<SkipStmt>());
+  EXPECT_FALSE(P.equals(Q));
+  EXPECT_EQ(P.thread(0).size(), 2u);
+}
+
+TEST(Ast, EqualityIsStructural) {
+  Program A = parseOrDie("thread { r1 := x; print r1; }");
+  Program B = parseOrDie("thread { r1 := x; print r1; }");
+  Program C = parseOrDie("thread { r1 := x; print 1; }");
+  EXPECT_TRUE(A.equals(B));
+  EXPECT_FALSE(A.equals(C));
+  Program D = parseOrDie("volatile x; thread { r1 := x; print r1; }");
+  EXPECT_FALSE(A.equals(D)); // Volatile sets are part of the program (§2).
+}
+
+TEST(Ast, ClassofAndCasts) {
+  Program P = parseOrDie("thread { r1 := x; lock m; }");
+  const Stmt &Load = *P.thread(0)[0];
+  EXPECT_TRUE(isa<LoadStmt>(Load));
+  EXPECT_FALSE(isa<StoreStmt>(Load));
+  EXPECT_NE(dyn_cast<LoadStmt>(&Load), nullptr);
+  EXPECT_EQ(dyn_cast<LockStmt>(&Load), nullptr);
+  EXPECT_EQ(cast<LoadStmt>(Load).loc(), Symbol::intern("x"));
+}
+
+TEST(Ast, CollectSymbolsSeparatesNamespaces) {
+  Program P = parseOrDie(
+      "thread { r1 := x; y := r2; lock m; unlock m; print r3; }");
+  std::set<SymbolId> Regs, Locs, Mons;
+  for (const StmtPtr &S : P.thread(0))
+    S->collectSymbols(Regs, Locs, Mons);
+  EXPECT_EQ(Regs, (std::set<SymbolId>{Symbol::intern("r1"),
+                                      Symbol::intern("r2"),
+                                      Symbol::intern("r3")}));
+  EXPECT_EQ(Locs, (std::set<SymbolId>{Symbol::intern("x"),
+                                      Symbol::intern("y")}));
+  EXPECT_EQ(Mons, (std::set<SymbolId>{Symbol::intern("m")}));
+}
+
+TEST(Ast, ProgramWideSymbolQueries) {
+  Program P = parseOrDie(
+      "thread { r1 := x; } thread { y := 1; lock m; unlock m; }");
+  EXPECT_EQ(P.locations(), (std::set<SymbolId>{Symbol::intern("x"),
+                                               Symbol::intern("y")}));
+  EXPECT_EQ(P.registers(), (std::set<SymbolId>{Symbol::intern("r1")}));
+  EXPECT_EQ(P.monitors(), (std::set<SymbolId>{Symbol::intern("m")}));
+}
+
+TEST(Ast, SyncFreePredicate) {
+  Program P = parseOrDie(R"(
+volatile v;
+thread {
+  r1 := x;
+  lock m;
+  r2 := v;
+  if (r1 == 0) { unlock m; } else { skip; }
+  print r1;
+}
+)");
+  const StmtList &L = P.thread(0);
+  const std::set<SymbolId> &Vol = P.volatiles();
+  EXPECT_TRUE(L[0]->isSyncFree(Vol));  // Plain load.
+  EXPECT_FALSE(L[1]->isSyncFree(Vol)); // Lock.
+  EXPECT_FALSE(L[2]->isSyncFree(Vol)); // Volatile load.
+  EXPECT_FALSE(L[3]->isSyncFree(Vol)); // Unlock nested in the if.
+  EXPECT_TRUE(L[4]->isSyncFree(Vol));  // Print.
+}
+
+TEST(Ast, MentionsAnyLooksEverywhere) {
+  Program P = parseOrDie(
+      "thread { if (r1 == 0) { x := r2; } else { skip; } }");
+  const Stmt &If = *P.thread(0)[0];
+  EXPECT_TRUE(If.mentionsAny({Symbol::intern("r1")}));
+  EXPECT_TRUE(If.mentionsAny({Symbol::intern("r2")}));
+  EXPECT_TRUE(If.mentionsAny({Symbol::intern("x")}));
+  EXPECT_FALSE(If.mentionsAny({Symbol::intern("zz")}));
+}
+
+TEST(Ast, ContainsConstantChecksValuePositions) {
+  Program P = parseOrDie(R"(
+thread {
+  r1 := 5;
+  x := 6;
+  print 7;
+  if (r1 == 8) { skip; } else { skip; }
+}
+)");
+  EXPECT_TRUE(P.containsConstant(5));
+  EXPECT_TRUE(P.containsConstant(6));
+  EXPECT_TRUE(P.containsConstant(7));
+  // 8 appears only in a comparison: it cannot flow into memory or output.
+  EXPECT_FALSE(P.containsConstant(8));
+  EXPECT_FALSE(P.containsConstant(42));
+}
+
+TEST(Ast, ContainsConstantDescendsIntoControlFlow) {
+  Program P = parseOrDie(
+      "thread { while (r1 != 0) { if (r1 == r1) { { x := 9; } } "
+      "else { skip; } } }");
+  EXPECT_TRUE(P.containsConstant(9));
+}
+
+TEST(Ast, OperandAndCondPrinting) {
+  EXPECT_EQ(Operand::imm(3).str(), "3");
+  EXPECT_EQ(Operand::reg("r1").str(), "r1");
+  EXPECT_EQ(Cond::eq(Operand::reg("r1"), Operand::imm(0)).str(), "r1 == 0");
+  EXPECT_EQ(Cond::ne(Operand::imm(1), Operand::imm(2)).str(), "1 != 2");
+}
+
+} // namespace

@@ -1,0 +1,103 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for transformation chains at the traceset level — the paper's
+/// "any composition of these transformations is sound" (abstract, §5).
+///
+//===----------------------------------------------------------------------===//
+
+#include "lang/Explore.h"
+#include "lang/Parser.h"
+#include "semantics/Composition.h"
+
+#include <gtest/gtest.h>
+
+using namespace tracesafe;
+
+namespace {
+
+TEST(Composition, ThreeLinkChainOnADrfProgram) {
+  // P0: lock-protected duplicate accesses; apply E-RAW, then E-RAR, then a
+  // roach-motel R-WL by hand, giving a four-element chain.
+  Program P0 = parseOrDie(
+      "thread { z := 1; lock m; x := 5; r1 := x; r2 := x; print r2; "
+      "unlock m; }");
+  Program P1 = parseOrDie(
+      "thread { z := 1; lock m; x := 5; r1 := 5; r2 := x; print r2; "
+      "unlock m; }");
+  Program P2 = parseOrDie(
+      "thread { z := 1; lock m; x := 5; r1 := 5; r2 := 5; print r2; "
+      "unlock m; }");
+  Program P3 = parseOrDie(
+      "thread { lock m; z := 1; x := 5; r1 := 5; r2 := 5; print r2; "
+      "unlock m; }");
+  std::vector<Value> D = defaultDomainFor(P0, 2);
+  std::vector<Traceset> Chain = {
+      programTraceset(P0, D), programTraceset(P1, D), programTraceset(P2, D),
+      programTraceset(P3, D)};
+  std::vector<TransformKind> Kinds = {
+      TransformKind::Elimination, TransformKind::Elimination,
+      TransformKind::EliminationThenReordering};
+  ChainReport Report = checkChainConclusion(Chain, Kinds);
+  EXPECT_TRUE(Report.linksHold());
+  EXPECT_TRUE(Report.OriginalDrf);
+  EXPECT_TRUE(Report.FinalDrf);
+  EXPECT_TRUE(Report.BehavioursPreserved);
+  EXPECT_TRUE(Report.conclusionHolds());
+}
+
+TEST(Composition, BrokenLinkIsLocalised) {
+  Program P0 = parseOrDie("thread { x := 1; print 1; }");
+  Program P1 = parseOrDie("thread { print 1; }"); // Valid: last write.
+  Program P2 = parseOrDie("thread { print 2; }"); // Invalid: new constant.
+  std::vector<Value> D = {0, 1, 2};
+  std::vector<Traceset> Chain = {
+      programTraceset(P0, D), programTraceset(P1, D), programTraceset(P2, D)};
+  std::vector<TransformKind> Kinds = {TransformKind::Elimination,
+                                      TransformKind::Elimination};
+  ChainReport Report = checkChain(Chain, Kinds);
+  ASSERT_EQ(Report.Links.size(), 2u);
+  EXPECT_EQ(Report.Links[0].Verdict, CheckVerdict::Holds);
+  EXPECT_EQ(Report.Links[1].Verdict, CheckVerdict::Fails);
+  EXPECT_FALSE(Report.linksHold());
+}
+
+TEST(Composition, SingleElementChainIsTrivial) {
+  Program P = parseOrDie("thread { print 1; }");
+  std::vector<Traceset> Chain = {programTraceset(P, {0, 1})};
+  ChainReport Report = checkChainConclusion(Chain, {});
+  EXPECT_TRUE(Report.linksHold());
+  EXPECT_TRUE(Report.conclusionHolds());
+  EXPECT_TRUE(Report.BehavioursPreserved);
+}
+
+TEST(Composition, RacyOriginalMakesTheConclusionVacuous) {
+  // Fig 1's chain: behaviours change, the original is racy, and the
+  // conclusion is vacuously fine while the links still verify.
+  Program P0 = parseOrDie(R"(
+thread { x := 2; y := 1; x := 1; }
+thread { r1 := y; print r1; r1 := x; r2 := x; print r2; }
+)");
+  Program P1 = parseOrDie(R"(
+thread { y := 1; x := 1; }
+thread { r1 := y; print r1; r1 := x; r2 := r1; print r2; }
+)");
+  std::vector<Value> D = defaultDomainFor(P0, 3);
+  std::vector<Traceset> Chain = {programTraceset(P0, D),
+                                 programTraceset(P1, D)};
+  ChainReport Report = checkChainConclusion(
+      Chain, {TransformKind::Elimination});
+  EXPECT_TRUE(Report.linksHold());
+  EXPECT_FALSE(Report.OriginalDrf);
+  EXPECT_FALSE(Report.BehavioursPreserved); // (1,0) is new...
+  EXPECT_TRUE(Report.conclusionHolds());    // ...but vacuously allowed.
+}
+
+TEST(Composition, KindNames) {
+  EXPECT_EQ(transformKindName(TransformKind::Elimination), "elimination");
+  EXPECT_EQ(transformKindName(TransformKind::Reordering), "reordering");
+  EXPECT_EQ(transformKindName(TransformKind::EliminationThenReordering),
+            "elimination+reordering");
+}
+
+} // namespace

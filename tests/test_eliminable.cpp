@@ -1,0 +1,237 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for Definition 1 — the eight cases of eliminable indices —
+/// with a positive and negative battery per case, plus the paper's worked
+/// example trace.
+///
+//===----------------------------------------------------------------------===//
+
+#include "semantics/Eliminable.h"
+
+#include <gtest/gtest.h>
+
+using namespace tracesafe;
+
+namespace {
+
+SymbolId X() { return Symbol::intern("x"); }
+SymbolId Y() { return Symbol::intern("y"); }
+SymbolId V() { return Symbol::intern("v"); }
+SymbolId M() { return Symbol::intern("m"); }
+
+bool hasKind(const Trace &T, size_t I, EliminableKind K) {
+  for (EliminableKind Got : eliminableKinds(T, I))
+    if (Got == K)
+      return true;
+  return false;
+}
+
+// --- Case 1: redundant read after read -----------------------------------
+
+TEST(Eliminable, ReadAfterRead) {
+  Trace T{Action::mkStart(0), Action::mkRead(X(), 1), Action::mkExternal(0),
+          Action::mkRead(X(), 1)};
+  EXPECT_TRUE(hasKind(T, 3, EliminableKind::RedundantReadAfterRead));
+}
+
+TEST(Eliminable, ReadAfterReadNeedsSameValue) {
+  Trace T{Action::mkStart(0), Action::mkRead(X(), 1),
+          Action::mkRead(X(), 2)};
+  EXPECT_FALSE(hasKind(T, 2, EliminableKind::RedundantReadAfterRead));
+}
+
+TEST(Eliminable, ReadAfterReadBlockedByInterveningWrite) {
+  Trace T{Action::mkStart(0), Action::mkRead(X(), 1),
+          Action::mkWrite(X(), 1), Action::mkRead(X(), 1)};
+  EXPECT_FALSE(hasKind(T, 3, EliminableKind::RedundantReadAfterRead));
+  // (It is instead a redundant read after *write*.)
+  EXPECT_TRUE(hasKind(T, 3, EliminableKind::RedundantReadAfterWrite));
+}
+
+TEST(Eliminable, ReadAfterReadBlockedByReleaseAcquirePair) {
+  Trace T{Action::mkStart(0), Action::mkRead(X(), 1), Action::mkUnlock(M()),
+          Action::mkLock(M()), Action::mkRead(X(), 1)};
+  EXPECT_FALSE(hasKind(T, 4, EliminableKind::RedundantReadAfterRead));
+}
+
+TEST(Eliminable, ReadAfterReadSurvivesLoneAcquire) {
+  // Fig 3's key subtlety: a lock alone is not a release-acquire pair.
+  Trace T{Action::mkStart(0), Action::mkRead(Y(), 0), Action::mkLock(M()),
+          Action::mkWrite(X(), 1), Action::mkRead(Y(), 0)};
+  EXPECT_TRUE(hasKind(T, 4, EliminableKind::RedundantReadAfterRead));
+}
+
+TEST(Eliminable, VolatileReadsAreNeverEliminable) {
+  Trace T{Action::mkStart(0), Action::mkRead(V(), 1, true),
+          Action::mkRead(V(), 1, true)};
+  EXPECT_FALSE(isEliminable(T, 2));
+}
+
+// --- Case 2: redundant read after write ----------------------------------
+
+TEST(Eliminable, ReadAfterWrite) {
+  Trace T{Action::mkStart(0), Action::mkWrite(X(), 3),
+          Action::mkRead(X(), 3)};
+  EXPECT_TRUE(hasKind(T, 2, EliminableKind::RedundantReadAfterWrite));
+}
+
+TEST(Eliminable, ReadAfterWriteNeedsMatchingValue) {
+  Trace T{Action::mkStart(0), Action::mkWrite(X(), 3),
+          Action::mkRead(X(), 4)};
+  EXPECT_FALSE(isEliminable(T, 2));
+}
+
+// --- Case 3: irrelevant read ----------------------------------------------
+
+TEST(Eliminable, IrrelevantRead) {
+  Trace T{Action::mkStart(0), Action::mkWildcardRead(X())};
+  EXPECT_TRUE(hasKind(T, 1, EliminableKind::IrrelevantRead));
+  // Concrete reads are not irrelevant.
+  Trace T2{Action::mkStart(0), Action::mkRead(X(), 0)};
+  EXPECT_FALSE(hasKind(T2, 1, EliminableKind::IrrelevantRead));
+}
+
+// --- Case 4: redundant write after read ----------------------------------
+
+TEST(Eliminable, WriteAfterRead) {
+  Trace T{Action::mkStart(0), Action::mkRead(X(), 2), Action::mkExternal(0),
+          Action::mkWrite(X(), 2)};
+  EXPECT_TRUE(hasKind(T, 3, EliminableKind::RedundantWriteAfterRead));
+}
+
+TEST(Eliminable, WriteAfterReadBlockedByAnyAccess) {
+  // An intervening access to x blocks case 4 against the earlier read (the
+  // condition is "no *other access*", stronger than cases 1/2).
+  Trace T{Action::mkStart(0), Action::mkRead(X(), 2), Action::mkWrite(X(), 1),
+          Action::mkWrite(X(), 2)};
+  EXPECT_FALSE(hasKind(T, 3, EliminableKind::RedundantWriteAfterRead));
+  // A closer justifier with nothing in between re-enables it.
+  Trace T2{Action::mkStart(0), Action::mkRead(X(), 2), Action::mkRead(X(), 2),
+           Action::mkWrite(X(), 2)};
+  EXPECT_TRUE(hasKind(T2, 3, EliminableKind::RedundantWriteAfterRead));
+}
+
+// --- Case 5: overwritten write --------------------------------------------
+
+TEST(Eliminable, OverwrittenWrite) {
+  Trace T{Action::mkStart(0), Action::mkWrite(X(), 1), Action::mkExternal(0),
+          Action::mkWrite(X(), 2)};
+  EXPECT_TRUE(hasKind(T, 1, EliminableKind::OverwrittenWrite));
+  // The overwriting (later) write is not itself overwritten.
+  EXPECT_FALSE(hasKind(T, 3, EliminableKind::OverwrittenWrite));
+}
+
+TEST(Eliminable, OverwrittenWriteBlockedByReadBetween) {
+  Trace T{Action::mkStart(0), Action::mkWrite(X(), 1), Action::mkRead(X(), 1),
+          Action::mkWrite(X(), 2)};
+  EXPECT_FALSE(hasKind(T, 1, EliminableKind::OverwrittenWrite));
+}
+
+TEST(Eliminable, OverwrittenWriteBlockedByReleaseAcquirePair) {
+  Trace T{Action::mkStart(0), Action::mkWrite(X(), 1), Action::mkUnlock(M()),
+          Action::mkLock(M()), Action::mkWrite(X(), 2)};
+  EXPECT_FALSE(hasKind(T, 1, EliminableKind::OverwrittenWrite));
+}
+
+// --- Case 6: redundant last write ------------------------------------------
+
+TEST(Eliminable, RedundantLastWrite) {
+  Trace T{Action::mkStart(0), Action::mkWrite(X(), 1), Action::mkRead(Y(), 0)};
+  EXPECT_TRUE(hasKind(T, 1, EliminableKind::RedundantLastWrite));
+}
+
+TEST(Eliminable, LastWriteBlockedByLaterRelease) {
+  Trace T{Action::mkStart(0), Action::mkWrite(X(), 1),
+          Action::mkUnlock(M())};
+  EXPECT_FALSE(hasKind(T, 1, EliminableKind::RedundantLastWrite));
+}
+
+TEST(Eliminable, LastWriteBlockedByLaterSameLocationAccess) {
+  Trace T{Action::mkStart(0), Action::mkWrite(X(), 1),
+          Action::mkRead(X(), 1)};
+  EXPECT_FALSE(hasKind(T, 1, EliminableKind::RedundantLastWrite));
+}
+
+// --- Cases 7 and 8: redundant release / external ---------------------------
+
+TEST(Eliminable, RedundantRelease) {
+  Trace T{Action::mkStart(0), Action::mkLock(M()), Action::mkUnlock(M()),
+          Action::mkWrite(X(), 1)};
+  EXPECT_TRUE(hasKind(T, 2, EliminableKind::RedundantRelease));
+  // Volatile writes are releases too.
+  Trace T2{Action::mkStart(0), Action::mkWrite(V(), 1, true),
+           Action::mkRead(X(), 0)};
+  EXPECT_TRUE(hasKind(T2, 1, EliminableKind::RedundantRelease));
+}
+
+TEST(Eliminable, ReleaseBlockedByLaterSyncOrExternal) {
+  Trace T{Action::mkStart(0), Action::mkLock(M()), Action::mkUnlock(M()),
+          Action::mkExternal(1)};
+  EXPECT_FALSE(hasKind(T, 2, EliminableKind::RedundantRelease));
+  Trace T2{Action::mkStart(0), Action::mkLock(M()), Action::mkUnlock(M()),
+           Action::mkLock(M())};
+  EXPECT_FALSE(hasKind(T2, 2, EliminableKind::RedundantRelease));
+}
+
+TEST(Eliminable, RedundantExternal) {
+  Trace T{Action::mkStart(0), Action::mkExternal(1), Action::mkRead(X(), 0)};
+  EXPECT_TRUE(hasKind(T, 1, EliminableKind::RedundantExternal));
+  Trace T2{Action::mkStart(0), Action::mkExternal(1), Action::mkExternal(2)};
+  EXPECT_FALSE(hasKind(T2, 1, EliminableKind::RedundantExternal));
+  EXPECT_TRUE(hasKind(T2, 2, EliminableKind::RedundantExternal));
+}
+
+// --- Acquires and starts are never eliminable ------------------------------
+
+TEST(Eliminable, AcquiresAndStartsNever) {
+  Trace T{Action::mkStart(0), Action::mkLock(M()),
+          Action::mkRead(V(), 0, true)};
+  EXPECT_FALSE(isEliminable(T, 0));
+  EXPECT_FALSE(isEliminable(T, 1));
+  EXPECT_FALSE(isEliminable(T, 2));
+}
+
+// --- The paper's worked example (§4) ----------------------------------------
+
+TEST(Eliminable, PaperWorkedExample) {
+  // [S(0), W[x=1], R[y=*], R[x=1], X(1), L[m], W[x=2], W[x=1], U[m]]:
+  // indices 2, 3 and 6 are eliminable (and only those).
+  Trace T{Action::mkStart(0),       Action::mkWrite(X(), 1),
+          Action::mkWildcardRead(Y()), Action::mkRead(X(), 1),
+          Action::mkExternal(1),    Action::mkLock(M()),
+          Action::mkWrite(X(), 2),  Action::mkWrite(X(), 1),
+          Action::mkUnlock(M())};
+  // The paper's prose lists indices 2, 3 and 6 (the ones its example
+  // elimination drops). By the letter of Definition 1 the trailing unlock
+  // at index 8 is additionally a redundant release (case 7: no later
+  // synchronisation or external action), so it is eliminable too.
+  std::set<size_t> Expected = {2, 3, 6, 8};
+  for (size_t I = 0; I < T.size(); ++I)
+    EXPECT_EQ(isEliminable(T, I), Expected.count(I) != 0)
+        << "index " << I << " of " << T.str();
+  EXPECT_TRUE(hasKind(T, 2, EliminableKind::IrrelevantRead));
+  EXPECT_TRUE(hasKind(T, 3, EliminableKind::RedundantReadAfterWrite));
+  EXPECT_TRUE(hasKind(T, 6, EliminableKind::OverwrittenWrite));
+  EXPECT_TRUE(hasKind(T, 8, EliminableKind::RedundantRelease));
+}
+
+// --- Proper eliminability (§6.1) ---------------------------------------------
+
+TEST(Eliminable, ProperExcludesLastActionCases) {
+  Trace T{Action::mkStart(0), Action::mkWrite(X(), 1), Action::mkRead(Y(), 0)};
+  EXPECT_TRUE(isEliminable(T, 1)); // Redundant last write (case 6).
+  EXPECT_FALSE(isProperlyEliminable(T, 1));
+  Trace T2{Action::mkStart(0), Action::mkWrite(X(), 3),
+           Action::mkRead(X(), 3)};
+  EXPECT_TRUE(isProperlyEliminable(T2, 2)); // Case 2 is proper.
+}
+
+TEST(Eliminable, KindNamesAreHuman) {
+  EXPECT_EQ(eliminableKindName(EliminableKind::IrrelevantRead),
+            "irrelevant read");
+  EXPECT_EQ(eliminableKindName(EliminableKind::OverwrittenWrite),
+            "overwritten write");
+}
+
+} // namespace

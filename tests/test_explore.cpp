@@ -1,0 +1,138 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for traceset generation ([[P]], §6): exactness on loop-free
+/// programs, prefix closure, the value-domain branching of reads, and
+/// bounded exploration of loops.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lang/Explore.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace tracesafe;
+
+namespace {
+
+TEST(Explore, StraightLineThreadIsExact) {
+  Program P = parseOrDie("thread { x := 1; print 2; }");
+  Traceset T = programTraceset(P, {0, 1});
+  // {[], [S], [S,W], [S,W,X]}.
+  EXPECT_EQ(T.size(), 4u);
+  EXPECT_TRUE(T.contains(Trace{Action::mkStart(0),
+                               Action::mkWrite(Symbol::intern("x"), 1),
+                               Action::mkExternal(2)}));
+  EXPECT_TRUE(T.validate());
+}
+
+TEST(Explore, ReadsBranchOverTheDomain) {
+  Program P = parseOrDie("thread { r1 := x; print r1; }");
+  Traceset T = programTraceset(P, {0, 1, 2});
+  // Maximal traces: one per read value.
+  EXPECT_EQ(T.maximalTraces().size(), 3u);
+  for (Value V : {0, 1, 2})
+    EXPECT_TRUE(T.contains(Trace{Action::mkStart(0),
+                                 Action::mkRead(Symbol::intern("x"), V),
+                                 Action::mkExternal(V)}));
+}
+
+TEST(Explore, MatchesPaperFig2Traceset) {
+  // §3: the traceset of Fig 2's original program is the prefix closure of
+  // {[S(0),R[x=v],W[y=v]]} ∪ {[S(1),R[y=v],W[x=1],X(v)]}.
+  Program P = parseOrDie(R"(
+thread { r1 := x; y := r1; }
+thread { r2 := y; x := 1; print r2; }
+)");
+  Traceset T = programTraceset(P, {0, 1});
+  Traceset Expected({0, 1});
+  SymbolId X = Symbol::intern("x"), Y = Symbol::intern("y");
+  for (Value V : {0, 1}) {
+    Expected.insert(Trace{Action::mkStart(0), Action::mkRead(X, V),
+                          Action::mkWrite(Y, V)});
+    Expected.insert(Trace{Action::mkStart(1), Action::mkRead(Y, V),
+                          Action::mkWrite(X, 1), Action::mkExternal(V)});
+  }
+  EXPECT_EQ(T, Expected);
+}
+
+TEST(Explore, ConditionalsFollowRegisterValues) {
+  Program P = parseOrDie(
+      "thread { r1 := x; if (r1 == 1) { print 1; } else { print 0; } }");
+  Traceset T = programTraceset(P, {0, 1, 2});
+  SymbolId X = Symbol::intern("x");
+  EXPECT_TRUE(T.contains(Trace{Action::mkStart(0), Action::mkRead(X, 1),
+                               Action::mkExternal(1)}));
+  EXPECT_TRUE(T.contains(Trace{Action::mkStart(0), Action::mkRead(X, 0),
+                               Action::mkExternal(0)}));
+  EXPECT_TRUE(T.contains(Trace{Action::mkStart(0), Action::mkRead(X, 2),
+                               Action::mkExternal(0)}));
+  EXPECT_FALSE(T.contains(Trace{Action::mkStart(0), Action::mkRead(X, 0),
+                                Action::mkExternal(1)}));
+}
+
+TEST(Explore, VolatileMarksCarryIntoActions) {
+  Program P = parseOrDie("volatile v; thread { v := 1; r1 := v; }");
+  Traceset T = programTraceset(P, {0, 1});
+  for (const Action &A : T.successors(Trace{Action::mkStart(0)}))
+    EXPECT_TRUE(A.isVolatileAccess());
+}
+
+TEST(Explore, UnlockWithoutLockIsSilent) {
+  // E-ULK: the trace has no unlock action, keeping the set well locked.
+  Program P = parseOrDie("thread { unlock m; x := 1; }");
+  Traceset T = programTraceset(P, {0});
+  EXPECT_EQ(T.maxTraceLength(), 2u); // S(0), W[x=1].
+  EXPECT_TRUE(T.validate());
+}
+
+TEST(Explore, LoopsAreTruncatedAtTheActionBound) {
+  Program P = parseOrDie("thread { while (0 == 0) { x := 1; } }");
+  ExploreLimits Limits;
+  Limits.MaxActions = 5;
+  ExploreStats Stats;
+  Traceset T = programTraceset(P, {0}, Limits, &Stats);
+  EXPECT_TRUE(Stats.Truncated);
+  EXPECT_EQ(T.maxTraceLength(), 6u); // Start + 5 writes.
+  EXPECT_TRUE(T.validate());         // Still prefix-closed.
+}
+
+TEST(Explore, SilentLoopIsTruncatedWithoutActions) {
+  Program P = parseOrDie("thread { while (0 == 0) { skip; } }");
+  ExploreStats Stats;
+  Traceset T = programTraceset(P, {0}, {}, &Stats);
+  EXPECT_TRUE(Stats.Truncated);
+  EXPECT_EQ(T.maxTraceLength(), 1u); // Just the start action.
+}
+
+TEST(Explore, MultiThreadTracesetsShareOnePool) {
+  Program P = parseOrDie("thread { x := 1; } thread { x := 2; }");
+  Traceset T = programTraceset(P, {0});
+  EXPECT_EQ(T.entryPoints(), (std::vector<ThreadId>{0, 1}));
+}
+
+TEST(Explore, DefaultDomainCollectsConstants) {
+  Program P = parseOrDie("thread { x := 3; r1 := 7; print 1; }");
+  std::vector<Value> D = defaultDomainFor(P);
+  // {0 (default), 1, 3, 7}.
+  EXPECT_EQ(D, (std::vector<Value>{0, 1, 3, 7}));
+}
+
+TEST(Explore, DefaultDomainPadsToMinSize) {
+  Program P = parseOrDie("thread { skip; }");
+  std::vector<Value> D = defaultDomainFor(P, 3);
+  EXPECT_EQ(D.size(), 3u);
+  EXPECT_EQ(D[0], 0);
+}
+
+TEST(Explore, RegisterCopiesProduceNoActions) {
+  // §2.1: "r:=x; if (r==0) y:=1 else y:=1" and "r:=x; y:=1" have the same
+  // traceset.
+  Program A = parseOrDie(
+      "thread { r1 := x; if (r1 == 0) { y := 1; } else { y := 1; } }");
+  Program B = parseOrDie("thread { r1 := x; y := 1; }");
+  EXPECT_EQ(programTraceset(A, {0, 1}), programTraceset(B, {0, 1}));
+}
+
+} // namespace

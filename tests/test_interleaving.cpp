@@ -1,0 +1,158 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for Interleaving: §3's interleaving-of-traceset conditions,
+/// sequential consistency, wildcard instances, adjacent races, behaviours.
+///
+//===----------------------------------------------------------------------===//
+
+#include "trace/Interleaving.h"
+
+#include <gtest/gtest.h>
+
+using namespace tracesafe;
+
+namespace {
+
+SymbolId X() { return Symbol::intern("x"); }
+SymbolId Y() { return Symbol::intern("y"); }
+SymbolId M() { return Symbol::intern("m"); }
+
+TEST(Interleaving, TraceProjection) {
+  Interleaving I({{0, Action::mkStart(0)},
+                  {1, Action::mkStart(1)},
+                  {0, Action::mkWrite(X(), 1)},
+                  {1, Action::mkRead(X(), 1)}});
+  EXPECT_EQ(I.traceOf(0),
+            (Trace{Action::mkStart(0), Action::mkWrite(X(), 1)}));
+  EXPECT_EQ(I.traceOf(1),
+            (Trace{Action::mkStart(1), Action::mkRead(X(), 1)}));
+  EXPECT_EQ(I.traceOf(7), Trace());
+  EXPECT_EQ(I.threads(), (std::vector<ThreadId>{0, 1}));
+}
+
+TEST(Interleaving, EntryPointConsistency) {
+  Interleaving Good({{0, Action::mkStart(0)}, {1, Action::mkStart(1)}});
+  EXPECT_TRUE(Good.entryPointsConsistent());
+  // Start action carried by the wrong thread.
+  Interleaving Wrong({{0, Action::mkStart(1)}});
+  EXPECT_FALSE(Wrong.entryPointsConsistent());
+  // Action before the thread's start.
+  Interleaving Early({{0, Action::mkWrite(X(), 1)}});
+  EXPECT_FALSE(Early.entryPointsConsistent());
+  // Two starts.
+  Interleaving Twice({{0, Action::mkStart(0)}, {0, Action::mkStart(0)}});
+  EXPECT_FALSE(Twice.entryPointsConsistent());
+}
+
+TEST(Interleaving, MutualExclusion) {
+  Interleaving Ok({{0, Action::mkStart(0)},
+                   {1, Action::mkStart(1)},
+                   {0, Action::mkLock(M())},
+                   {0, Action::mkUnlock(M())},
+                   {1, Action::mkLock(M())}});
+  EXPECT_TRUE(Ok.respectsMutualExclusion());
+  Interleaving Bad({{0, Action::mkStart(0)},
+                    {1, Action::mkStart(1)},
+                    {0, Action::mkLock(M())},
+                    {1, Action::mkLock(M())}});
+  EXPECT_FALSE(Bad.respectsMutualExclusion());
+  // Re-entrant locking by the same thread is fine.
+  Interleaving Reentrant({{0, Action::mkStart(0)},
+                          {0, Action::mkLock(M())},
+                          {0, Action::mkLock(M())}});
+  EXPECT_TRUE(Reentrant.respectsMutualExclusion());
+}
+
+TEST(Interleaving, SeesMostRecentWrite) {
+  Interleaving I({{0, Action::mkStart(0)},
+                  {0, Action::mkWrite(X(), 1)},
+                  {0, Action::mkWrite(X(), 2)},
+                  {0, Action::mkRead(X(), 2)},
+                  {0, Action::mkRead(Y(), 0)}});
+  EXPECT_TRUE(I.isSequentiallyConsistent());
+  EXPECT_EQ(I.mostRecentWriteBefore(3), std::optional<size_t>(2));
+  EXPECT_EQ(I.mostRecentWriteBefore(4), std::nullopt); // Default value.
+  Interleaving Stale({{0, Action::mkStart(0)},
+                      {0, Action::mkWrite(X(), 1)},
+                      {0, Action::mkRead(X(), 0)}});
+  EXPECT_FALSE(Stale.isSequentiallyConsistent());
+  Interleaving BadDefault({{0, Action::mkStart(0)},
+                           {0, Action::mkRead(X(), 3)}});
+  EXPECT_FALSE(BadDefault.isSequentiallyConsistent());
+}
+
+TEST(Interleaving, ExecutionOfTraceset) {
+  Traceset T({0, 1});
+  T.insert(Trace{Action::mkStart(0), Action::mkWrite(X(), 1)});
+  T.insert(Trace{Action::mkStart(1), Action::mkRead(X(), 0)});
+  T.insert(Trace{Action::mkStart(1), Action::mkRead(X(), 1)});
+  Interleaving Good({{0, Action::mkStart(0)},
+                     {1, Action::mkStart(1)},
+                     {0, Action::mkWrite(X(), 1)},
+                     {1, Action::mkRead(X(), 1)}});
+  EXPECT_TRUE(Good.isExecutionOf(T));
+  // Same events, read sees a stale value: an interleaving but not an
+  // execution.
+  Interleaving Stale({{0, Action::mkStart(0)},
+                      {1, Action::mkStart(1)},
+                      {0, Action::mkWrite(X(), 1)},
+                      {1, Action::mkRead(X(), 0)}});
+  EXPECT_TRUE(Stale.isInterleavingOf(T));
+  EXPECT_FALSE(Stale.isExecutionOf(T));
+  // A thread trace outside the traceset.
+  Interleaving Foreign({{0, Action::mkStart(0)},
+                        {0, Action::mkWrite(Y(), 1)}});
+  EXPECT_FALSE(Foreign.isInterleavingOf(T));
+}
+
+TEST(Interleaving, WildcardInstanceTakesMostRecentWrite) {
+  Interleaving I({{0, Action::mkStart(0)},
+                  {0, Action::mkWrite(X(), 7)},
+                  {1, Action::mkStart(1)},
+                  {1, Action::mkWildcardRead(X())},
+                  {1, Action::mkWildcardRead(Y())}});
+  EXPECT_TRUE(I.hasWildcards());
+  Interleaving Inst = I.instance();
+  EXPECT_FALSE(Inst.hasWildcards());
+  EXPECT_EQ(Inst[3].Act, Action::mkRead(X(), 7));
+  EXPECT_EQ(Inst[4].Act, Action::mkRead(Y(), DefaultValue));
+  EXPECT_TRUE(Inst.isSequentiallyConsistent());
+}
+
+TEST(Interleaving, AdjacentRaceDetection) {
+  Interleaving Race({{0, Action::mkStart(0)},
+                     {1, Action::mkStart(1)},
+                     {0, Action::mkWrite(X(), 1)},
+                     {1, Action::mkRead(X(), 1)}});
+  EXPECT_EQ(Race.findAdjacentRace(), std::optional<size_t>(2));
+  // Same thread: no race.
+  Interleaving SameThread({{0, Action::mkStart(0)},
+                           {0, Action::mkWrite(X(), 1)},
+                           {0, Action::mkRead(X(), 1)}});
+  EXPECT_EQ(SameThread.findAdjacentRace(), std::nullopt);
+  // Non-adjacent conflicting accesses are not a race by this definition.
+  Interleaving Separated({{0, Action::mkStart(0)},
+                          {1, Action::mkStart(1)},
+                          {0, Action::mkWrite(X(), 1)},
+                          {0, Action::mkWrite(Y(), 1)},
+                          {1, Action::mkRead(X(), 1)}});
+  EXPECT_EQ(Separated.findAdjacentRace(), std::nullopt);
+}
+
+TEST(Interleaving, BehaviourProjection) {
+  Interleaving I({{0, Action::mkStart(0)},
+                  {0, Action::mkExternal(3)},
+                  {0, Action::mkWrite(X(), 1)},
+                  {0, Action::mkExternal(1)}});
+  EXPECT_EQ(I.behaviour(), (Behaviour{3, 1}));
+  EXPECT_EQ(Interleaving().behaviour(), Behaviour{});
+}
+
+TEST(Interleaving, PrefixAndRendering) {
+  Interleaving I({{0, Action::mkStart(0)}, {0, Action::mkExternal(1)}});
+  EXPECT_EQ(I.prefix(1).size(), 1u);
+  EXPECT_EQ(I.str(), "[(0,S(0)), (0,X(1))]");
+}
+
+} // namespace

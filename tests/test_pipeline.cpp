@@ -1,0 +1,78 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for transformation chains (greedy and seeded-random
+/// composition of rule applications).
+///
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+#include "lang/Printer.h"
+#include "opt/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace tracesafe;
+
+namespace {
+
+TEST(Pipeline, GreedyReachesAFixpointOnEliminations) {
+  Program P = parseOrDie(
+      "thread { lock m; counter := 1; r1 := counter; r2 := counter; "
+      "print r2; unlock m; }");
+  TransformChain Chain =
+      greedyChain(P, RuleSet::eliminationsOnly(), /*MaxSteps=*/16);
+  EXPECT_FALSE(Chain.Steps.empty());
+  // Elimination rules strictly shrink or substitute; a fixpoint exists and
+  // no further elimination applies.
+  EXPECT_TRUE(findRewriteSites(Chain.Result, RuleSet::eliminationsOnly())
+                  .empty())
+      << printProgram(Chain.Result);
+}
+
+TEST(Pipeline, GreedyIsDeterministic) {
+  Program P = parseOrDie(
+      "thread { r1 := x; r2 := y; x := r1; y := r2; print r1; }");
+  TransformChain A = greedyChain(P, RuleSet::all(), 8);
+  TransformChain B = greedyChain(P, RuleSet::all(), 8);
+  EXPECT_TRUE(A.Result.equals(B.Result));
+  EXPECT_EQ(A.Steps.size(), B.Steps.size());
+}
+
+TEST(Pipeline, RandomChainsAreSeedDeterministic) {
+  Program P = parseOrDie(
+      "thread { r1 := x; r2 := y; x := r1; y := r2; print r1; }");
+  Rng R1(99), R2(99);
+  TransformChain A = randomChain(P, RuleSet::all(), 6, R1);
+  TransformChain B = randomChain(P, RuleSet::all(), 6, R2);
+  EXPECT_TRUE(A.Result.equals(B.Result));
+}
+
+TEST(Pipeline, ChainsStopWhenNoRuleApplies) {
+  Program P = parseOrDie("thread { skip; }");
+  Rng R(1);
+  TransformChain Chain = randomChain(P, RuleSet::all(), 10, R);
+  EXPECT_TRUE(Chain.Steps.empty());
+  EXPECT_TRUE(Chain.Result.equals(P));
+}
+
+TEST(Pipeline, MaxStepsBoundsPingPongReorderings) {
+  // R-RR can swap two loads back and forth forever; the bound must hold.
+  Program P = parseOrDie("thread { r1 := x; r2 := y; }");
+  Rng R(3);
+  TransformChain Chain = randomChain(P, RuleSet::reorderingsOnly(), 7, R);
+  EXPECT_LE(Chain.Steps.size(), 7u);
+}
+
+TEST(Pipeline, StepsReplayToTheResult) {
+  Program P = parseOrDie(
+      "thread { r1 := x; r2 := y; x := r1; y := r2; print r1; }");
+  Rng R(17);
+  TransformChain Chain = randomChain(P, RuleSet::all(), 5, R);
+  Program Replayed = P;
+  for (const RewriteSite &S : Chain.Steps)
+    Replayed = applyRewrite(Replayed, S);
+  EXPECT_TRUE(Replayed.equals(Chain.Result));
+}
+
+} // namespace

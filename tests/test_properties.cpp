@@ -1,0 +1,194 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property-based tests over randomly generated traces:
+///
+///  - §6.1's compositionality claim: proper eliminations compose under
+///    trace concatenation (and the last-action cases genuinely do not);
+///  - algebraic sanity of reordering functions and de-permutations;
+///  - reflexivity of the traceset-level checkers;
+///  - symmetry/antisymmetry facts about conflicts and reorderability.
+///
+//===----------------------------------------------------------------------===//
+
+#include "semantics/Elimination.h"
+#include "semantics/Reorderable.h"
+#include "semantics/Reordering.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace tracesafe;
+
+namespace {
+
+/// Random well-locked trace without start actions (a thread-body segment,
+/// as in sequential composition S1; S2).
+Trace randomSegment(Rng &R, size_t Len) {
+  std::vector<SymbolId> Locs = {Symbol::intern("x"), Symbol::intern("y")};
+  SymbolId Vol = Symbol::intern("vv");
+  SymbolId Mon = Symbol::intern("m");
+  Trace T;
+  int LockDepth = 0;
+  for (size_t I = 0; I < Len; ++I) {
+    switch (R.below(8)) {
+    case 0:
+      T.push_back(Action::mkRead(Locs[R.below(2)],
+                                 static_cast<Value>(R.below(2))));
+      break;
+    case 1:
+      T.push_back(Action::mkWildcardRead(Locs[R.below(2)]));
+      break;
+    case 2:
+    case 3:
+      T.push_back(Action::mkWrite(Locs[R.below(2)],
+                                  static_cast<Value>(R.below(2))));
+      break;
+    case 4:
+      T.push_back(Action::mkExternal(static_cast<Value>(R.below(2))));
+      break;
+    case 5:
+      T.push_back(Action::mkLock(Mon));
+      ++LockDepth;
+      break;
+    case 6:
+      if (LockDepth > 0) {
+        T.push_back(Action::mkUnlock(Mon));
+        --LockDepth;
+      } else {
+        T.push_back(Action::mkRead(Vol, 0, /*Volatile=*/true));
+      }
+      break;
+    default:
+      T.push_back(Action::mkWrite(Vol, 1, /*Volatile=*/true));
+      break;
+    }
+  }
+  return T;
+}
+
+/// Drops a random subset of the properly eliminable indices of \p T.
+Trace randomProperElimination(Rng &R, const Trace &T) {
+  std::vector<size_t> Kept;
+  for (size_t I = 0; I < T.size(); ++I) {
+    if (isProperlyEliminable(T, I) && R.chance(1, 2))
+      continue;
+    Kept.push_back(I);
+  }
+  return T.restrictTo(Kept);
+}
+
+class SeededProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeededProperty, ProperEliminationsCompose) {
+  // §6.1: t1 properly-eliminates to t1' and t2 to t2' implies t1 ++ t2
+  // properly-eliminates to t1' ++ t2'.
+  Rng R(GetParam());
+  Trace T1 = randomSegment(R, 1 + R.below(6));
+  Trace T2 = randomSegment(R, 1 + R.below(6));
+  Trace T1P = randomProperElimination(R, T1);
+  Trace T2P = randomProperElimination(R, T2);
+  ASSERT_TRUE(isEliminationOfTrace(T1, T1P, /*ProperOnly=*/true));
+  ASSERT_TRUE(isEliminationOfTrace(T2, T2P, /*ProperOnly=*/true));
+  EXPECT_TRUE(isEliminationOfTrace(T1.concat(T2), T1P.concat(T2P),
+                                   /*ProperOnly=*/true))
+      << "t1 = " << T1.str() << "\nt1' = " << T1P.str()
+      << "\nt2 = " << T2.str() << "\nt2' = " << T2P.str();
+}
+
+TEST_P(SeededProperty, EliminationIsReflexiveOnSegments) {
+  Rng R(GetParam() + 1000);
+  Trace T = randomSegment(R, 1 + R.below(8));
+  EXPECT_TRUE(isEliminationOfTrace(T, T));
+  EXPECT_TRUE(isEliminationOfTrace(T, T, /*ProperOnly=*/true));
+}
+
+TEST_P(SeededProperty, IdentityIsAlwaysAReorderingFunction) {
+  Rng R(GetParam() + 2000);
+  Trace T = randomSegment(R, 1 + R.below(8));
+  Permutation Id = identityPermutation(T.size());
+  EXPECT_TRUE(isReorderingFunction(T, Id));
+  EXPECT_EQ(depermute(T, Id), T);
+  for (size_t N = 0; N <= T.size(); ++N)
+    EXPECT_EQ(depermutePrefix(T, Id, N), T.prefix(N));
+}
+
+TEST_P(SeededProperty, DepermutationPreservesTheActionMultiset) {
+  Rng R(GetParam() + 3000);
+  Trace T = randomSegment(R, 2 + R.below(6));
+  // A random permutation (not necessarily a reordering function).
+  Permutation F = identityPermutation(T.size());
+  for (size_t I = T.size(); I > 1; --I)
+    std::swap(F[I - 1], F[R.below(I)]);
+  Trace D = depermute(T, F);
+  std::multiset<Action> A(T.begin(), T.end());
+  std::multiset<Action> B(D.begin(), D.end());
+  EXPECT_EQ(A, B);
+}
+
+TEST_P(SeededProperty, ConflictIsSymmetricAndBlocksReordering) {
+  Rng R(GetParam() + 4000);
+  Trace T = randomSegment(R, 6);
+  for (size_t I = 0; I < T.size(); ++I)
+    for (size_t J = 0; J < T.size(); ++J) {
+      EXPECT_EQ(T[I].conflictsWith(T[J]), T[J].conflictsWith(T[I]));
+      if (T[I].conflictsWith(T[J])) {
+        EXPECT_FALSE(reorderableWith(T[I], T[J]));
+      }
+    }
+}
+
+TEST_P(SeededProperty, EliminableIndicesAreDroppableOneByOne) {
+  // Dropping any single eliminable index is a valid elimination.
+  Rng R(GetParam() + 5000);
+  Trace T = randomSegment(R, 2 + R.below(6));
+  for (size_t I = 0; I < T.size(); ++I) {
+    if (!isEliminable(T, I))
+      continue;
+    std::vector<size_t> Kept;
+    for (size_t K = 0; K < T.size(); ++K)
+      if (K != I)
+        Kept.push_back(K);
+    EXPECT_TRUE(isEliminationOfTrace(T, T.restrictTo(Kept)))
+        << "index " << I << " of " << T.str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Range<uint64_t>(1, 41));
+
+TEST(ProperElimination, LastActionCasesDoNotCompose) {
+  // The paper's reason for introducing proper eliminations: dropping
+  // [W[x=1]] as a redundant last write is fine for t1 alone, but not once
+  // t2 = [U[m]] is appended (the write is no longer last-before-release).
+  SymbolId X = Symbol::intern("x"), M = Symbol::intern("m");
+  Trace T1{Action::mkLock(M), Action::mkWrite(X, 1)};
+  Trace T1P{Action::mkLock(M)};
+  Trace T2{Action::mkUnlock(M)};
+  EXPECT_TRUE(isEliminationOfTrace(T1, T1P)); // Case 6 applies.
+  EXPECT_FALSE(isEliminationOfTrace(T1, T1P, /*ProperOnly=*/true));
+  EXPECT_FALSE(isEliminationOfTrace(T1.concat(T2), T1P.concat(T2)))
+      << "general eliminations must not compose here";
+}
+
+TEST(Reorderability, ExactlyCharacterisesSwapsOfAdjacentPairs) {
+  // For any two actions a, b: the 2-element trace [b, a] is a reordering
+  // of [a, b] (under an oracle containing both orders' prefixes) iff a' =
+  // a is reorderable... directly: the swap permutation is a reordering
+  // function for [b, a] iff reorderableWith(a, b).
+  SymbolId X = Symbol::intern("x"), M = Symbol::intern("m");
+  std::vector<Action> As = {
+      Action::mkWrite(X, 1), Action::mkRead(X, 0),
+      Action::mkWrite(Symbol::intern("y"), 1), Action::mkLock(M),
+      Action::mkUnlock(M), Action::mkExternal(1),
+      Action::mkWrite(X, 1, true), Action::mkRead(X, 0, true)};
+  for (const Action &A : As)
+    for (const Action &B : As) {
+      Trace Swapped{B, A};
+      Permutation F = {1, 0};
+      EXPECT_EQ(isReorderingFunction(Swapped, F), reorderableWith(A, B))
+          << A.str() << " / " << B.str();
+    }
+}
+
+} // namespace

@@ -1,0 +1,119 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the reorderability predicate and the §4 summary table,
+/// which the implementation must reproduce exactly (including the
+/// roach-motel asymmetry).
+///
+//===----------------------------------------------------------------------===//
+
+#include "semantics/Reorderable.h"
+
+#include <gtest/gtest.h>
+
+using namespace tracesafe;
+
+namespace {
+
+SymbolId X() { return Symbol::intern("x"); }
+SymbolId Y() { return Symbol::intern("y"); }
+SymbolId M() { return Symbol::intern("m"); }
+
+TEST(Reorderable, NormalAccessesDifferentLocations) {
+  EXPECT_TRUE(reorderableWith(Action::mkWrite(X(), 1),
+                              Action::mkWrite(Y(), 1)));
+  EXPECT_TRUE(reorderableWith(Action::mkWrite(X(), 1),
+                              Action::mkRead(Y(), 1)));
+  EXPECT_TRUE(reorderableWith(Action::mkRead(X(), 1),
+                              Action::mkWrite(Y(), 1)));
+}
+
+TEST(Reorderable, ConflictingAccessesNever) {
+  EXPECT_FALSE(reorderableWith(Action::mkWrite(X(), 1),
+                               Action::mkWrite(X(), 2)));
+  EXPECT_FALSE(reorderableWith(Action::mkWrite(X(), 1),
+                               Action::mkRead(X(), 1)));
+  EXPECT_FALSE(reorderableWith(Action::mkRead(X(), 1),
+                               Action::mkWrite(X(), 1)));
+}
+
+TEST(Reorderable, SameLocationReadsYes) {
+  // Reads never conflict, even on the same location.
+  EXPECT_TRUE(reorderableWith(Action::mkRead(X(), 0),
+                              Action::mkRead(X(), 1)));
+}
+
+TEST(Reorderable, RoachMotelAsymmetry) {
+  Action W = Action::mkWrite(X(), 1);
+  Action R = Action::mkRead(X(), 1);
+  Action Acq = Action::mkLock(M());
+  Action Rel = Action::mkUnlock(M());
+  // Accesses may move after a later acquire (into the critical section)...
+  EXPECT_TRUE(reorderableWith(W, Acq));
+  EXPECT_TRUE(reorderableWith(R, Acq));
+  // ...but never across a later release (out of it).
+  EXPECT_FALSE(reorderableWith(W, Rel));
+  EXPECT_FALSE(reorderableWith(R, Rel));
+  // A release may move after a later access (the access moves in).
+  EXPECT_TRUE(reorderableWith(Rel, W));
+  EXPECT_TRUE(reorderableWith(Rel, R));
+  // An acquire never moves across anything.
+  EXPECT_FALSE(reorderableWith(Acq, W));
+  EXPECT_FALSE(reorderableWith(Acq, R));
+  EXPECT_FALSE(reorderableWith(Acq, Rel));
+  EXPECT_FALSE(reorderableWith(Acq, Acq));
+}
+
+TEST(Reorderable, VolatileAccessesActAsSyncActions) {
+  Action VolR = Action::mkRead(X(), 0, true);  // Acquire.
+  Action VolW = Action::mkWrite(X(), 0, true); // Release.
+  Action NR = Action::mkRead(Y(), 0);
+  Action NW = Action::mkWrite(Y(), 0);
+  EXPECT_TRUE(reorderableWith(NW, VolR));  // Normal access vs acquire.
+  EXPECT_TRUE(reorderableWith(NR, VolR));
+  EXPECT_FALSE(reorderableWith(NW, VolW)); // Normal access vs release.
+  EXPECT_TRUE(reorderableWith(VolW, NR));  // Release vs normal access.
+  EXPECT_FALSE(reorderableWith(VolR, NR)); // Acquire vs anything.
+  EXPECT_FALSE(reorderableWith(VolW, VolR));
+  EXPECT_FALSE(reorderableWith(VolR, VolW));
+}
+
+TEST(Reorderable, ExternalsSwapWithNormalAccessesOnly) {
+  Action Ext = Action::mkExternal(1);
+  EXPECT_TRUE(reorderableWith(Ext, Action::mkWrite(X(), 1)));
+  EXPECT_TRUE(reorderableWith(Ext, Action::mkRead(X(), 1)));
+  EXPECT_TRUE(reorderableWith(Action::mkWrite(X(), 1), Ext));
+  EXPECT_TRUE(reorderableWith(Action::mkRead(X(), 1), Ext));
+  EXPECT_FALSE(reorderableWith(Ext, Ext));
+  EXPECT_FALSE(reorderableWith(Ext, Action::mkLock(M())));
+  EXPECT_FALSE(reorderableWith(Action::mkUnlock(M()), Ext));
+}
+
+TEST(Reorderable, StartActionsNever) {
+  Action S = Action::mkStart(0);
+  EXPECT_FALSE(reorderableWith(S, Action::mkWrite(X(), 1)));
+  EXPECT_FALSE(reorderableWith(Action::mkWrite(X(), 1), S));
+}
+
+TEST(Reorderable, TableMatchesThePaper) {
+  // §4's table, rows a / columns b, labels W, R, Acq, Rel, Ext:
+  //   W:   x!=y  x!=y  yes  no   yes
+  //   R:   x!=y  yes   yes  no   yes
+  //   Acq: no    no    no   no   no
+  //   Rel: yes   yes   no   no   no
+  //   Ext: yes   yes   no   no   no
+  const char *Expected[5][5] = {
+      {"x!=y", "x!=y", "yes", "no", "yes"},
+      {"x!=y", "yes", "yes", "no", "yes"},
+      {"no", "no", "no", "no", "no"},
+      {"yes", "yes", "no", "no", "no"},
+      {"yes", "yes", "no", "no", "no"},
+  };
+  auto Table = computeReorderTable();
+  for (size_t Row = 0; Row < 5; ++Row)
+    for (size_t Col = 0; Col < 5; ++Col)
+      EXPECT_EQ(Table[Row][Col], Expected[Row][Col])
+          << ReorderTableLabels[Row] << " vs " << ReorderTableLabels[Col];
+}
+
+} // namespace

@@ -1,0 +1,258 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the syntactic rewrite engine (Figs 9-11): every rule's
+/// match conditions and rewrite effect, path resolution into nested
+/// blocks, and the fv/sync-free side conditions.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+#include "lang/Printer.h"
+#include "opt/Rewrite.h"
+
+#include <gtest/gtest.h>
+
+using namespace tracesafe;
+
+namespace {
+
+/// All sites of \p Rule in \p P.
+std::vector<RewriteSite> sitesOf(const Program &P, RuleKind Rule) {
+  std::vector<RewriteSite> Out;
+  for (const RewriteSite &S : findRewriteSites(P, RuleSet::withExtensions()))
+    if (S.Rule == Rule)
+      Out.push_back(S);
+  return Out;
+}
+
+/// Expects exactly one site of \p Rule and that applying it yields
+/// \p Expected.
+void expectRewrites(const char *Source, RuleKind Rule, const char *Expected) {
+  Program P = parseOrDie(Source);
+  std::vector<RewriteSite> Sites = sitesOf(P, Rule);
+  ASSERT_EQ(Sites.size(), 1u) << ruleName(Rule) << " on " << Source;
+  Program Out = applyRewrite(P, Sites[0]);
+  EXPECT_TRUE(Out.equals(parseOrDie(Expected)))
+      << "got:\n" << printProgram(Out);
+}
+
+/// Expects no site of \p Rule.
+void expectBlocked(const char *Source, RuleKind Rule) {
+  Program P = parseOrDie(Source);
+  EXPECT_TRUE(sitesOf(P, Rule).empty())
+      << ruleName(Rule) << " unexpectedly matched " << Source;
+}
+
+// --- Fig 10: eliminations -------------------------------------------------
+
+TEST(RewriteElim, ERaR) {
+  expectRewrites("thread { r1 := x; skip; r2 := x; }", RuleKind::ERaR,
+                 "thread { r1 := x; skip; r2 := r1; }");
+}
+
+TEST(RewriteElim, ERaRBlockedByVolatile) {
+  expectBlocked("volatile x; thread { r1 := x; r2 := x; }", RuleKind::ERaR);
+}
+
+TEST(RewriteElim, ERaRBlockedByInterveningSync) {
+  expectBlocked("thread { r1 := x; lock m; r2 := x; }", RuleKind::ERaR);
+  expectBlocked("volatile v; thread { r1 := x; r3 := v; r2 := x; }",
+                RuleKind::ERaR);
+}
+
+TEST(RewriteElim, ERaRBlockedByFvClash) {
+  // S writes x.
+  expectBlocked("thread { r1 := x; x := 1; r2 := x; }", RuleKind::ERaR);
+  // S uses r1.
+  expectBlocked("thread { r1 := x; r1 := 2; r2 := x; }", RuleKind::ERaR);
+  // S uses r2.
+  expectBlocked("thread { r1 := x; r2 := 2; r2 := x; }", RuleKind::ERaR);
+}
+
+TEST(RewriteElim, ERaW) {
+  expectRewrites("thread { x := r1; print r3; r2 := x; }", RuleKind::ERaW,
+                 "thread { x := r1; print r3; r2 := r1; }");
+  // Literal stores propagate the literal.
+  expectRewrites("thread { x := 5; skip; r2 := x; }", RuleKind::ERaW,
+                 "thread { x := 5; skip; r2 := 5; }");
+}
+
+TEST(RewriteElim, EWaR) {
+  expectRewrites("thread { r1 := x; skip; x := r1; }", RuleKind::EWaR,
+                 "thread { r1 := x; skip; }");
+  // The written register must be the read one.
+  expectBlocked("thread { r1 := x; x := r2; }", RuleKind::EWaR);
+  expectBlocked("thread { r1 := x; x := 1; }", RuleKind::EWaR);
+}
+
+TEST(RewriteElim, EWbW) {
+  expectRewrites("thread { x := r1; skip; x := r2; }", RuleKind::EWbW,
+                 "thread { skip; x := r2; }");
+}
+
+TEST(RewriteElim, EWbWBlockedByReadBetween) {
+  expectBlocked("thread { x := r1; r3 := x; x := r2; }", RuleKind::EWbW);
+}
+
+TEST(RewriteElim, EIr) {
+  expectRewrites("thread { r1 := x; r1 := 3; }", RuleKind::EIr,
+                 "thread { r1 := 3; }");
+  // Only adjacent, only a literal overwrite of the same register.
+  expectBlocked("thread { r1 := x; skip; r1 := 3; }", RuleKind::EIr);
+  expectBlocked("thread { r1 := x; r2 := 3; }", RuleKind::EIr);
+  expectBlocked("thread { r1 := x; r1 := r2; }", RuleKind::EIr);
+  expectBlocked("volatile x; thread { r1 := x; r1 := 3; }", RuleKind::EIr);
+}
+
+// --- Fig 11: reorderings ----------------------------------------------------
+
+TEST(RewriteReorder, RRR) {
+  expectRewrites("thread { r1 := x; r2 := y; }", RuleKind::RRR,
+                 "thread { r2 := y; r1 := x; }");
+}
+
+TEST(RewriteReorder, RRRConditions) {
+  expectBlocked("thread { r1 := x; r1 := y; }", RuleKind::RRR); // r1 = r2.
+  expectBlocked("volatile x; thread { r1 := x; r2 := y; }",
+                RuleKind::RRR); // x volatile (acquire first).
+  // y volatile is roach-motel and allowed.
+  Program P = parseOrDie("volatile y; thread { r1 := x; r2 := y; }");
+  EXPECT_EQ(sitesOf(P, RuleKind::RRR).size(), 1u);
+}
+
+TEST(RewriteReorder, RWW) {
+  expectRewrites("thread { x := r1; y := r2; }", RuleKind::RWW,
+                 "thread { y := r2; x := r1; }");
+  expectBlocked("thread { x := r1; x := r2; }", RuleKind::RWW); // Same loc.
+  expectBlocked("volatile y; thread { x := r1; y := r2; }",
+                RuleKind::RWW); // y volatile (release second).
+  Program P = parseOrDie("volatile x; thread { x := r1; y := r2; }");
+  EXPECT_EQ(sitesOf(P, RuleKind::RWW).size(), 1u); // Roach-motel ok.
+}
+
+TEST(RewriteReorder, RWR) {
+  expectRewrites("thread { x := r1; r2 := y; }", RuleKind::RWR,
+                 "thread { r2 := y; x := r1; }");
+  expectBlocked("thread { x := r1; r1 := y; }", RuleKind::RWR); // r1 = r2.
+  expectBlocked("thread { x := r1; r2 := x; }", RuleKind::RWR); // x = y.
+  expectBlocked("volatile x, y; thread { x := r1; r2 := y; }",
+                RuleKind::RWR); // Both volatile.
+  Program P = parseOrDie("volatile x; thread { x := r1; r2 := y; }");
+  EXPECT_EQ(sitesOf(P, RuleKind::RWR).size(), 1u);
+}
+
+TEST(RewriteReorder, RRW) {
+  expectRewrites("thread { r1 := x; y := r2; }", RuleKind::RRW,
+                 "thread { y := r2; r1 := x; }");
+  expectBlocked("thread { r1 := x; y := r1; }", RuleKind::RRW); // r1 = r2.
+  expectBlocked("volatile x; thread { r1 := x; y := r2; }", RuleKind::RRW);
+  expectBlocked("volatile y; thread { r1 := x; y := r2; }", RuleKind::RRW);
+}
+
+TEST(RewriteReorder, LockRules) {
+  expectRewrites("thread { x := r1; lock m; }", RuleKind::RWL,
+                 "thread { lock m; x := r1; }");
+  expectRewrites("thread { r1 := x; lock m; }", RuleKind::RRL,
+                 "thread { lock m; r1 := x; }");
+  expectRewrites("thread { unlock m; x := r1; }", RuleKind::RUW,
+                 "thread { x := r1; unlock m; }");
+  expectRewrites("thread { unlock m; r1 := x; }", RuleKind::RUR,
+                 "thread { r1 := x; unlock m; }");
+  expectBlocked("volatile x; thread { x := r1; lock m; }", RuleKind::RWL);
+  expectBlocked("volatile x; thread { unlock m; r1 := x; }", RuleKind::RUR);
+}
+
+TEST(RewriteReorder, ExternalRules) {
+  expectRewrites("thread { print r1; r2 := x; }", RuleKind::RXR,
+                 "thread { r2 := x; print r1; }");
+  expectRewrites("thread { print r1; x := r2; }", RuleKind::RXW,
+                 "thread { x := r2; print r1; }");
+  expectBlocked("thread { print r1; r1 := x; }", RuleKind::RXR); // r1 = r2.
+  // Literal prints have no register clash.
+  Program P = parseOrDie("thread { print 1; r1 := x; }");
+  EXPECT_EQ(sitesOf(P, RuleKind::RXR).size(), 1u);
+}
+
+TEST(RewriteReorder, ExtensionRulesGatedBehindFlag) {
+  Program P = parseOrDie("thread { r2 := x; print r1; }");
+  EXPECT_TRUE(sitesOf(P, RuleKind::RRX).size() == 1u);
+  // Default rule set excludes extensions.
+  for (const RewriteSite &S : findRewriteSites(P, RuleSet::all()))
+    EXPECT_NE(S.Rule, RuleKind::RRX);
+  expectRewrites("thread { r2 := x; print r1; }", RuleKind::RRX,
+                 "thread { print r1; r2 := x; }");
+  expectRewrites("thread { x := r2; print r1; }", RuleKind::RWX,
+                 "thread { print r1; x := r2; }");
+  expectBlocked("thread { r1 := x; print r1; }", RuleKind::RRX);
+}
+
+// --- Paths and nesting -------------------------------------------------------
+
+TEST(Rewrite, SitesInsideNestedBlocks) {
+  Program P = parseOrDie(R"(
+thread {
+  if (r0 == 0) {
+    r1 := x;
+    r2 := x;
+  } else {
+    while (r0 != 0) { x := r3; x := r4; }
+  }
+}
+)");
+  std::vector<RewriteSite> RaR = sitesOf(P, RuleKind::ERaR);
+  ASSERT_EQ(RaR.size(), 1u);
+  EXPECT_EQ(RaR[0].Path.Steps.size(), 1u);
+  EXPECT_EQ(RaR[0].Path.Steps[0].second, PathSel::ThenBody);
+  std::vector<RewriteSite> WbW = sitesOf(P, RuleKind::EWbW);
+  ASSERT_EQ(WbW.size(), 1u);
+  EXPECT_EQ(WbW[0].Path.Steps[0].second, PathSel::ElseBody);
+  EXPECT_EQ(WbW[0].Path.Steps[1].second, PathSel::WhileBody);
+
+  // Applying the nested rewrite only touches the nested list.
+  Program Out = applyRewrite(P, RaR[0]);
+  EXPECT_TRUE(Out.equals(parseOrDie(R"(
+thread {
+  if (r0 == 0) {
+    r1 := x;
+    r2 := r1;
+  } else {
+    while (r0 != 0) { x := r3; x := r4; }
+  }
+}
+)"))) << printProgram(Out);
+}
+
+TEST(Rewrite, GapRulesSpanMultipleStatements) {
+  Program P = parseOrDie(
+      "thread { r1 := x; skip; r3 := 1; print r3; r2 := x; }");
+  std::vector<RewriteSite> Sites = sitesOf(P, RuleKind::ERaR);
+  ASSERT_EQ(Sites.size(), 1u);
+  EXPECT_EQ(Sites[0].I, 0u);
+  EXPECT_EQ(Sites[0].J, 4u);
+}
+
+TEST(Rewrite, ApplyDoesNotMutateTheInput) {
+  Program P = parseOrDie("thread { r1 := x; r2 := x; }");
+  Program Copy = P;
+  std::vector<RewriteSite> Sites = sitesOf(P, RuleKind::ERaR);
+  ASSERT_FALSE(Sites.empty());
+  applyRewrite(P, Sites[0]);
+  EXPECT_TRUE(P.equals(Copy));
+}
+
+TEST(Rewrite, RuleNamesMatchThePaper) {
+  EXPECT_EQ(ruleName(RuleKind::ERaR), "E-RAR");
+  EXPECT_EQ(ruleName(RuleKind::EWbW), "E-WBW");
+  EXPECT_EQ(ruleName(RuleKind::RWL), "R-WL");
+  EXPECT_EQ(ruleName(RuleKind::RXW), "R-XW");
+}
+
+TEST(Rewrite, SiteStrIsInformative) {
+  Program P = parseOrDie("thread { r1 := x; r2 := x; }");
+  std::vector<RewriteSite> Sites = sitesOf(P, RuleKind::ERaR);
+  ASSERT_FALSE(Sites.empty());
+  EXPECT_NE(Sites[0].str().find("E-RAR"), std::string::npos);
+}
+
+} // namespace

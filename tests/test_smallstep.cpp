@@ -1,0 +1,177 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the small-step semantics, one per Fig 7 rule: REGS,
+/// READ, WRITE, LOCK, ULK, E-ULK, EXT, COND-T/F, LOOP-T/F, BLOCK/SEQ, plus
+/// the silent closure.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+#include "lang/SmallStep.h"
+
+#include <gtest/gtest.h>
+
+using namespace tracesafe;
+
+namespace {
+
+/// Steps the single-thread program \p Source once from its initial state.
+std::vector<Step> firstSteps(const std::string &Source, const Program *&Out) {
+  static std::vector<Program> Keep; // Keep ASTs alive for Cont pointers.
+  Keep.push_back(parseOrDie(Source));
+  Out = &Keep.back();
+  LangContext Ctx(Keep.back(), {0, 1, 2});
+  return possibleSteps(initialThreadState(Keep.back(), 0), Ctx);
+}
+
+TEST(SmallStep, RegsRuleIsSilent) {
+  const Program *P;
+  std::vector<Step> S = firstSteps("thread { r1 := 5; }", P);
+  ASSERT_EQ(S.size(), 1u);
+  EXPECT_FALSE(S[0].Act.has_value());
+  EXPECT_EQ(S[0].Next.Regs.at(Symbol::intern("r1")), 5);
+}
+
+TEST(SmallStep, ReadRuleBranchesOverTheDomain) {
+  const Program *P;
+  std::vector<Step> S = firstSteps("thread { r1 := x; }", P);
+  ASSERT_EQ(S.size(), 3u); // One per domain value.
+  std::set<Value> Seen;
+  for (const Step &St : S) {
+    ASSERT_TRUE(St.Act && St.Act->isRead());
+    Seen.insert(St.Act->value());
+    EXPECT_EQ(St.Next.Regs.at(Symbol::intern("r1")), St.Act->value());
+  }
+  EXPECT_EQ(Seen, (std::set<Value>{0, 1, 2}));
+}
+
+TEST(SmallStep, WriteRuleEmitsTheRegisterValue) {
+  const Program *P;
+  std::vector<Step> S = firstSteps("thread { x := 7; }", P);
+  ASSERT_EQ(S.size(), 1u);
+  EXPECT_EQ(*S[0].Act, Action::mkWrite(Symbol::intern("x"), 7));
+}
+
+TEST(SmallStep, VolatileAccessesAreMarked) {
+  Program P = parseOrDie("volatile v; thread { v := 1; r1 := v; }");
+  LangContext Ctx(P, {0});
+  std::vector<Step> S = possibleSteps(initialThreadState(P, 0), Ctx);
+  ASSERT_EQ(S.size(), 1u);
+  EXPECT_TRUE(S[0].Act->isVolatileAccess());
+  EXPECT_TRUE(S[0].Act->isRelease());
+}
+
+TEST(SmallStep, LockIncrementsNesting) {
+  const Program *P;
+  std::vector<Step> S = firstSteps("thread { lock m; }", P);
+  ASSERT_EQ(S.size(), 1u);
+  EXPECT_TRUE(S[0].Act->isLock());
+  EXPECT_EQ(S[0].Next.Mon.at(Symbol::intern("m")), 1);
+}
+
+TEST(SmallStep, UnlockOfHeldMonitorEmits) {
+  Program P = parseOrDie("thread { lock m; unlock m; }");
+  LangContext Ctx(P, {0});
+  ThreadState S0 = initialThreadState(P, 0);
+  ThreadState S1 = possibleSteps(S0, Ctx)[0].Next;
+  std::vector<Step> S = possibleSteps(S1, Ctx);
+  ASSERT_EQ(S.size(), 1u);
+  EXPECT_TRUE(S[0].Act->isUnlock());
+  EXPECT_TRUE(S[0].Next.Mon.empty()); // Zero entries are erased.
+}
+
+TEST(SmallStep, EUlkRuleIsSilentForUnheldMonitor) {
+  const Program *P;
+  std::vector<Step> S = firstSteps("thread { unlock m; }", P);
+  ASSERT_EQ(S.size(), 1u);
+  EXPECT_FALSE(S[0].Act.has_value()); // E-ULK.
+}
+
+TEST(SmallStep, ExtRuleEmitsRegisterContent) {
+  Program P = parseOrDie("thread { r1 := 4; print r1; }");
+  LangContext Ctx(P, {0});
+  ThreadState S = possibleSteps(initialThreadState(P, 0), Ctx)[0].Next;
+  std::vector<Step> S2 = possibleSteps(S, Ctx);
+  ASSERT_EQ(S2.size(), 1u);
+  EXPECT_EQ(*S2[0].Act, Action::mkExternal(4));
+}
+
+TEST(SmallStep, CondRulesPickTheRightBranch) {
+  Program P = parseOrDie(
+      "thread { if (r1 == 0) { print 1; } else { print 2; } }");
+  LangContext Ctx(P, {0});
+  // Registers default to 0, so the condition is true.
+  ThreadState S = possibleSteps(initialThreadState(P, 0), Ctx)[0].Next;
+  // Unfold the block, then print.
+  while (!S.done()) {
+    std::vector<Step> Steps = possibleSteps(S, Ctx);
+    ASSERT_EQ(Steps.size(), 1u);
+    if (Steps[0].Act) {
+      EXPECT_EQ(*Steps[0].Act, Action::mkExternal(1));
+      return;
+    }
+    S = Steps[0].Next;
+  }
+  FAIL() << "never reached the print";
+}
+
+TEST(SmallStep, LoopRulesUnfoldAndExit) {
+  Program P = parseOrDie("thread { while (r1 == 0) { r1 := 1; } print 9; }");
+  LangContext Ctx(P, {0});
+  ThreadState S = initialThreadState(P, 0);
+  size_t Silent = 0;
+  for (;;) {
+    ASSERT_LT(Silent, 50u) << "loop failed to terminate";
+    std::vector<Step> Steps = possibleSteps(S, Ctx);
+    ASSERT_EQ(Steps.size(), 1u);
+    if (Steps[0].Act) {
+      EXPECT_EQ(*Steps[0].Act, Action::mkExternal(9));
+      return; // One iteration ran (r1 := 1), then the loop exited.
+    }
+    ++Silent;
+    S = Steps[0].Next;
+  }
+}
+
+TEST(SmallStep, EvalOperandAndCond) {
+  ThreadState S;
+  S.Regs[Symbol::intern("r1")] = 3;
+  EXPECT_EQ(evalOperand(S, Operand::imm(7)), 7);
+  EXPECT_EQ(evalOperand(S, Operand::reg("r1")), 3);
+  EXPECT_EQ(evalOperand(S, Operand::reg("r9")), DefaultValue);
+  EXPECT_TRUE(evalCond(S, Cond::eq(Operand::reg("r1"), Operand::imm(3))));
+  EXPECT_FALSE(evalCond(S, Cond::ne(Operand::reg("r1"), Operand::imm(3))));
+}
+
+TEST(SmallStep, SilentClosureStopsAtActions) {
+  Program P = parseOrDie(
+      "thread { r1 := 1; r2 := r1; skip; x := r2; }");
+  LangContext Ctx(P, {0});
+  bool Trunc = false;
+  ThreadState S =
+      silentClosure(initialThreadState(P, 0), Ctx, 100, &Trunc);
+  EXPECT_FALSE(Trunc);
+  std::vector<Step> Steps = possibleStepsWithMemory(
+      S, Ctx, [](SymbolId) { return DefaultValue; });
+  ASSERT_EQ(Steps.size(), 1u);
+  EXPECT_EQ(*Steps[0].Act, Action::mkWrite(Symbol::intern("x"), 1));
+}
+
+TEST(SmallStep, SilentClosureTruncatesInfiniteSilentLoops) {
+  Program P = parseOrDie("thread { while (0 == 0) { skip; } }");
+  LangContext Ctx(P, {0});
+  bool Trunc = false;
+  silentClosure(initialThreadState(P, 0), Ctx, 64, &Trunc);
+  EXPECT_TRUE(Trunc);
+}
+
+TEST(SmallStep, TerminatedThreadHasNoSteps) {
+  Program P = parseOrDie("thread { skip; }");
+  LangContext Ctx(P, {0});
+  ThreadState S = possibleSteps(initialThreadState(P, 0), Ctx)[0].Next;
+  EXPECT_TRUE(S.done());
+  EXPECT_TRUE(possibleSteps(S, Ctx).empty());
+}
+
+} // namespace

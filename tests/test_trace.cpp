@@ -1,0 +1,153 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for Trace: list notation, wildcard instances, structural
+/// well-formedness, the release-acquire-pair window, and value origins.
+///
+//===----------------------------------------------------------------------===//
+
+#include "trace/Trace.h"
+
+#include <gtest/gtest.h>
+
+using namespace tracesafe;
+
+namespace {
+
+SymbolId X() { return Symbol::intern("x"); }
+SymbolId Y() { return Symbol::intern("y"); }
+SymbolId V() { return Symbol::intern("v"); }
+SymbolId M() { return Symbol::intern("m"); }
+
+Trace sample() {
+  return Trace{Action::mkStart(0), Action::mkWrite(X(), 1),
+               Action::mkRead(Y(), 0), Action::mkExternal(1)};
+}
+
+TEST(Trace, PrefixAndConcat) {
+  Trace T = sample();
+  EXPECT_EQ(T.prefix(0), Trace());
+  EXPECT_EQ(T.prefix(2),
+            (Trace{Action::mkStart(0), Action::mkWrite(X(), 1)}));
+  EXPECT_EQ(T.prefix(99), T);
+  EXPECT_TRUE(T.prefix(2).isPrefixOf(T));
+  EXPECT_TRUE(T.isPrefixOf(T));
+  EXPECT_FALSE(T.isPrefixOf(T.prefix(2)));
+  EXPECT_EQ(T.prefix(2).concat(Trace{T[2], T[3]}), T);
+}
+
+TEST(Trace, RestrictToImplementsPaperNotation) {
+  // [a,b,c,d]|{1,3} = [b,d].
+  Trace T = sample();
+  Trace R = T.restrictTo({1, 3});
+  ASSERT_EQ(R.size(), 2u);
+  EXPECT_EQ(R[0], T[1]);
+  EXPECT_EQ(R[1], T[3]);
+  EXPECT_EQ(T.restrictTo({}), Trace());
+}
+
+TEST(Trace, WildcardInstances) {
+  Trace T{Action::mkStart(0), Action::mkWildcardRead(X()),
+          Action::mkWildcardRead(Y())};
+  std::vector<Trace> Inst = T.instances({0, 1});
+  EXPECT_EQ(Inst.size(), 4u);
+  for (const Trace &I : Inst) {
+    EXPECT_FALSE(I.hasWildcards());
+    EXPECT_TRUE(T.hasInstance(I));
+  }
+  // A concrete trace is its own single instance.
+  Trace C{Action::mkStart(0)};
+  EXPECT_EQ(C.instances({0, 1, 2}), std::vector<Trace>{C});
+}
+
+TEST(Trace, HasInstanceRejectsMismatches) {
+  Trace T{Action::mkStart(0), Action::mkWildcardRead(X())};
+  EXPECT_TRUE(T.hasInstance(Trace{Action::mkStart(0),
+                                  Action::mkRead(X(), 3)}));
+  EXPECT_FALSE(T.hasInstance(Trace{Action::mkStart(0),
+                                   Action::mkRead(Y(), 3)}));
+  EXPECT_FALSE(T.hasInstance(Trace{Action::mkStart(0)}));
+  EXPECT_FALSE(T.hasInstance(Trace{Action::mkStart(1),
+                                   Action::mkRead(X(), 3)}));
+}
+
+TEST(Trace, ProperlyStarted) {
+  EXPECT_TRUE(Trace().isProperlyStarted());
+  EXPECT_TRUE(sample().isProperlyStarted());
+  EXPECT_FALSE(Trace{Action::mkWrite(X(), 1)}.isProperlyStarted());
+  EXPECT_FALSE((Trace{Action::mkStart(0), Action::mkStart(0)})
+                   .isProperlyStarted());
+}
+
+TEST(Trace, WellLocked) {
+  EXPECT_TRUE((Trace{Action::mkLock(M()), Action::mkUnlock(M())})
+                  .isWellLocked());
+  EXPECT_TRUE((Trace{Action::mkLock(M()), Action::mkLock(M()),
+                     Action::mkUnlock(M())})
+                  .isWellLocked());
+  EXPECT_FALSE(Trace{Action::mkUnlock(M())}.isWellLocked());
+  EXPECT_FALSE((Trace{Action::mkLock(M()),
+                      Action::mkUnlock(Symbol::intern("m2"))})
+                   .isWellLocked());
+}
+
+TEST(Trace, ReleaseAcquirePairWindow) {
+  // [S, W, U[m], L[m], R]: a release-acquire pair sits between 1 and 4.
+  Trace T{Action::mkStart(0), Action::mkWrite(X(), 1), Action::mkUnlock(M()),
+          Action::mkLock(M()), Action::mkRead(X(), 1)};
+  EXPECT_TRUE(T.hasReleaseAcquirePairBetween(1, 4 + 1));
+  EXPECT_TRUE(T.hasReleaseAcquirePairBetween(0, T.size()));
+  // The window is strict: r and a must lie strictly inside.
+  EXPECT_FALSE(T.hasReleaseAcquirePairBetween(2, 4)); // Only L[m] inside.
+  EXPECT_FALSE(T.hasReleaseAcquirePairBetween(1, 3)); // Only U[m] inside.
+  // A lone acquire (lock) is not a pair.
+  Trace T2{Action::mkStart(0), Action::mkRead(Y(), 0), Action::mkLock(M()),
+           Action::mkRead(Y(), 0)};
+  EXPECT_FALSE(T2.hasReleaseAcquirePairBetween(1, 3));
+  // Volatile write then volatile read also forms a pair.
+  Trace T3{Action::mkStart(0), Action::mkRead(X(), 0),
+           Action::mkWrite(V(), 1, true), Action::mkRead(V(), 1, true),
+           Action::mkRead(X(), 0)};
+  EXPECT_TRUE(T3.hasReleaseAcquirePairBetween(1, 4));
+}
+
+TEST(Trace, AcquireThenReleaseIsNotAPair) {
+  // Pair means release *then* acquire, in that order.
+  Trace T{Action::mkStart(0), Action::mkRead(X(), 0), Action::mkLock(M()),
+          Action::mkUnlock(M()), Action::mkRead(X(), 0)};
+  EXPECT_FALSE(T.hasReleaseAcquirePairBetween(1, 4));
+}
+
+TEST(Trace, OriginForValue) {
+  // Write of 5 with no preceding read of 5: origin.
+  EXPECT_TRUE((Trace{Action::mkStart(0), Action::mkWrite(X(), 5)})
+                  .isOriginFor(5));
+  // External of 5 with no preceding read: origin.
+  EXPECT_TRUE((Trace{Action::mkStart(0), Action::mkExternal(5)})
+                  .isOriginFor(5));
+  // Read of 5 (from any location) before the write: not an origin.
+  EXPECT_FALSE((Trace{Action::mkStart(0), Action::mkRead(Y(), 5),
+                      Action::mkWrite(X(), 5)})
+                   .isOriginFor(5));
+  // Reads alone never make an origin.
+  EXPECT_FALSE((Trace{Action::mkStart(0), Action::mkRead(X(), 5)})
+                   .isOriginFor(5));
+  // Unrelated values do not interfere.
+  EXPECT_TRUE((Trace{Action::mkStart(0), Action::mkRead(Y(), 4),
+                     Action::mkWrite(X(), 5)})
+                  .isOriginFor(5));
+}
+
+TEST(Trace, Rendering) {
+  EXPECT_EQ(sample().str(), "[S(0), W[x=1], R[y=0], X(1)]");
+  EXPECT_EQ(Trace().str(), "[]");
+}
+
+TEST(Trace, LexicographicOrderGroupsPrefixes) {
+  Trace A{Action::mkStart(0)};
+  Trace AB{Action::mkStart(0), Action::mkWrite(X(), 1)};
+  EXPECT_LT(A, AB);
+  EXPECT_LT(Trace(), A);
+}
+
+} // namespace

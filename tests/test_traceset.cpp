@@ -1,0 +1,130 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for Traceset: prefix closure, successor queries, the §4
+/// belongs-to relation for wildcard traces, and validation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "trace/Traceset.h"
+
+#include <gtest/gtest.h>
+
+using namespace tracesafe;
+
+namespace {
+
+SymbolId X() { return Symbol::intern("x"); }
+SymbolId Y() { return Symbol::intern("y"); }
+
+Traceset fig2Thread1() {
+  // {[S(1), R[y=v], W[x=1], X(v)] | v in {0,1}} — Fig 2's second thread.
+  Traceset T({0, 1});
+  for (Value V : {0, 1})
+    T.insert(Trace{Action::mkStart(1), Action::mkRead(Y(), V),
+                   Action::mkWrite(X(), 1), Action::mkExternal(V)});
+  return T;
+}
+
+TEST(Traceset, InsertMaintainsPrefixClosure) {
+  Traceset T = fig2Thread1();
+  EXPECT_TRUE(T.contains(Trace()));
+  EXPECT_TRUE(T.contains(Trace{Action::mkStart(1)}));
+  EXPECT_TRUE(T.contains(
+      Trace{Action::mkStart(1), Action::mkRead(Y(), 0)}));
+  EXPECT_TRUE(T.validate());
+  // 1 empty + 1 start + 2 reads + 2 writes + 2 externals = 8.
+  EXPECT_EQ(T.size(), 8u);
+}
+
+TEST(Traceset, SuccessorsOfPrefix) {
+  Traceset T = fig2Thread1();
+  std::vector<Action> S0 = T.successors(Trace());
+  ASSERT_EQ(S0.size(), 1u);
+  EXPECT_EQ(S0[0], Action::mkStart(1));
+  std::vector<Action> S1 = T.successors(Trace{Action::mkStart(1)});
+  EXPECT_EQ(S1.size(), 2u); // Reads of y=0 and y=1.
+  for (const Action &A : S1)
+    EXPECT_TRUE(A.isRead());
+  EXPECT_TRUE(T.successors(Trace{Action::mkStart(9)}).empty());
+}
+
+TEST(Traceset, HasExtension) {
+  Traceset T = fig2Thread1();
+  EXPECT_TRUE(T.hasExtension(Trace()));
+  EXPECT_TRUE(T.hasExtension(Trace{Action::mkStart(1)}));
+  Trace Full{Action::mkStart(1), Action::mkRead(Y(), 0),
+             Action::mkWrite(X(), 1), Action::mkExternal(0)};
+  EXPECT_FALSE(T.hasExtension(Full));
+}
+
+TEST(Traceset, BelongsToRequiresAllInstances) {
+  Traceset T = fig2Thread1();
+  // [S(1), R[y=*]] belongs: both instances are prefixes.
+  EXPECT_TRUE(T.belongsTo(Trace{Action::mkStart(1),
+                                Action::mkWildcardRead(Y())}));
+  // [S(1), R[y=*], W[x=1], X(0)] does not: the v=1 instance ends with X(1).
+  EXPECT_FALSE(T.belongsTo(Trace{Action::mkStart(1),
+                                 Action::mkWildcardRead(Y()),
+                                 Action::mkWrite(X(), 1),
+                                 Action::mkExternal(0)}));
+  // Concrete traces degrade to containment.
+  EXPECT_TRUE(T.belongsTo(Trace{Action::mkStart(1),
+                                Action::mkRead(Y(), 1)}));
+}
+
+TEST(Traceset, PaperSection4BelongsToExample) {
+  // §4: for the program "y:=1; r1:=x;  ||  r2:=y; x:=1; print r1" — the
+  // wildcard trace [S(0), W[y=1], R[x=*]] belongs-to T, but
+  // [S(0), W[y=1], R[x=*], X(1)] would not if some instances are missing.
+  Traceset T({0, 1, 2});
+  for (Value V : {0, 1, 2})
+    T.insert(Trace{Action::mkStart(0), Action::mkWrite(Y(), 1),
+                   Action::mkRead(X(), V)});
+  // Only the instance with x=1 continues with X(1).
+  T.insert(Trace{Action::mkStart(0), Action::mkWrite(Y(), 1),
+                 Action::mkRead(X(), 1), Action::mkExternal(1)});
+  EXPECT_TRUE(T.belongsTo(Trace{Action::mkStart(0), Action::mkWrite(Y(), 1),
+                                Action::mkWildcardRead(X())}));
+  EXPECT_FALSE(T.belongsTo(Trace{Action::mkStart(0), Action::mkWrite(Y(), 1),
+                                 Action::mkWildcardRead(X()),
+                                 Action::mkExternal(1)}));
+}
+
+TEST(Traceset, EntryPoints) {
+  Traceset T = fig2Thread1();
+  T.insert(Trace{Action::mkStart(0), Action::mkRead(X(), 0)});
+  std::vector<ThreadId> E = T.entryPoints();
+  ASSERT_EQ(E.size(), 2u);
+  EXPECT_EQ(E[0], 0u);
+  EXPECT_EQ(E[1], 1u);
+}
+
+TEST(Traceset, MaximalTraces) {
+  Traceset T = fig2Thread1();
+  std::vector<Trace> Max = T.maximalTraces();
+  EXPECT_EQ(Max.size(), 2u);
+  for (const Trace &M : Max)
+    EXPECT_EQ(M.size(), 4u);
+  EXPECT_EQ(T.maxTraceLength(), 4u);
+}
+
+TEST(Traceset, HasOriginFor) {
+  Traceset T({0, 1});
+  T.insert(Trace{Action::mkStart(0), Action::mkRead(X(), 1),
+                 Action::mkWrite(Y(), 1)});
+  EXPECT_FALSE(T.hasOriginFor(1)); // Write of 1 preceded by read of 1.
+  T.insert(Trace{Action::mkStart(0), Action::mkWrite(Y(), 1)});
+  EXPECT_TRUE(T.hasOriginFor(1));
+  EXPECT_FALSE(T.hasOriginFor(7));
+}
+
+TEST(Traceset, DefaultContainsOnlyEmptyTrace) {
+  Traceset T;
+  EXPECT_EQ(T.size(), 1u);
+  EXPECT_TRUE(T.contains(Trace()));
+  EXPECT_TRUE(T.validate());
+  EXPECT_TRUE(T.entryPoints().empty());
+}
+
+} // namespace

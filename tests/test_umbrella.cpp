@@ -1,0 +1,29 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Smoke test for the umbrella header: it must be self-contained and give
+/// access to the whole public API in one include.
+///
+//===----------------------------------------------------------------------===//
+
+#include "tracesafe/TraceSafe.h"
+
+#include <gtest/gtest.h>
+
+using namespace tracesafe;
+
+namespace {
+
+TEST(Umbrella, OneIncludeDrivesTheWholePipeline) {
+  Program P = parseOrDie(R"(
+thread { lock m; x := 1; r1 := x; print r1; unlock m; }
+)");
+  EXPECT_TRUE(isProgramDrf(P));
+  TransformChain Chain = greedyChain(P, RuleSet::all(), 4);
+  TheoremCaseReport Report = checkTheoremsOnChain(P, Chain);
+  EXPECT_TRUE(Report.allHold()) << Report.summary();
+  EXPECT_TRUE(tsoOnlyBehaviours(P).empty());
+  EXPECT_TRUE(psoOnlyBehaviours(P).empty());
+}
+
+} // namespace

@@ -1,0 +1,170 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the §5 unordering construction, including the full proof
+/// pipeline of the reordering safety theorem: an execution of the
+/// transformed program is unordered into the intermediate set T-bar, then
+/// uneliminated into the original traceset, landing on an execution with
+/// the same behaviour.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lang/Explore.h"
+#include "lang/Parser.h"
+#include "semantics/Unelimination.h"
+#include "semantics/Unordering.h"
+#include "trace/Enumerate.h"
+
+#include <gtest/gtest.h>
+
+using namespace tracesafe;
+
+namespace {
+
+/// Membership oracle for the elimination closure of \p T (memoised).
+std::function<bool(const Trace &)> closureOracle(const Traceset &T) {
+  auto Memo = std::make_shared<std::map<Trace, bool>>();
+  return [&T, Memo](const Trace &Tr) {
+    auto It = Memo->find(Tr);
+    if (It != Memo->end())
+      return It->second;
+    bool In = findEliminationWitness(T, Tr).has_value();
+    Memo->emplace(Tr, In);
+    return In;
+  };
+}
+
+TEST(Unordering, RoachMotelSingleThread) {
+  // O: x := 1; lock m; print 0; unlock m;   T': lock m; x := 1; ...
+  Program O = parseOrDie("thread { x := 1; lock m; print 0; unlock m; }");
+  Program T = parseOrDie("thread { lock m; x := 1; print 0; unlock m; }");
+  std::vector<Value> D = {0, 1};
+  Traceset TO = programTraceset(O, D);
+  Traceset TT = programTraceset(T, D);
+
+  size_t Executions = 0;
+  forEachExecution(TT, [&](const Interleaving &IPrime) {
+    UnorderingResult R = findUnordering(IPrime, closureOracle(TO));
+    EXPECT_EQ(R.Verdict, CheckVerdict::Holds) << IPrime.str();
+    if (R.Verdict == CheckVerdict::Holds) {
+      EXPECT_TRUE(isUnorderingFunction(IPrime, R.F, closureOracle(TO)));
+      Interleaving Unordered = applyUnordering(IPrime, R.F);
+      // Same multiset of events, per-thread traces in the closure.
+      EXPECT_EQ(Unordered.size(), IPrime.size());
+      EXPECT_EQ(Unordered.behaviour(), IPrime.behaviour());
+    }
+    ++Executions;
+    return true;
+  });
+  EXPECT_GT(Executions, 0u);
+}
+
+TEST(Unordering, FullProofPipelineRestoresAnOriginalExecution) {
+  // Two-thread DRF program; thread 0 is transformed by R-UW (the unlock
+  // moves after the write).
+  Program O = parseOrDie(R"(
+thread { lock m; print 1; unlock m; x := 1; }
+thread { lock m; print 2; unlock m; }
+)");
+  Program T = parseOrDie(R"(
+thread { lock m; print 1; x := 1; unlock m; }
+thread { lock m; print 2; unlock m; }
+)");
+  std::vector<Value> D = {0, 1};
+  Traceset TO = programTraceset(O, D);
+  Traceset TT = programTraceset(T, D);
+  ASSERT_TRUE(isDataRaceFree(TO));
+  auto Oracle = closureOracle(TO);
+
+  size_t Checked = 0;
+  forEachMaximalExecution(TT, [&](const Interleaving &IPrime) {
+    // Step 1: unorder into T-bar.
+    UnorderingResult R = findUnordering(IPrime, Oracle);
+    EXPECT_EQ(R.Verdict, CheckVerdict::Holds) << IPrime.str();
+    if (R.Verdict != CheckVerdict::Holds)
+      return true;
+    Interleaving Unordered = applyUnordering(IPrime, R.F);
+    // Step 2: uneliminate from T-bar into the original traceset.
+    UneliminationResult U = findUnelimination(TO, Unordered);
+    EXPECT_EQ(U.Verdict, CheckVerdict::Holds) << Unordered.str();
+    if (U.Verdict != CheckVerdict::Holds)
+      return true;
+    // Step 3: the instance is an execution of the original with the same
+    // behaviour (up to trailing introduced externals).
+    Interleaving Inst = U.I.instance();
+    EXPECT_TRUE(Inst.isExecutionOf(TO))
+        << IPrime.str() << " -> " << Inst.str();
+    Behaviour B = Inst.behaviour(), BP = IPrime.behaviour();
+    EXPECT_LE(BP.size(), B.size());
+    if (BP.size() <= B.size()) {
+      EXPECT_TRUE(std::equal(BP.begin(), BP.end(), B.begin()));
+    }
+    ++Checked;
+    return true;
+  });
+  EXPECT_GT(Checked, 0u);
+}
+
+TEST(Unordering, ConditionsAreEnforced) {
+  // Build a tiny interleaving and check the validator's conditions.
+  SymbolId X = Symbol::intern("x"), M = Symbol::intern("m");
+  Interleaving IPrime({{0, Action::mkStart(0)},
+                       {0, Action::mkLock(M)},
+                       {0, Action::mkWrite(X, 1)},
+                       {0, Action::mkUnlock(M)}});
+  Traceset T({0, 1});
+  T.insert(Trace{Action::mkStart(0), Action::mkWrite(X, 1),
+                 Action::mkLock(M), Action::mkUnlock(M)});
+  T.insert(Trace{Action::mkStart(0), Action::mkLock(M), Action::mkWrite(X, 1),
+                 Action::mkUnlock(M)});
+  auto Contains = [&T](const Trace &Tr) { return T.contains(Tr); };
+  // Identity is an unordering (the trace itself is in T).
+  std::vector<size_t> Id = {0, 1, 2, 3};
+  EXPECT_TRUE(isUnorderingFunction(IPrime, Id, Contains));
+  // Swapping W with the *unlock* would move the write out of the lock:
+  // reorderable(U, W) holds, so condition (i) allows it, but the
+  // de-permuted prefix [S, L, U] is not in T -> condition (iii) fails.
+  std::vector<size_t> MoveOut = {0, 1, 3, 2};
+  EXPECT_FALSE(isUnorderingFunction(IPrime, MoveOut, Contains));
+  // Swapping the lock and the write: t'_2 = W must be reorderable with
+  // t'_1 = L (it is: access with later acquire) and [S, W[x=1]] must be a
+  // prefix in T (it is). This is the roach-motel undo.
+  std::vector<size_t> Undo = {0, 2, 1, 3};
+  EXPECT_TRUE(isUnorderingFunction(IPrime, Undo, Contains));
+  // Non-permutations are rejected.
+  EXPECT_FALSE(isUnorderingFunction(IPrime, {0, 0, 1, 2}, Contains));
+  EXPECT_FALSE(isUnorderingFunction(IPrime, {0, 1, 2}, Contains));
+}
+
+TEST(Unordering, SyncOrderIsPreservedAcrossThreads) {
+  // Two threads with externals; an unordering may never swap the external
+  // order, so the merged result replays it.
+  Program O = parseOrDie(R"(
+thread { x := 1; print 1; }
+thread { y := 1; print 2; }
+)");
+  std::vector<Value> D = {0, 1};
+  Traceset TO = programTraceset(O, D);
+  auto Contains = [&TO](const Trace &Tr) { return TO.contains(Tr); };
+  Interleaving IPrime({{0, Action::mkStart(0)},
+                       {1, Action::mkStart(1)},
+                       {0, Action::mkWrite(Symbol::intern("x"), 1)},
+                       {1, Action::mkWrite(Symbol::intern("y"), 1)},
+                       {1, Action::mkExternal(2)},
+                       {0, Action::mkExternal(1)}});
+  UnorderingResult R = findUnordering(IPrime, Contains);
+  ASSERT_EQ(R.Verdict, CheckVerdict::Holds);
+  Interleaving Unordered = applyUnordering(IPrime, R.F);
+  EXPECT_EQ(Unordered.behaviour(), (Behaviour{2, 1}));
+}
+
+TEST(Unordering, FailsWhenNoThreadWitnessExists) {
+  Traceset T({0, 1});
+  T.insert(Trace{Action::mkStart(0), Action::mkWrite(Symbol::intern("x"), 1)});
+  auto Contains = [&T](const Trace &Tr) { return T.contains(Tr); };
+  Interleaving Bogus({{0, Action::mkStart(0)},
+                      {0, Action::mkWrite(Symbol::intern("zz"), 1)}});
+  EXPECT_EQ(findUnordering(Bogus, Contains).Verdict, CheckVerdict::Fails);
+}
+
+} // namespace
