@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_elim_rules.dir/bench_fig10_elim_rules.cpp.o"
+  "CMakeFiles/bench_fig10_elim_rules.dir/bench_fig10_elim_rules.cpp.o.d"
+  "bench_fig10_elim_rules"
+  "bench_fig10_elim_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_elim_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_introduction.dir/bench_fig3_introduction.cpp.o"
+  "CMakeFiles/bench_fig3_introduction.dir/bench_fig3_introduction.cpp.o.d"
+  "bench_fig3_introduction"
+  "bench_fig3_introduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_introduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

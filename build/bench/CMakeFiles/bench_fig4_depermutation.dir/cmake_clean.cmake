@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_depermutation.dir/bench_fig4_depermutation.cpp.o"
+  "CMakeFiles/bench_fig4_depermutation.dir/bench_fig4_depermutation.cpp.o.d"
+  "bench_fig4_depermutation"
+  "bench_fig4_depermutation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_depermutation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

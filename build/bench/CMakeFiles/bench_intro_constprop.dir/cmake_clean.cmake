@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_intro_constprop.dir/bench_intro_constprop.cpp.o"
+  "CMakeFiles/bench_intro_constprop.dir/bench_intro_constprop.cpp.o.d"
+  "bench_intro_constprop"
+  "bench_intro_constprop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intro_constprop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reorderable_table.dir/bench_reorderable_table.cpp.o"
+  "CMakeFiles/bench_reorderable_table.dir/bench_reorderable_table.cpp.o.d"
+  "bench_reorderable_table"
+  "bench_reorderable_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reorderable_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

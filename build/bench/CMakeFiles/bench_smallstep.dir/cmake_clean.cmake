@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_smallstep.dir/bench_smallstep.cpp.o"
+  "CMakeFiles/bench_smallstep.dir/bench_smallstep.cpp.o.d"
+  "bench_smallstep"
+  "bench_smallstep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_smallstep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_thin_air.cpp" "bench/CMakeFiles/bench_thin_air.dir/bench_thin_air.cpp.o" "gcc" "bench/CMakeFiles/bench_thin_air.dir/bench_thin_air.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/verify/CMakeFiles/ts_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/tso/CMakeFiles/ts_tso.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/ts_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/semantics/CMakeFiles/ts_semantics.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/ts_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ts_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ts_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

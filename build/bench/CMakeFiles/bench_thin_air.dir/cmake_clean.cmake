@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thin_air.dir/bench_thin_air.cpp.o"
+  "CMakeFiles/bench_thin_air.dir/bench_thin_air.cpp.o.d"
+  "bench_thin_air"
+  "bench_thin_air.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thin_air.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_unelimination.dir/bench_unelimination.cpp.o"
+  "CMakeFiles/bench_unelimination.dir/bench_unelimination.cpp.o.d"
+  "bench_unelimination"
+  "bench_unelimination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_unelimination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

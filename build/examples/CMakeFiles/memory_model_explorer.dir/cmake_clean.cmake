@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_model_explorer.dir/memory_model_explorer.cpp.o"
+  "CMakeFiles/memory_model_explorer.dir/memory_model_explorer.cpp.o.d"
+  "memory_model_explorer"
+  "memory_model_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_model_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

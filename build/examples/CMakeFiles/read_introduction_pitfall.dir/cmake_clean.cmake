@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/read_introduction_pitfall.dir/read_introduction_pitfall.cpp.o"
+  "CMakeFiles/read_introduction_pitfall.dir/read_introduction_pitfall.cpp.o.d"
+  "read_introduction_pitfall"
+  "read_introduction_pitfall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/read_introduction_pitfall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for read_introduction_pitfall.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safe_optimizer_cli.dir/safe_optimizer_cli.cpp.o"
+  "CMakeFiles/safe_optimizer_cli.dir/safe_optimizer_cli.cpp.o.d"
+  "safe_optimizer_cli"
+  "safe_optimizer_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safe_optimizer_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

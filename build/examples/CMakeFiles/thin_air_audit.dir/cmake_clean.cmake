@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thin_air_audit.dir/thin_air_audit.cpp.o"
+  "CMakeFiles/thin_air_audit.dir/thin_air_audit.cpp.o.d"
+  "thin_air_audit"
+  "thin_air_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thin_air_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

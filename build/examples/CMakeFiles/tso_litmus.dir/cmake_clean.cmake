@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tso_litmus.dir/tso_litmus.cpp.o"
+  "CMakeFiles/tso_litmus.dir/tso_litmus.cpp.o.d"
+  "tso_litmus"
+  "tso_litmus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tso_litmus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_optimisation.dir/verify_optimisation.cpp.o"
+  "CMakeFiles/verify_optimisation.dir/verify_optimisation.cpp.o.d"
+  "verify_optimisation"
+  "verify_optimisation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_optimisation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

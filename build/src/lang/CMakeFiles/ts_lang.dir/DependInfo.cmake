@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lang/Ast.cpp" "src/lang/CMakeFiles/ts_lang.dir/Ast.cpp.o" "gcc" "src/lang/CMakeFiles/ts_lang.dir/Ast.cpp.o.d"
+  "/root/repo/src/lang/Explore.cpp" "src/lang/CMakeFiles/ts_lang.dir/Explore.cpp.o" "gcc" "src/lang/CMakeFiles/ts_lang.dir/Explore.cpp.o.d"
+  "/root/repo/src/lang/Lexer.cpp" "src/lang/CMakeFiles/ts_lang.dir/Lexer.cpp.o" "gcc" "src/lang/CMakeFiles/ts_lang.dir/Lexer.cpp.o.d"
+  "/root/repo/src/lang/Parser.cpp" "src/lang/CMakeFiles/ts_lang.dir/Parser.cpp.o" "gcc" "src/lang/CMakeFiles/ts_lang.dir/Parser.cpp.o.d"
+  "/root/repo/src/lang/Printer.cpp" "src/lang/CMakeFiles/ts_lang.dir/Printer.cpp.o" "gcc" "src/lang/CMakeFiles/ts_lang.dir/Printer.cpp.o.d"
+  "/root/repo/src/lang/ProgramExec.cpp" "src/lang/CMakeFiles/ts_lang.dir/ProgramExec.cpp.o" "gcc" "src/lang/CMakeFiles/ts_lang.dir/ProgramExec.cpp.o.d"
+  "/root/repo/src/lang/SmallStep.cpp" "src/lang/CMakeFiles/ts_lang.dir/SmallStep.cpp.o" "gcc" "src/lang/CMakeFiles/ts_lang.dir/SmallStep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/ts_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ts_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

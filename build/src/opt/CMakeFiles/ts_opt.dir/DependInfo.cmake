@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/DataflowOpt.cpp" "src/opt/CMakeFiles/ts_opt.dir/DataflowOpt.cpp.o" "gcc" "src/opt/CMakeFiles/ts_opt.dir/DataflowOpt.cpp.o.d"
+  "/root/repo/src/opt/Pipeline.cpp" "src/opt/CMakeFiles/ts_opt.dir/Pipeline.cpp.o" "gcc" "src/opt/CMakeFiles/ts_opt.dir/Pipeline.cpp.o.d"
+  "/root/repo/src/opt/Rewrite.cpp" "src/opt/CMakeFiles/ts_opt.dir/Rewrite.cpp.o" "gcc" "src/opt/CMakeFiles/ts_opt.dir/Rewrite.cpp.o.d"
+  "/root/repo/src/opt/Unsafe.cpp" "src/opt/CMakeFiles/ts_opt.dir/Unsafe.cpp.o" "gcc" "src/opt/CMakeFiles/ts_opt.dir/Unsafe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/ts_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ts_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ts_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

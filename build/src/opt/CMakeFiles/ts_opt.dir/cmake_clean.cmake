@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_opt.dir/DataflowOpt.cpp.o"
+  "CMakeFiles/ts_opt.dir/DataflowOpt.cpp.o.d"
+  "CMakeFiles/ts_opt.dir/Pipeline.cpp.o"
+  "CMakeFiles/ts_opt.dir/Pipeline.cpp.o.d"
+  "CMakeFiles/ts_opt.dir/Rewrite.cpp.o"
+  "CMakeFiles/ts_opt.dir/Rewrite.cpp.o.d"
+  "CMakeFiles/ts_opt.dir/Unsafe.cpp.o"
+  "CMakeFiles/ts_opt.dir/Unsafe.cpp.o.d"
+  "libts_opt.a"
+  "libts_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/semantics/Composition.cpp" "src/semantics/CMakeFiles/ts_semantics.dir/Composition.cpp.o" "gcc" "src/semantics/CMakeFiles/ts_semantics.dir/Composition.cpp.o.d"
+  "/root/repo/src/semantics/Eliminable.cpp" "src/semantics/CMakeFiles/ts_semantics.dir/Eliminable.cpp.o" "gcc" "src/semantics/CMakeFiles/ts_semantics.dir/Eliminable.cpp.o.d"
+  "/root/repo/src/semantics/Elimination.cpp" "src/semantics/CMakeFiles/ts_semantics.dir/Elimination.cpp.o" "gcc" "src/semantics/CMakeFiles/ts_semantics.dir/Elimination.cpp.o.d"
+  "/root/repo/src/semantics/Reorderable.cpp" "src/semantics/CMakeFiles/ts_semantics.dir/Reorderable.cpp.o" "gcc" "src/semantics/CMakeFiles/ts_semantics.dir/Reorderable.cpp.o.d"
+  "/root/repo/src/semantics/Reordering.cpp" "src/semantics/CMakeFiles/ts_semantics.dir/Reordering.cpp.o" "gcc" "src/semantics/CMakeFiles/ts_semantics.dir/Reordering.cpp.o.d"
+  "/root/repo/src/semantics/Unelimination.cpp" "src/semantics/CMakeFiles/ts_semantics.dir/Unelimination.cpp.o" "gcc" "src/semantics/CMakeFiles/ts_semantics.dir/Unelimination.cpp.o.d"
+  "/root/repo/src/semantics/Unordering.cpp" "src/semantics/CMakeFiles/ts_semantics.dir/Unordering.cpp.o" "gcc" "src/semantics/CMakeFiles/ts_semantics.dir/Unordering.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/ts_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ts_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_semantics.dir/Composition.cpp.o"
+  "CMakeFiles/ts_semantics.dir/Composition.cpp.o.d"
+  "CMakeFiles/ts_semantics.dir/Eliminable.cpp.o"
+  "CMakeFiles/ts_semantics.dir/Eliminable.cpp.o.d"
+  "CMakeFiles/ts_semantics.dir/Elimination.cpp.o"
+  "CMakeFiles/ts_semantics.dir/Elimination.cpp.o.d"
+  "CMakeFiles/ts_semantics.dir/Reorderable.cpp.o"
+  "CMakeFiles/ts_semantics.dir/Reorderable.cpp.o.d"
+  "CMakeFiles/ts_semantics.dir/Reordering.cpp.o"
+  "CMakeFiles/ts_semantics.dir/Reordering.cpp.o.d"
+  "CMakeFiles/ts_semantics.dir/Unelimination.cpp.o"
+  "CMakeFiles/ts_semantics.dir/Unelimination.cpp.o.d"
+  "CMakeFiles/ts_semantics.dir/Unordering.cpp.o"
+  "CMakeFiles/ts_semantics.dir/Unordering.cpp.o.d"
+  "libts_semantics.a"
+  "libts_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

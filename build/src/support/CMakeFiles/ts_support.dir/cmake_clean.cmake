@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_support.dir/Format.cpp.o"
+  "CMakeFiles/ts_support.dir/Format.cpp.o.d"
+  "CMakeFiles/ts_support.dir/Permutation.cpp.o"
+  "CMakeFiles/ts_support.dir/Permutation.cpp.o.d"
+  "CMakeFiles/ts_support.dir/Rng.cpp.o"
+  "CMakeFiles/ts_support.dir/Rng.cpp.o.d"
+  "CMakeFiles/ts_support.dir/Symbol.cpp.o"
+  "CMakeFiles/ts_support.dir/Symbol.cpp.o.d"
+  "libts_support.a"
+  "libts_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

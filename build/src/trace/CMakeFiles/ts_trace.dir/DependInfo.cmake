@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/Action.cpp" "src/trace/CMakeFiles/ts_trace.dir/Action.cpp.o" "gcc" "src/trace/CMakeFiles/ts_trace.dir/Action.cpp.o.d"
+  "/root/repo/src/trace/Enumerate.cpp" "src/trace/CMakeFiles/ts_trace.dir/Enumerate.cpp.o" "gcc" "src/trace/CMakeFiles/ts_trace.dir/Enumerate.cpp.o.d"
+  "/root/repo/src/trace/HappensBefore.cpp" "src/trace/CMakeFiles/ts_trace.dir/HappensBefore.cpp.o" "gcc" "src/trace/CMakeFiles/ts_trace.dir/HappensBefore.cpp.o.d"
+  "/root/repo/src/trace/Interleaving.cpp" "src/trace/CMakeFiles/ts_trace.dir/Interleaving.cpp.o" "gcc" "src/trace/CMakeFiles/ts_trace.dir/Interleaving.cpp.o.d"
+  "/root/repo/src/trace/Trace.cpp" "src/trace/CMakeFiles/ts_trace.dir/Trace.cpp.o" "gcc" "src/trace/CMakeFiles/ts_trace.dir/Trace.cpp.o.d"
+  "/root/repo/src/trace/Traceset.cpp" "src/trace/CMakeFiles/ts_trace.dir/Traceset.cpp.o" "gcc" "src/trace/CMakeFiles/ts_trace.dir/Traceset.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ts_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_trace.dir/Action.cpp.o"
+  "CMakeFiles/ts_trace.dir/Action.cpp.o.d"
+  "CMakeFiles/ts_trace.dir/Enumerate.cpp.o"
+  "CMakeFiles/ts_trace.dir/Enumerate.cpp.o.d"
+  "CMakeFiles/ts_trace.dir/HappensBefore.cpp.o"
+  "CMakeFiles/ts_trace.dir/HappensBefore.cpp.o.d"
+  "CMakeFiles/ts_trace.dir/Interleaving.cpp.o"
+  "CMakeFiles/ts_trace.dir/Interleaving.cpp.o.d"
+  "CMakeFiles/ts_trace.dir/Trace.cpp.o"
+  "CMakeFiles/ts_trace.dir/Trace.cpp.o.d"
+  "CMakeFiles/ts_trace.dir/Traceset.cpp.o"
+  "CMakeFiles/ts_trace.dir/Traceset.cpp.o.d"
+  "libts_trace.a"
+  "libts_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

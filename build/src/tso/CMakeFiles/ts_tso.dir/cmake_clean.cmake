@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_tso.dir/Litmus.cpp.o"
+  "CMakeFiles/ts_tso.dir/Litmus.cpp.o.d"
+  "CMakeFiles/ts_tso.dir/PsoMachine.cpp.o"
+  "CMakeFiles/ts_tso.dir/PsoMachine.cpp.o.d"
+  "CMakeFiles/ts_tso.dir/TsoExplain.cpp.o"
+  "CMakeFiles/ts_tso.dir/TsoExplain.cpp.o.d"
+  "CMakeFiles/ts_tso.dir/TsoMachine.cpp.o"
+  "CMakeFiles/ts_tso.dir/TsoMachine.cpp.o.d"
+  "libts_tso.a"
+  "libts_tso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_tso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

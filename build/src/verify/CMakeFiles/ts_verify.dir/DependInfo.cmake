@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verify/Checks.cpp" "src/verify/CMakeFiles/ts_verify.dir/Checks.cpp.o" "gcc" "src/verify/CMakeFiles/ts_verify.dir/Checks.cpp.o.d"
+  "/root/repo/src/verify/ProgramGen.cpp" "src/verify/CMakeFiles/ts_verify.dir/ProgramGen.cpp.o" "gcc" "src/verify/CMakeFiles/ts_verify.dir/ProgramGen.cpp.o.d"
+  "/root/repo/src/verify/Theorems.cpp" "src/verify/CMakeFiles/ts_verify.dir/Theorems.cpp.o" "gcc" "src/verify/CMakeFiles/ts_verify.dir/Theorems.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/ts_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/ts_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/semantics/CMakeFiles/ts_semantics.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ts_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ts_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

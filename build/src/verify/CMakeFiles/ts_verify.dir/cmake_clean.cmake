@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_verify.dir/Checks.cpp.o"
+  "CMakeFiles/ts_verify.dir/Checks.cpp.o.d"
+  "CMakeFiles/ts_verify.dir/ProgramGen.cpp.o"
+  "CMakeFiles/ts_verify.dir/ProgramGen.cpp.o.d"
+  "CMakeFiles/ts_verify.dir/Theorems.cpp.o"
+  "CMakeFiles/ts_verify.dir/Theorems.cpp.o.d"
+  "libts_verify.a"
+  "libts_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

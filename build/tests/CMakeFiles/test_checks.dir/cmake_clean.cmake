@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_checks.dir/test_checks.cpp.o"
+  "CMakeFiles/test_checks.dir/test_checks.cpp.o.d"
+  "test_checks"
+  "test_checks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_checks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_composition.dir/test_composition.cpp.o"
+  "CMakeFiles/test_composition.dir/test_composition.cpp.o.d"
+  "test_composition"
+  "test_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dataflowopt.dir/test_dataflowopt.cpp.o"
+  "CMakeFiles/test_dataflowopt.dir/test_dataflowopt.cpp.o.d"
+  "test_dataflowopt"
+  "test_dataflowopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dataflowopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

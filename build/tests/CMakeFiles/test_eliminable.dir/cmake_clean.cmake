@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eliminable.dir/test_eliminable.cpp.o"
+  "CMakeFiles/test_eliminable.dir/test_eliminable.cpp.o.d"
+  "test_eliminable"
+  "test_eliminable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eliminable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

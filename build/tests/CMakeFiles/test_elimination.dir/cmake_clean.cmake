@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_elimination.dir/test_elimination.cpp.o"
+  "CMakeFiles/test_elimination.dir/test_elimination.cpp.o.d"
+  "test_elimination"
+  "test_elimination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_elimination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

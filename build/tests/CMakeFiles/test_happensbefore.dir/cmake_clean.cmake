@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_happensbefore.dir/test_happensbefore.cpp.o"
+  "CMakeFiles/test_happensbefore.dir/test_happensbefore.cpp.o.d"
+  "test_happensbefore"
+  "test_happensbefore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_happensbefore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

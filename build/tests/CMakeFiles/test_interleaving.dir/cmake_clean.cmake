@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interleaving.dir/test_interleaving.cpp.o"
+  "CMakeFiles/test_interleaving.dir/test_interleaving.cpp.o.d"
+  "test_interleaving"
+  "test_interleaving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interleaving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

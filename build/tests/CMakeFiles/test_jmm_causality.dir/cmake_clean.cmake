@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jmm_causality.dir/test_jmm_causality.cpp.o"
+  "CMakeFiles/test_jmm_causality.dir/test_jmm_causality.cpp.o.d"
+  "test_jmm_causality"
+  "test_jmm_causality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jmm_causality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_limitations.dir/test_limitations.cpp.o"
+  "CMakeFiles/test_limitations.dir/test_limitations.cpp.o.d"
+  "test_limitations"
+  "test_limitations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_limitations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

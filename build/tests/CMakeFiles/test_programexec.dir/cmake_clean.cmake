@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_programexec.dir/test_programexec.cpp.o"
+  "CMakeFiles/test_programexec.dir/test_programexec.cpp.o.d"
+  "test_programexec"
+  "test_programexec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_programexec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

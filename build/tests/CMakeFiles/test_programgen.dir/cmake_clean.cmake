@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_programgen.dir/test_programgen.cpp.o"
+  "CMakeFiles/test_programgen.dir/test_programgen.cpp.o.d"
+  "test_programgen"
+  "test_programgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_programgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

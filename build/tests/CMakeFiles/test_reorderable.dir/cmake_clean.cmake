@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reorderable.dir/test_reorderable.cpp.o"
+  "CMakeFiles/test_reorderable.dir/test_reorderable.cpp.o.d"
+  "test_reorderable"
+  "test_reorderable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reorderable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_semantic_soundness.dir/test_semantic_soundness.cpp.o"
+  "CMakeFiles/test_semantic_soundness.dir/test_semantic_soundness.cpp.o.d"
+  "test_semantic_soundness"
+  "test_semantic_soundness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_semantic_soundness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

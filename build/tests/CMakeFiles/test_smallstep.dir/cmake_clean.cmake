@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smallstep.dir/test_smallstep.cpp.o"
+  "CMakeFiles/test_smallstep.dir/test_smallstep.cpp.o.d"
+  "test_smallstep"
+  "test_smallstep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smallstep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

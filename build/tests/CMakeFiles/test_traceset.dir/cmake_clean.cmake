@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_traceset.dir/test_traceset.cpp.o"
+  "CMakeFiles/test_traceset.dir/test_traceset.cpp.o.d"
+  "test_traceset"
+  "test_traceset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_traceset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

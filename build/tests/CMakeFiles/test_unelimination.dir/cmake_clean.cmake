@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unelimination.dir/test_unelimination.cpp.o"
+  "CMakeFiles/test_unelimination.dir/test_unelimination.cpp.o.d"
+  "test_unelimination"
+  "test_unelimination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unelimination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unordering.dir/test_unordering.cpp.o"
+  "CMakeFiles/test_unordering.dir/test_unordering.cpp.o.d"
+  "test_unordering"
+  "test_unordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unsafe.dir/test_unsafe.cpp.o"
+  "CMakeFiles/test_unsafe.dir/test_unsafe.cpp.o.d"
+  "test_unsafe"
+  "test_unsafe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unsafe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
