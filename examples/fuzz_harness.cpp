@@ -1,0 +1,184 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Differential fuzzing CLI for the optimisation pipeline.
+///
+/// Generates seeded random programs, pushes each through a random chain of
+/// the paper's Fig 10/11 rewrite rules, and checks the DRF guarantee
+/// (Theorems 1-4) and the out-of-thin-air guarantee (Theorem 5) on every
+/// original/transformed pair under escalating budgets. Guarantee
+/// violations are delta-debugged to a minimal program and written as
+/// standalone `.tsl` repro files.
+///
+/// Exit codes:
+///   0  clean run (no uninjected violations; with --expect-failures, at
+///      least one injected failure was found and minimised)
+///   1  violations found (or none found under --expect-failures)
+///   2  usage error
+///
+/// Examples:
+///   fuzz_harness --programs 500 --deadline-ms 30000 --seed 7
+///   fuzz_harness --inject --expect-failures --repro-dir /tmp/repros
+///   fuzz_harness --json report.json --no-thin-air
+///
+//===----------------------------------------------------------------------===//
+
+#include "verify/Fuzz.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+using namespace tracesafe;
+
+namespace {
+
+void usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --seed N            base RNG seed (default 1)\n"
+      "  --programs N        programs to generate (default 500)\n"
+      "  --deadline-ms N     whole-run wall-clock cap (default none)\n"
+      "  --json PATH         write a JSON report to PATH\n"
+      "  --repro-dir DIR     write minimised .tsl repros to DIR\n"
+      "  --inject            route every Nth program through an unsafe pass\n"
+      "  --inject-every N    injection period (default 5, implies --inject)\n"
+      "  --expect-failures   exit 0 iff at least one failure was found and\n"
+      "                      minimised (for harness self-tests)\n"
+      "  --no-thin-air       skip the Theorem 5 check\n"
+      "  --threads N         generated threads per program (default 2)\n"
+      "  --max-stmts N       max statements per generated thread (default 6)\n"
+      "  --chain-steps N     max rewrite-rule applications (default 4)\n"
+      "  --query-deadline-ms N  initial per-query budget deadline\n"
+      "  --verbose           print every failure as it is found\n",
+      Argv0);
+}
+
+bool parseUnsigned(const char *S, uint64_t &Out) {
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(S, &End, 10);
+  if (End == S || *End != '\0')
+    return false;
+  Out = V;
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  FuzzOptions Options;
+  std::string JsonPath;
+  bool ExpectFailures = false;
+  bool Verbose = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto NextValue = [&](uint64_t &Out) {
+      if (I + 1 >= Argc || !parseUnsigned(Argv[++I], Out)) {
+        std::fprintf(stderr, "%s: %s needs a numeric argument\n", Argv[0],
+                     Arg.c_str());
+        return false;
+      }
+      return true;
+    };
+    uint64_t N = 0;
+    if (Arg == "--help" || Arg == "-h") {
+      usage(Argv[0]);
+      return 0;
+    } else if (Arg == "--seed") {
+      if (!NextValue(Options.Seed))
+        return 2;
+    } else if (Arg == "--programs") {
+      if (!NextValue(Options.Programs))
+        return 2;
+    } else if (Arg == "--deadline-ms") {
+      if (!NextValue(N))
+        return 2;
+      Options.DeadlineMs = static_cast<int64_t>(N);
+    } else if (Arg == "--json") {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "%s: --json needs a path\n", Argv[0]);
+        return 2;
+      }
+      JsonPath = Argv[++I];
+    } else if (Arg == "--repro-dir") {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "%s: --repro-dir needs a path\n", Argv[0]);
+        return 2;
+      }
+      Options.ReproDir = Argv[++I];
+    } else if (Arg == "--inject") {
+      Options.InjectUnsafe = true;
+    } else if (Arg == "--inject-every") {
+      if (!NextValue(N))
+        return 2;
+      Options.InjectUnsafe = true;
+      Options.InjectEvery = static_cast<unsigned>(N);
+    } else if (Arg == "--expect-failures") {
+      ExpectFailures = true;
+    } else if (Arg == "--no-thin-air") {
+      Options.CheckThinAir = false;
+    } else if (Arg == "--threads") {
+      if (!NextValue(N))
+        return 2;
+      Options.Gen.Threads = static_cast<unsigned>(N);
+    } else if (Arg == "--max-stmts") {
+      if (!NextValue(N))
+        return 2;
+      Options.Gen.MaxStmtsPerThread = static_cast<unsigned>(N);
+    } else if (Arg == "--chain-steps") {
+      if (!NextValue(N))
+        return 2;
+      Options.MaxChainSteps = N;
+    } else if (Arg == "--query-deadline-ms") {
+      if (!NextValue(N))
+        return 2;
+      Options.Escalation.Initial.DeadlineMs = static_cast<int64_t>(N);
+    } else if (Arg == "--verbose") {
+      Verbose = true;
+    } else {
+      std::fprintf(stderr, "%s: unknown option %s\n", Argv[0], Arg.c_str());
+      usage(Argv[0]);
+      return 2;
+    }
+  }
+
+  FuzzReport Report = runFuzz(Options);
+
+  std::printf("%s\n", Report.summary().c_str());
+  for (const FuzzFailure &F : Report.Failures) {
+    if (!Verbose && F.Injected)
+      continue;
+    std::printf("%s failure (program %llu%s): %s\n"
+                "  minimised %zu -> %zu statements%s%s\n",
+                F.Property.c_str(),
+                static_cast<unsigned long long>(F.ProgramIndex),
+                F.Injected ? ", injected" : "", F.Detail.c_str(),
+                F.OriginalStmts, F.ReducedStmts,
+                F.ReproPath.empty() ? "" : ", repro: ",
+                F.ReproPath.c_str());
+  }
+
+  if (!JsonPath.empty()) {
+    std::ofstream Os(JsonPath);
+    if (!Os) {
+      std::fprintf(stderr, "%s: cannot write %s\n", Argv[0],
+                   JsonPath.c_str());
+      return 2;
+    }
+    Os << Report.toJson();
+  }
+
+  if (ExpectFailures) {
+    // Harness self-test mode: the run is a success iff the pipeline found
+    // at least one failure AND produced a minimised repro for it.
+    for (const FuzzFailure &F : Report.Failures)
+      if (F.ReducedStmts > 0 && F.ReducedStmts <= F.OriginalStmts)
+        return 0;
+    std::fprintf(stderr, "expected failures, found none\n");
+    return 1;
+  }
+  return Report.uninjectedFailures() == 0 ? 0 : 1;
+}

@@ -11,3 +11,16 @@ for e in build/examples/*; do
   echo "===== $e ====="
   "$e"
 done
+
+# Sanitizer pass: rebuild with ASan+UBSan and drive the differential
+# fuzzer for ~30 seconds (see docs/ROBUSTNESS.md).
+echo "===== sanitizer fuzz smoke ====="
+cmake -B build-asan -G Ninja -DTRACESAFE_SANITIZE=ON
+cmake --build build-asan --target fuzz_harness test_budget test_shrink
+./build-asan/tests/test_budget
+./build-asan/tests/test_shrink
+./build-asan/examples/fuzz_harness --programs 2000 --deadline-ms 30000 \
+  --seed 1 --query-deadline-ms 50
+./build-asan/examples/fuzz_harness --programs 200 --deadline-ms 30000 \
+  --inject --inject-every 1 --expect-failures --no-thin-air --seed 2 \
+  --repro-dir build-asan/fuzz_repros

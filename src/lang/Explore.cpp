@@ -22,7 +22,13 @@ public:
 private:
   void dfs(const ThreadState &S, size_t SilentBudget) {
     if (++Stats.Visited > Limits.MaxStates) {
-      Stats.Truncated = true;
+      Stats.truncate(TruncationReason::StateCap);
+      return;
+    }
+    // Tracesets retain every explored prefix, so charge the shared budget
+    // roughly one trace-node worth of memory per expansion.
+    if (Limits.Shared && !Limits.Shared->charge(/*Bytes=*/64)) {
+      Stats.truncate(Limits.Shared->reason());
       return;
     }
     if (S.done())
@@ -30,14 +36,14 @@ private:
     for (Step &St : possibleSteps(S, Ctx)) {
       if (!St.Act) {
         if (SilentBudget == 0) {
-          Stats.Truncated = true;
+          Stats.truncate(TruncationReason::SilentLoop);
           continue;
         }
         dfs(St.Next, SilentBudget - 1);
         continue;
       }
       if (Current.size() - 1 >= Limits.MaxActions) {
-        Stats.Truncated = true;
+        Stats.truncate(TruncationReason::DepthCap);
         continue;
       }
       Current.push_back(*St.Act);
@@ -113,11 +119,8 @@ Traceset tracesafe::programTraceset(const Program &P,
                                     ExploreStats *Stats) {
   Traceset Out(Domain);
   ExploreStats Total;
-  for (ThreadId Tid = 0; Tid < P.threadCount(); ++Tid) {
-    ExploreStats S = exploreThread(P, Tid, Domain, Out, Limits);
-    Total.Visited += S.Visited;
-    Total.Truncated |= S.Truncated;
-  }
+  for (ThreadId Tid = 0; Tid < P.threadCount(); ++Tid)
+    Total.merge(exploreThread(P, Tid, Domain, Out, Limits));
   if (Stats)
     *Stats = Total;
   return Out;

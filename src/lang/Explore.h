@@ -17,6 +17,7 @@
 #define TRACESAFE_LANG_EXPLORE_H
 
 #include "lang/SmallStep.h"
+#include "support/Budget.h"
 #include "trace/Traceset.h"
 
 #include <cstdint>
@@ -32,11 +33,26 @@ struct ExploreLimits {
   size_t MaxSilentRun = 512;
   /// Global cap on explored configurations.
   uint64_t MaxStates = 20'000'000;
+  /// Optional shared query budget (deadline / visit / memory caps across
+  /// every engine of one query). Non-owning; may be null.
+  Budget *Shared = nullptr;
 };
 
 struct ExploreStats {
   uint64_t Visited = 0;
   bool Truncated = false;
+  /// Why the search was truncated (None when !Truncated).
+  TruncationReason Reason = TruncationReason::None;
+
+  void truncate(TruncationReason R) {
+    Truncated = true;
+    Reason = mergeReason(Reason, R);
+  }
+  void merge(const ExploreStats &Other) {
+    Visited += Other.Visited;
+    Truncated |= Other.Truncated;
+    Reason = mergeReason(Reason, Other.Reason);
+  }
 };
 
 /// Adds every trace thread \p Tid of \p P may issue — prefixed with

@@ -1,21 +1,31 @@
 #include "lang/Lexer.h"
 
 #include <cctype>
+#include <limits>
 
 using namespace tracesafe;
 
 std::vector<Token> tracesafe::lex(const std::string &Source) {
   std::vector<Token> Out;
   unsigned Line = 1;
+  size_t LineStart = 0; // Index of the first character of the current line.
   size_t I = 0, N = Source.size();
+  auto Col = [&](size_t At) {
+    return static_cast<unsigned>(At - LineStart + 1);
+  };
+  auto PushAt = [&](size_t At, TokenKind K, std::string Text = "",
+                    Value Num = 0) {
+    Out.push_back(Token{K, std::move(Text), Num, Line, Col(At)});
+  };
   auto Push = [&](TokenKind K, std::string Text = "", Value Num = 0) {
-    Out.push_back(Token{K, std::move(Text), Num, Line});
+    PushAt(I, K, std::move(Text), Num);
   };
   while (I < N) {
     char C = Source[I];
     if (C == '\n') {
       ++Line;
       ++I;
+      LineStart = I;
       continue;
     }
     if (std::isspace(static_cast<unsigned char>(C))) {
@@ -32,15 +42,33 @@ std::vector<Token> tracesafe::lex(const std::string &Source) {
       while (I < N && (std::isalnum(static_cast<unsigned char>(Source[I])) ||
                        Source[I] == '_'))
         ++I;
-      Push(TokenKind::Ident, Source.substr(Start, I - Start));
+      PushAt(Start, TokenKind::Ident, Source.substr(Start, I - Start));
       continue;
     }
     if (std::isdigit(static_cast<unsigned char>(C))) {
       size_t Start = I;
-      while (I < N && std::isdigit(static_cast<unsigned char>(Source[I])))
+      // Accumulate with an explicit overflow check: a literal wider than
+      // Value must become a diagnostic, not undefined behaviour or an
+      // exception out of the lexer.
+      int64_t Acc = 0;
+      bool Overflow = false;
+      while (I < N && std::isdigit(static_cast<unsigned char>(Source[I]))) {
+        if (!Overflow) {
+          Acc = Acc * 10 + (Source[I] - '0');
+          if (Acc > std::numeric_limits<Value>::max())
+            Overflow = true;
+        }
         ++I;
-      Push(TokenKind::Number, "",
-           static_cast<Value>(std::stol(Source.substr(Start, I - Start))));
+      }
+      if (Overflow) {
+        PushAt(Start, TokenKind::Error,
+               "line " + std::to_string(Line) + ", col " +
+                   std::to_string(Col(Start)) +
+                   ": integer literal out of range");
+        Push(TokenKind::EndOfFile);
+        return Out;
+      }
+      PushAt(Start, TokenKind::Number, "", static_cast<Value>(Acc));
       continue;
     }
     if (C == ':' && I + 1 < N && Source[I + 1] == '=') {
@@ -79,8 +107,9 @@ std::vector<Token> tracesafe::lex(const std::string &Source) {
       break;
     default:
       Push(TokenKind::Error,
-           std::string("unexpected character '") + C + "' at line " +
-               std::to_string(Line));
+           "line " + std::to_string(Line) + ", col " +
+               std::to_string(Col(I)) + ": unexpected character '" + C +
+               "'");
       Push(TokenKind::EndOfFile);
       return Out;
     }

@@ -36,10 +36,13 @@ struct Token {
   std::string Text; ///< identifier spelling or error message
   Value Num = 0;    ///< for Number
   unsigned Line = 1;
+  unsigned Col = 1; ///< 1-based column of the token's first character
 };
 
 /// Lexes \p Source. Line comments start with "//". On error the last token
-/// is Error (followed by EndOfFile).
+/// is Error (followed by EndOfFile). Never crashes on malformed input:
+/// out-of-range integer literals and stray characters become Error tokens
+/// with line/column diagnostics.
 std::vector<Token> lex(const std::string &Source);
 
 } // namespace tracesafe

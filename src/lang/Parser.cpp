@@ -55,8 +55,13 @@ public:
   }
 
 private:
+  /// Statement-nesting cap: recursion depth is bounded by the input, so an
+  /// adversarial "{{{{..." must become a diagnostic, not a stack overflow.
+  static constexpr unsigned MaxNestingDepth = 200;
+
   std::vector<Token> Tokens;
   size_t Pos = 0;
+  unsigned Depth = 0;
   std::string Err;
 
   const Token &peek() const { return Tokens[Pos]; }
@@ -83,7 +88,8 @@ private:
   void error(const Token &T, const std::string &Msg) {
     if (!Err.empty())
       return; // Keep the first error.
-    Err = "line " + std::to_string(T.Line) + ": " + Msg;
+    Err = "line " + std::to_string(T.Line) + ", col " +
+          std::to_string(T.Col) + ": " + Msg;
   }
 
   ParseResult fail(const Token &T, const std::string &Msg) {
@@ -146,6 +152,18 @@ private:
   }
 
   StmtPtr parseStmt() {
+    if (Depth >= MaxNestingDepth) {
+      error(peek(), "statements nested deeper than " +
+                        std::to_string(MaxNestingDepth) + " levels");
+      return nullptr;
+    }
+    ++Depth;
+    StmtPtr S = parseStmtInner();
+    --Depth;
+    return S;
+  }
+
+  StmtPtr parseStmtInner() {
     Token T = next();
     switch (T.Kind) {
     case TokenKind::LBrace: {

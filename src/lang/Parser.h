@@ -39,7 +39,11 @@
 
 namespace tracesafe {
 
-/// Result of a parse: either a program or an error message with a line.
+/// Result of a parse: either a program or an error message carrying the
+/// offending line and column. Malformed input never crashes the parser:
+/// lexer errors (stray characters, out-of-range literals) surface here, and
+/// pathologically deep nesting is rejected with a diagnostic instead of
+/// overflowing the stack.
 struct ParseResult {
   std::optional<Program> Prog;
   std::string Error;

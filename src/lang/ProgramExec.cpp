@@ -31,7 +31,8 @@ public:
       bool Trunc = false;
       State.Threads.push_back(silentClosure(initialThreadState(P, Tid), Ctx,
                                             Limits.MaxSilentRun, &Trunc));
-      Stats.Truncated |= Trunc;
+      if (Trunc)
+        Stats.truncate(TruncationReason::SilentLoop);
     }
     ActionsDone.assign(P.threadCount(), 0);
   }
@@ -49,7 +50,7 @@ public:
     if (S.done())
       return {};
     if (ActionsDone[Tid] >= Limits.MaxActionsPerThread) {
-      Stats.Truncated = true;
+      Stats.truncate(TruncationReason::DepthCap);
       return {};
     }
     std::vector<Step> Steps = possibleStepsWithMemory(
@@ -77,7 +78,8 @@ public:
     bool Trunc = false;
     State.Threads[Tid] =
         silentClosure(St.Next, Ctx, Limits.MaxSilentRun, &Trunc);
-    Stats.Truncated |= Trunc;
+    if (Trunc)
+      Stats.truncate(TruncationReason::SilentLoop);
     ++ActionsDone[Tid];
     if (A.isWrite())
       State.Memory[A.location()] = A.value();
@@ -131,7 +133,13 @@ private:
     if (StopAll)
       return;
     if (++Exec.Stats.Visited > Exec.Limits.MaxVisited) {
-      Exec.Stats.Truncated = true;
+      Exec.Stats.truncate(TruncationReason::StateCap);
+      return;
+    }
+    // Every expansion may retain a memoised Key (thread states + memory +
+    // locks); charge the shared budget a rough per-entry footprint.
+    if (Exec.Limits.Shared && !Exec.Limits.Shared->charge(/*Bytes=*/256)) {
+      Exec.Stats.truncate(Exec.Limits.Shared->reason());
       return;
     }
     if (!Seen.insert(Key{Exec.State, Exec.ActionsDone, Tail}).second)
@@ -207,8 +215,16 @@ ProgramRaceReport tracesafe::findProgramRace(const Program &P,
   return Report;
 }
 
-bool tracesafe::isProgramDrf(const Program &P, ExecLimits Limits) {
+Verdict<Interleaving> tracesafe::checkProgramDrf(const Program &P,
+                                                 ExecLimits Limits) {
   ProgramRaceReport R = findProgramRace(P, Limits);
-  assert(!R.Stats.Truncated && "DRF query truncated; raise limits");
-  return !R.HasRace;
+  if (R.HasRace)
+    return Verdict<Interleaving>::refuted(R.Witness);
+  if (R.Stats.Truncated)
+    return Verdict<Interleaving>::unknown(R.Stats.Reason);
+  return Verdict<Interleaving>::proved();
+}
+
+bool tracesafe::isProgramDrf(const Program &P, ExecLimits Limits) {
+  return checkProgramDrf(P, Limits).isProved();
 }

@@ -16,6 +16,7 @@
 #define TRACESAFE_LANG_PROGRAMEXEC_H
 
 #include "lang/SmallStep.h"
+#include "support/Budget.h"
 #include "trace/Interleaving.h"
 
 #include <cstdint>
@@ -33,11 +34,21 @@ struct ExecLimits {
   size_t MaxSilentRun = 512;
   /// Global cap on explored states.
   uint64_t MaxVisited = 50'000'000;
+  /// Optional shared query budget (deadline / visit / memory caps across
+  /// every engine of one query). Non-owning; may be null.
+  Budget *Shared = nullptr;
 };
 
 struct ExecStats {
   uint64_t Visited = 0;
   bool Truncated = false;
+  /// Why the search was truncated (None when !Truncated).
+  TruncationReason Reason = TruncationReason::None;
+
+  void truncate(TruncationReason R) {
+    Truncated = true;
+    Reason = mergeReason(Reason, R);
+  }
 };
 
 /// The set of observable behaviours of \p P under sequential consistency.
@@ -56,8 +67,15 @@ struct ProgramRaceReport {
 /// over the program's SC executions.
 ProgramRaceReport findProgramRace(const Program &P, ExecLimits Limits = {});
 
-/// True iff no SC execution has an adjacent race. Asserts the search was
-/// exhaustive (not truncated).
+/// Tri-state DRF query over the program's SC executions: Proved (no race,
+/// exhaustive), Refuted (race found, witness attached — definitive even
+/// under truncation), or Unknown (search truncated).
+Verdict<Interleaving> checkProgramDrf(const Program &P,
+                                      ExecLimits Limits = {});
+
+/// Convenience wrapper: true iff the program is *proved* race free. A
+/// truncated search returns false (conservative "not proved"), never
+/// asserts; use checkProgramDrf to distinguish Refuted from Unknown.
 bool isProgramDrf(const Program &P, ExecLimits Limits = {});
 
 } // namespace tracesafe

@@ -1,0 +1,74 @@
+#include "support/Budget.h"
+
+using namespace tracesafe;
+
+const char *tracesafe::truncationReasonName(TruncationReason R) {
+  switch (R) {
+  case TruncationReason::None:
+    return "none";
+  case TruncationReason::StateCap:
+    return "state-cap";
+  case TruncationReason::DepthCap:
+    return "depth-cap";
+  case TruncationReason::SilentLoop:
+    return "silent-loop";
+  case TruncationReason::MemoryCap:
+    return "memory-cap";
+  case TruncationReason::Deadline:
+    return "deadline";
+  }
+  return "unknown";
+}
+
+const char *tracesafe::verdictKindName(VerdictKind K) {
+  switch (K) {
+  case VerdictKind::Proved:
+    return "proved";
+  case VerdictKind::Refuted:
+    return "refuted";
+  case VerdictKind::Unknown:
+    return "unknown";
+  }
+  return "invalid";
+}
+
+BudgetSpec BudgetSpec::scaled(unsigned Factor,
+                              const BudgetSpec &Ceiling) const {
+  auto Clamp = [](uint64_t V, uint64_t Cap) {
+    return Cap && (V == 0 || V > Cap) ? Cap : V;
+  };
+  BudgetSpec Out;
+  Out.DeadlineMs = static_cast<int64_t>(
+      Clamp(DeadlineMs <= 0 ? 0 : static_cast<uint64_t>(DeadlineMs) * Factor,
+            Ceiling.DeadlineMs <= 0
+                ? 0
+                : static_cast<uint64_t>(Ceiling.DeadlineMs)));
+  Out.MaxVisited = Clamp(MaxVisited ? MaxVisited * Factor : 0,
+                         Ceiling.MaxVisited);
+  Out.MaxMemoryBytes = Clamp(MaxMemoryBytes ? MaxMemoryBytes * Factor : 0,
+                             Ceiling.MaxMemoryBytes);
+  return Out;
+}
+
+std::string BudgetSpec::str() const {
+  std::string Out = "{";
+  Out += "deadline=" +
+         (DeadlineMs > 0 ? std::to_string(DeadlineMs) + "ms"
+                         : std::string("none"));
+  Out += ", states=" +
+         (MaxVisited ? std::to_string(MaxVisited) : std::string("unlimited"));
+  Out += ", mem=" + (MaxMemoryBytes ? std::to_string(MaxMemoryBytes) + "B"
+                                    : std::string("unlimited"));
+  Out += "}";
+  return Out;
+}
+
+std::string Budget::describe() const {
+  std::string Out = "visited " + std::to_string(Visited) + " states, " +
+                    std::to_string(Bytes_) + "B charged, " +
+                    std::to_string(elapsedMs()) + "ms elapsed";
+  if (exhausted())
+    Out += std::string(" (exhausted: ") + truncationReasonName(Exhausted) +
+           ")";
+  return Out;
+}

@@ -1,0 +1,166 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unified resource budgets and tri-state verdicts for the verification
+/// harness.
+///
+/// Every exhaustive search in the library (traceset generation, execution
+/// enumeration, the SC interpreter, the transformation checkers) is
+/// exponential in the worst case. A Budget bounds a whole *query* — not one
+/// engine — with a wall-clock deadline, a state-visit cap and an
+/// approximate memory cap, shared cooperatively by every engine the query
+/// touches. When a budget is exhausted the engines stop and report a
+/// structured TruncationReason; callers surface the query result as a
+/// Verdict whose Unknown state carries that reason, never as a wrong or
+/// asserted-away answer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACESAFE_SUPPORT_BUDGET_H
+#define TRACESAFE_SUPPORT_BUDGET_H
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace tracesafe {
+
+/// Why a search stopped early. None means the search ran to completion.
+enum class TruncationReason : uint8_t {
+  None,
+  StateCap,   ///< per-query or per-engine visit cap reached
+  DepthCap,   ///< per-trace/per-thread action bound reached
+  SilentLoop, ///< a thread exceeded its silent-step allowance
+  MemoryCap,  ///< approximate memory charge exceeded the budget
+  Deadline,   ///< wall-clock deadline passed
+};
+
+/// Printable reason name ("deadline", "state-cap", ...).
+const char *truncationReasonName(TruncationReason R);
+
+/// Merges two reasons, preferring the more specific (non-None) one. Used
+/// when a query aggregates several engine runs.
+inline TruncationReason mergeReason(TruncationReason A, TruncationReason B) {
+  return A == TruncationReason::None ? B : A;
+}
+
+/// Declarative description of a budget. Zero means "unlimited" for every
+/// field, so BudgetSpec{} never truncates anything by itself.
+struct BudgetSpec {
+  /// Wall-clock deadline in milliseconds from the budget's creation.
+  int64_t DeadlineMs = 0;
+  /// Cap on state visits charged across all engines of the query.
+  uint64_t MaxVisited = 0;
+  /// Cap on approximate bytes charged (memoisation tables dominate).
+  uint64_t MaxMemoryBytes = 0;
+
+  /// Returns this spec scaled by \p Factor and clamped to \p Ceiling
+  /// (field-wise; 0 in the ceiling means unbounded). Used by escalation.
+  BudgetSpec scaled(unsigned Factor, const BudgetSpec &Ceiling) const;
+
+  std::string str() const;
+};
+
+/// A live budget: the mutable counterpart of a BudgetSpec. Engines call
+/// charge() once per state expansion; the call is cheap (the clock is only
+/// consulted every few hundred charges). A Budget is shared by address —
+/// the limit structs of the engines carry a non-owning pointer — so the
+/// caps apply to the query as a whole, not per engine.
+class Budget {
+public:
+  explicit Budget(const BudgetSpec &Spec)
+      : Spec(Spec), Start(std::chrono::steady_clock::now()) {
+    if (Spec.DeadlineMs > 0)
+      Deadline = Start + std::chrono::milliseconds(Spec.DeadlineMs);
+  }
+
+  /// Charges one state visit plus \p Bytes of approximate memory. Returns
+  /// true while the budget has headroom; once it returns false it keeps
+  /// returning false (exhaustion is sticky) so deeply recursive searches
+  /// unwind promptly.
+  bool charge(uint64_t Bytes = 0) {
+    if (Exhausted != TruncationReason::None)
+      return false;
+    ++Visited;
+    Bytes_ += Bytes;
+    if (Spec.MaxVisited && Visited > Spec.MaxVisited) {
+      Exhausted = TruncationReason::StateCap;
+      return false;
+    }
+    if (Spec.MaxMemoryBytes && Bytes_ > Spec.MaxMemoryBytes) {
+      Exhausted = TruncationReason::MemoryCap;
+      return false;
+    }
+    // Consult the clock only every 256 charges: state expansion is far
+    // cheaper than a syscall-free clock read, and deadlines are advisory
+    // to ~milliseconds anyway.
+    if (Deadline && (Visited & 0xFF) == 0 &&
+        std::chrono::steady_clock::now() >= *Deadline) {
+      Exhausted = TruncationReason::Deadline;
+      return false;
+    }
+    return true;
+  }
+
+  bool exhausted() const { return Exhausted != TruncationReason::None; }
+  TruncationReason reason() const { return Exhausted; }
+  uint64_t visited() const { return Visited; }
+  uint64_t chargedBytes() const { return Bytes_; }
+  const BudgetSpec &spec() const { return Spec; }
+
+  /// Milliseconds since the budget was created.
+  int64_t elapsedMs() const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now() - Start)
+        .count();
+  }
+
+  /// One-line human-readable usage summary.
+  std::string describe() const;
+
+private:
+  BudgetSpec Spec;
+  std::chrono::steady_clock::time_point Start;
+  std::optional<std::chrono::steady_clock::time_point> Deadline;
+  uint64_t Visited = 0;
+  uint64_t Bytes_ = 0;
+  TruncationReason Exhausted = TruncationReason::None;
+};
+
+/// Tri-state result of a verification query.
+enum class VerdictKind : uint8_t {
+  Proved,  ///< the property holds; the search was exhaustive
+  Refuted, ///< a definitive counterexample was found
+  Unknown, ///< the search was truncated before an answer was reached
+};
+
+const char *verdictKindName(VerdictKind K);
+
+/// A verdict with an optional counterexample payload. Refuted verdicts are
+/// definitive even under truncation (a witness is a witness); Proved
+/// verdicts are only produced by exhaustive searches; Unknown carries the
+/// truncation reason.
+template <typename T> struct Verdict {
+  VerdictKind Kind = VerdictKind::Unknown;
+  std::optional<T> Witness; ///< populated when Refuted
+  TruncationReason Reason = TruncationReason::None;
+
+  static Verdict proved() { return Verdict{VerdictKind::Proved, {}, {}}; }
+  static Verdict refuted(T W) {
+    return Verdict{VerdictKind::Refuted, std::move(W),
+                   TruncationReason::None};
+  }
+  static Verdict unknown(TruncationReason R) {
+    return Verdict{VerdictKind::Unknown, {}, R};
+  }
+
+  bool isProved() const { return Kind == VerdictKind::Proved; }
+  bool isRefuted() const { return Kind == VerdictKind::Refuted; }
+  bool isUnknown() const { return Kind == VerdictKind::Unknown; }
+};
+
+} // namespace tracesafe
+
+#endif // TRACESAFE_SUPPORT_BUDGET_H

@@ -2,7 +2,6 @@
 
 #include "trace/HappensBefore.h"
 
-#include <cassert>
 #include <map>
 #include <tuple>
 
@@ -91,9 +90,16 @@ public:
   /// DFS visiting every execution prefix. Visit=false stops everything.
   bool dfs(const std::function<bool(const Interleaving &)> &Visit,
            bool MaximalOnly, EnumerationStats &Stats) {
-    if (++Stats.Visited > Limits.MaxVisited ||
-        Current.size() >= Limits.MaxEvents) {
-      Stats.Truncated = true;
+    if (++Stats.Visited > Limits.MaxVisited) {
+      Stats.truncate(TruncationReason::StateCap);
+      return true;
+    }
+    if (Current.size() >= Limits.MaxEvents) {
+      Stats.truncate(TruncationReason::DepthCap);
+      return true;
+    }
+    if (Limits.Shared && !Limits.Shared->charge()) {
+      Stats.truncate(Limits.Shared->reason());
       return true;
     }
     std::vector<Event> Steps = enabledSteps();
@@ -221,14 +227,21 @@ public:
   template <typename OnStep>
   void search(std::vector<Event> Tail, const OnStep &Step) {
     if (++Stats.Visited > Limits.MaxVisited) {
-      Stats.Truncated = true;
+      Stats.truncate(TruncationReason::StateCap);
+      return;
+    }
+    // Each memoised state retains a full StateKey; charge the shared
+    // budget a rough per-entry footprint so memory caps bite where the
+    // memory actually goes.
+    if (Limits.Shared && !Limits.Shared->charge(/*Bytes=*/256)) {
+      Stats.truncate(Limits.Shared->reason());
       return;
     }
     if (!Seen.insert(key(Tail)).second)
       return;
     for (const auto &[Tid, Cur] : ThreadTraces) {
       if (Cur.size() >= Limits.MaxEvents) {
-        Stats.Truncated = true;
+        Stats.truncate(TruncationReason::DepthCap);
         continue;
       }
       for (const Action &A : T.successors(Cur)) {
@@ -315,7 +328,11 @@ RaceReport tracesafe::findAdjacentRace(const Traceset &T,
     if (Found)
       return;
     if (++S.Stats.Visited > Limits.MaxVisited) {
-      S.Stats.Truncated = true;
+      S.Stats.truncate(TruncationReason::StateCap);
+      return;
+    }
+    if (Limits.Shared && !Limits.Shared->charge(/*Bytes=*/256)) {
+      S.Stats.truncate(Limits.Shared->reason());
       return;
     }
     std::vector<Event> Tail;
@@ -327,7 +344,7 @@ RaceReport tracesafe::findAdjacentRace(const Traceset &T,
       if (Found)
         return;
       if (Cur.size() >= Limits.MaxEvents) {
-        S.Stats.Truncated = true;
+        S.Stats.truncate(TruncationReason::DepthCap);
         continue;
       }
       for (const Action &A : S.T.successors(Cur)) {
@@ -408,8 +425,16 @@ RaceReport tracesafe::findHappensBeforeRace(const Traceset &T,
   return Report;
 }
 
-bool tracesafe::isDataRaceFree(const Traceset &T, EnumerationLimits Limits) {
+Verdict<Interleaving>
+tracesafe::checkDataRaceFreedom(const Traceset &T, EnumerationLimits Limits) {
   RaceReport R = findAdjacentRace(T, Limits);
-  assert(!R.Stats.Truncated && "DRF query truncated; raise limits");
-  return !R.HasRace;
+  if (R.HasRace)
+    return Verdict<Interleaving>::refuted(R.Witness);
+  if (R.Stats.Truncated)
+    return Verdict<Interleaving>::unknown(R.Stats.Reason);
+  return Verdict<Interleaving>::proved();
+}
+
+bool tracesafe::isDataRaceFree(const Traceset &T, EnumerationLimits Limits) {
+  return checkDataRaceFreedom(T, Limits).isProved();
 }

@@ -19,6 +19,7 @@
 #ifndef TRACESAFE_TRACE_ENUMERATE_H
 #define TRACESAFE_TRACE_ENUMERATE_H
 
+#include "support/Budget.h"
 #include "trace/Interleaving.h"
 
 #include <cstdint>
@@ -36,12 +37,22 @@ struct EnumerationLimits {
   size_t MaxEvents = 256;
   /// Upper bound on DFS node expansions across the whole query.
   uint64_t MaxVisited = 50'000'000;
+  /// Optional shared query budget (deadline / visit / memory caps across
+  /// every engine of one query). Non-owning; may be null.
+  Budget *Shared = nullptr;
 };
 
 /// Bookkeeping returned by every enumeration query.
 struct EnumerationStats {
   uint64_t Visited = 0;
   bool Truncated = false;
+  /// Why the search was truncated (None when !Truncated).
+  TruncationReason Reason = TruncationReason::None;
+
+  void truncate(TruncationReason R) {
+    Truncated = true;
+    Reason = mergeReason(Reason, R);
+  }
 };
 
 /// Visits every execution of \p T in DFS order (each execution prefix is
@@ -87,8 +98,17 @@ RaceReport findAdjacentRace(const Traceset &T, EnumerationLimits Limits = {});
 RaceReport findHappensBeforeRace(const Traceset &T,
                                  EnumerationLimits Limits = {});
 
-/// Convenience wrapper: true iff no adjacent race exists. Asserts the
-/// search was not truncated.
+/// Tri-state DRF query: Proved (no adjacent race, exhaustive search),
+/// Refuted (race found; the witness interleaving ends in the conflicting
+/// pair), or Unknown (search truncated before an answer). A found race is
+/// definitive even under truncation.
+Verdict<Interleaving> checkDataRaceFreedom(const Traceset &T,
+                                           EnumerationLimits Limits = {});
+
+/// Convenience wrapper: true iff the traceset is *proved* race free. A
+/// truncated search returns false (conservative "not proved"), never
+/// asserts; callers that must distinguish Refuted from Unknown use
+/// checkDataRaceFreedom.
 bool isDataRaceFree(const Traceset &T, EnumerationLimits Limits = {});
 
 } // namespace tracesafe

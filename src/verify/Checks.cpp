@@ -4,6 +4,18 @@
 
 using namespace tracesafe;
 
+const char *tracesafe::guaranteeOutcomeName(GuaranteeOutcome O) {
+  switch (O) {
+  case GuaranteeOutcome::Holds:
+    return "holds";
+  case GuaranteeOutcome::Violated:
+    return "violated";
+  case GuaranteeOutcome::Unknown:
+    return "unknown";
+  }
+  return "invalid";
+}
+
 BehaviourComparison tracesafe::compareBehaviours(const Program &Orig,
                                                  const Program &Transformed,
                                                  ExecLimits Limits) {
@@ -17,7 +29,10 @@ BehaviourComparison tracesafe::compareBehaviours(const Program &Orig,
   ExecStats SA, SB;
   std::set<Behaviour> A = programBehaviours(Orig, Limits, &SA);
   std::set<Behaviour> B = programBehaviours(Transformed, Limits, &SB);
+  Out.OrigTruncated = SA.Truncated;
+  Out.TransformedTruncated = SB.Truncated;
   Out.Truncated = SA.Truncated || SB.Truncated;
+  Out.Reason = mergeReason(SA.Reason, SB.Reason);
   Out.Subset = true;
   for (const Behaviour &Beh : B) {
     if (A.count(Beh))
@@ -40,17 +55,21 @@ DrfGuaranteeReport tracesafe::checkDrfGuarantee(const Program &Orig,
   ProgramRaceReport RT = findProgramRace(Transformed, Limits);
   Out.OriginalDrf = !RO.HasRace;
   Out.TransformedDrf = !RT.HasRace;
-  BehaviourComparison BC = compareBehaviours(Orig, Transformed, Limits);
-  Out.BehavioursPreserved = BC.Subset;
-  Out.NewBehaviour = BC.NewBehaviour;
-  Out.Truncated =
-      RO.Stats.Truncated || RT.Stats.Truncated || BC.Truncated;
+  Out.OriginalRaceTruncated = RO.Stats.Truncated;
+  Out.TransformedRaceTruncated = RT.Stats.Truncated;
+  Out.Comparison = compareBehaviours(Orig, Transformed, Limits);
+  Out.BehavioursPreserved = Out.Comparison.Subset;
+  Out.NewBehaviour = Out.Comparison.NewBehaviour;
+  Out.Truncated = RO.Stats.Truncated || RT.Stats.Truncated ||
+                  Out.Comparison.Truncated;
+  Out.Reason = mergeReason(mergeReason(RO.Stats.Reason, RT.Stats.Reason),
+                           Out.Comparison.Reason);
   return Out;
 }
 
-bool tracesafe::programCanOutput(const Program &P, Value V,
-                                 ExecLimits Limits) {
-  for (const Behaviour &B : programBehaviours(P, Limits))
+bool tracesafe::programCanOutput(const Program &P, Value V, ExecLimits Limits,
+                                 ExecStats *Stats) {
+  for (const Behaviour &B : programBehaviours(P, Limits, Stats))
     if (std::find(B.begin(), B.end(), V) != B.end())
       return true;
   return false;
@@ -65,7 +84,10 @@ ThinAirReport tracesafe::checkThinAir(const Program &Orig,
   Out.OrigContainsConstant = Orig.containsConstant(C);
   if (Out.OrigContainsConstant)
     return Out;
-  Out.TransformedOutputs = programCanOutput(Transformed, C, Limits);
+  ExecStats OutputStats;
+  Out.TransformedOutputs =
+      programCanOutput(Transformed, C, Limits, &OutputStats);
+  Out.OutputSearchTruncated = OutputStats.Truncated;
   // Semantic origin property (Lemma 2/6): explore tracesets over a domain
   // that includes C, so a "laundered" C (read then re-written) would show
   // up as a non-origin write while a manufactured C shows up as an origin.
@@ -77,7 +99,11 @@ ThinAirReport tracesafe::checkThinAir(const Program &Orig,
   Traceset TT = programTraceset(Transformed, Domain, TracesetLimits, &SB);
   Out.OrigHasOrigin = TO.hasOriginFor(C);
   Out.TransformedHasOrigin = TT.hasOriginFor(C);
-  Out.Truncated = SA.Truncated || SB.Truncated;
+  Out.OrigExploreTruncated = SA.Truncated;
+  Out.TransformedExploreTruncated = SB.Truncated;
+  Out.Truncated = OutputStats.Truncated || SA.Truncated || SB.Truncated;
+  Out.Reason = mergeReason(mergeReason(OutputStats.Reason, SA.Reason),
+                           SB.Reason);
   return Out;
 }
 

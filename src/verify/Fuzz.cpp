@@ -1,0 +1,318 @@
+#include "verify/Fuzz.h"
+
+#include "lang/Printer.h"
+#include "opt/Pipeline.h"
+#include "opt/Unsafe.h"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+using namespace tracesafe;
+
+namespace {
+
+/// SplitMix-style mixing so per-program sub-seeds are decorrelated.
+uint64_t mixSeeds(uint64_t A, uint64_t B) {
+  uint64_t Z = A + 0x9E3779B97F4A7C15ULL * (B + 1);
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+  return Z ^ (Z >> 31);
+}
+
+/// A deterministic transformation of a program: the same function is used
+/// on the generated program and on every shrink candidate, so the failure
+/// predicate stays meaningful as the program gets smaller.
+using TransformFn = std::function<std::optional<Program>(const Program &)>;
+
+std::optional<Program> applyFirstUnsafe(const Program &P) {
+  // Prefer lock elision: on a lock-disciplined DRF program it reliably
+  // manufactures a data race (a checkable Violated). Unsafe const-prop
+  // only ever *removes* behaviours in this language, so behaviour
+  // inclusion — a subset check — cannot catch it; it stays as the
+  // fallback to keep the transform total on lock-free programs.
+  std::vector<LockPair> Pairs = findLockPairs(P);
+  if (!Pairs.empty())
+    return elideLockPair(P, Pairs.front());
+  std::vector<ConstPropSite> Sites = findUnsafeConstProp(P);
+  if (!Sites.empty())
+    return applyUnsafeConstProp(P, Sites.front());
+  return std::nullopt;
+}
+
+Program applySafeChain(const Program &P, uint64_t ChainSeed,
+                       size_t MaxSteps) {
+  Rng R(ChainSeed);
+  return randomChain(P, RuleSet::all(), MaxSteps, R).Result;
+}
+
+std::string drfDetail(const DrfGuaranteeReport &R) {
+  if (!R.TransformedDrf)
+    return "transformation introduced a data race into a DRF program";
+  if (!R.BehavioursPreserved)
+    return "transformation introduced a new behaviour";
+  return "DRF guarantee violated";
+}
+
+std::string thinAirDetail(const ThinAirReport &R) {
+  if (R.TransformedOutputs)
+    return "transformed program outputs the fresh constant " +
+           std::to_string(R.Constant);
+  return "transformed traceset has an out-of-thin-air origin for " +
+         std::to_string(R.Constant);
+}
+
+/// Definitive re-check of one property on a shrink candidate, under a
+/// fixed one-shot budget. Unknown counts as "does not reproduce" so budget
+/// noise cannot steer the reduction toward expensive programs.
+bool propertyViolated(const Program &Orig, const Program &Transformed,
+                      const std::string &Property, const BudgetSpec &Spec) {
+  Budget B(Spec);
+  ExecLimits Exec;
+  Exec.Shared = &B;
+  if (Property == "drf-guarantee")
+    return checkDrfGuarantee(Orig, Transformed, Exec).outcome() ==
+           GuaranteeOutcome::Violated;
+  ExploreLimits Explore;
+  Explore.Shared = &B;
+  return checkThinAir(Orig, Transformed, freshConstantFor(Orig), Exec,
+                      Explore)
+             .outcome() == GuaranteeOutcome::Violated;
+}
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 8);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+uint64_t FuzzReport::uninjectedFailures() const {
+  uint64_t N = 0;
+  for (const FuzzFailure &F : Failures)
+    if (!F.Injected)
+      ++N;
+  return N;
+}
+
+std::string FuzzReport::summary() const {
+  std::string Out = "fuzz: " + std::to_string(ProgramsRun) + " programs, " +
+                    std::to_string(ChecksRun) + " checks (" +
+                    std::to_string(ProvedQueries) + " proved, " +
+                    std::to_string(UnknownQueries) + " unknown, " +
+                    std::to_string(EscalatedQueries) + " escalated), " +
+                    std::to_string(Failures.size()) + " failures (" +
+                    std::to_string(uninjectedFailures()) + " uninjected, " +
+                    std::to_string(InjectedRuns) + " injected runs), " +
+                    std::to_string(ElapsedMs) + "ms";
+  if (DeadlineHit)
+    Out += " [deadline hit]";
+  return Out;
+}
+
+std::string FuzzReport::toJson() const {
+  std::string Out = "{\n";
+  auto Field = [&](const std::string &K, const std::string &V, bool Comma) {
+    Out += "  \"" + K + "\": " + V + (Comma ? ",\n" : "\n");
+  };
+  Field("programs_run", std::to_string(ProgramsRun), true);
+  Field("checks_run", std::to_string(ChecksRun), true);
+  Field("proved", std::to_string(ProvedQueries), true);
+  Field("unknown", std::to_string(UnknownQueries), true);
+  Field("escalated", std::to_string(EscalatedQueries), true);
+  Field("injected_runs", std::to_string(InjectedRuns), true);
+  Field("uninjected_failures", std::to_string(uninjectedFailures()), true);
+  Field("deadline_hit", DeadlineHit ? "true" : "false", true);
+  Field("elapsed_ms", std::to_string(ElapsedMs), true);
+  Out += "  \"failures\": [";
+  for (size_t I = 0; I < Failures.size(); ++I) {
+    const FuzzFailure &F = Failures[I];
+    Out += I ? ",\n    {" : "\n    {";
+    Out += "\"program_index\": " + std::to_string(F.ProgramIndex);
+    Out += ", \"property\": \"" + jsonEscape(F.Property) + "\"";
+    Out += ", \"injected\": " + std::string(F.Injected ? "true" : "false");
+    Out += ", \"detail\": \"" + jsonEscape(F.Detail) + "\"";
+    Out += ", \"original_stmts\": " + std::to_string(F.OriginalStmts);
+    Out += ", \"reduced_stmts\": " + std::to_string(F.ReducedStmts);
+    Out += ", \"shrink_rounds\": " + std::to_string(F.ShrinkRounds);
+    Out += ", \"repro_path\": \"" + jsonEscape(F.ReproPath) + "\"";
+    Out += ", \"reduced_source\": \"" + jsonEscape(F.ReducedSource) + "\"";
+    Out += "}";
+  }
+  Out += Failures.empty() ? "]\n" : "\n  ]\n";
+  Out += "}\n";
+  return Out;
+}
+
+FuzzReport tracesafe::runFuzz(const FuzzOptions &Options) {
+  FuzzReport Report;
+  auto Start = std::chrono::steady_clock::now();
+  auto ElapsedMs = [&]() {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now() - Start)
+        .count();
+  };
+
+  // Budget for shrink-predicate re-checks: one mid-ladder rung.
+  BudgetSpec ShrinkCheckSpec =
+      Options.Escalation.Initial.scaled(Options.Escalation.Growth,
+                                        Options.Escalation.Ceiling);
+
+  auto Track = [&](VerdictKind Kind, size_t Attempts) {
+    ++Report.ChecksRun;
+    if (Attempts > 1)
+      ++Report.EscalatedQueries;
+    if (Kind == VerdictKind::Unknown)
+      ++Report.UnknownQueries;
+    if (Kind == VerdictKind::Proved)
+      ++Report.ProvedQueries;
+  };
+
+  auto RecordFailure = [&](uint64_t Index, const std::string &Property,
+                           bool Injected, std::string Detail,
+                           const Program &Orig,
+                           const TransformFn &Transform) {
+    FuzzFailure F;
+    F.ProgramIndex = Index;
+    F.Property = Property;
+    F.Injected = Injected;
+    F.Detail = std::move(Detail);
+    F.OriginalSource = printProgram(Orig);
+    F.OriginalStmts = countStatements(Orig);
+
+    FailurePredicate Pred = [&](const Program &Q) {
+      if (Q.threadCount() == 0)
+        return false;
+      std::optional<Program> TQ = Transform(Q);
+      if (!TQ)
+        return false;
+      return propertyViolated(Q, *TQ, Property, ShrinkCheckSpec);
+    };
+    ShrinkResult SR = shrinkProgram(Orig, Pred, Options.Shrink);
+    F.ReducedSource = printProgram(SR.Reduced);
+    F.ReducedStmts = countStatements(SR.Reduced);
+    F.ShrinkRounds = SR.Rounds;
+    F.ShrinkCandidates = SR.CandidatesTried;
+
+    if (!Options.ReproDir.empty()) {
+      std::error_code Ec;
+      std::filesystem::create_directories(Options.ReproDir, Ec);
+      std::string Path = Options.ReproDir + "/repro_" +
+                         std::to_string(Index) + "_" + Property + ".tsl";
+      std::ofstream Os(Path);
+      if (Os) {
+        Os << "// tracesafe fuzz repro (minimised)\n"
+           << "// property: " << Property << "\n"
+           << "// run seed: " << Options.Seed
+           << ", program index: " << Index << "\n"
+           << "// injected unsafe pass: " << (F.Injected ? "yes" : "no")
+           << "\n"
+           << "// detail: " << F.Detail << "\n"
+           << "// statements: " << F.OriginalStmts << " -> "
+           << F.ReducedStmts << " in " << F.ShrinkRounds
+           << " shrink rounds\n"
+           << F.ReducedSource;
+        F.ReproPath = Path;
+      }
+    }
+    Report.Failures.push_back(std::move(F));
+  };
+
+  for (uint64_t I = 0; I < Options.Programs; ++I) {
+    if (Options.DeadlineMs > 0 && ElapsedMs() >= Options.DeadlineMs) {
+      Report.DeadlineHit = true;
+      break;
+    }
+    uint64_t SubSeed = mixSeeds(Options.Seed, I);
+    Rng R(SubSeed);
+
+    // Vary the program shape so one run sweeps all disciplines and a mix
+    // of thread counts / input use.
+    GenOptions G = Options.Gen;
+    switch (I % 4) {
+    case 0:
+      G.Discipline = GenDiscipline::Racy;
+      break;
+    case 1:
+      G.Discipline = GenDiscipline::LockDiscipline;
+      break;
+    case 2:
+      G.Discipline = GenDiscipline::VolatileLocations;
+      break;
+    default:
+      G.Discipline = GenDiscipline::Mixed;
+      break;
+    }
+    if (I % 7 == 3)
+      G.Threads = G.Threads < 3 ? G.Threads + 1 : G.Threads;
+    G.AllowInput = I % 11 == 5;
+
+    Program P = generateProgram(R, G);
+    ++Report.ProgramsRun;
+
+    bool Injected = false;
+    TransformFn Transform;
+    if (Options.InjectUnsafe && Options.InjectEvery &&
+        I % Options.InjectEvery == 0 && applyFirstUnsafe(P)) {
+      Injected = true;
+      Transform = [](const Program &Q) { return applyFirstUnsafe(Q); };
+    } else {
+      uint64_t ChainSeed = mixSeeds(SubSeed, 0x5eed);
+      size_t MaxSteps = Options.MaxChainSteps;
+      Transform = [ChainSeed, MaxSteps](const Program &Q)
+          -> std::optional<Program> {
+        return applySafeChain(Q, ChainSeed, MaxSteps);
+      };
+    }
+    if (Injected)
+      ++Report.InjectedRuns;
+
+    Program T = *Transform(P);
+
+    Escalated<DrfGuaranteeReport> Drf =
+        escalateDrfGuarantee(P, T, Options.Escalation);
+    Track(Drf.Final.Kind, Drf.Attempts.size());
+    if (Drf.Final.isRefuted())
+      RecordFailure(I, "drf-guarantee", Injected,
+                    drfDetail(*Drf.Final.Witness), P, Transform);
+
+    if (Options.CheckThinAir) {
+      Value C = freshConstantFor(P);
+      Escalated<ThinAirReport> Ta =
+          escalateThinAir(P, T, C, Options.Escalation);
+      Track(Ta.Final.Kind, Ta.Attempts.size());
+      if (Ta.Final.isRefuted())
+        RecordFailure(I, "thin-air", Injected, thinAirDetail(*Ta.Final.Witness),
+                      P, Transform);
+    }
+  }
+
+  Report.ElapsedMs = ElapsedMs();
+  return Report;
+}

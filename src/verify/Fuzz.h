@@ -1,0 +1,104 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Differential fuzzing harness for the optimisation pipeline.
+///
+/// Drives seeded random programs (ProgramGen) through random chains of the
+/// Fig 10/11 rewrite rules (opt/Pipeline) and checks the paper's
+/// guarantees on each (original, transformed) pair:
+///   - the DRF guarantee (DRF preservation + behaviour inclusion,
+///     Theorems 1-4);
+///   - the out-of-thin-air guarantee (Theorem 5).
+/// Every query runs under an escalating budget, so pathological programs
+/// degrade to counted Unknowns instead of hangs. A genuine guarantee
+/// violation would be a counterexample to the paper (or a bug in this
+/// implementation); the harness delta-debugs it to a minimal program and
+/// writes a `.tsl` repro to disk.
+///
+/// For validating the harness itself, injection mode routes every Nth
+/// program through one of the paper's deliberately *unsafe* passes
+/// (cross-sync constant propagation, lock elision) so real failures exist
+/// to find, minimise and write out.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACESAFE_VERIFY_FUZZ_H
+#define TRACESAFE_VERIFY_FUZZ_H
+
+#include "verify/Escalate.h"
+#include "verify/ProgramGen.h"
+#include "verify/Shrink.h"
+
+#include <string>
+#include <vector>
+
+namespace tracesafe {
+
+struct FuzzOptions {
+  uint64_t Seed = 1;
+  /// Number of generated programs to drive (the run may stop earlier on
+  /// DeadlineMs).
+  uint64_t Programs = 500;
+  /// Whole-run wall-clock cap in milliseconds (0 = none).
+  int64_t DeadlineMs = 0;
+  /// Base program shape; the harness varies discipline, thread count and
+  /// input-statement use per iteration on top of this.
+  GenOptions Gen;
+  /// Maximum random rewrite-rule applications per chain.
+  size_t MaxChainSteps = 4;
+  /// Per-query budget ladder.
+  EscalationPolicy Escalation;
+  /// Check Theorem 5 (thin air) in addition to the DRF guarantee.
+  bool CheckThinAir = true;
+  /// Route every InjectEvery-th program through an unsafe pass.
+  bool InjectUnsafe = false;
+  unsigned InjectEvery = 5;
+  /// Directory for minimised `.tsl` repros ("" = do not write files).
+  std::string ReproDir;
+  /// Reduction limits for failure minimisation.
+  ShrinkOptions Shrink{/*MaxRounds=*/32, /*MaxCandidates=*/1500,
+                       /*DeadlineMs=*/10'000};
+};
+
+/// One minimised guarantee violation.
+struct FuzzFailure {
+  uint64_t ProgramIndex = 0;  ///< which generated program
+  std::string Property;       ///< "drf-guarantee" or "thin-air"
+  bool Injected = false;      ///< produced by an unsafe pass on purpose
+  std::string Detail;         ///< human-readable description
+  std::string OriginalSource; ///< generated program
+  std::string ReducedSource;  ///< minimised program (still failing)
+  std::string ReproPath;      ///< written repro file ("" if not written)
+  size_t OriginalStmts = 0;
+  size_t ReducedStmts = 0;
+  unsigned ShrinkRounds = 0;
+  uint64_t ShrinkCandidates = 0;
+};
+
+struct FuzzReport {
+  uint64_t ProgramsRun = 0;
+  uint64_t ChecksRun = 0;
+  uint64_t ProvedQueries = 0;
+  /// Queries that stayed Unknown after full escalation.
+  uint64_t UnknownQueries = 0;
+  /// Queries that needed more than one budget rung.
+  uint64_t EscalatedQueries = 0;
+  uint64_t InjectedRuns = 0;
+  bool DeadlineHit = false;
+  int64_t ElapsedMs = 0;
+  std::vector<FuzzFailure> Failures;
+
+  /// Violations of a guarantee by a *safe* chain — a paper counterexample
+  /// or an implementation bug; always zero in healthy runs.
+  uint64_t uninjectedFailures() const;
+
+  std::string summary() const;
+  /// Machine-readable report (stable key order, no external deps).
+  std::string toJson() const;
+};
+
+FuzzReport runFuzz(const FuzzOptions &Options);
+
+} // namespace tracesafe
+
+#endif // TRACESAFE_VERIFY_FUZZ_H

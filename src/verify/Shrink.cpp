@@ -1,0 +1,265 @@
+#include "verify/Shrink.h"
+
+#include "opt/Rewrite.h"
+
+#include <chrono>
+
+using namespace tracesafe;
+
+namespace {
+
+size_t countStmtList(const StmtList &L);
+
+size_t countStmt(const Stmt &S) {
+  switch (S.kind()) {
+  case StmtKind::Block:
+    return 1 + countStmtList(cast<BlockStmt>(S).body());
+  case StmtKind::If: {
+    const auto &I = cast<IfStmt>(S);
+    return 1 + countStmt(I.thenStmt()) + countStmt(I.elseStmt());
+  }
+  case StmtKind::While:
+    return 1 + countStmt(cast<WhileStmt>(S).body());
+  default:
+    return 1;
+  }
+}
+
+size_t countStmtList(const StmtList &L) {
+  size_t N = 0;
+  for (const StmtPtr &S : L)
+    N += countStmt(*S);
+  return N;
+}
+
+/// Collects every integer-literal slot of \p S in a fixed traversal order.
+void collectLiterals(const Stmt &S, std::vector<Value> &Out) {
+  auto FromOperand = [&Out](const Operand &O) {
+    if (O.IsImm)
+      Out.push_back(O.Imm);
+  };
+  auto FromCond = [&](const Cond &C) {
+    FromOperand(C.Lhs);
+    FromOperand(C.Rhs);
+  };
+  switch (S.kind()) {
+  case StmtKind::Assign:
+    FromOperand(cast<AssignStmt>(S).src());
+    break;
+  case StmtKind::Store:
+    FromOperand(cast<StoreStmt>(S).src());
+    break;
+  case StmtKind::Print:
+    FromOperand(cast<PrintStmt>(S).src());
+    break;
+  case StmtKind::Block:
+    for (const StmtPtr &Sub : cast<BlockStmt>(S).body())
+      collectLiterals(*Sub, Out);
+    break;
+  case StmtKind::If: {
+    const auto &I = cast<IfStmt>(S);
+    FromCond(I.cond());
+    collectLiterals(I.thenStmt(), Out);
+    collectLiterals(I.elseStmt(), Out);
+    break;
+  }
+  case StmtKind::While: {
+    const auto &W = cast<WhileStmt>(S);
+    FromCond(W.cond());
+    collectLiterals(W.body(), Out);
+    break;
+  }
+  default:
+    break;
+  }
+}
+
+/// Clones \p S with the literal at visit-order index \p Target (counted
+/// through \p Counter, same order as collectLiterals) replaced by
+/// \p NewVal.
+StmtPtr rebuildWithLiteral(const Stmt &S, size_t Target, Value NewVal,
+                           size_t &Counter) {
+  auto Op = [&](const Operand &O) {
+    if (!O.IsImm)
+      return O;
+    return Counter++ == Target ? Operand::imm(NewVal) : O;
+  };
+  auto CondOf = [&](const Cond &C) { return Cond{C.IsEq, Op(C.Lhs), Op(C.Rhs)}; };
+  switch (S.kind()) {
+  case StmtKind::Assign: {
+    const auto &A = cast<AssignStmt>(S);
+    return std::make_unique<AssignStmt>(A.reg(), Op(A.src()));
+  }
+  case StmtKind::Store: {
+    const auto &St = cast<StoreStmt>(S);
+    return std::make_unique<StoreStmt>(St.loc(), Op(St.src()));
+  }
+  case StmtKind::Print:
+    return std::make_unique<PrintStmt>(Op(cast<PrintStmt>(S).src()));
+  case StmtKind::Block: {
+    StmtList Body;
+    for (const StmtPtr &Sub : cast<BlockStmt>(S).body())
+      Body.push_back(rebuildWithLiteral(*Sub, Target, NewVal, Counter));
+    return std::make_unique<BlockStmt>(std::move(Body));
+  }
+  case StmtKind::If: {
+    const auto &I = cast<IfStmt>(S);
+    Cond C = CondOf(I.cond());
+    StmtPtr Then = rebuildWithLiteral(I.thenStmt(), Target, NewVal, Counter);
+    StmtPtr Else = rebuildWithLiteral(I.elseStmt(), Target, NewVal, Counter);
+    return std::make_unique<IfStmt>(C, std::move(Then), std::move(Else));
+  }
+  case StmtKind::While: {
+    const auto &W = cast<WhileStmt>(S);
+    Cond C = CondOf(W.cond());
+    StmtPtr Body = rebuildWithLiteral(W.body(), Target, NewVal, Counter);
+    return std::make_unique<WhileStmt>(C, std::move(Body));
+  }
+  default:
+    return S.clone();
+  }
+}
+
+Program dropThread(const Program &P, ThreadId Tid) {
+  Program Out;
+  for (ThreadId T = 0; T < P.threadCount(); ++T)
+    if (T != Tid)
+      Out.addThread(cloneList(P.thread(T)));
+  for (SymbolId V : P.volatiles())
+    Out.markVolatile(V);
+  return Out;
+}
+
+} // namespace
+
+size_t tracesafe::countStatements(const Program &P) {
+  size_t N = 0;
+  for (ThreadId Tid = 0; Tid < P.threadCount(); ++Tid)
+    N += countStmtList(P.thread(Tid));
+  return N;
+}
+
+std::vector<Program> tracesafe::shrinkCandidates(const Program &P) {
+  std::vector<Program> Out;
+
+  // 1. Drop a whole thread (most aggressive first).
+  if (P.threadCount() > 1)
+    for (ThreadId Tid = 0; Tid < P.threadCount(); ++Tid)
+      Out.push_back(dropThread(P, Tid));
+
+  // Addresses of every statement list (thread bodies + nested blocks).
+  std::vector<ListPath> Paths;
+  forEachList(P, [&](const ListPath &Path, const StmtList &) {
+    Paths.push_back(Path);
+  });
+
+  // 2. Drop one statement.
+  for (const ListPath &Path : Paths) {
+    const StmtList &L = resolveList(P, Path);
+    for (size_t I = 0; I < L.size(); ++I) {
+      Program Q = P;
+      StmtList &ML = resolveList(Q, Path);
+      ML.erase(ML.begin() + static_cast<ptrdiff_t>(I));
+      Out.push_back(std::move(Q));
+    }
+  }
+
+  // 3. Structural simplification: if -> branch, while -> body, block ->
+  //    spliced contents.
+  for (const ListPath &Path : Paths) {
+    const StmtList &L = resolveList(P, Path);
+    for (size_t I = 0; I < L.size(); ++I) {
+      const Stmt &S = *L[I];
+      auto ReplaceWith = [&](StmtPtr New) {
+        Program Q = P;
+        resolveList(Q, Path)[I] = std::move(New);
+        Out.push_back(std::move(Q));
+      };
+      switch (S.kind()) {
+      case StmtKind::If: {
+        const auto &If = cast<IfStmt>(S);
+        ReplaceWith(If.thenStmt().clone());
+        ReplaceWith(If.elseStmt().clone());
+        break;
+      }
+      case StmtKind::While:
+        ReplaceWith(cast<WhileStmt>(S).body().clone());
+        break;
+      case StmtKind::Block: {
+        Program Q = P;
+        StmtList &ML = resolveList(Q, Path);
+        StmtList Body = std::move(static_cast<BlockStmt &>(*ML[I]).body());
+        ML.erase(ML.begin() + static_cast<ptrdiff_t>(I));
+        ML.insert(ML.begin() + static_cast<ptrdiff_t>(I),
+                  std::make_move_iterator(Body.begin()),
+                  std::make_move_iterator(Body.end()));
+        Out.push_back(std::move(Q));
+        break;
+      }
+      default:
+        break;
+      }
+    }
+  }
+
+  // 4. Narrow literals toward zero (same statement count, simpler values).
+  for (ThreadId Tid = 0; Tid < P.threadCount(); ++Tid) {
+    const StmtList &Body = P.thread(Tid);
+    for (size_t I = 0; I < Body.size(); ++I) {
+      std::vector<Value> Lits;
+      collectLiterals(*Body[I], Lits);
+      for (size_t Slot = 0; Slot < Lits.size(); ++Slot) {
+        Value V = Lits[Slot];
+        if (V == 0)
+          continue;
+        std::vector<Value> Replacements{0};
+        if (V > 1 || V < -1)
+          Replacements.push_back(V / 2);
+        for (Value NewVal : Replacements) {
+          Program Q = P;
+          size_t Counter = 0;
+          Q.thread(Tid)[I] =
+              rebuildWithLiteral(*Body[I], Slot, NewVal, Counter);
+          Out.push_back(std::move(Q));
+        }
+      }
+    }
+  }
+
+  return Out;
+}
+
+ShrinkResult tracesafe::shrinkProgram(const Program &P,
+                                      const FailurePredicate &StillFails,
+                                      const ShrinkOptions &Options) {
+  ShrinkResult Res;
+  Res.Reduced = P;
+  auto Start = std::chrono::steady_clock::now();
+  auto Expired = [&]() {
+    if (Options.DeadlineMs <= 0)
+      return false;
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now() - Start)
+               .count() >= Options.DeadlineMs;
+  };
+
+  bool Progress = true;
+  while (Progress && Res.Rounds < Options.MaxRounds &&
+         Res.CandidatesTried < Options.MaxCandidates && !Expired()) {
+    Progress = false;
+    ++Res.Rounds;
+    for (Program &Cand : shrinkCandidates(Res.Reduced)) {
+      if (Res.CandidatesTried >= Options.MaxCandidates || Expired())
+        return Res;
+      ++Res.CandidatesTried;
+      if (!StillFails(Cand))
+        continue;
+      Res.Reduced = std::move(Cand);
+      ++Res.CandidatesAccepted;
+      Progress = true;
+      break; // Restart the scan from the smaller program.
+    }
+  }
+  Res.Converged = !Progress;
+  return Res;
+}

@@ -1,0 +1,70 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Delta-debugging counterexample shrinker for programs.
+///
+/// Given a program that exhibits a failure (any caller-supplied predicate:
+/// "the DRF guarantee check fails", "the parser crashes", ...) the shrinker
+/// greedily searches for a smaller program that still exhibits it:
+///  - drop a whole thread;
+///  - drop a single statement (at any nesting depth);
+///  - replace an if by one of its branches, a while by its body, a block
+///    by its contents;
+///  - narrow integer literals toward zero.
+/// Each accepted candidate restarts the scan, so the result is a local
+/// minimum: no single reduction step keeps the failure. The predicate is
+/// consulted on structurally valid programs only; it should return true
+/// iff the failure *definitively* reproduces (treat Unknown as false so
+/// budget noise cannot steer the reduction).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACESAFE_VERIFY_SHRINK_H
+#define TRACESAFE_VERIFY_SHRINK_H
+
+#include "lang/Ast.h"
+
+#include <cstdint>
+#include <functional>
+
+namespace tracesafe {
+
+/// Does a candidate program still exhibit the failure being minimised?
+using FailurePredicate = std::function<bool(const Program &)>;
+
+struct ShrinkOptions {
+  /// Cap on accepted-reduction rounds (each round rescans all candidates).
+  unsigned MaxRounds = 64;
+  /// Cap on total predicate evaluations.
+  uint64_t MaxCandidates = 5'000;
+  /// Wall-clock cap for the whole reduction in milliseconds (0 = none).
+  int64_t DeadlineMs = 0;
+};
+
+struct ShrinkResult {
+  Program Reduced;
+  unsigned Rounds = 0;
+  uint64_t CandidatesTried = 0;
+  uint64_t CandidatesAccepted = 0;
+  /// True when the reduction reached a fixpoint (rather than a limit).
+  bool Converged = false;
+};
+
+/// Number of statements in \p P, counting nested ones (size measure used
+/// by the shrinker and its tests).
+size_t countStatements(const Program &P);
+
+/// All single-step reductions of \p P, each strictly simpler (fewer
+/// statements, or equal statements with smaller literals). Exposed for
+/// tests; shrinkProgram drives these to a fixpoint.
+std::vector<Program> shrinkCandidates(const Program &P);
+
+/// Greedy delta-debugging: requires StillFails(P) (asserted in tests, not
+/// here — a false start just returns P unchanged with zero rounds).
+ShrinkResult shrinkProgram(const Program &P,
+                           const FailurePredicate &StillFails,
+                           const ShrinkOptions &Options = {});
+
+} // namespace tracesafe
+
+#endif // TRACESAFE_VERIFY_SHRINK_H

@@ -42,10 +42,10 @@ bool TheoremCaseReport::allHold() const {
 std::string TheoremCaseReport::summary() const {
   std::string Out;
   Out += "DRF guarantee: ";
-  Out += Drf.holds() ? "holds" : "VIOLATED";
+  Out += guaranteeOutcomeName(Drf.outcome());
   Out += Drf.OriginalDrf ? " (original DRF)" : " (original racy; vacuous)";
   Out += "\nthin-air (c=" + std::to_string(ThinAir.Constant) +
-         "): " + (ThinAir.holds() ? "holds" : "VIOLATED");
+         "): " + guaranteeOutcomeName(ThinAir.outcome());
   for (const StepVerification &S : Steps)
     Out += "\nstep " + S.Site.str() + ": " + checkVerdictName(S.Semantic);
   if (truncatedAnywhere())

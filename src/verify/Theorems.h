@@ -36,6 +36,14 @@ struct TheoremCheckOptions {
   bool VerifySemanticSteps = true;
   /// Verify Theorem 5 with a fresh constant.
   bool CheckThinAir = true;
+
+  /// Points every engine limit at \p B so the whole battery runs under one
+  /// shared budget (deadline, visit cap, memory cap). \p B must outlive
+  /// every query made with these options.
+  void attachBudget(Budget &B) {
+    Exec.Shared = &B;
+    Explore.Shared = &B;
+  }
 };
 
 /// Verdict for one chain step's semantic verification.

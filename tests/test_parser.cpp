@@ -129,7 +129,14 @@ INSTANTIATE_TEST_SUITE_P(
         ErrorCase{"thread { skip; ", "unterminated block"},
         ErrorCase{"volatile ; thread { skip; }", "empty volatile list"},
         ErrorCase{"thread { while r1 == 0 skip; }", "missing parens"},
-        ErrorCase{"garbage", "top-level junk"}),
+        ErrorCase{"garbage", "top-level junk"},
+        ErrorCase{"thread { r1 := 99999999999; }", "literal out of range"},
+        ErrorCase{"thread { r1 := 2147483648; }", "literal int32 max plus 1"},
+        ErrorCase{"thread { x @ 1; }", "stray character"},
+        ErrorCase{"thread { sync m { skip; }", "unterminated sync"},
+        ErrorCase{"thread { if (r1 == ) skip; else skip; }",
+                  "condition missing rhs"},
+        ErrorCase{"thread { input x; }", "input into a location"}),
     [](const auto &Info) {
       std::string N = Info.param.Name;
       for (char &C : N)
@@ -142,6 +149,57 @@ TEST(Parser, ErrorsIncludeLineNumbers) {
   ParseResult R = parseProgram("thread {\n  skip;\n  lock ;\n}");
   ASSERT_FALSE(R);
   EXPECT_NE(R.Error.find("line 3"), std::string::npos) << R.Error;
+}
+
+TEST(Parser, ErrorsIncludeColumns) {
+  // The stray ';' after 'lock' sits at column 8 of line 3.
+  ParseResult R = parseProgram("thread {\n  skip;\n  lock ;\n}");
+  ASSERT_FALSE(R);
+  EXPECT_NE(R.Error.find("line 3, col 8"), std::string::npos) << R.Error;
+}
+
+TEST(Lexer, OutOfRangeLiteralIsDiagnosedNotFatal) {
+  std::vector<Token> Ts = lex("r1 := 99999999999999999999999999;");
+  bool SawError = false;
+  for (const Token &T : Ts)
+    if (T.Kind == TokenKind::Error) {
+      SawError = true;
+      EXPECT_NE(T.Text.find("out of range"), std::string::npos) << T.Text;
+    }
+  EXPECT_TRUE(SawError);
+}
+
+TEST(Lexer, MaxValueLiteralStillLexes) {
+  std::vector<Token> Ts = lex("2147483647");
+  ASSERT_GE(Ts.size(), 1u);
+  EXPECT_EQ(Ts[0].Kind, TokenKind::Number);
+  EXPECT_EQ(Ts[0].Num, 2147483647);
+}
+
+TEST(Parser, DeepNestingIsRejectedNotStackOverflow) {
+  // ~10k nested blocks: without a depth cap this overflows the parser's
+  // stack; with it, the input is rejected with a diagnostic.
+  std::string Source = "thread { ";
+  for (int I = 0; I < 10000; ++I)
+    Source += "{ ";
+  Source += "skip; ";
+  for (int I = 0; I < 10000; ++I)
+    Source += "} ";
+  Source += "}";
+  ParseResult R = parseProgram(Source);
+  ASSERT_FALSE(R);
+  EXPECT_NE(R.Error.find("nested"), std::string::npos) << R.Error;
+}
+
+TEST(Parser, ModerateNestingStillParses) {
+  std::string Source = "thread { ";
+  for (int I = 0; I < 50; ++I)
+    Source += "{ ";
+  Source += "skip; ";
+  for (int I = 0; I < 50; ++I)
+    Source += "} ";
+  Source += "}";
+  EXPECT_TRUE(parseProgram(Source));
 }
 
 TEST(Parser, SyncSugarDesugarsToLockBlockUnlock) {

@@ -1,0 +1,173 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the counterexample shrinker and the differential fuzz
+/// harness: candidate generation, greedy reduction, and the end-to-end
+/// injected-failure path (find -> minimise -> write repro).
+///
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+#include "lang/Printer.h"
+#include "opt/Unsafe.h"
+#include "verify/Checks.h"
+#include "verify/Fuzz.h"
+#include "verify/Shrink.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+using namespace tracesafe;
+
+namespace {
+
+TEST(Shrink, CountStatementsCountsNestedOnes) {
+  Program P = parseOrDie(R"(
+thread {
+  x := 1;
+  if (r1 == 0) { skip; } else { print 1; }
+  while (r1 != 0) { r1 := 0; }
+}
+thread { skip; }
+)");
+  // Thread 1: x:=1 (1), if + two branch blocks + skip + print (5),
+  // while + body block + r1:=0 (3); thread 2: skip (1).
+  EXPECT_EQ(countStatements(P), 10u);
+}
+
+TEST(Shrink, CandidatesAreStrictlySimpler) {
+  Program P = parseOrDie(R"(
+thread { x := 4; if (r1 == 0) { x := 2; } else { skip; } }
+thread { r1 := x; print r1; }
+)");
+  size_t Size = countStatements(P);
+  std::vector<Program> Cands = shrinkCandidates(P);
+  EXPECT_FALSE(Cands.empty());
+  for (const Program &C : Cands) {
+    // Every candidate is no bigger, and round-trips through the printer
+    // (i.e. is structurally valid).
+    EXPECT_LE(countStatements(C), Size);
+    if (C.threadCount() > 0) {
+      EXPECT_TRUE(parseProgram(printProgram(C))) << printProgram(C);
+    }
+  }
+}
+
+TEST(Shrink, ReducesToSyntacticCore) {
+  // Predicate: "the program still stores 7 to x". Everything else —
+  // the second thread, the control flow, the other statements — must
+  // shrink away.
+  Program P = parseOrDie(R"(
+thread {
+  r1 := 5;
+  x := 7;
+  print r1;
+  skip;
+  if (r1 == 5) { skip; } else { print 2; }
+}
+thread { y := 1; skip; }
+)");
+  FailurePredicate Pred = [](const Program &Q) {
+    return printProgram(Q).find("x := 7") != std::string::npos;
+  };
+  ASSERT_TRUE(Pred(P));
+  ShrinkResult R = shrinkProgram(P, Pred);
+  EXPECT_TRUE(Pred(R.Reduced));
+  EXPECT_TRUE(R.Converged);
+  EXPECT_EQ(R.Reduced.threadCount(), 1u);
+  EXPECT_EQ(countStatements(R.Reduced), 1u) << printProgram(R.Reduced);
+  EXPECT_GT(R.CandidatesAccepted, 0u);
+}
+
+TEST(Shrink, FalsePredicateReturnsInputUnchanged) {
+  Program P = parseOrDie("thread { skip; }");
+  ShrinkResult R =
+      shrinkProgram(P, [](const Program &) { return false; });
+  EXPECT_EQ(countStatements(R.Reduced), countStatements(P));
+  EXPECT_EQ(R.CandidatesAccepted, 0u);
+}
+
+TEST(Shrink, ReducedProgramStillReproducesLockElisionFailure) {
+  // The real fuzzing predicate shape: transform the candidate with the
+  // unsafe lock-elision pass and check the DRF guarantee definitively.
+  Program P = parseOrDie(R"(
+thread { lock m; x := 1; unlock m; print 3; skip; r2 := 0; }
+thread { lock m; r1 := x; unlock m; skip; }
+)");
+  FailurePredicate Pred = [](const Program &Q) {
+    if (Q.threadCount() == 0)
+      return false;
+    std::vector<LockPair> Pairs = findLockPairs(Q);
+    if (Pairs.empty())
+      return false;
+    Program T = elideLockPair(Q, Pairs.front());
+    return checkDrfGuarantee(Q, T).outcome() == GuaranteeOutcome::Violated;
+  };
+  ASSERT_TRUE(Pred(P)) << "seed failure must reproduce before shrinking";
+  ShrinkResult R = shrinkProgram(P, Pred);
+  EXPECT_TRUE(Pred(R.Reduced)) << printProgram(R.Reduced);
+  EXPECT_LT(countStatements(R.Reduced), countStatements(P));
+  // The minimal shape keeps both critical sections (6 statements): with
+  // either lock pair gone the original is racy and the guarantee vacuous.
+  EXPECT_GE(countStatements(R.Reduced), 4u);
+}
+
+TEST(Fuzz, CleanRunHasNoUninjectedFailures) {
+  FuzzOptions Options;
+  Options.Seed = 7;
+  Options.Programs = 12;
+  Options.CheckThinAir = true;
+  Options.Escalation.Initial = BudgetSpec{100, 20'000, 32u << 20};
+  Options.Escalation.MaxAttempts = 2;
+  FuzzReport R = runFuzz(Options);
+  EXPECT_EQ(R.ProgramsRun, 12u);
+  EXPECT_GT(R.ChecksRun, 0u);
+  EXPECT_EQ(R.uninjectedFailures(), 0u) << R.summary();
+  // Machine-readable report stays well formed.
+  EXPECT_NE(R.toJson().find("\"programs_run\": 12"), std::string::npos);
+}
+
+TEST(Fuzz, InjectedFailureIsFoundMinimisedAndWritten) {
+  std::string Dir =
+      (std::filesystem::temp_directory_path() / "tracesafe_fuzz_test")
+          .string();
+  std::filesystem::remove_all(Dir);
+
+  FuzzOptions Options;
+  Options.Seed = 3;
+  Options.Programs = 20;
+  Options.CheckThinAir = false; // DRF guarantee is what lock elision breaks.
+  Options.InjectUnsafe = true;
+  Options.InjectEvery = 1;
+  Options.ReproDir = Dir;
+  Options.Escalation.Initial = BudgetSpec{200, 50'000, 32u << 20};
+  Options.Escalation.MaxAttempts = 2;
+  Options.Shrink = ShrinkOptions{/*MaxRounds=*/8, /*MaxCandidates=*/200,
+                                 /*DeadlineMs=*/5'000};
+  FuzzReport R = runFuzz(Options);
+  EXPECT_GT(R.InjectedRuns, 0u);
+  ASSERT_FALSE(R.Failures.empty())
+      << "injected unsafe passes must produce failures: " << R.summary();
+  EXPECT_EQ(R.uninjectedFailures(), 0u) << R.summary();
+
+  for (const FuzzFailure &F : R.Failures) {
+    EXPECT_TRUE(F.Injected);
+    EXPECT_LE(F.ReducedStmts, F.OriginalStmts);
+    // The minimised repro reparses: it is a valid standalone .tsl file.
+    ASSERT_FALSE(F.ReproPath.empty());
+    std::ifstream Is(F.ReproPath);
+    ASSERT_TRUE(Is.good()) << F.ReproPath;
+    std::string Contents((std::istreambuf_iterator<char>(Is)),
+                         std::istreambuf_iterator<char>());
+    EXPECT_NE(Contents.find("// tracesafe fuzz repro"), std::string::npos);
+    ParseResult Reparsed = parseProgram(F.ReducedSource);
+    EXPECT_TRUE(Reparsed) << Reparsed.Error;
+  }
+
+  std::filesystem::remove_all(Dir);
+}
+
+} // namespace
