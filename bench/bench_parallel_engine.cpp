@@ -1,0 +1,223 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parallel exploration engine benches: the seed's exhaustive sequential
+/// enumerator (ExhaustiveOracle) against the reduced engine (hash-consed
+/// interned states + sleep-set POR) at several worker counts, on the two
+/// memoised workhorse queries — behaviour collection and adjacent-race
+/// search.
+///
+/// The headline claim is the PR's acceptance bar: the reduced engine at 8
+/// workers is at least 4x faster than the seed engine on the
+/// interleaving-heavy tracesets (the speedup is algorithmic — sleep sets
+/// prune redundant arrivals and interning replaces lexicographic
+/// std::set compares — so it holds even on a single-core host).
+///
+/// Bench names encode the engine configuration for BENCH_results.json
+/// (scripts/merge_bench_json.py): `_oracle` is the seed engine, `_nopor`
+/// the interned engine without reduction, `_por` the full engine, and a
+/// `_wN` suffix gives the worker count.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "support/Symbol.h"
+#include "trace/Enumerate.h"
+
+#include <chrono>
+
+using namespace tracesafe;
+
+namespace {
+
+/// N threads, each a single straight-line trace of K writes to its own
+/// location. Fully independent across threads: the worst case for the
+/// exhaustive enumerator (every interleaving order re-arrives at every
+/// product state) and the best case for sleep sets.
+Traceset independentWriters(unsigned Threads, unsigned Writes) {
+  Traceset T({0, 1});
+  for (ThreadId Tid = 0; Tid < Threads; ++Tid) {
+    SymbolId Loc = Symbol::intern("ind" + std::to_string(Tid));
+    Trace Tr{Action::mkStart(Tid)};
+    for (unsigned I = 0; I < Writes; ++I)
+      Tr.push_back(Action::mkWrite(Loc, I % 2));
+    T.insert(Tr);
+  }
+  return T;
+}
+
+/// Like independentWriters but the last action of every thread hits one
+/// shared location, so a race exists and the race query has real work in
+/// both the clean prefix and the conflicting tail.
+Traceset sharedTailWriters(unsigned Threads, unsigned Writes) {
+  Traceset T({0, 1});
+  SymbolId Shared = Symbol::intern("shared_tail");
+  for (ThreadId Tid = 0; Tid < Threads; ++Tid) {
+    SymbolId Loc = Symbol::intern("pfx" + std::to_string(Tid));
+    Trace Tr{Action::mkStart(Tid)};
+    for (unsigned I = 0; I + 1 < Writes; ++I)
+      Tr.push_back(Action::mkWrite(Loc, I % 2));
+    Tr.push_back(Action::mkWrite(Shared, Tid % 2));
+    T.insert(Tr);
+  }
+  return T;
+}
+
+/// Reader/writer mix over a small shared state with prints: value
+/// branching in the reads and a non-trivial behaviour set.
+Traceset readersAndWriters(unsigned Readers) {
+  Traceset T({0, 1});
+  SymbolId X = Symbol::intern("rw_x");
+  T.insert(Trace{Action::mkStart(0), Action::mkWrite(X, 1),
+                 Action::mkWrite(X, 0)});
+  for (ThreadId Tid = 1; Tid <= Readers; ++Tid) {
+    SymbolId Loc = Symbol::intern("rw_l" + std::to_string(Tid));
+    for (Value V : {0, 1})
+      T.insert(Trace{Action::mkStart(Tid), Action::mkWrite(Loc, 1),
+                     Action::mkRead(X, V), Action::mkExternal(V)});
+  }
+  return T;
+}
+
+EnumerationLimits engine(unsigned Workers, bool Oracle, bool Por = true) {
+  EnumerationLimits L;
+  L.Workers = Workers;
+  L.ExhaustiveOracle = Oracle;
+  L.SleepSets = Por;
+  return L;
+}
+
+// --- timed claims -----------------------------------------------------------
+
+/// Median-of-3 wall time of one query run.
+template <typename Fn> double secondsFor(Fn &&F) {
+  double Best = 1e100;
+  for (int I = 0; I < 3; ++I) {
+    auto T0 = std::chrono::steady_clock::now();
+    F();
+    auto T1 = std::chrono::steady_clock::now();
+    Best = std::min(Best, std::chrono::duration<double>(T1 - T0).count());
+  }
+  return Best;
+}
+
+void claims() {
+  benchutil::header("parallel exploration engine",
+                    "work-stealing + sleep-set POR + interning");
+
+  Traceset Ind = independentWriters(4, 10);
+  Traceset Tail = sharedTailWriters(4, 10);
+  Traceset BigTail = sharedTailWriters(5, 9);
+  Traceset Rw = readersAndWriters(3);
+
+  // Verdict parity first: a fast wrong engine is worthless.
+  std::set<Behaviour> WantB = collectBehaviours(Rw, engine(1, true));
+  benchutil::claim("reduced engine behaviour set == seed oracle",
+                   collectBehaviours(Rw, engine(8, false)) == WantB);
+  bool WantRace = findAdjacentRace(Tail, engine(1, true)).HasRace;
+  benchutil::claim("reduced engine race verdict == seed oracle (racy set)",
+                   findAdjacentRace(Tail, engine(8, false)).HasRace ==
+                       WantRace);
+  benchutil::claim("seed oracle finds the shared-tail race", WantRace);
+  benchutil::claim(
+      "reduced engine proves the independent set race-free",
+      !findAdjacentRace(Ind, engine(8, false)).HasRace &&
+          !findAdjacentRace(Ind, engine(1, true)).HasRace);
+
+  // The acceptance bar: >= 4x on both memoised queries at 8 workers.
+  double RaceOracle =
+      secondsFor([&] { findAdjacentRace(Ind, engine(1, true)); });
+  double RacePor8 =
+      secondsFor([&] { findAdjacentRace(Ind, engine(8, false)); });
+  double BehOracle =
+      secondsFor([&] { collectBehaviours(BigTail, engine(1, true)); });
+  double BehPor8 =
+      secondsFor([&] { collectBehaviours(BigTail, engine(8, false)); });
+  std::printf("  race query:      oracle %.1fms, reduced(8w) %.1fms (%.1fx)\n",
+              RaceOracle * 1e3, RacePor8 * 1e3, RaceOracle / RacePor8);
+  std::printf("  behaviour query: oracle %.1fms, reduced(8w) %.1fms (%.1fx)\n",
+              BehOracle * 1e3, BehPor8 * 1e3, BehOracle / BehPor8);
+  benchutil::claim("race query >= 4x faster than seed engine at 8 workers",
+                   RaceOracle / RacePor8 >= 4.0);
+  benchutil::claim(
+      "behaviour query >= 4x faster than seed engine at 8 workers",
+      BehOracle / BehPor8 >= 4.0);
+}
+
+// --- timed benchmarks -------------------------------------------------------
+
+void BM_race_independent_oracle(benchmark::State &S) {
+  Traceset T = independentWriters(4, 10);
+  for (auto _ : S)
+    benchmark::DoNotOptimize(findAdjacentRace(T, engine(1, true)).HasRace);
+}
+BENCHMARK(BM_race_independent_oracle)->Unit(benchmark::kMillisecond);
+
+void BM_race_independent_nopor_w1(benchmark::State &S) {
+  Traceset T = independentWriters(4, 10);
+  for (auto _ : S)
+    benchmark::DoNotOptimize(
+        findAdjacentRace(T, engine(1, false, /*Por=*/false)).HasRace);
+}
+BENCHMARK(BM_race_independent_nopor_w1)->Unit(benchmark::kMillisecond);
+
+void BM_race_independent_por_w1(benchmark::State &S) {
+  Traceset T = independentWriters(4, 10);
+  for (auto _ : S)
+    benchmark::DoNotOptimize(findAdjacentRace(T, engine(1, false)).HasRace);
+}
+BENCHMARK(BM_race_independent_por_w1)->Unit(benchmark::kMillisecond);
+
+void BM_race_independent_por_w2(benchmark::State &S) {
+  Traceset T = independentWriters(4, 10);
+  for (auto _ : S)
+    benchmark::DoNotOptimize(findAdjacentRace(T, engine(2, false)).HasRace);
+}
+BENCHMARK(BM_race_independent_por_w2)->Unit(benchmark::kMillisecond);
+
+void BM_race_independent_por_w8(benchmark::State &S) {
+  Traceset T = independentWriters(4, 10);
+  for (auto _ : S)
+    benchmark::DoNotOptimize(findAdjacentRace(T, engine(8, false)).HasRace);
+}
+BENCHMARK(BM_race_independent_por_w8)->Unit(benchmark::kMillisecond);
+
+void BM_behaviours_sharedtail_oracle(benchmark::State &S) {
+  Traceset T = sharedTailWriters(5, 9);
+  for (auto _ : S)
+    benchmark::DoNotOptimize(collectBehaviours(T, engine(1, true)).size());
+}
+BENCHMARK(BM_behaviours_sharedtail_oracle)->Unit(benchmark::kMillisecond);
+
+void BM_behaviours_sharedtail_por_w1(benchmark::State &S) {
+  Traceset T = sharedTailWriters(5, 9);
+  for (auto _ : S)
+    benchmark::DoNotOptimize(collectBehaviours(T, engine(1, false)).size());
+}
+BENCHMARK(BM_behaviours_sharedtail_por_w1)->Unit(benchmark::kMillisecond);
+
+void BM_behaviours_sharedtail_por_w8(benchmark::State &S) {
+  Traceset T = sharedTailWriters(5, 9);
+  for (auto _ : S)
+    benchmark::DoNotOptimize(collectBehaviours(T, engine(8, false)).size());
+}
+BENCHMARK(BM_behaviours_sharedtail_por_w8)->Unit(benchmark::kMillisecond);
+
+void BM_behaviours_readers_oracle(benchmark::State &S) {
+  Traceset T = readersAndWriters(5);
+  for (auto _ : S)
+    benchmark::DoNotOptimize(collectBehaviours(T, engine(1, true)).size());
+}
+BENCHMARK(BM_behaviours_readers_oracle)->Unit(benchmark::kMillisecond);
+
+void BM_behaviours_readers_por_w8(benchmark::State &S) {
+  Traceset T = readersAndWriters(5);
+  for (auto _ : S)
+    benchmark::DoNotOptimize(collectBehaviours(T, engine(8, false)).size());
+}
+BENCHMARK(BM_behaviours_readers_por_w8)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+TRACESAFE_BENCH_MAIN(claims)

@@ -48,6 +48,10 @@ void usage(const char *Argv0) {
       "  --expect-failures   exit 0 iff at least one failure was found and\n"
       "                      minimised (for harness self-tests)\n"
       "  --no-thin-air       skip the Theorem 5 check\n"
+      "  --semantic          also verify every safe-chain step with the\n"
+      "                      Lemma 4/5 semantic checkers\n"
+      "  --jobs N            campaign workers: 1 sequential (default),\n"
+      "                      0 = shared pool width, N > 1 = exactly N\n"
       "  --threads N         generated threads per program (default 2)\n"
       "  --max-stmts N       max statements per generated thread (default 6)\n"
       "  --chain-steps N     max rewrite-rule applications (default 4)\n"
@@ -120,6 +124,12 @@ int main(int Argc, char **Argv) {
       ExpectFailures = true;
     } else if (Arg == "--no-thin-air") {
       Options.CheckThinAir = false;
+    } else if (Arg == "--semantic") {
+      Options.CheckSemanticSteps = true;
+    } else if (Arg == "--jobs") {
+      if (!NextValue(N))
+        return 2;
+      Options.Jobs = static_cast<unsigned>(N);
     } else if (Arg == "--threads") {
       if (!NextValue(N))
         return 2;

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Merge google-benchmark JSON outputs into one BENCH_results.json.
+
+Usage: merge_bench_json.py OUT.json IN1.json [IN2.json ...]
+
+Each input is one bench binary's --benchmark_out file. The merged record
+keeps, per benchmark, the wall time in ns/op plus the engine configuration
+parsed from the benchmark name:
+
+  *_oracle        the seed sequential exhaustive engine (no POR)
+  *_nopor         the interned engine with sleep sets disabled
+  *_por           the interned engine with sleep-set POR
+  *_wN            N search workers (absent: 1)
+
+For every (bench, query) family that has both an `_oracle` row and a
+`_por*_w8` row, a speedup entry oracle/por_w8 is emitted — the PR's
+acceptance metric (>= 4x on the race and behaviour queries).
+"""
+
+import json
+import re
+import sys
+
+
+def parse_name(name):
+    """Extract (family, engine, por, workers) from a benchmark name."""
+    workers = 1
+    m = re.search(r"_w(\d+)$", name)
+    if m:
+        workers = int(m.group(1))
+        name = name[: m.start()]
+    if name.endswith("_oracle"):
+        engine, por = "oracle", False
+        family = name[: -len("_oracle")]
+    elif name.endswith("_nopor"):
+        engine, por = "interned", False
+        family = name[: -len("_nopor")]
+    elif name.endswith("_por"):
+        engine, por = "interned", True
+        family = name[: -len("_por")]
+    else:
+        engine, por = "unknown", False
+        family = name
+    return family, engine, por, workers
+
+
+def to_ns(t, unit):
+    return t * {"ns": 1, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit, 1)
+
+
+def main(argv):
+    if len(argv) < 3:
+        sys.stderr.write(__doc__)
+        return 2
+    out_path, inputs = argv[1], argv[2:]
+
+    rows = []
+    context = {}
+    for path in inputs:
+        with open(path) as f:
+            doc = json.load(f)
+        context = doc.get("context", context)
+        source = doc.get("context", {}).get("executable", path)
+        source = source.rsplit("/", 1)[-1]
+        for b in doc.get("benchmarks", []):
+            if b.get("run_type") == "aggregate":
+                continue
+            family, engine, por, workers = parse_name(b["name"])
+            rows.append(
+                {
+                    "bench": source,
+                    "name": b["name"],
+                    "family": family,
+                    "engine": engine,
+                    "por": por,
+                    "workers": workers,
+                    "ns_per_op": to_ns(b["real_time"], b.get("time_unit", "ns")),
+                    "iterations": b.get("iterations", 0),
+                }
+            )
+
+    # Speedups: seed oracle vs the reduced engine at its widest run. With
+    # --benchmark_repetitions each configuration has several rows; take the
+    # minimum ns/op per configuration (best-of-N, the standard way to shave
+    # scheduler noise off wall-clock comparisons on a shared host).
+    speedups = {}
+    by_family = {}
+    for r in rows:
+        by_family.setdefault(r["family"], []).append(r)
+    for family, rs in sorted(by_family.items()):
+        oracle = [r for r in rs if r["engine"] == "oracle"]
+        por = [r for r in rs if r["engine"] == "interned" and r["por"]]
+        if not oracle or not por:
+            continue
+        widest_w = max(r["workers"] for r in por)
+        oracle_ns = min(r["ns_per_op"] for r in oracle)
+        reduced_ns = min(
+            r["ns_per_op"] for r in por if r["workers"] == widest_w
+        )
+        speedups[family] = {
+            "oracle_ns_per_op": oracle_ns,
+            "reduced_ns_per_op": reduced_ns,
+            "reduced_workers": widest_w,
+            "speedup": oracle_ns / reduced_ns if reduced_ns else 0.0,
+        }
+
+    merged = {
+        "schema": "tracesafe-bench-results-v1",
+        "host": {
+            "num_cpus": context.get("num_cpus"),
+            "mhz_per_cpu": context.get("mhz_per_cpu"),
+            "build_type": context.get("library_build_type"),
+        },
+        "benchmarks": rows,
+        "speedups": speedups,
+    }
+    with open(out_path, "w") as f:
+        json.dump(merged, f, indent=2)
+        f.write("\n")
+    print(f"wrote {out_path}: {len(rows)} benchmarks, {len(speedups)} speedups")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

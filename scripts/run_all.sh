@@ -5,7 +5,19 @@ cd "$(dirname "$0")/.."
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
-for b in build/bench/bench_*; do "$b" --benchmark_min_time=0.01; done
+
+# Benches: each binary writes its google-benchmark JSON next to the
+# console output; the merge script folds them into BENCH_results.json
+# (ns/op per benchmark plus oracle-vs-reduced speedups — the PR's
+# acceptance metric lives in the "speedups" section).
+mkdir -p build/bench_json
+for b in build/bench/bench_*; do
+  n=$(basename "$b")
+  "$b" --benchmark_min_time=0.01 --benchmark_repetitions=3 \
+    --benchmark_out="build/bench_json/$n.json" --benchmark_out_format=json
+done
+python3 scripts/merge_bench_json.py BENCH_results.json build/bench_json/*.json
+
 for e in build/examples/*; do
   [ -f "$e" ] && [ -x "$e" ] || continue
   echo "===== $e ====="
@@ -24,3 +36,16 @@ cmake --build build-asan --target fuzz_harness test_budget test_shrink
 ./build-asan/examples/fuzz_harness --programs 200 --deadline-ms 30000 \
   --inject --inject-every 1 --expect-failures --no-thin-air --seed 2 \
   --repro-dir build-asan/fuzz_repros
+
+# ThreadSanitizer pass: rebuild with TSan and drive the parallel engine —
+# pool + interning unit tests, the POR-vs-oracle equivalence suite, and a
+# parallel fuzz campaign (see docs/PERFORMANCE.md).
+echo "===== thread sanitizer parallel smoke ====="
+cmake -B build-tsan -G Ninja -DTRACESAFE_TSAN=ON
+cmake --build build-tsan --target \
+  test_threadpool test_intern test_parallel_enumerate fuzz_harness
+./build-tsan/tests/test_threadpool
+./build-tsan/tests/test_intern
+./build-tsan/tests/test_parallel_enumerate
+./build-tsan/examples/fuzz_harness --programs 100 --deadline-ms 60000 \
+  --seed 3 --no-thin-air --query-deadline-ms 50 --jobs 4 --semantic

@@ -1,7 +1,10 @@
 #include "lang/Explore.h"
 
+#include "support/ThreadPool.h"
+
 #include <algorithm>
 #include <cassert>
+#include <memory>
 
 using namespace tracesafe;
 
@@ -119,8 +122,34 @@ Traceset tracesafe::programTraceset(const Program &P,
                                     ExploreStats *Stats) {
   Traceset Out(Domain);
   ExploreStats Total;
-  for (ThreadId Tid = 0; Tid < P.threadCount(); ++Tid)
-    Total.merge(exploreThread(P, Tid, Domain, Out, Limits));
+  ThreadId NumThreads = P.threadCount();
+  if (Limits.Workers == 1 || NumThreads <= 1) {
+    for (ThreadId Tid = 0; Tid < NumThreads; ++Tid)
+      Total.merge(exploreThread(P, Tid, Domain, Out, Limits));
+  } else {
+    // One task per program thread, each into its own traceset; merging in
+    // thread order keeps the result independent of scheduling.
+    std::vector<Traceset> Parts(NumThreads, Traceset(Domain));
+    std::vector<ExploreStats> PartStats(NumThreads);
+    std::unique_ptr<ThreadPool> Owned;
+    ThreadPool *Pool = &ThreadPool::shared();
+    if (Limits.Workers > 1) {
+      Owned = std::make_unique<ThreadPool>(Limits.Workers);
+      Pool = Owned.get();
+    }
+    {
+      ThreadPool::TaskGroup G(*Pool);
+      for (ThreadId Tid = 0; Tid < NumThreads; ++Tid)
+        G.spawn([&P, &Domain, &Parts, &PartStats, Limits, Tid] {
+          PartStats[Tid] =
+              exploreThread(P, Tid, Domain, Parts[Tid], Limits);
+        });
+    }
+    for (ThreadId Tid = 0; Tid < NumThreads; ++Tid) {
+      Out.merge(Parts[Tid]);
+      Total.merge(PartStats[Tid]);
+    }
+  }
   if (Stats)
     *Stats = Total;
   return Out;

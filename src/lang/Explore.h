@@ -36,6 +36,11 @@ struct ExploreLimits {
   /// Optional shared query budget (deadline / visit / memory caps across
   /// every engine of one query). Non-owning; may be null.
   Budget *Shared = nullptr;
+  /// programTraceset workers: 1 = sequential; 0 = the shared work-stealing
+  /// pool at its default width; N > 1 = exactly N. Threads are explored
+  /// into per-thread tracesets and merged in thread order, so the result
+  /// is identical for every width.
+  unsigned Workers = 1;
 };
 
 struct ExploreStats {

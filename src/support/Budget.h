@@ -19,6 +19,7 @@
 #ifndef TRACESAFE_SUPPORT_BUDGET_H
 #define TRACESAFE_SUPPORT_BUDGET_H
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <optional>
@@ -67,7 +68,9 @@ struct BudgetSpec {
 /// charge() once per state expansion; the call is cheap (the clock is only
 /// consulted every few hundred charges). A Budget is shared by address —
 /// the limit structs of the engines carry a non-owning pointer — so the
-/// caps apply to the query as a whole, not per engine.
+/// caps apply to the query as a whole, not per engine. All counters are
+/// atomics so one budget can be shared by every worker of a parallel
+/// query; exhaustion is a sticky broadcast every worker observes.
 class Budget {
 public:
   explicit Budget(const BudgetSpec &Spec)
@@ -81,33 +84,53 @@ public:
   /// returning false (exhaustion is sticky) so deeply recursive searches
   /// unwind promptly.
   bool charge(uint64_t Bytes = 0) {
-    if (Exhausted != TruncationReason::None)
+    if (Exhausted.load(std::memory_order_relaxed) != TruncationReason::None)
       return false;
-    ++Visited;
-    Bytes_ += Bytes;
-    if (Spec.MaxVisited && Visited > Spec.MaxVisited) {
-      Exhausted = TruncationReason::StateCap;
+    uint64_t V = Visited.fetch_add(1, std::memory_order_relaxed) + 1;
+    uint64_t B = Bytes_.fetch_add(Bytes, std::memory_order_relaxed) + Bytes;
+    if (Spec.MaxVisited && V > Spec.MaxVisited) {
+      exhaust(TruncationReason::StateCap);
       return false;
     }
-    if (Spec.MaxMemoryBytes && Bytes_ > Spec.MaxMemoryBytes) {
-      Exhausted = TruncationReason::MemoryCap;
+    if (Spec.MaxMemoryBytes && B > Spec.MaxMemoryBytes) {
+      exhaust(TruncationReason::MemoryCap);
       return false;
     }
     // Consult the clock only every 256 charges: state expansion is far
     // cheaper than a syscall-free clock read, and deadlines are advisory
     // to ~milliseconds anyway.
-    if (Deadline && (Visited & 0xFF) == 0 &&
+    if (Deadline && (V & 0xFF) == 0 &&
         std::chrono::steady_clock::now() >= *Deadline) {
-      Exhausted = TruncationReason::Deadline;
+      exhaust(TruncationReason::Deadline);
       return false;
     }
     return true;
   }
 
-  bool exhausted() const { return Exhausted != TruncationReason::None; }
-  TruncationReason reason() const { return Exhausted; }
-  uint64_t visited() const { return Visited; }
-  uint64_t chargedBytes() const { return Bytes_; }
+  /// Charges memory only, without consuming a state visit. Used by the
+  /// interned-state containers, which charge their real allocation sizes
+  /// as they grow rather than a per-entry guess.
+  bool chargeBytes(uint64_t Bytes) {
+    if (Exhausted.load(std::memory_order_relaxed) != TruncationReason::None)
+      return false;
+    uint64_t B = Bytes_.fetch_add(Bytes, std::memory_order_relaxed) + Bytes;
+    if (Spec.MaxMemoryBytes && B > Spec.MaxMemoryBytes) {
+      exhaust(TruncationReason::MemoryCap);
+      return false;
+    }
+    return true;
+  }
+
+  bool exhausted() const {
+    return Exhausted.load(std::memory_order_relaxed) != TruncationReason::None;
+  }
+  TruncationReason reason() const {
+    return Exhausted.load(std::memory_order_relaxed);
+  }
+  uint64_t visited() const { return Visited.load(std::memory_order_relaxed); }
+  uint64_t chargedBytes() const {
+    return Bytes_.load(std::memory_order_relaxed);
+  }
   const BudgetSpec &spec() const { return Spec; }
 
   /// Milliseconds since the budget was created.
@@ -121,12 +144,19 @@ public:
   std::string describe() const;
 
 private:
+  /// First writer wins; later exhaustion reasons do not overwrite it.
+  void exhaust(TruncationReason R) {
+    TruncationReason Expected = TruncationReason::None;
+    Exhausted.compare_exchange_strong(Expected, R,
+                                      std::memory_order_relaxed);
+  }
+
   BudgetSpec Spec;
   std::chrono::steady_clock::time_point Start;
   std::optional<std::chrono::steady_clock::time_point> Deadline;
-  uint64_t Visited = 0;
-  uint64_t Bytes_ = 0;
-  TruncationReason Exhausted = TruncationReason::None;
+  std::atomic<uint64_t> Visited{0};
+  std::atomic<uint64_t> Bytes_{0};
+  std::atomic<TruncationReason> Exhausted{TruncationReason::None};
 };
 
 /// Tri-state result of a verification query.

@@ -1,0 +1,277 @@
+#include "support/Intern.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace tracesafe;
+
+namespace {
+
+inline uint64_t mix64(uint64_t Z) {
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+  return Z ^ (Z >> 31);
+}
+
+} // namespace
+
+uint64_t InternPool::hashWords(const uint64_t *Words, size_t N) {
+  uint64_t H = 0x9E3779B97F4A7C15ULL ^ (static_cast<uint64_t>(N) << 1);
+  for (size_t I = 0; I < N; ++I)
+    H = mix64(H ^ Words[I]);
+  return H;
+}
+
+struct InternPool::Shard {
+  static constexpr size_t ChunkWords = 1 << 13; // 64 KiB of span storage
+
+  struct Entry {
+    const uint64_t *Ptr;
+    uint32_t Len;
+    uint64_t Hash;
+  };
+
+  mutable std::mutex M;
+  std::vector<std::unique_ptr<uint64_t[]>> Chunks;
+  size_t ChunkUsed = ChunkWords; // full: first intern allocates
+  std::vector<Entry> Entries;
+  std::vector<uint32_t> Slots; // entry index + 1; 0 = empty
+  uint64_t Bytes = 0;
+
+  Shard() : Slots(64, 0) { Bytes += Slots.size() * sizeof(uint32_t); }
+
+  const uint64_t *store(const uint64_t *Words, size_t N, uint64_t &Charged) {
+    if (N == 0) { // e.g. the empty sleep-set signature
+      static const uint64_t Dummy = 0;
+      return &Dummy;
+    }
+    if (N > ChunkWords - ChunkUsed) {
+      size_t Cap = N > ChunkWords ? N : ChunkWords;
+      Chunks.push_back(std::make_unique<uint64_t[]>(Cap));
+      ChunkUsed = 0;
+      Charged += Cap * sizeof(uint64_t);
+      Bytes += Cap * sizeof(uint64_t);
+      if (Cap > ChunkWords) { // dedicated oversize chunk; retire it
+        ChunkUsed = Cap;
+        std::memcpy(Chunks.back().get(), Words, N * sizeof(uint64_t));
+        return Chunks.back().get();
+      }
+    }
+    uint64_t *Dst = Chunks.back().get() + ChunkUsed;
+    std::memcpy(Dst, Words, N * sizeof(uint64_t));
+    ChunkUsed += N;
+    return Dst;
+  }
+
+  /// \p ShardBits must match the probe-start computation in intern():
+  /// lookups begin at (Hash >> ShardBits) & Mask, so the rehash must too,
+  /// or post-growth probes miss existing entries and intern duplicates.
+  void growTable(unsigned ShardBits, uint64_t &Charged) {
+    std::vector<uint32_t> Old = std::move(Slots);
+    Slots.assign(Old.size() * 2, 0);
+    Charged += Slots.size() * sizeof(uint32_t);
+    Bytes += Slots.size() * sizeof(uint32_t);
+    size_t Mask = Slots.size() - 1;
+    for (uint32_t V : Old) {
+      if (!V)
+        continue;
+      size_t I = (Entries[V - 1].Hash >> ShardBits) & Mask;
+      while (Slots[I])
+        I = (I + 1) & Mask;
+      Slots[I] = V;
+    }
+  }
+};
+
+InternPool::InternPool(unsigned ShardBits, Budget *Shared)
+    : ShardBits(ShardBits), Shared(Shared) {
+  Shards.reserve(1u << ShardBits);
+  for (size_t I = 0; I < (1u << ShardBits); ++I)
+    Shards.push_back(std::make_unique<Shard>());
+}
+
+InternPool::~InternPool() = default;
+
+InternPool::Result InternPool::intern(const uint64_t *Words, size_t N) {
+  uint64_t Hash = hashWords(Words, N);
+  Shard &S = *Shards[Hash & ((1u << ShardBits) - 1)];
+  std::lock_guard<std::mutex> Lock(S.M);
+  size_t Mask = S.Slots.size() - 1;
+  size_t I = (Hash >> ShardBits) & Mask;
+  while (uint32_t V = S.Slots[I]) {
+    const Shard::Entry &E = S.Entries[V - 1];
+    if (E.Hash == Hash && E.Len == N &&
+        (N == 0 || std::memcmp(E.Ptr, Words, N * sizeof(uint64_t)) == 0))
+      return {(static_cast<uint32_t>(V - 1) << ShardBits) |
+                  static_cast<uint32_t>(Hash & ((1u << ShardBits) - 1)),
+              false};
+    I = (I + 1) & Mask;
+  }
+  uint64_t Charged = 0;
+  const uint64_t *Ptr = S.store(Words, N, Charged);
+  size_t OldCap = S.Entries.capacity();
+  S.Entries.push_back({Ptr, static_cast<uint32_t>(N), Hash});
+  if (S.Entries.capacity() != OldCap) {
+    uint64_t Delta =
+        (S.Entries.capacity() - OldCap) * sizeof(Shard::Entry);
+    Charged += Delta;
+    S.Bytes += Delta;
+  }
+  uint32_t Idx = static_cast<uint32_t>(S.Entries.size() - 1);
+  S.Slots[I] = Idx + 1;
+  // Grow at ~70% load so probe sequences stay short.
+  if (S.Entries.size() * 10 > S.Slots.size() * 7)
+    S.growTable(ShardBits, Charged);
+  if (Shared && Charged)
+    Shared->chargeBytes(Charged);
+  return {(Idx << ShardBits) |
+              static_cast<uint32_t>(Hash & ((1u << ShardBits) - 1)),
+          true};
+}
+
+std::pair<const uint64_t *, uint32_t> InternPool::view(uint32_t Id) const {
+  const Shard &S = *Shards[Id & ((1u << ShardBits) - 1)];
+  std::lock_guard<std::mutex> Lock(S.M);
+  const Shard::Entry &E = S.Entries[Id >> ShardBits];
+  return {E.Ptr, E.Len};
+}
+
+size_t InternPool::size() const {
+  size_t N = 0;
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->M);
+    N += S->Entries.size();
+  }
+  return N;
+}
+
+uint64_t InternPool::bytes() const {
+  uint64_t N = 0;
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->M);
+    N += S->Bytes;
+  }
+  return N;
+}
+
+namespace {
+
+/// Both signatures are sorted event-id spans; subset by two-pointer walk.
+bool sigSubset(const uint64_t *A, uint32_t An, const uint64_t *B,
+               uint32_t Bn) {
+  if (An > Bn)
+    return false;
+  uint32_t J = 0;
+  for (uint32_t I = 0; I < An; ++I) {
+    while (J < Bn && B[J] < A[I])
+      ++J;
+    if (J == Bn || B[J] != A[I])
+      return false;
+    ++J;
+  }
+  return true;
+}
+
+} // namespace
+
+struct SleepMemo::Shard {
+  struct Cell {
+    uint32_t Key;
+    uint32_t Head; ///< record index + 1; 0 = none
+  };
+  struct Record {
+    uint32_t Sig;
+    uint32_t Next; ///< record index + 1; 0 = end
+  };
+  static constexpr uint32_t EmptyKey = 0xFFFFFFFFu;
+
+  std::mutex M;
+  std::vector<Cell> Cells;
+  std::vector<Record> Records;
+  size_t Used = 0;
+  uint64_t Bytes = 0;
+
+  Shard() : Cells(64, {EmptyKey, 0}) {
+    Bytes += Cells.size() * sizeof(Cell);
+  }
+
+  Cell &find(uint32_t Key) {
+    size_t Mask = Cells.size() - 1;
+    size_t I = mix64(Key) & Mask;
+    while (Cells[I].Key != EmptyKey && Cells[I].Key != Key)
+      I = (I + 1) & Mask;
+    return Cells[I];
+  }
+
+  void growTable(uint64_t &Charged) {
+    std::vector<Cell> Old = std::move(Cells);
+    Cells.assign(Old.size() * 2, {EmptyKey, 0});
+    Charged += Cells.size() * sizeof(Cell);
+    Bytes += Cells.size() * sizeof(Cell);
+    for (const Cell &C : Old)
+      if (C.Key != EmptyKey)
+        find(C.Key) = C;
+  }
+};
+
+SleepMemo::SleepMemo(unsigned ShardBits, const InternPool &Sigs,
+                     Budget *Shared)
+    : ShardBits(ShardBits), Sigs(Sigs), Shared(Shared) {
+  Shards.reserve(1u << ShardBits);
+  for (size_t I = 0; I < (1u << ShardBits); ++I)
+    Shards.push_back(std::make_unique<Shard>());
+}
+
+SleepMemo::~SleepMemo() = default;
+
+bool SleepMemo::shouldExplore(uint32_t StateId, uint32_t SigId) {
+  Shard &S = *Shards[mix64(StateId) & ((1u << ShardBits) - 1)];
+  auto [CurPtr, CurLen] = Sigs.view(SigId);
+  std::lock_guard<std::mutex> Lock(S.M);
+  uint64_t Charged = 0;
+  Shard::Cell &C = S.find(StateId);
+  if (C.Key == Shard::EmptyKey) {
+    C.Key = StateId;
+    ++S.Used;
+  } else {
+    // Prune iff a recorded sleep set is a subset of the current one: that
+    // visit explored every transition this visit would. While walking,
+    // unlink records dominated by (strict supersets of) the new set.
+    uint32_t *Link = &C.Head;
+    while (*Link) {
+      Shard::Record &R = S.Records[*Link - 1];
+      if (R.Sig == SigId)
+        return false;
+      auto [RecPtr, RecLen] = Sigs.view(R.Sig);
+      if (sigSubset(RecPtr, RecLen, CurPtr, CurLen))
+        return false;
+      if (sigSubset(CurPtr, CurLen, RecPtr, RecLen))
+        *Link = R.Next; // dominated: the new record covers it
+      else
+        Link = &R.Next;
+    }
+  }
+  size_t OldCap = S.Records.capacity();
+  S.Records.push_back({SigId, C.Head});
+  if (S.Records.capacity() != OldCap) {
+    uint64_t Delta =
+        (S.Records.capacity() - OldCap) * sizeof(Shard::Record);
+    Charged += Delta;
+    S.Bytes += Delta;
+  }
+  C.Head = static_cast<uint32_t>(S.Records.size());
+  if (S.Used * 10 > S.Cells.size() * 7)
+    S.growTable(Charged);
+  if (Shared && Charged)
+    Shared->chargeBytes(Charged);
+  return true;
+}
+
+uint64_t SleepMemo::bytes() const {
+  uint64_t N = 0;
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->M);
+    N += S->Bytes;
+  }
+  return N;
+}

@@ -1,16 +1,22 @@
 #include "support/Symbol.h"
 
 #include <cassert>
+#include <deque>
+#include <mutex>
 #include <unordered_map>
-#include <vector>
 
 using namespace tracesafe;
 
 namespace {
 
+/// Names live in a deque so the references handed out by Symbol::name stay
+/// valid while other threads intern (deque growth never moves elements).
+/// The mutex makes interning safe from the parallel engines; ids are dense
+/// and stable for the process lifetime as before.
 struct Interner {
+  std::mutex M;
   std::unordered_map<std::string, SymbolId> Ids;
-  std::vector<std::string> Names;
+  std::deque<std::string> Names;
 };
 
 Interner &interner() {
@@ -22,6 +28,7 @@ Interner &interner() {
 
 SymbolId Symbol::intern(const std::string &Name) {
   Interner &I = interner();
+  std::lock_guard<std::mutex> Lock(I.M);
   auto It = I.Ids.find(Name);
   if (It != I.Ids.end())
     return It->second;
@@ -33,8 +40,13 @@ SymbolId Symbol::intern(const std::string &Name) {
 
 const std::string &Symbol::name(SymbolId Id) {
   Interner &I = interner();
+  std::lock_guard<std::mutex> Lock(I.M);
   assert(Id < I.Names.size() && "unknown symbol id");
   return I.Names[Id];
 }
 
-size_t Symbol::count() { return interner().Names.size(); }
+size_t Symbol::count() {
+  Interner &I = interner();
+  std::lock_guard<std::mutex> Lock(I.M);
+  return I.Names.size();
+}

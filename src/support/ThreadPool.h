@@ -1,0 +1,115 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Work-stealing thread pool for the parallel verification engines.
+///
+/// The pool owns N worker threads, each with its own task deque. A worker
+/// pushes and pops its own deque LIFO (depth-first locality for recursive
+/// searches) and steals FIFO from other workers (oldest tasks are the
+/// largest subtrees, so a thief grabs the most work per steal). Tasks are
+/// grouped into TaskGroups for fork/join: a thread that waits on a group
+/// executes the group's pending tasks itself instead of blocking, so
+/// nested parallel queries (a fuzz worker running a parallel enumeration)
+/// keep every core busy and can never deadlock on pool starvation.
+///
+/// The pool is deliberately oblivious to what tasks compute: determinism
+/// of the parallel engines comes from their merge structure (sets,
+/// monotone flags, per-index slots), never from scheduling order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACESAFE_SUPPORT_THREADPOOL_H
+#define TRACESAFE_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tracesafe {
+
+class ThreadPool {
+public:
+  class TaskGroup;
+
+  /// Creates a pool with \p Workers threads; 0 means defaultWorkerCount().
+  explicit ThreadPool(unsigned Workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned workerCount() const { return static_cast<unsigned>(Queues.size()); }
+
+  /// True when at least one worker is parked with nothing to do — the
+  /// parallel searches use this as the "worth forking a subtree?" hint.
+  bool hasIdleWorker() const {
+    return Idle.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Worker count used by ThreadPool() and the engines' Workers=0 default:
+  /// the TRACESAFE_WORKERS environment variable when set and positive,
+  /// otherwise std::thread::hardware_concurrency().
+  static unsigned defaultWorkerCount();
+
+  /// Lazily constructed process-wide pool with defaultWorkerCount()
+  /// workers; shared by the engines so repeated queries do not pay thread
+  /// creation. Never destroyed before exit.
+  static ThreadPool &shared();
+
+  /// Fork/join scope. Spawned tasks may themselves spawn into the same
+  /// group (recursive splitting); wait() returns once every task spawned
+  /// so far has finished. The destructor waits.
+  class TaskGroup {
+  public:
+    explicit TaskGroup(ThreadPool &Pool) : Pool(Pool) {}
+    ~TaskGroup() { wait(); }
+
+    TaskGroup(const TaskGroup &) = delete;
+    TaskGroup &operator=(const TaskGroup &) = delete;
+
+    void spawn(std::function<void()> Fn);
+    void wait();
+
+  private:
+    friend class ThreadPool;
+    ThreadPool &Pool;
+    std::atomic<uint64_t> Outstanding{0};
+    std::mutex DoneM;
+    std::condition_variable DoneCv;
+  };
+
+private:
+  struct Task {
+    std::function<void()> Fn;
+    TaskGroup *Group = nullptr;
+  };
+
+  struct WorkerQueue {
+    std::mutex M;
+    std::deque<Task> Q;
+  };
+
+  void workerMain(unsigned Index);
+  void push(Task T);
+  /// Pops a task: own queue back first (when \p Self is a worker), then
+  /// other queues front. \p GroupOnly restricts to tasks of that group.
+  bool pop(Task &Out, int Self, TaskGroup *GroupOnly);
+  void finish(TaskGroup *Group);
+
+  std::vector<std::unique_ptr<WorkerQueue>> Queues;
+  std::vector<std::thread> Workers;
+  std::mutex SleepM;
+  std::condition_variable SleepCv;
+  std::atomic<unsigned> Idle{0};
+  std::atomic<bool> Stopping{false};
+};
+
+} // namespace tracesafe
+
+#endif // TRACESAFE_SUPPORT_THREADPOOL_H

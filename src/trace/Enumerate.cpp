@@ -1,11 +1,29 @@
 #include "trace/Enumerate.h"
 
+#include "support/Intern.h"
+#include "support/ThreadPool.h"
 #include "trace/HappensBefore.h"
 
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cassert>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <tuple>
+#include <unordered_map>
 
 using namespace tracesafe;
+
+//===----------------------------------------------------------------------===//
+// Seed sequential engine (EnumerationLimits::ExhaustiveOracle).
+//
+// This is the original std::set-memoised exhaustive search, kept verbatim as
+// a cross-check oracle for the parallel engine below. The equivalence tests
+// assert verdict-identical results between the two on every program in the
+// suite.
+//===----------------------------------------------------------------------===//
 
 namespace {
 
@@ -140,33 +158,11 @@ private:
   Interleaving Current;
 };
 
-} // namespace
-
-EnumerationStats tracesafe::forEachExecution(
-    const Traceset &T, const std::function<bool(const Interleaving &)> &Visit,
-    EnumerationLimits Limits) {
-  EnumerationStats Stats;
-  Enumerator E(T, Limits);
-  E.dfs(Visit, /*MaximalOnly=*/false, Stats);
-  return Stats;
-}
-
-EnumerationStats tracesafe::forEachMaximalExecution(
-    const Traceset &T, const std::function<bool(const Interleaving &)> &Visit,
-    EnumerationLimits Limits) {
-  EnumerationStats Stats;
-  Enumerator E(T, Limits);
-  E.dfs(Visit, /*MaximalOnly=*/true, Stats);
-  return Stats;
-}
-
-namespace {
-
-/// Memoisation key for the behaviour/race searches: the full global state.
-/// Per-thread traces determine enabled continuations; memory and locks
-/// determine enabledness; the tail component disambiguates what else the
-/// future can depend on (behaviour so far, or the previous event for the
-/// adjacent-race search).
+/// Memoisation key for the oracle behaviour/race searches: the full global
+/// state. Per-thread traces determine enabled continuations; memory and
+/// locks determine enabledness; the tail component disambiguates what else
+/// the future can depend on (behaviour so far, or the previous event for
+/// the adjacent-race search).
 struct StateKey {
   std::vector<std::pair<ThreadId, Trace>> ThreadTraces;
   std::vector<std::pair<SymbolId, Value>> Memory;
@@ -285,11 +281,9 @@ public:
   }
 };
 
-} // namespace
-
-std::set<Behaviour> tracesafe::collectBehaviours(const Traceset &T,
-                                                 EnumerationLimits Limits,
-                                                 EnumerationStats *Stats) {
+std::set<Behaviour> oracleCollectBehaviours(const Traceset &T,
+                                            EnumerationLimits Limits,
+                                            EnumerationStats *Stats) {
   std::set<Behaviour> Result;
   Result.insert(Behaviour{});
   MemoSearch S(T, Limits);
@@ -310,8 +304,8 @@ std::set<Behaviour> tracesafe::collectBehaviours(const Traceset &T,
   return Result;
 }
 
-RaceReport tracesafe::findAdjacentRace(const Traceset &T,
-                                       EnumerationLimits Limits) {
+RaceReport oracleFindAdjacentRace(const Traceset &T,
+                                  EnumerationLimits Limits) {
   RaceReport Report;
   // DFS (no memo shortcut for the witness path: we re-run a plain DFS, but
   // with a memoised feasibility filter keyed on (state, previous event); the
@@ -397,6 +391,658 @@ RaceReport tracesafe::findAdjacentRace(const Traceset &T,
   Report.HasRace = Found;
   Report.Witness = Witness;
   Report.Stats = S.Stats;
+  return Report;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Parallel engine: hash-consed interned states, sleep-set partial-order
+// reduction, work-stealing frontier split.
+//
+// Every structure the search touches is encoded as a short span of uint64
+// words and interned (InternPool): per-thread traces become trie nodes
+// ([parent id, action word]) so a thread's trace id updates in O(1) per
+// step; global states become [header, trace ids, memory, locks, tail]
+// spans; enabled steps become event ids used in sleep-set signatures.
+//
+// Sleep sets (Godefroid): a child inherits sleep set
+//   { b in Sleep u ExploredEarlierSiblings : independent(b, chosen) },
+// and sleeping transitions are not explored — the sibling branch that
+// explored them covers every trace starting with them. Combined with state
+// memoisation this is only sound under the subset rule (SleepMemo): a
+// revisit is pruned iff a recorded sleep set is a subset of the current
+// one. Both queries below survive the reduction because their predicates
+// are state-local and the reduced graph still visits every reachable
+// state: every full execution has an equivalent explored linearisation,
+// and equivalent executions end in the same state.
+//
+//  - Behaviours: external actions are pairwise dependent, so equivalent
+//    executions have identical external sequences; recording the behaviour
+//    on every explored external edge therefore records the behaviour of
+//    every execution of the full graph.
+//  - Races: the paper's adjacent-conflicting-pair definition is equivalent
+//    to a state-local predicate — a race exists iff some reachable state s
+//    enables a, with b a pending successor of another thread, conflicting
+//    with a, such that a.b (or b.a) is executable from s. (If b is a read
+//    disabled after a's write, then b was enabled at s itself and the pair
+//    fires as b.a; writes are always enabled.) The predicate is evaluated
+//    once per distinct interned state.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+// Forking is restricted to the first MaxForkDepth levels of a search:
+// that is where the large subtrees live, and it bounds the per-transition
+// NodeState copies on hosts where idle workers are always available (a
+// pool wider than the machine), where an unconditional hasIdleWorker()
+// gate would fork nearly every edge. Fan-out within twelve levels is far
+// more than any pool width, so real machines still fill every core.
+constexpr unsigned MaxForkDepth = 12;
+
+// Span kind tags (top bits of the first word) keep the trie/event/state
+// encodings from colliding inside the shared intern pool.
+constexpr uint64_t TagTrace = 0x1ULL << 62;
+constexpr uint64_t TagEvent = 0x2ULL << 62;
+constexpr uint64_t TagState = 0x3ULL << 62;
+
+/// One action packed into a word: kind | volatile | wildcard | id | value.
+uint64_t actionWord(const Action &A) {
+  uint64_t Id = 0;
+  uint64_t Val = 0;
+  switch (A.kind()) {
+  case ActionKind::Start:
+    Id = A.entry();
+    break;
+  case ActionKind::Read:
+    Id = A.location();
+    if (!A.isWildcard())
+      Val = static_cast<uint32_t>(A.value());
+    break;
+  case ActionKind::Write:
+    Id = A.location();
+    Val = static_cast<uint32_t>(A.value());
+    break;
+  case ActionKind::Lock:
+  case ActionKind::Unlock:
+    Id = A.monitor();
+    break;
+  case ActionKind::External:
+    Val = static_cast<uint32_t>(A.value());
+    break;
+  }
+  assert(Id < (1ULL << 25) && "symbol id exceeds action-word encoding");
+  return (static_cast<uint64_t>(A.kind()) << 59) |
+         (static_cast<uint64_t>(A.isVolatileAccess()) << 58) |
+         (static_cast<uint64_t>(A.isWildcard()) << 57) | (Id << 32) | Val;
+}
+
+/// Mazurkiewicz independence for this semantics. Dependent pairs: same
+/// thread (program order); two externals (behaviour order is observable);
+/// same-location accesses with a write — at ANY volatility, because even a
+/// volatile read's enabledness tests memory; same-monitor lock/unlock
+/// (mutual exclusion and ownership). Everything else commutes and neither
+/// side can disable the other.
+bool independentEvents(const Event &A, const Event &B) {
+  if (A.Tid == B.Tid)
+    return false;
+  const Action &X = A.Act;
+  const Action &Y = B.Act;
+  if (X.isExternal() && Y.isExternal())
+    return false;
+  if ((X.isLock() || X.isUnlock()) && (Y.isLock() || Y.isUnlock()) &&
+      X.monitor() == Y.monitor())
+    return false;
+  if (X.isMemoryAccess() && Y.isMemoryAccess() &&
+      X.location() == Y.location() && (X.isWrite() || Y.isWrite()))
+    return false;
+  return true;
+}
+
+/// A sleep-set element: the interned event id (signature order and
+/// membership tests) plus the decoded event (independence checks).
+struct SleepElem {
+  uint32_t Id;
+  Event Ev;
+};
+
+/// Mutable global search state. Copyable: handing a subtree to another
+/// worker is one copy; inline recursion uses apply/undo instead.
+struct NodeState {
+  std::vector<Trace> Traces;      ///< per dense thread index
+  std::vector<uint32_t> TraceIds; ///< interned trie node per thread
+  std::map<SymbolId, Value> Memory;
+  std::map<SymbolId, std::pair<ThreadId, int>> LockDepth;
+  std::vector<Value> Tail;        ///< behaviour so far (behaviours mode)
+  Interleaving Path;              ///< events from the root (race/visitor)
+  std::vector<SleepElem> Sleep;   ///< sorted by Id
+};
+
+bool stepEnabled(const std::vector<ThreadId> &Tids, const NodeState &N,
+                 size_t Ti, const Action &A) {
+  const Trace &Cur = N.Traces[Ti];
+  if (Cur.empty() && (!A.isStart() || A.entry() != Tids[Ti]))
+    return false;
+  if (A.isRead() && !A.isWildcard()) {
+    auto It = N.Memory.find(A.location());
+    Value Expected = It == N.Memory.end() ? DefaultValue : It->second;
+    if (A.value() != Expected)
+      return false;
+  }
+  if (A.isLock()) {
+    auto It = N.LockDepth.find(A.monitor());
+    if (It != N.LockDepth.end() && It->second.second > 0 &&
+        It->second.first != Tids[Ti])
+      return false;
+  }
+  return true;
+}
+
+struct StepUndo {
+  uint32_t OldTraceId = 0;
+  bool HadMem = false;
+  Value OldMem = 0;
+  std::pair<ThreadId, int> OldLock{0, 0};
+  bool PushedTail = false;
+  bool PushedPath = false;
+};
+
+void applyStep(NodeState &N, size_t Ti, const Event &Ev, InternPool *Structs,
+               bool TrackTail, bool TrackPath, StepUndo &U) {
+  const Action &A = Ev.Act;
+  N.Traces[Ti].push_back(A);
+  if (Structs) {
+    U.OldTraceId = N.TraceIds[Ti];
+    uint64_t W[2] = {TagTrace | N.TraceIds[Ti], actionWord(A)};
+    N.TraceIds[Ti] = Structs->intern(W, 2).Id;
+  }
+  if (A.isWrite()) {
+    auto It = N.Memory.find(A.location());
+    if (It != N.Memory.end()) {
+      U.HadMem = true;
+      U.OldMem = It->second;
+    }
+    N.Memory[A.location()] = A.value();
+  }
+  if (A.isLock() || A.isUnlock()) {
+    auto &Slot = N.LockDepth[A.monitor()];
+    U.OldLock = Slot;
+    Slot = A.isLock() ? std::make_pair(Ev.Tid, Slot.second + 1)
+                      : std::make_pair(Slot.first, Slot.second - 1);
+  }
+  if (TrackTail && A.isExternal()) {
+    N.Tail.push_back(A.value());
+    U.PushedTail = true;
+  }
+  if (TrackPath) {
+    N.Path.push_back(Ev);
+    U.PushedPath = true;
+  }
+}
+
+void undoStep(NodeState &N, size_t Ti, const Event &Ev, InternPool *Structs,
+              const StepUndo &U) {
+  const Action &A = Ev.Act;
+  if (U.PushedPath)
+    N.Path.pop_back();
+  if (U.PushedTail)
+    N.Tail.pop_back();
+  if (A.isLock() || A.isUnlock())
+    N.LockDepth[A.monitor()] = U.OldLock;
+  if (A.isWrite()) {
+    if (U.HadMem)
+      N.Memory[A.location()] = U.OldMem;
+    else
+      N.Memory.erase(A.location());
+  }
+  if (Structs)
+    N.TraceIds[Ti] = U.OldTraceId;
+  N.Traces[Ti].pop_back();
+}
+
+bool sleepContains(const std::vector<SleepElem> &Sleep, uint32_t Id) {
+  auto It = std::lower_bound(
+      Sleep.begin(), Sleep.end(), Id,
+      [](const SleepElem &S, uint32_t V) { return S.Id < V; });
+  return It != Sleep.end() && It->Id == Id;
+}
+
+/// The memoised behaviour/race searches on the interned + sleep-set + (when
+/// Workers != 1) work-stealing engine.
+class ReducedQuery {
+public:
+  ReducedQuery(const Traceset &T, const EnumerationLimits &Limits,
+               bool RaceMode)
+      : T(T), Limits(Limits), RaceMode(RaceMode),
+        Parallel(Limits.Workers != 1),
+        Structs(Parallel ? 6 : 0, Limits.Shared),
+        Sigs(Parallel ? 6 : 0, Limits.Shared) {
+    if (Limits.SleepSets)
+      Memo = std::make_unique<SleepMemo>(Parallel ? 6 : 0, Sigs,
+                                         Limits.Shared);
+    Tids = T.entryPoints();
+    std::sort(Tids.begin(), Tids.end());
+  }
+
+  void run() {
+    NodeState Root;
+    Root.Traces.assign(Tids.size(), Trace());
+    uint64_t EmptyWord = TagTrace;
+    Root.TraceIds.assign(Tids.size(), Structs.intern(&EmptyWord, 1).Id);
+    if (!RaceMode)
+      Behaviours.insert(Behaviour{});
+    if (!Parallel) {
+      search(Root);
+    } else {
+      if (Limits.Workers > 1)
+        Owned = std::make_unique<ThreadPool>(Limits.Workers);
+      Pool = Owned ? Owned.get() : &ThreadPool::shared();
+      {
+        ThreadPool::TaskGroup G(*Pool);
+        Group = &G;
+        auto R = std::make_shared<NodeState>(std::move(Root));
+        G.spawn([this, R] { search(*R); });
+        G.wait();
+      }
+      Group = nullptr;
+    }
+    std::lock_guard<std::mutex> Lock(ResM);
+    Stats.Visited = VisitedCount.load(std::memory_order_relaxed);
+  }
+
+  // Results (valid after run()).
+  std::set<Behaviour> Behaviours;
+  bool HasRace = false;
+  Interleaving Witness;
+  EnumerationStats Stats;
+
+private:
+  void truncate(TruncationReason R) {
+    std::lock_guard<std::mutex> Lock(ResM);
+    Stats.truncate(R);
+  }
+
+  /// [TagState | counts, trace ids, (loc,val)*, (mon,owner),(depth)*,
+  /// tail*]. Maps iterate sorted, so the encoding is canonical per state.
+  void encodeState(const NodeState &N, std::vector<uint64_t> &Out) const {
+    Out.clear();
+    size_t NumLocks = 0;
+    for (const auto &[Mon, Slot] : N.LockDepth)
+      if (Slot.second > 0)
+        ++NumLocks;
+    Out.push_back(TagState |
+                  (static_cast<uint64_t>(N.Memory.size()) << 36) |
+                  (static_cast<uint64_t>(NumLocks) << 24) | N.Tail.size());
+    for (uint32_t Id : N.TraceIds)
+      Out.push_back(Id);
+    for (const auto &[Loc, V] : N.Memory)
+      Out.push_back((static_cast<uint64_t>(Loc) << 32) |
+                    static_cast<uint32_t>(V));
+    for (const auto &[Mon, Slot] : N.LockDepth)
+      if (Slot.second > 0) {
+        Out.push_back((static_cast<uint64_t>(Mon) << 32) |
+                      static_cast<uint32_t>(Slot.first));
+        Out.push_back(static_cast<uint64_t>(Slot.second));
+      }
+    for (Value V : N.Tail)
+      Out.push_back(static_cast<uint32_t>(V));
+  }
+
+  /// Successors of a thread trace, memoised by its interned trie id.
+  /// Traceset::successors walks the underlying std::set with full trace
+  /// comparisons — the dominant per-expansion cost — but many states share
+  /// the same per-thread traces, so one walk per *distinct* trace serves
+  /// every arrival. References stay valid across inserts (node-based map).
+  const std::vector<Action> &successorsFor(uint32_t Id, const Trace &Tr) {
+    SuccShard &S = SuccCache[Id % SuccCache.size()];
+    {
+      std::lock_guard<std::mutex> Lock(S.M);
+      auto It = S.Map.find(Id);
+      if (It != S.Map.end())
+        return It->second;
+    }
+    std::vector<Action> Succ = T.successors(Tr); // set walk, outside lock
+    std::lock_guard<std::mutex> Lock(S.M);
+    auto [It, Inserted] = S.Map.emplace(Id, std::move(Succ));
+    if (Inserted && Limits.Shared)
+      Limits.Shared->chargeBytes(It->second.capacity() * sizeof(Action) +
+                                 sizeof(void *) * 4);
+    return It->second;
+  }
+
+  /// State-local adjacent-race predicate (see file comment). Returns true
+  /// (and records the witness, broadcasting stop) when a race fires at N.
+  bool checkRace(const NodeState &N,
+                 const std::vector<const std::vector<Action> *> &Succ) {
+    size_t NT = Tids.size();
+    for (size_t Ti = 0; Ti < NT; ++Ti) {
+      for (const Action &A : *Succ[Ti]) {
+        if (!A.isNormalAccess())
+          continue; // only normal accesses conflict (§3)
+        if (!stepEnabled(Tids, N, Ti, A))
+          continue;
+        for (size_t Tj = 0; Tj < NT; ++Tj) {
+          if (Tj == Ti || N.Traces[Tj].empty())
+            continue;
+          for (const Action &B : *Succ[Tj]) {
+            if (!A.conflictsWith(B))
+              continue;
+            auto It = N.Memory.find(B.location());
+            Value MemNow = It == N.Memory.end() ? DefaultValue : It->second;
+            Value AfterA = A.isWrite() ? A.value() : MemNow;
+            Event EvA{Tids[Ti], A};
+            Event EvB{Tids[Tj], B};
+            // b executable right after a: writes (and wildcard reads)
+            // always, reads iff they see the post-a memory.
+            if (B.isWrite() || B.isWildcard() || B.value() == AfterA)
+              return raceFound(N, EvA, EvB);
+            // b is a read disabled by a's write but enabled at N itself:
+            // the pair fires in the order b.a instead (a is a write, so it
+            // stays enabled after the read).
+            if (B.value() == MemNow)
+              return raceFound(N, EvB, EvA);
+          }
+        }
+      }
+    }
+    return false;
+  }
+
+  bool raceFound(const NodeState &N, const Event &First,
+                 const Event &Second) {
+    std::lock_guard<std::mutex> Lock(ResM);
+    if (!HasRace) {
+      HasRace = true;
+      Interleaving W = N.Path;
+      W.push_back(First);
+      W.push_back(Second);
+      Witness = std::move(W);
+    }
+    StopFlag.store(true, std::memory_order_relaxed);
+    return true;
+  }
+
+  void search(NodeState &N, unsigned Depth = 0) {
+    if (StopFlag.load(std::memory_order_relaxed))
+      return;
+    uint64_t V = VisitedCount.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (V > Limits.MaxVisited) {
+      truncate(TruncationReason::StateCap);
+      return;
+    }
+    if (Limits.Shared && !Limits.Shared->charge()) {
+      truncate(Limits.Shared->reason());
+      return;
+    }
+    // Intern the global state; prune revisits (subset rule under POR).
+    std::vector<uint64_t> Enc;
+    encodeState(N, Enc);
+    InternPool::Result State = Structs.intern(Enc.data(), Enc.size());
+    if (Memo) {
+      Enc.clear();
+      for (const SleepElem &S : N.Sleep)
+        Enc.push_back(S.Id);
+      InternPool::Result Sig = Sigs.intern(Enc.data(), Enc.size());
+      if (!Memo->shouldExplore(State.Id, Sig.Id))
+        return;
+    } else if (!State.Inserted) {
+      return;
+    }
+    // Successor actions per thread, shared by the race predicate and the
+    // expansion. Threads at the depth cap are skipped and truncate.
+    static const std::vector<Action> NoSucc;
+    size_t NT = Tids.size();
+    std::vector<const std::vector<Action> *> Succ(NT, &NoSucc);
+    bool DepthHit = false;
+    for (size_t Ti = 0; Ti < NT; ++Ti) {
+      if (N.Traces[Ti].size() >= Limits.MaxEvents) {
+        DepthHit = true;
+        continue;
+      }
+      Succ[Ti] = &successorsFor(N.TraceIds[Ti], N.Traces[Ti]);
+    }
+    if (DepthHit)
+      truncate(TruncationReason::DepthCap);
+    if (RaceMode && checkRace(N, Succ))
+      return;
+    // Expand in deterministic (thread, action) order.
+    std::vector<SleepElem> Done; // earlier explored siblings
+    for (size_t Ti = 0; Ti < NT; ++Ti) {
+      for (const Action &A : *Succ[Ti]) {
+        if (StopFlag.load(std::memory_order_relaxed))
+          return;
+        if (!stepEnabled(Tids, N, Ti, A))
+          continue;
+        Event Ev{Tids[Ti], A};
+        uint32_t EvId = 0;
+        if (Memo) {
+          uint64_t W[2] = {TagEvent | Tids[Ti], actionWord(A)};
+          EvId = Structs.intern(W, 2).Id;
+          // Asleep: the sibling branch that explored this event covers
+          // every trace that starts with it here.
+          if (sleepContains(N.Sleep, EvId))
+            continue;
+        }
+        // Behaviours are recorded per explored edge, before any pruning of
+        // the child (the seed engine does the same).
+        if (!RaceMode && A.isExternal()) {
+          Behaviour B = N.Tail;
+          B.push_back(A.value());
+          std::lock_guard<std::mutex> Lock(ResM);
+          Behaviours.insert(std::move(B));
+        }
+        std::vector<SleepElem> ChildSleep;
+        if (Memo) {
+          for (const SleepElem &S : N.Sleep)
+            if (independentEvents(S.Ev, Ev))
+              ChildSleep.push_back(S);
+          for (const SleepElem &S : Done)
+            if (independentEvents(S.Ev, Ev))
+              ChildSleep.push_back(S);
+          std::sort(ChildSleep.begin(), ChildSleep.end(),
+                    [](const SleepElem &X, const SleepElem &Y) {
+                      return X.Id < Y.Id;
+                    });
+        }
+        if (Group && Depth < MaxForkDepth && Pool->hasIdleWorker()) {
+          // Hand the subtree to an idle worker: one NodeState copy.
+          auto Child = std::make_shared<NodeState>(N);
+          Child->Sleep = std::move(ChildSleep);
+          StepUndo U;
+          applyStep(*Child, Ti, Ev, &Structs, !RaceMode, RaceMode, U);
+          Group->spawn([this, Child, Depth] { search(*Child, Depth + 1); });
+        } else {
+          StepUndo U;
+          applyStep(N, Ti, Ev, &Structs, !RaceMode, RaceMode, U);
+          std::vector<SleepElem> Saved = std::move(N.Sleep);
+          N.Sleep = std::move(ChildSleep);
+          search(N, Depth + 1);
+          N.Sleep = std::move(Saved);
+          undoStep(N, Ti, Ev, &Structs, U);
+        }
+        if (Memo)
+          Done.push_back({EvId, Ev});
+      }
+    }
+  }
+
+  const Traceset &T;
+  EnumerationLimits Limits;
+  bool RaceMode;
+  bool Parallel;
+  InternPool Structs; ///< trace trie nodes, events, states
+  InternPool Sigs;    ///< sorted event-id sleep signatures
+  struct SuccShard {
+    std::mutex M;
+    std::unordered_map<uint32_t, std::vector<Action>> Map;
+  };
+  std::array<SuccShard, 16> SuccCache; ///< trie id -> successor actions
+  std::unique_ptr<SleepMemo> Memo;
+  std::vector<ThreadId> Tids;
+  std::unique_ptr<ThreadPool> Owned;
+  ThreadPool *Pool = nullptr;
+  ThreadPool::TaskGroup *Group = nullptr;
+  std::atomic<uint64_t> VisitedCount{0};
+  std::atomic<bool> StopFlag{false};
+  std::mutex ResM; ///< guards Behaviours, HasRace, Witness, Stats
+};
+
+/// Parallel visitor-based enumeration (forEach*Execution, Workers != 1).
+/// No memoisation or reduction — every execution is visited, in
+/// unspecified order; the visitor is serialized and Visit=false broadcasts
+/// stop.
+class VisitorSearch {
+public:
+  VisitorSearch(const Traceset &T, const EnumerationLimits &Limits,
+                bool MaximalOnly,
+                const std::function<bool(const Interleaving &)> &Visit)
+      : T(T), Limits(Limits), MaximalOnly(MaximalOnly), Visit(Visit) {
+    Tids = T.entryPoints();
+    std::sort(Tids.begin(), Tids.end());
+  }
+
+  EnumerationStats run() {
+    NodeState Root;
+    Root.Traces.assign(Tids.size(), Trace());
+    if (Limits.Workers > 1)
+      Owned = std::make_unique<ThreadPool>(Limits.Workers);
+    Pool = Owned ? Owned.get() : &ThreadPool::shared();
+    {
+      ThreadPool::TaskGroup G(*Pool);
+      Group = &G;
+      auto R = std::make_shared<NodeState>(std::move(Root));
+      G.spawn([this, R] { search(*R); });
+      G.wait();
+    }
+    Group = nullptr;
+    std::lock_guard<std::mutex> Lock(StatsM);
+    Stats.Visited = VisitedCount.load(std::memory_order_relaxed);
+    return Stats;
+  }
+
+private:
+  void truncate(TruncationReason R) {
+    std::lock_guard<std::mutex> Lock(StatsM);
+    Stats.truncate(R);
+  }
+
+  void search(NodeState &N, unsigned Depth = 0) {
+    if (StopFlag.load(std::memory_order_relaxed))
+      return;
+    uint64_t V = VisitedCount.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (V > Limits.MaxVisited) {
+      truncate(TruncationReason::StateCap);
+      return;
+    }
+    if (N.Path.size() >= Limits.MaxEvents) {
+      truncate(TruncationReason::DepthCap);
+      return;
+    }
+    if (Limits.Shared && !Limits.Shared->charge()) {
+      truncate(Limits.Shared->reason());
+      return;
+    }
+    std::vector<std::pair<size_t, Action>> Steps;
+    for (size_t Ti = 0; Ti < Tids.size(); ++Ti)
+      for (const Action &A : T.successors(N.Traces[Ti]))
+        if (stepEnabled(Tids, N, Ti, A))
+          Steps.emplace_back(Ti, A);
+    if ((!MaximalOnly && !N.Path.empty()) ||
+        (MaximalOnly && Steps.empty())) {
+      std::lock_guard<std::mutex> Lock(VisitM);
+      if (StopFlag.load(std::memory_order_relaxed))
+        return;
+      if (!Visit(N.Path)) {
+        StopFlag.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+    for (const auto &[Ti, A] : Steps) {
+      if (StopFlag.load(std::memory_order_relaxed))
+        return;
+      Event Ev{Tids[Ti], A};
+      // Same shallow-fork gate as ReducedQuery::search.
+      if (Group && Depth < MaxForkDepth && Pool->hasIdleWorker()) {
+        auto Child = std::make_shared<NodeState>(N);
+        StepUndo U;
+        applyStep(*Child, Ti, Ev, nullptr, false, true, U);
+        Group->spawn([this, Child, Depth] { search(*Child, Depth + 1); });
+      } else {
+        StepUndo U;
+        applyStep(N, Ti, Ev, nullptr, false, true, U);
+        search(N, Depth + 1);
+        undoStep(N, Ti, Ev, nullptr, U);
+      }
+    }
+  }
+
+  const Traceset &T;
+  EnumerationLimits Limits;
+  bool MaximalOnly;
+  const std::function<bool(const Interleaving &)> &Visit;
+  std::vector<ThreadId> Tids;
+  std::unique_ptr<ThreadPool> Owned;
+  ThreadPool *Pool = nullptr;
+  ThreadPool::TaskGroup *Group = nullptr;
+  std::atomic<uint64_t> VisitedCount{0};
+  std::atomic<bool> StopFlag{false};
+  std::mutex VisitM;
+  std::mutex StatsM;
+  EnumerationStats Stats;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Public entry points: dispatch between the engines.
+//===----------------------------------------------------------------------===//
+
+EnumerationStats tracesafe::forEachExecution(
+    const Traceset &T, const std::function<bool(const Interleaving &)> &Visit,
+    EnumerationLimits Limits) {
+  if (Limits.Workers == 1 || Limits.ExhaustiveOracle) {
+    EnumerationStats Stats;
+    Enumerator E(T, Limits);
+    E.dfs(Visit, /*MaximalOnly=*/false, Stats);
+    return Stats;
+  }
+  return VisitorSearch(T, Limits, /*MaximalOnly=*/false, Visit).run();
+}
+
+EnumerationStats tracesafe::forEachMaximalExecution(
+    const Traceset &T, const std::function<bool(const Interleaving &)> &Visit,
+    EnumerationLimits Limits) {
+  if (Limits.Workers == 1 || Limits.ExhaustiveOracle) {
+    EnumerationStats Stats;
+    Enumerator E(T, Limits);
+    E.dfs(Visit, /*MaximalOnly=*/true, Stats);
+    return Stats;
+  }
+  return VisitorSearch(T, Limits, /*MaximalOnly=*/true, Visit).run();
+}
+
+std::set<Behaviour> tracesafe::collectBehaviours(const Traceset &T,
+                                                 EnumerationLimits Limits,
+                                                 EnumerationStats *Stats) {
+  if (Limits.ExhaustiveOracle)
+    return oracleCollectBehaviours(T, Limits, Stats);
+  ReducedQuery Q(T, Limits, /*RaceMode=*/false);
+  Q.run();
+  if (Stats)
+    *Stats = Q.Stats;
+  return std::move(Q.Behaviours);
+}
+
+RaceReport tracesafe::findAdjacentRace(const Traceset &T,
+                                       EnumerationLimits Limits) {
+  if (Limits.ExhaustiveOracle)
+    return oracleFindAdjacentRace(T, Limits);
+  ReducedQuery Q(T, Limits, /*RaceMode=*/true);
+  Q.run();
+  RaceReport Report;
+  Report.HasRace = Q.HasRace;
+  Report.Witness = Q.Witness;
+  Report.Stats = Q.Stats;
   return Report;
 }
 

@@ -12,7 +12,14 @@
 ///
 /// Two memoised derived queries are provided: the set of observable
 /// behaviours, and adjacent-conflict data-race detection. Both are the
-/// workhorses of the DRF-guarantee experiments.
+/// workhorses of the DRF-guarantee experiments. By default they run on
+/// the parallel engine: hash-consed interned states, sleep-set
+/// partial-order reduction, and a work-stealing frontier split across
+/// EnumerationLimits::Workers threads with early-exit broadcast. The
+/// seed's sequential exhaustive enumerator is retained behind
+/// EnumerationLimits::ExhaustiveOracle as a cross-check oracle; verdicts
+/// are identical by construction (see docs/PERFORMANCE.md for the
+/// soundness argument).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -28,9 +35,9 @@
 
 namespace tracesafe {
 
-/// Safety rails for the exhaustive searches. A truncated result means the
-/// query is *unknown*, never silently wrong; callers (and all tests) check
-/// the flag.
+/// Safety rails and engine selection for the searches. A truncated result
+/// means the query is *unknown*, never silently wrong; callers (and all
+/// tests) check the flag.
 struct EnumerationLimits {
   /// Upper bound on interleaving length (tracesets generated from loops can
   /// be deep).
@@ -40,6 +47,19 @@ struct EnumerationLimits {
   /// Optional shared query budget (deadline / visit / memory caps across
   /// every engine of one query). Non-owning; may be null.
   Budget *Shared = nullptr;
+  /// Search workers: 1 = sequential in the calling thread; 0 = the shared
+  /// work-stealing pool at its default width (TRACESAFE_WORKERS or
+  /// hardware concurrency); N > 1 = exactly N-wide forking on the shared
+  /// pool. Verdicts and behaviour sets are identical for every width.
+  unsigned Workers = 1;
+  /// Sleep-set partial-order reduction for collectBehaviours and
+  /// findAdjacentRace. Sound for both queries (see docs/PERFORMANCE.md);
+  /// the visitor-based enumerations never prune.
+  bool SleepSets = true;
+  /// Run the seed's sequential std::set-memoised engine instead of the
+  /// parallel interned one. Cross-check oracle: equivalence tests assert
+  /// verdict-identical results between the two.
+  bool ExhaustiveOracle = false;
 };
 
 /// Bookkeeping returned by every enumeration query.

@@ -3,11 +3,18 @@
 #include "lang/Printer.h"
 #include "opt/Pipeline.h"
 #include "opt/Unsafe.h"
+#include "support/ThreadPool.h"
+#include "verify/Theorems.h"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
+#include <mutex>
+#include <tuple>
 
 using namespace tracesafe;
 
@@ -63,12 +70,55 @@ std::string thinAirDetail(const ThinAirReport &R) {
          std::to_string(R.Constant);
 }
 
+/// Satellite check: re-walk a safe chain verifying Lemma 4/5 per step —
+/// each successor traceset must be a semantic elimination (E rules) or a
+/// reordering of an elimination (R rules) of its predecessor. Fails on the
+/// first failing step; Unknown when any step was truncated.
+CheckVerdict semanticChainVerdict(const Program &Orig,
+                                  const TransformChain &Chain, Budget &B) {
+  ExploreLimits Explore;
+  Explore.Shared = &B;
+  std::vector<Value> Domain = defaultDomainFor(Orig, 2);
+  Program Cur = Orig;
+  ExploreStats Stats;
+  Traceset CurSet = programTraceset(Cur, Domain, Explore, &Stats);
+  CheckVerdict Out = CheckVerdict::Holds;
+  for (const RewriteSite &Site : Chain.Steps) {
+    Program Next = applyRewrite(Cur, Site);
+    ExploreStats NextStats;
+    Traceset NextSet = programTraceset(Next, Domain, Explore, &NextStats);
+    CheckVerdict V;
+    if (Stats.Truncated || NextStats.Truncated)
+      V = CheckVerdict::Unknown;
+    else if (isEliminationRule(Site.Rule))
+      V = checkElimination(CurSet, NextSet).Verdict;
+    else
+      V = checkEliminationThenReordering(CurSet, NextSet).Verdict;
+    if (V == CheckVerdict::Fails)
+      return CheckVerdict::Fails;
+    if (V == CheckVerdict::Unknown)
+      Out = CheckVerdict::Unknown;
+    Cur = std::move(Next);
+    CurSet = std::move(NextSet);
+    Stats = NextStats;
+  }
+  return Out;
+}
+
 /// Definitive re-check of one property on a shrink candidate, under a
 /// fixed one-shot budget. Unknown counts as "does not reproduce" so budget
-/// noise cannot steer the reduction toward expensive programs.
+/// noise cannot steer the reduction toward expensive programs. For the
+/// semantic-step property the chain is regenerated from \p ChainSeed on
+/// the candidate itself.
 bool propertyViolated(const Program &Orig, const Program &Transformed,
-                      const std::string &Property, const BudgetSpec &Spec) {
+                      const std::string &Property, const BudgetSpec &Spec,
+                      uint64_t ChainSeed, size_t MaxChainSteps) {
   Budget B(Spec);
+  if (Property == "semantic-step") {
+    Rng R(ChainSeed);
+    TransformChain C = randomChain(Orig, RuleSet::all(), MaxChainSteps, R);
+    return semanticChainVerdict(Orig, C, B) == CheckVerdict::Fails;
+  }
   ExecLimits Exec;
   Exec.Shared = &B;
   if (Property == "drf-guarantee")
@@ -184,20 +234,20 @@ FuzzReport tracesafe::runFuzz(const FuzzOptions &Options) {
       Options.Escalation.Initial.scaled(Options.Escalation.Growth,
                                         Options.Escalation.Ceiling);
 
-  auto Track = [&](VerdictKind Kind, size_t Attempts) {
-    ++Report.ChecksRun;
+  auto Track = [](FuzzReport &R, VerdictKind Kind, size_t Attempts) {
+    ++R.ChecksRun;
     if (Attempts > 1)
-      ++Report.EscalatedQueries;
+      ++R.EscalatedQueries;
     if (Kind == VerdictKind::Unknown)
-      ++Report.UnknownQueries;
+      ++R.UnknownQueries;
     if (Kind == VerdictKind::Proved)
-      ++Report.ProvedQueries;
+      ++R.ProvedQueries;
   };
 
-  auto RecordFailure = [&](uint64_t Index, const std::string &Property,
-                           bool Injected, std::string Detail,
-                           const Program &Orig,
-                           const TransformFn &Transform) {
+  auto RecordFailure = [&](FuzzReport &Local, uint64_t Index,
+                           const std::string &Property, bool Injected,
+                           std::string Detail, const Program &Orig,
+                           const TransformFn &Transform, uint64_t ChainSeed) {
     FuzzFailure F;
     F.ProgramIndex = Index;
     F.Property = Property;
@@ -212,7 +262,8 @@ FuzzReport tracesafe::runFuzz(const FuzzOptions &Options) {
       std::optional<Program> TQ = Transform(Q);
       if (!TQ)
         return false;
-      return propertyViolated(Q, *TQ, Property, ShrinkCheckSpec);
+      return propertyViolated(Q, *TQ, Property, ShrinkCheckSpec, ChainSeed,
+                              Options.MaxChainSteps);
     };
     ShrinkResult SR = shrinkProgram(Orig, Pred, Options.Shrink);
     F.ReducedSource = printProgram(SR.Reduced);
@@ -241,14 +292,13 @@ FuzzReport tracesafe::runFuzz(const FuzzOptions &Options) {
         F.ReproPath = Path;
       }
     }
-    Report.Failures.push_back(std::move(F));
+    Local.Failures.push_back(std::move(F));
   };
 
-  for (uint64_t I = 0; I < Options.Programs; ++I) {
-    if (Options.DeadlineMs > 0 && ElapsedMs() >= Options.DeadlineMs) {
-      Report.DeadlineHit = true;
-      break;
-    }
+  // One fuzz iteration, accumulating into \p Local. Everything here
+  // depends only on (Options.Seed, I), so the campaign is deterministic
+  // for any worker count.
+  auto RunOne = [&](uint64_t I, FuzzReport &Local) {
     uint64_t SubSeed = mixSeeds(Options.Seed, I);
     Rng R(SubSeed);
 
@@ -274,16 +324,16 @@ FuzzReport tracesafe::runFuzz(const FuzzOptions &Options) {
     G.AllowInput = I % 11 == 5;
 
     Program P = generateProgram(R, G);
-    ++Report.ProgramsRun;
+    ++Local.ProgramsRun;
 
     bool Injected = false;
     TransformFn Transform;
+    uint64_t ChainSeed = mixSeeds(SubSeed, 0x5eed);
     if (Options.InjectUnsafe && Options.InjectEvery &&
         I % Options.InjectEvery == 0 && applyFirstUnsafe(P)) {
       Injected = true;
       Transform = [](const Program &Q) { return applyFirstUnsafe(Q); };
     } else {
-      uint64_t ChainSeed = mixSeeds(SubSeed, 0x5eed);
       size_t MaxSteps = Options.MaxChainSteps;
       Transform = [ChainSeed, MaxSteps](const Program &Q)
           -> std::optional<Program> {
@@ -291,26 +341,111 @@ FuzzReport tracesafe::runFuzz(const FuzzOptions &Options) {
       };
     }
     if (Injected)
-      ++Report.InjectedRuns;
+      ++Local.InjectedRuns;
 
     Program T = *Transform(P);
 
     Escalated<DrfGuaranteeReport> Drf =
         escalateDrfGuarantee(P, T, Options.Escalation);
-    Track(Drf.Final.Kind, Drf.Attempts.size());
+    Track(Local, Drf.Final.Kind, Drf.Attempts.size());
     if (Drf.Final.isRefuted())
-      RecordFailure(I, "drf-guarantee", Injected,
-                    drfDetail(*Drf.Final.Witness), P, Transform);
+      RecordFailure(Local, I, "drf-guarantee", Injected,
+                    drfDetail(*Drf.Final.Witness), P, Transform, ChainSeed);
 
     if (Options.CheckThinAir) {
       Value C = freshConstantFor(P);
       Escalated<ThinAirReport> Ta =
           escalateThinAir(P, T, C, Options.Escalation);
-      Track(Ta.Final.Kind, Ta.Attempts.size());
+      Track(Local, Ta.Final.Kind, Ta.Attempts.size());
       if (Ta.Final.isRefuted())
-        RecordFailure(I, "thin-air", Injected, thinAirDetail(*Ta.Final.Witness),
-                      P, Transform);
+        RecordFailure(Local, I, "thin-air", Injected,
+                      thinAirDetail(*Ta.Final.Witness), P, Transform,
+                      ChainSeed);
     }
+
+    if (Options.CheckSemanticSteps && !Injected) {
+      // Satellite: Lemma 4/5 on every step of the safe chain, under one
+      // mid-ladder budget (step checks are cheap relative to the
+      // guarantee queries; escalation would triple the traceset builds).
+      Rng CR(ChainSeed);
+      TransformChain Chain =
+          randomChain(P, RuleSet::all(), Options.MaxChainSteps, CR);
+      Budget B(ShrinkCheckSpec);
+      CheckVerdict V = semanticChainVerdict(P, Chain, B);
+      Track(Local,
+            V == CheckVerdict::Holds    ? VerdictKind::Proved
+            : V == CheckVerdict::Fails  ? VerdictKind::Refuted
+                                        : VerdictKind::Unknown,
+            1);
+      if (V == CheckVerdict::Fails)
+        RecordFailure(Local, I, "semantic-step", false,
+                      "chain step is not a semantic elimination/reordering "
+                      "of its predecessor",
+                      P, Transform, ChainSeed);
+    }
+  };
+
+  auto Merge = [](FuzzReport &Into, FuzzReport &&From) {
+    Into.ProgramsRun += From.ProgramsRun;
+    Into.ChecksRun += From.ChecksRun;
+    Into.ProvedQueries += From.ProvedQueries;
+    Into.UnknownQueries += From.UnknownQueries;
+    Into.EscalatedQueries += From.EscalatedQueries;
+    Into.InjectedRuns += From.InjectedRuns;
+    for (FuzzFailure &F : From.Failures)
+      Into.Failures.push_back(std::move(F));
+  };
+
+  if (Options.Jobs == 1) {
+    for (uint64_t I = 0; I < Options.Programs; ++I) {
+      if (Options.DeadlineMs > 0 && ElapsedMs() >= Options.DeadlineMs) {
+        Report.DeadlineHit = true;
+        break;
+      }
+      RunOne(I, Report);
+    }
+  } else {
+    // Workers claim program indices from a shared counter; each keeps a
+    // local report, merged (and failures sorted) afterwards, so the
+    // output is independent of scheduling.
+    unsigned Jobs = Options.Jobs == 0 ? ThreadPool::defaultWorkerCount()
+                                      : Options.Jobs;
+    if (Jobs > Options.Programs)
+      Jobs = static_cast<unsigned>(Options.Programs ? Options.Programs : 1);
+    std::unique_ptr<ThreadPool> Owned;
+    ThreadPool *Pool = &ThreadPool::shared();
+    if (Options.Jobs > 1) {
+      Owned = std::make_unique<ThreadPool>(Jobs);
+      Pool = Owned.get();
+    }
+    std::vector<FuzzReport> Locals(Jobs);
+    std::atomic<uint64_t> Next{0};
+    std::atomic<bool> DeadlineHit{false};
+    {
+      ThreadPool::TaskGroup G(*Pool);
+      for (unsigned W = 0; W < Jobs; ++W)
+        G.spawn([&, W] {
+          for (;;) {
+            uint64_t I = Next.fetch_add(1, std::memory_order_relaxed);
+            if (I >= Options.Programs)
+              return;
+            if (Options.DeadlineMs > 0 &&
+                ElapsedMs() >= Options.DeadlineMs) {
+              DeadlineHit.store(true, std::memory_order_relaxed);
+              return;
+            }
+            RunOne(I, Locals[W]);
+          }
+        });
+    }
+    for (FuzzReport &L : Locals)
+      Merge(Report, std::move(L));
+    Report.DeadlineHit = DeadlineHit.load(std::memory_order_relaxed);
+    std::sort(Report.Failures.begin(), Report.Failures.end(),
+              [](const FuzzFailure &A, const FuzzFailure &B) {
+                return std::tie(A.ProgramIndex, A.Property) <
+                       std::tie(B.ProgramIndex, B.Property);
+              });
   }
 
   Report.ElapsedMs = ElapsedMs();

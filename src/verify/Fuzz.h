@@ -50,6 +50,16 @@ struct FuzzOptions {
   EscalationPolicy Escalation;
   /// Check Theorem 5 (thin air) in addition to the DRF guarantee.
   bool CheckThinAir = true;
+  /// Additionally chain the semantic checkers on every safe chain: each
+  /// step must be a semantic elimination (Lemma 4) or a reordering of an
+  /// elimination (Lemma 5) of the previous program's traceset.
+  bool CheckSemanticSteps = false;
+  /// Campaign workers: 1 = sequential; 0 = the shared work-stealing pool
+  /// at its default width; N > 1 = exactly N. Programs are claimed by
+  /// index and every per-program sub-seed depends only on (Seed, index),
+  /// so the report is identical for every width (failures are sorted by
+  /// program index).
+  unsigned Jobs = 1;
   /// Route every InjectEvery-th program through an unsafe pass.
   bool InjectUnsafe = false;
   unsigned InjectEvery = 5;

@@ -1,0 +1,123 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regression replay of the corpus in tests/corpus/: minimised `.tsl`
+/// repros written by past fuzz runs, plus hand-minimised engine cases.
+/// Each file declares its expectation in its header comments:
+///
+///   `// property: drf-guarantee`  — re-running the unsafe injection on
+///        this program must still violate the DRF guarantee (the failure
+///        the fuzzer minimised must keep reproducing);
+///   `// expect-race: yes|no`      — the program's traceset must (not)
+///        contain an adjacent race, agreed on by the seed oracle and the
+///        reduced engine at several worker counts.
+///
+/// Dropping a failure found in the wild into tests/corpus/ is the whole
+/// workflow for turning a fuzz repro into a permanent regression test.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lang/Explore.h"
+#include "lang/Parser.h"
+#include "opt/Unsafe.h"
+#include "trace/Enumerate.h"
+#include "verify/Checks.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace tracesafe;
+
+namespace {
+
+struct CorpusEntry {
+  std::string Name;
+  std::string Source;
+  bool CheckInjection = false; ///< `// property: drf-guarantee`
+  bool CheckRace = false;      ///< `// expect-race: ...`
+  bool ExpectRace = false;
+};
+
+std::vector<CorpusEntry> loadCorpus() {
+  std::vector<CorpusEntry> Out;
+  for (const auto &File :
+       std::filesystem::directory_iterator(TRACESAFE_CORPUS_DIR)) {
+    if (File.path().extension() != ".tsl")
+      continue;
+    std::ifstream In(File.path());
+    std::stringstream Ss;
+    Ss << In.rdbuf();
+    CorpusEntry E;
+    E.Name = File.path().filename().string();
+    E.Source = Ss.str();
+    if (E.Source.find("// property: drf-guarantee") != std::string::npos)
+      E.CheckInjection = true;
+    if (E.Source.find("// expect-race: yes") != std::string::npos) {
+      E.CheckRace = true;
+      E.ExpectRace = true;
+    } else if (E.Source.find("// expect-race: no") != std::string::npos) {
+      E.CheckRace = true;
+    }
+    Out.push_back(std::move(E));
+  }
+  return Out;
+}
+
+TEST(Corpus, EveryEntryDeclaresAnExpectation) {
+  std::vector<CorpusEntry> Corpus = loadCorpus();
+  ASSERT_GE(Corpus.size(), 6u) << "corpus missing from " TRACESAFE_CORPUS_DIR;
+  for (const CorpusEntry &E : Corpus)
+    EXPECT_TRUE(E.CheckInjection || E.CheckRace)
+        << E.Name << " declares no expectation";
+}
+
+TEST(Corpus, InjectedFailuresStillReproduce) {
+  for (const CorpusEntry &E : loadCorpus()) {
+    if (!E.CheckInjection)
+      continue;
+    SCOPED_TRACE(E.Name);
+    ParseResult PR = parseProgram(E.Source);
+    ASSERT_TRUE(PR) << PR.Error;
+    const Program &P = *PR.Prog;
+    // Same injection the fuzzer used: elide the first lock pair (const
+    // prop is the fallback it never minimises to).
+    std::vector<LockPair> Pairs = findLockPairs(P);
+    ASSERT_FALSE(Pairs.empty()) << "repro lost its lock pair";
+    Program T = elideLockPair(P, Pairs.front());
+    EXPECT_EQ(checkDrfGuarantee(P, T).outcome(), GuaranteeOutcome::Violated);
+  }
+}
+
+TEST(Corpus, RaceVerdictsAgreeAcrossEngines) {
+  for (const CorpusEntry &E : loadCorpus()) {
+    if (!E.CheckRace)
+      continue;
+    SCOPED_TRACE(E.Name);
+    ParseResult PR = parseProgram(E.Source);
+    ASSERT_TRUE(PR) << PR.Error;
+    ExploreLimits EL;
+    EL.MaxActions = 10;
+    Traceset T =
+        programTraceset(*PR.Prog, defaultDomainFor(*PR.Prog, 2), EL);
+    for (unsigned Workers : {1u, 2u}) {
+      for (bool Oracle : {false, true}) {
+        if (Oracle && Workers != 1)
+          continue; // the oracle is sequential by definition
+        EnumerationLimits L;
+        L.Workers = Workers;
+        L.ExhaustiveOracle = Oracle;
+        RaceReport R = findAdjacentRace(T, L);
+        ASSERT_FALSE(R.Stats.Truncated);
+        EXPECT_EQ(R.HasRace, E.ExpectRace)
+            << "workers=" << Workers << " oracle=" << Oracle;
+      }
+    }
+  }
+}
+
+} // namespace

@@ -1,0 +1,246 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Equivalence and determinism suite for the parallel enumeration engine.
+///
+/// The reduced engine (interned states + sleep-set POR + work stealing)
+/// must be verdict-identical to the seed's exhaustive sequential
+/// enumerator on every query: same behaviour sets, same race verdicts,
+/// for every worker count. Visited counts are *not* compared — partial
+/// order reduction exists precisely to visit less, and work distribution
+/// is scheduling-dependent.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lang/Explore.h"
+#include "lang/Parser.h"
+#include "trace/Enumerate.h"
+#include "verify/Fuzz.h"
+#include "verify/ProgramGen.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace tracesafe;
+
+namespace {
+
+/// Programs covering the interesting interaction shapes: races, lock
+/// discipline, volatiles, loops and branching.
+const char *const Corpus[] = {
+    // Fig 2 shape: racy copy + racy write-back.
+    "thread { r0 := x; y := r0; }\n"
+    "thread { r1 := y; x := 1; print r1; }\n",
+    // Lock-disciplined message passing (DRF).
+    "thread { sync m { x := 1; } }\n"
+    "thread { sync m { r0 := x; } print r0; }\n",
+    // Volatile flag handoff.
+    "volatile f;\n"
+    "thread { x := 1; f := 1; }\n"
+    "thread { r0 := f; if (r0 == 1) { r1 := x; print r1; } else { skip; } }\n",
+    // Three threads, one location.
+    "thread { x := 1; }\n"
+    "thread { x := 2; }\n"
+    "thread { r0 := x; print r0; }\n",
+    // Loop (truncated at the action bound) + race.
+    "thread { while (r0 == 0) { r0 := x; } print r0; }\n"
+    "thread { x := 1; }\n",
+    // Nested locks, no race.
+    "thread { sync m { sync n { x := 1; } } }\n"
+    "thread { sync m { r0 := x; } print r0; }\n",
+};
+
+Traceset tracesetFor(const std::string &Source, unsigned MaxActions = 10) {
+  Program P = parseOrDie(Source);
+  ExploreLimits L;
+  L.MaxActions = MaxActions;
+  return programTraceset(P, defaultDomainFor(P, 2), L);
+}
+
+EnumerationLimits limitsFor(unsigned Workers, bool Oracle = false) {
+  EnumerationLimits L;
+  L.Workers = Workers;
+  L.ExhaustiveOracle = Oracle;
+  return L;
+}
+
+/// Asserts the reduced engine at \p Workers agrees with the seed oracle on
+/// behaviours and the race verdict, and that no search truncated.
+void expectEquivalent(const Traceset &T, unsigned Workers,
+                      const std::string &Tag) {
+  EnumerationStats OracleStats, ReducedStats;
+  std::set<Behaviour> Want =
+      collectBehaviours(T, limitsFor(1, /*Oracle=*/true), &OracleStats);
+  std::set<Behaviour> Got =
+      collectBehaviours(T, limitsFor(Workers), &ReducedStats);
+  ASSERT_FALSE(OracleStats.Truncated) << Tag;
+  ASSERT_FALSE(ReducedStats.Truncated) << Tag;
+  EXPECT_EQ(Want, Got) << Tag << " workers=" << Workers;
+
+  RaceReport WantRace = findAdjacentRace(T, limitsFor(1, /*Oracle=*/true));
+  RaceReport GotRace = findAdjacentRace(T, limitsFor(Workers));
+  ASSERT_FALSE(WantRace.Stats.Truncated) << Tag;
+  ASSERT_FALSE(GotRace.Stats.Truncated) << Tag;
+  EXPECT_EQ(WantRace.HasRace, GotRace.HasRace)
+      << Tag << " workers=" << Workers;
+  if (GotRace.HasRace) {
+    EXPECT_TRUE(GotRace.Witness.isExecutionOf(T))
+        << Tag << ": race witness is not an execution: "
+        << GotRace.Witness.str();
+  }
+}
+
+TEST(ParallelEnumerate, PorMatchesOracleOnCorpus) {
+  for (size_t I = 0; I < std::size(Corpus); ++I)
+    expectEquivalent(tracesetFor(Corpus[I]), /*Workers=*/1,
+                     "corpus[" + std::to_string(I) + "]");
+}
+
+TEST(ParallelEnumerate, ParallelMatchesOracleOnCorpus) {
+  for (size_t I = 0; I < std::size(Corpus); ++I)
+    for (unsigned Workers : {2u, 8u})
+      expectEquivalent(tracesetFor(Corpus[I]), Workers,
+                       "corpus[" + std::to_string(I) + "]");
+}
+
+TEST(ParallelEnumerate, ExamplePrograms) {
+  // Every shipped example program, parsed from disk.
+  std::filesystem::path Dir = TRACESAFE_EXAMPLES_DIR;
+  size_t Found = 0;
+  for (const auto &Entry : std::filesystem::directory_iterator(Dir)) {
+    if (Entry.path().extension() != ".tsl")
+      continue;
+    ++Found;
+    std::ifstream In(Entry.path());
+    ASSERT_TRUE(In) << Entry.path();
+    std::stringstream Ss;
+    Ss << In.rdbuf();
+    // Shallow action bound: the examples contain loops, and the oracle
+    // side of the comparison has no reduction to lean on.
+    Traceset T = tracesetFor(Ss.str(), /*MaxActions=*/7);
+    for (unsigned Workers : {1u, 2u})
+      expectEquivalent(T, Workers, Entry.path().filename().string());
+  }
+  EXPECT_GE(Found, 4u) << "example programs missing from " << Dir;
+}
+
+TEST(ParallelEnumerate, RandomProgramSweep) {
+  // Seeded generator sweep across all disciplines; equivalence must hold
+  // on programs nobody hand-picked.
+  for (uint64_t Seed = 1; Seed <= 12; ++Seed) {
+    Rng R(Seed);
+    GenOptions G;
+    G.Discipline = static_cast<GenDiscipline>(Seed % 4);
+    Program P = generateProgram(R, G);
+    ExploreLimits L;
+    L.MaxActions = 9;
+    Traceset T = programTraceset(P, defaultDomainFor(P, 2), L);
+    expectEquivalent(T, /*Workers=*/1, "seed " + std::to_string(Seed));
+    expectEquivalent(T, /*Workers=*/4, "seed " + std::to_string(Seed));
+  }
+}
+
+TEST(ParallelEnumerate, DeterministicAcrossWorkerCounts) {
+  // Same verdicts and behaviour sets for 1, 2 and 8 workers — the merge
+  // structure (sets, monotone flags) makes scheduling invisible.
+  Traceset T = tracesetFor(Corpus[0]);
+  std::set<Behaviour> B1 = collectBehaviours(T, limitsFor(1));
+  RaceReport R1 = findAdjacentRace(T, limitsFor(1));
+  for (unsigned Workers : {2u, 8u}) {
+    EXPECT_EQ(B1, collectBehaviours(T, limitsFor(Workers)));
+    EXPECT_EQ(R1.HasRace, findAdjacentRace(T, limitsFor(Workers)).HasRace);
+  }
+}
+
+TEST(ParallelEnumerate, VisitorSearchesMatchSeedEngine) {
+  // forEachExecution / forEachMaximalExecution have no reduction; the
+  // parallel visitor must produce exactly the seed's execution set.
+  Traceset T = tracesetFor(Corpus[1]);
+  auto Collect = [&T](unsigned Workers, bool Oracle) {
+    std::set<std::string> Out;
+    forEachMaximalExecution(
+        T,
+        [&Out](const Interleaving &I) {
+          Out.insert(I.str());
+          return true;
+        },
+        limitsFor(Workers, Oracle));
+    return Out;
+  };
+  std::set<std::string> Want = Collect(1, true);
+  EXPECT_EQ(Want, Collect(1, false));
+  EXPECT_EQ(Want, Collect(4, false));
+}
+
+TEST(ParallelEnumerate, SleepSetsOffStillMatches) {
+  // POR disabled exercises the interned engine without pruning.
+  Traceset T = tracesetFor(Corpus[3]);
+  EnumerationLimits NoPor = limitsFor(1);
+  NoPor.SleepSets = false;
+  EXPECT_EQ(collectBehaviours(T, limitsFor(1, /*Oracle=*/true)),
+            collectBehaviours(T, NoPor));
+  EXPECT_EQ(findAdjacentRace(T, limitsFor(1, true)).HasRace,
+            findAdjacentRace(T, NoPor).HasRace);
+}
+
+TEST(ParallelEnumerate, ExploreWorkersDeterministic) {
+  // programTraceset must return the identical traceset for every width.
+  Program P = parseOrDie(Corpus[2]);
+  ExploreLimits L1;
+  L1.MaxActions = 10;
+  ExploreLimits L2 = L1;
+  L2.Workers = 2;
+  ExploreLimits L8 = L1;
+  L8.Workers = 8;
+  std::vector<Value> Domain = defaultDomainFor(P, 2);
+  Traceset T1 = programTraceset(P, Domain, L1);
+  EXPECT_EQ(T1, programTraceset(P, Domain, L2));
+  EXPECT_EQ(T1, programTraceset(P, Domain, L8));
+}
+
+TEST(ParallelEnumerate, FuzzCampaignDeterministicAcrossJobs) {
+  // The fuzz report (counters and failures) must not depend on the worker
+  // count; only wall-clock may differ.
+  FuzzOptions O;
+  O.Seed = 99;
+  O.Programs = 12;
+  O.CheckThinAir = false;
+  O.Escalation.Initial.DeadlineMs = 200;
+  auto Strip = [](FuzzReport R) {
+    R.ElapsedMs = 0;
+    return R;
+  };
+  FuzzReport Seq = Strip(runFuzz(O));
+  O.Jobs = 3;
+  FuzzReport Par = Strip(runFuzz(O));
+  EXPECT_EQ(Seq.ProgramsRun, Par.ProgramsRun);
+  EXPECT_EQ(Seq.ChecksRun, Par.ChecksRun);
+  EXPECT_EQ(Seq.ProvedQueries, Par.ProvedQueries);
+  EXPECT_EQ(Seq.Failures.size(), Par.Failures.size());
+  for (size_t I = 0; I < Seq.Failures.size() && I < Par.Failures.size(); ++I) {
+    EXPECT_EQ(Seq.Failures[I].ProgramIndex, Par.Failures[I].ProgramIndex);
+    EXPECT_EQ(Seq.Failures[I].Property, Par.Failures[I].Property);
+  }
+}
+
+TEST(ParallelEnumerate, SemanticStepCheckerCleanOnSafeChains) {
+  // Satellite (a): Lemma 4/5 verified per chain step; safe chains must
+  // never produce a semantic-step failure.
+  FuzzOptions O;
+  O.Seed = 7;
+  O.Programs = 8;
+  O.CheckThinAir = false;
+  O.CheckSemanticSteps = true;
+  O.Escalation.Initial.DeadlineMs = 200;
+  FuzzReport R = runFuzz(O);
+  for (const FuzzFailure &F : R.Failures)
+    EXPECT_NE(F.Property, "semantic-step") << F.Detail;
+  EXPECT_GT(R.ChecksRun, R.ProgramsRun) << "semantic checks did not run";
+}
+
+} // namespace
