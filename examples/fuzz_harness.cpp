@@ -10,29 +10,56 @@
 /// violations are delta-debugged to a minimal program and written as
 /// standalone `.tsl` repro files.
 ///
+/// SIGINT/SIGTERM request cooperative cancellation: in-flight queries
+/// unwind within one budget check interval, the partial summary is still
+/// printed (and the JSON report written), and the process exits 130.
+/// With --checkpoint the campaign journals every finished program index,
+/// so --resume continues a killed campaign and produces the same report
+/// as an uninterrupted run.
+///
 /// Exit codes:
-///   0  clean run (no uninjected violations; with --expect-failures, at
-///      least one injected failure was found and minimised)
-///   1  violations found (or none found under --expect-failures)
-///   2  usage error
+///   0    clean run (no uninjected violations; with --expect-failures, at
+///        least one injected failure was found and minimised; with
+///        --chaos, the self-check passed)
+///   1    violations found (or none found under --expect-failures, or a
+///        --chaos self-check assertion failed)
+///   2    usage error
+///   130  cancelled by SIGINT/SIGTERM
 ///
 /// Examples:
 ///   fuzz_harness --programs 500 --deadline-ms 30000 --seed 7
 ///   fuzz_harness --inject --expect-failures --repro-dir /tmp/repros
-///   fuzz_harness --json report.json --no-thin-air
+///   fuzz_harness --checkpoint run.journal --json report.json
+///   fuzz_harness --resume run.journal --json report.json
+///   fuzz_harness --chaos --programs 40 --seed 3
 ///
 //===----------------------------------------------------------------------===//
 
+#include "lang/Parser.h"
+#include "opt/Unsafe.h"
+#include "support/Failure.h"
 #include "verify/Fuzz.h"
 
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
+
+#include <unistd.h>
 
 using namespace tracesafe;
 
 namespace {
+
+/// Written to by the signal handler, read by every query budget.
+/// CancelToken::request() is async-signal-safe (one relaxed atomic store).
+CancelToken GCancel;
+
+extern "C" void onSignal(int) { GCancel.request(); }
 
 void usage(const char *Argv0) {
   std::fprintf(
@@ -43,6 +70,13 @@ void usage(const char *Argv0) {
       "  --deadline-ms N     whole-run wall-clock cap (default none)\n"
       "  --json PATH         write a JSON report to PATH\n"
       "  --repro-dir DIR     write minimised .tsl repros to DIR\n"
+      "  --checkpoint PATH   journal finished indices to PATH\n"
+      "  --resume PATH       continue a campaign from its journal (implies\n"
+      "                      --checkpoint PATH)\n"
+      "  --chaos             robustness self-check: run the campaign under\n"
+      "                      a random fault plan, cancel it mid-flight,\n"
+      "                      resume it, and assert the merged result is\n"
+      "                      complete and sound\n"
       "  --inject            route every Nth program through an unsafe pass\n"
       "  --inject-every N    injection period (default 5, implies --inject)\n"
       "  --expect-failures   exit 0 iff at least one failure was found and\n"
@@ -69,6 +103,142 @@ bool parseUnsigned(const char *S, uint64_t &Out) {
   return true;
 }
 
+/// The same transform the fuzzer's injection mode uses (lock elision
+/// preferred, unsafe const-prop fallback) — re-applied by the chaos
+/// oracle check below to re-verify recorded failures from scratch.
+std::optional<Program> firstUnsafe(const Program &P) {
+  std::vector<LockPair> Pairs = findLockPairs(P);
+  if (!Pairs.empty())
+    return elideLockPair(P, Pairs.front());
+  std::vector<ConstPropSite> Sites = findUnsafeConstProp(P);
+  if (!Sites.empty())
+    return applyUnsafeConstProp(P, Sites.front());
+  return std::nullopt;
+}
+
+void printFailures(const FuzzReport &Report, bool Verbose) {
+  for (const FuzzFailure &F : Report.Failures) {
+    if (!Verbose && F.Injected)
+      continue;
+    std::printf("%s failure (program %llu%s): %s\n"
+                "  minimised %zu -> %zu statements%s%s\n",
+                F.Property.c_str(),
+                static_cast<unsigned long long>(F.ProgramIndex),
+                F.Injected ? ", injected" : "", F.Detail.c_str(),
+                F.OriginalStmts, F.ReducedStmts,
+                F.ReproPath.empty() ? "" : ", repro: ",
+                F.ReproPath.c_str());
+    if (!Verbose || F.ReducedChain.empty())
+      continue;
+    std::printf("  chain %zu -> %zu steps: %s\n", F.ChainSteps,
+                F.ReducedChainSteps, F.ReducedChain.c_str());
+  }
+}
+
+/// --chaos: end-to-end robustness self-check. Arms a random fault plan
+/// (allocation failures, throwing and stalling pool tasks, spurious budget
+/// faults), runs the campaign with a watchdog that requests cancellation
+/// mid-flight (simulating a kill), then resumes from the journal — and
+/// asserts that the merged campaign (a) completed every program, (b) never
+/// fabricated an uninjected violation, and (c) every injected DRF failure
+/// it minimised re-verifies from its repro source with faults disarmed.
+int runChaos(FuzzOptions Options, uint64_t Seed) {
+  Options.InjectUnsafe = true;
+  if (Options.Jobs <= 1)
+    Options.Jobs = 2; // Fault the pool path, not just in-query budgets.
+  std::string Journal =
+      (std::filesystem::temp_directory_path() /
+       ("tracesafe_chaos_" + std::to_string(Seed) + "_" +
+        std::to_string(::getpid()) + ".journal"))
+          .string();
+  Options.CheckpointPath = Journal;
+
+  FaultPlan Plan;
+  Plan.randomize(Seed);
+  std::printf("chaos: %s\n", Plan.describe().c_str());
+
+  FuzzReport Final;
+  {
+    FaultPlan::Scope Armed(Plan);
+
+    // Phase 1: cancel mid-campaign, as an operator's Ctrl-C (or a crash
+    // right after the last journal flush) would.
+    CancelToken MidRun;
+    std::thread Watchdog([&MidRun] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(300));
+      MidRun.request();
+    });
+    Options.Cancel = &MidRun;
+    Options.Resume = false;
+    FuzzReport First = runFuzz(Options);
+    Watchdog.join();
+    std::printf("chaos: phase 1 %s\n", First.summary().c_str());
+
+    if (GCancel.requested()) {
+      std::remove(Journal.c_str());
+      return 130;
+    }
+
+    // Phase 2: resume what survives in the journal. If phase 1 finished
+    // before the watchdog fired, this just replays the journal.
+    Options.Cancel = &GCancel;
+    Options.Resume = true;
+    Final = runFuzz(Options);
+    std::printf("chaos: phase 2 %s\n", Final.summary().c_str());
+    std::printf("chaos: faults fired: %llu\n",
+                static_cast<unsigned long long>(Plan.totalFired()));
+  }
+  std::remove(Journal.c_str());
+  if (GCancel.requested())
+    return 130;
+
+  int Bad = 0;
+  auto Check = [&](bool Ok, const char *What) {
+    if (!Ok) {
+      std::fprintf(stderr, "chaos: FAILED: %s\n", What);
+      ++Bad;
+    }
+  };
+  Check(Final.ProgramsRun == Options.Programs,
+        "campaign did not complete every program");
+  Check(!Final.Cancelled && !Final.DeadlineHit,
+        "resumed campaign ended early");
+  Check(Final.uninjectedFailures() == 0,
+        "fault containment fabricated an uninjected violation");
+
+  // Oracle agreement, faults now disarmed: every minimised injected DRF
+  // failure must re-verify from its recorded source under a generous
+  // sequential budget.
+  BudgetSpec Generous{/*DeadlineMs=*/10'000, /*MaxVisited=*/5'000'000,
+                      /*MaxMemoryBytes=*/256u << 20};
+  for (const FuzzFailure &F : Final.Failures) {
+    if (!F.Injected || F.Property != "drf-guarantee")
+      continue;
+    ParseResult PR = parseProgram(F.ReducedSource);
+    if (!PR) {
+      Check(false, "recorded repro does not parse");
+      continue;
+    }
+    std::optional<Program> T = firstUnsafe(*PR.Prog);
+    if (!T) {
+      Check(false, "unsafe pass no longer applies to recorded repro");
+      continue;
+    }
+    Budget B(Generous);
+    ExecLimits Limits;
+    Limits.Shared = &B;
+    Check(checkDrfGuarantee(*PR.Prog, *T, Limits).outcome() ==
+              GuaranteeOutcome::Violated,
+          "minimised injected failure does not re-verify");
+  }
+
+  if (Bad == 0)
+    std::printf("chaos: OK (%llu programs, %llu failures re-verified)\n",
+                static_cast<unsigned long long>(Final.ProgramsRun),
+                static_cast<unsigned long long>(Final.Failures.size()));
+  return Bad == 0 ? 0 : 1;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -76,6 +246,7 @@ int main(int Argc, char **Argv) {
   std::string JsonPath;
   bool ExpectFailures = false;
   bool Verbose = false;
+  bool Chaos = false;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -85,6 +256,14 @@ int main(int Argc, char **Argv) {
                      Arg.c_str());
         return false;
       }
+      return true;
+    };
+    auto NextPath = [&](std::string &Out) {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "%s: %s needs a path\n", Argv[0], Arg.c_str());
+        return false;
+      }
+      Out = Argv[++I];
       return true;
     };
     uint64_t N = 0;
@@ -102,17 +281,20 @@ int main(int Argc, char **Argv) {
         return 2;
       Options.DeadlineMs = static_cast<int64_t>(N);
     } else if (Arg == "--json") {
-      if (I + 1 >= Argc) {
-        std::fprintf(stderr, "%s: --json needs a path\n", Argv[0]);
+      if (!NextPath(JsonPath))
         return 2;
-      }
-      JsonPath = Argv[++I];
     } else if (Arg == "--repro-dir") {
-      if (I + 1 >= Argc) {
-        std::fprintf(stderr, "%s: --repro-dir needs a path\n", Argv[0]);
+      if (!NextPath(Options.ReproDir))
         return 2;
-      }
-      Options.ReproDir = Argv[++I];
+    } else if (Arg == "--checkpoint") {
+      if (!NextPath(Options.CheckpointPath))
+        return 2;
+    } else if (Arg == "--resume") {
+      if (!NextPath(Options.CheckpointPath))
+        return 2;
+      Options.Resume = true;
+    } else if (Arg == "--chaos") {
+      Chaos = true;
     } else if (Arg == "--inject") {
       Options.InjectUnsafe = true;
     } else if (Arg == "--inject-every") {
@@ -155,21 +337,17 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+
+  if (Chaos)
+    return runChaos(Options, Options.Seed);
+
+  Options.Cancel = &GCancel;
   FuzzReport Report = runFuzz(Options);
 
   std::printf("%s\n", Report.summary().c_str());
-  for (const FuzzFailure &F : Report.Failures) {
-    if (!Verbose && F.Injected)
-      continue;
-    std::printf("%s failure (program %llu%s): %s\n"
-                "  minimised %zu -> %zu statements%s%s\n",
-                F.Property.c_str(),
-                static_cast<unsigned long long>(F.ProgramIndex),
-                F.Injected ? ", injected" : "", F.Detail.c_str(),
-                F.OriginalStmts, F.ReducedStmts,
-                F.ReproPath.empty() ? "" : ", repro: ",
-                F.ReproPath.c_str());
-  }
+  printFailures(Report, Verbose);
 
   if (!JsonPath.empty()) {
     std::ofstream Os(JsonPath);
@@ -180,6 +358,9 @@ int main(int Argc, char **Argv) {
     }
     Os << Report.toJson();
   }
+
+  if (Report.Cancelled)
+    return 130;
 
   if (ExpectFailures) {
     // Harness self-test mode: the run is a success iff the pipeline found

@@ -49,3 +49,16 @@ cmake --build build-tsan --target \
 ./build-tsan/tests/test_parallel_enumerate
 ./build-tsan/examples/fuzz_harness --programs 100 --deadline-ms 60000 \
   --seed 3 --no-thin-air --query-deadline-ms 50 --jobs 4 --semantic
+
+# UBSan pass: undefined-behaviour checking over the robustness stack —
+# fault injection, degradation, journal resume, and a chaos campaign
+# (random fault plan + mid-run cancel + resume; see docs/ROBUSTNESS.md).
+echo "===== ubsan robustness smoke ====="
+cmake -B build-ubsan -G Ninja -DTRACESAFE_UBSAN=ON
+cmake --build build-ubsan --target \
+  test_failure test_degrade test_resume fuzz_harness
+./build-ubsan/tests/test_failure
+./build-ubsan/tests/test_degrade
+./build-ubsan/tests/test_resume
+./build-ubsan/examples/fuzz_harness --chaos --programs 40 --seed 4 \
+  --no-thin-air --query-deadline-ms 50

@@ -124,8 +124,20 @@ Traceset tracesafe::programTraceset(const Program &P,
   ExploreStats Total;
   ThreadId NumThreads = P.threadCount();
   if (Limits.Workers == 1 || NumThreads <= 1) {
-    for (ThreadId Tid = 0; Tid < NumThreads; ++Tid)
-      Total.merge(exploreThread(P, Tid, Domain, Out, Limits));
+    for (ThreadId Tid = 0; Tid < NumThreads; ++Tid) {
+      // Exception containment: a failed exploration (allocation failure,
+      // injected fault) leaves this thread's traceset partial, which is
+      // exactly what a truncated traceset means — callers already refuse
+      // to conclude anything definitive from it.
+      try {
+        Total.merge(exploreThread(P, Tid, Domain, Out, Limits));
+      } catch (...) {
+        Total.truncate(TruncationReason::EngineFault);
+        if (Limits.Shared)
+          Limits.Shared->poison(TruncationReason::EngineFault);
+        break;
+      }
+    }
   } else {
     // One task per program thread, each into its own traceset; merging in
     // thread order keeps the result independent of scheduling.
@@ -144,6 +156,16 @@ Traceset tracesafe::programTraceset(const Program &P,
           PartStats[Tid] =
               exploreThread(P, Tid, Domain, Parts[Tid], Limits);
         });
+      G.wait();
+      // A task that threw left its Parts[Tid] partial and its PartStats
+      // default-complete; the merged traceset below is therefore missing
+      // whole suffixes and must be marked truncated, not trusted.
+      if (G.faulted()) {
+        G.takeException();
+        Total.truncate(TruncationReason::EngineFault);
+        if (Limits.Shared)
+          Limits.Shared->poison(TruncationReason::EngineFault);
+      }
     }
     for (ThreadId Tid = 0; Tid < NumThreads; ++Tid) {
       Out.merge(Parts[Tid]);

@@ -186,7 +186,17 @@ std::set<Behaviour> tracesafe::programBehaviours(const Program &P,
     return Next;
   };
   MemoDfs<Behaviour, decltype(OnStep)> Dfs(P, Limits, OnStep);
-  Dfs.run(Behaviour{});
+  // Exception containment: a search that dies mid-way (allocation failure,
+  // injected fault) has inserted a prefix-closed subset of the behaviours,
+  // which a truncated result already describes — witnesses recorded so far
+  // stay definitive, the absence of others does not.
+  try {
+    Dfs.run(Behaviour{});
+  } catch (...) {
+    Dfs.Exec.Stats.truncate(TruncationReason::EngineFault);
+    if (Limits.Shared)
+      Limits.Shared->poison(TruncationReason::EngineFault);
+  }
   if (Stats)
     *Stats = Dfs.Exec.Stats;
   return Result;
@@ -210,7 +220,13 @@ ProgramRaceReport tracesafe::findProgramRace(const Program &P,
     return Tail(E);
   };
   MemoDfs<Tail, decltype(OnStep)> Dfs(P, Limits, OnStep);
-  Dfs.run(Tail{});
+  try {
+    Dfs.run(Tail{});
+  } catch (...) {
+    Dfs.Exec.Stats.truncate(TruncationReason::EngineFault);
+    if (Limits.Shared)
+      Limits.Shared->poison(TruncationReason::EngineFault);
+  }
   Report.Stats = Dfs.Exec.Stats;
   return Report;
 }

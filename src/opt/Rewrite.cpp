@@ -426,3 +426,63 @@ Program tracesafe::applyRewrite(const Program &P, const RewriteSite &Site) {
   }
   return Out;
 }
+
+namespace {
+
+/// Non-asserting resolveList: nullptr when the path does not exist in \p P
+/// (reduced programs routinely lose the thread or block a recorded site
+/// pointed into).
+const StmtList *tryResolveList(const Program &P, const ListPath &Path) {
+  if (Path.Tid >= P.threadCount())
+    return nullptr;
+  const StmtList *Cur = &P.thread(Path.Tid);
+  for (const auto &[Idx, Sel] : Path.Steps) {
+    if (Idx >= Cur->size())
+      return nullptr;
+    const Stmt &S = *(*Cur)[Idx];
+    const BlockStmt *B = nullptr;
+    switch (Sel) {
+    case PathSel::BlockBody:
+      B = dyn_cast<BlockStmt>(&S);
+      break;
+    case PathSel::ThenBody:
+      if (const auto *If = dyn_cast<IfStmt>(&S))
+        B = dyn_cast<BlockStmt>(&If->thenStmt());
+      break;
+    case PathSel::ElseBody:
+      if (const auto *If = dyn_cast<IfStmt>(&S))
+        B = dyn_cast<BlockStmt>(&If->elseStmt());
+      break;
+    case PathSel::WhileBody:
+      if (const auto *W = dyn_cast<WhileStmt>(&S))
+        B = dyn_cast<BlockStmt>(&W->body());
+      break;
+    }
+    if (!B)
+      return nullptr;
+    Cur = &B->body();
+  }
+  return Cur;
+}
+
+} // namespace
+
+bool tracesafe::siteApplies(const Program &P, const RewriteSite &Site) {
+  const StmtList *L = tryResolveList(P, Site.Path);
+  if (!L || Site.I >= L->size() || Site.J >= L->size())
+    return false;
+  bool ShapeOk = isGapRule(Site.Rule) ? Site.I < Site.J
+                                      : Site.J == Site.I + 1;
+  return ShapeOk && matchesSite(P, *L, Site.Rule, Site.I, Site.J);
+}
+
+std::optional<Program> tracesafe::applyChain(
+    const Program &P, const std::vector<RewriteSite> &Steps) {
+  Program Cur = P;
+  for (const RewriteSite &S : Steps) {
+    if (!siteApplies(Cur, S))
+      return std::nullopt;
+    Cur = applyRewrite(Cur, S);
+  }
+  return Cur;
+}

@@ -30,6 +30,7 @@
 #include "lang/Ast.h"
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -123,6 +124,19 @@ std::vector<RewriteSite> findRewriteSites(const Program &P,
 /// Applies one site, returning the transformed program (the input is not
 /// modified). Asserts that the site actually matches.
 Program applyRewrite(const Program &P, const RewriteSite &Site);
+
+/// Does \p Site apply to \p P? Unlike applyRewrite's assert this is a
+/// total check: an unresolvable path, an out-of-range index, wrong index
+/// shape for the rule, or a failing rule matcher all return false. Chain
+/// minimisation uses it to re-validate step subsequences against reduced
+/// programs, where sites recorded on the full program routinely dangle.
+bool siteApplies(const Program &P, const RewriteSite &Site);
+
+/// Applies \p Steps in order; nullopt as soon as a step no longer applies
+/// (sites are positional, so dropping an earlier step can invalidate a
+/// later one). The chain shrinker's replay primitive.
+std::optional<Program> applyChain(const Program &P,
+                                  const std::vector<RewriteSite> &Steps);
 
 } // namespace tracesafe
 

@@ -1,5 +1,7 @@
 #include "support/Budget.h"
 
+#include "support/Failure.h"
+
 using namespace tracesafe;
 
 const char *tracesafe::truncationReasonName(TruncationReason R) {
@@ -16,8 +18,28 @@ const char *tracesafe::truncationReasonName(TruncationReason R) {
     return "memory-cap";
   case TruncationReason::Deadline:
     return "deadline";
+  case TruncationReason::Cancelled:
+    return "cancelled";
+  case TruncationReason::EngineFault:
+    return "engine-fault";
   }
   return "unknown";
+}
+
+bool Budget::checkInterrupts() {
+  if (Cancel && Cancel->requested()) {
+    exhaust(TruncationReason::Cancelled);
+    return false;
+  }
+  if (Deadline && std::chrono::steady_clock::now() >= *Deadline) {
+    exhaust(TruncationReason::Deadline);
+    return false;
+  }
+  if (faultPoint(FaultSite::BudgetCharge)) {
+    exhaust(TruncationReason::EngineFault);
+    return false;
+  }
+  return true;
 }
 
 const char *tracesafe::verdictKindName(VerdictKind K) {

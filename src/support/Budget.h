@@ -31,11 +31,14 @@ namespace tracesafe {
 /// Why a search stopped early. None means the search ran to completion.
 enum class TruncationReason : uint8_t {
   None,
-  StateCap,   ///< per-query or per-engine visit cap reached
-  DepthCap,   ///< per-trace/per-thread action bound reached
-  SilentLoop, ///< a thread exceeded its silent-step allowance
-  MemoryCap,  ///< approximate memory charge exceeded the budget
-  Deadline,   ///< wall-clock deadline passed
+  StateCap,    ///< per-query or per-engine visit cap reached
+  DepthCap,    ///< per-trace/per-thread action bound reached
+  SilentLoop,  ///< a thread exceeded its silent-step allowance
+  MemoryCap,   ///< approximate memory charge exceeded the budget
+  Deadline,    ///< wall-clock deadline passed
+  Cancelled,   ///< external cancellation (signal, kill, shutdown)
+  EngineFault, ///< an engine faulted (exception, injected failure) and the
+               ///< query was contained instead of crashing the process
 };
 
 /// Printable reason name ("deadline", "state-cap", ...).
@@ -46,6 +49,24 @@ const char *truncationReasonName(TruncationReason R);
 inline TruncationReason mergeReason(TruncationReason A, TruncationReason B) {
   return A == TruncationReason::None ? B : A;
 }
+
+/// Cooperative cancellation flag. A token is requested exactly once (by a
+/// signal handler, a watchdog, or a parent query) and observed by every
+/// Budget it is attached to: the next charge() clock check turns into a
+/// sticky Cancelled exhaustion, so all engines of the query unwind within
+/// one budget check interval. request() is async-signal-safe when
+/// std::atomic<bool> is lock-free (it is on every supported target).
+class CancelToken {
+public:
+  void request() { Flag.store(true, std::memory_order_relaxed); }
+  bool requested() const { return Flag.load(std::memory_order_relaxed); }
+  /// Re-arms the token (between campaign phases; not thread-safe against
+  /// concurrent request()).
+  void reset() { Flag.store(false, std::memory_order_relaxed); }
+
+private:
+  std::atomic<bool> Flag{false};
+};
 
 /// Declarative description of a budget. Zero means "unlimited" for every
 /// field, so BudgetSpec{} never truncates anything by itself.
@@ -73,8 +94,10 @@ struct BudgetSpec {
 /// query; exhaustion is a sticky broadcast every worker observes.
 class Budget {
 public:
-  explicit Budget(const BudgetSpec &Spec)
-      : Spec(Spec), Start(std::chrono::steady_clock::now()) {
+  explicit Budget(const BudgetSpec &Spec,
+                  const CancelToken *Cancel = nullptr)
+      : Spec(Spec), Start(std::chrono::steady_clock::now()),
+        Cancel(Cancel) {
     if (Spec.DeadlineMs > 0)
       Deadline = Start + std::chrono::milliseconds(Spec.DeadlineMs);
   }
@@ -96,20 +119,23 @@ public:
       exhaust(TruncationReason::MemoryCap);
       return false;
     }
-    // Consult the clock only every 256 charges: state expansion is far
-    // cheaper than a syscall-free clock read, and deadlines are advisory
-    // to ~milliseconds anyway.
-    if (Deadline && (V & 0xFF) == 0 &&
-        std::chrono::steady_clock::now() >= *Deadline) {
-      exhaust(TruncationReason::Deadline);
+    // Consult the clock (and the cancel token, and the fault plan) only
+    // every 256 charges: state expansion is far cheaper than a
+    // syscall-free clock read, and deadlines are advisory to
+    // ~milliseconds anyway. This interval is the cancellation latency
+    // bound: a requested token is observed within 256 charges.
+    if ((V & 0xFF) == 0 && !checkInterrupts())
       return false;
-    }
     return true;
   }
 
   /// Charges memory only, without consuming a state visit. Used by the
   /// interned-state containers, which charge their real allocation sizes
-  /// as they grow rather than a per-entry guess.
+  /// as they grow rather than a per-entry guess. Container growth is rare
+  /// (geometric), so unlike charge() this consults the deadline and the
+  /// cancel token on every call — a memory-only growth phase (an
+  /// InternPool rehash storm) must not run past the wall clock just
+  /// because no state visit was charged.
   bool chargeBytes(uint64_t Bytes) {
     if (Exhausted.load(std::memory_order_relaxed) != TruncationReason::None)
       return false;
@@ -118,8 +144,14 @@ public:
       exhaust(TruncationReason::MemoryCap);
       return false;
     }
-    return true;
+    return checkInterrupts();
   }
+
+  /// Marks the budget exhausted with \p R (first writer wins, like any
+  /// other exhaustion). Used to broadcast external cancellation and to
+  /// contain engine faults: every worker of the query observes the sticky
+  /// flag on its next charge and unwinds.
+  void poison(TruncationReason R) { exhaust(R); }
 
   bool exhausted() const {
     return Exhausted.load(std::memory_order_relaxed) != TruncationReason::None;
@@ -151,9 +183,16 @@ private:
                                       std::memory_order_relaxed);
   }
 
+  /// Slow-path check shared by charge()/chargeBytes(): wall-clock
+  /// deadline, cooperative cancellation, and the BudgetCharge fault-
+  /// injection site. Returns false (after exhausting) when the query must
+  /// stop. Out of line so the hot header does not pull in Failure.h.
+  bool checkInterrupts();
+
   BudgetSpec Spec;
   std::chrono::steady_clock::time_point Start;
   std::optional<std::chrono::steady_clock::time_point> Deadline;
+  const CancelToken *Cancel = nullptr;
   std::atomic<uint64_t> Visited{0};
   std::atomic<uint64_t> Bytes_{0};
   std::atomic<TruncationReason> Exhausted{TruncationReason::None};

@@ -1,0 +1,149 @@
+#include "support/Failure.h"
+
+#include <chrono>
+#include <new>
+#include <thread>
+
+using namespace tracesafe;
+
+namespace {
+
+std::atomic<FaultPlan *> ActivePlan{nullptr};
+
+/// SplitMix64: decorrelates the per-site trigger counts of random plans.
+uint64_t mix64(uint64_t Z) {
+  Z += 0x9E3779B97F4A7C15ULL;
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+  return Z ^ (Z >> 31);
+}
+
+} // namespace
+
+const char *tracesafe::faultSiteName(FaultSite S) {
+  switch (S) {
+  case FaultSite::InternAlloc:
+    return "intern-alloc";
+  case FaultSite::TaskRun:
+    return "task-run";
+  case FaultSite::TaskStall:
+    return "task-stall";
+  case FaultSite::BudgetCharge:
+    return "budget-charge";
+  case FaultSite::Count_:
+    break;
+  }
+  return "invalid";
+}
+
+void FaultPlan::arm(FaultSite S, uint64_t FireAt, uint64_t Repeat,
+                    unsigned StallMs) {
+  SiteArm &A = Arms[static_cast<size_t>(S)];
+  A.FireAt = FireAt;
+  A.Repeat = Repeat ? Repeat : 1;
+  A.StallMs = StallMs;
+}
+
+void FaultPlan::randomize(uint64_t Seed) {
+  for (size_t I = 0; I < FaultSiteCount; ++I) {
+    Arms[I] = SiteArm{};
+    Hits[I].store(0, std::memory_order_relaxed);
+    Fired[I].store(0, std::memory_order_relaxed);
+  }
+  uint64_t Z = Seed;
+  auto Next = [&Z] { return Z = mix64(Z); };
+  // Arm one to three distinct sites. Trigger counts are kept small enough
+  // that a short chaos campaign actually reaches them: the intern pools
+  // and budgets see thousands of hits per campaign, the task sites tens.
+  unsigned Sites = 1 + static_cast<unsigned>(Next() % 3);
+  for (unsigned I = 0; I < Sites; ++I) {
+    FaultSite S = static_cast<FaultSite>(Next() % FaultSiteCount);
+    uint64_t Repeat = 1 + Next() % 3;
+    switch (S) {
+    case FaultSite::InternAlloc:
+      arm(S, 1 + Next() % 2'000, Repeat);
+      break;
+    case FaultSite::BudgetCharge:
+      // The interrupt check (and thus this site) is probed once per 256
+      // budget charges, so a short campaign only reaches O(100) hits.
+      arm(S, 1 + Next() % 150, Repeat);
+      break;
+    case FaultSite::TaskRun:
+      arm(S, 1 + Next() % 6, Repeat);
+      break;
+    case FaultSite::TaskStall: {
+      uint64_t FireAt = 1 + Next() % 6;
+      arm(S, FireAt, Repeat,
+          /*StallMs=*/1 + static_cast<unsigned>(Next() % 20));
+      break;
+    }
+    case FaultSite::Count_:
+      break;
+    }
+  }
+}
+
+bool FaultPlan::shouldFire(FaultSite S) {
+  size_t I = static_cast<size_t>(S);
+  const SiteArm &A = Arms[I];
+  if (A.FireAt == 0)
+    return false;
+  uint64_t Hit = Hits[I].fetch_add(1, std::memory_order_relaxed) + 1;
+  // Overflow-safe window test: Repeat may be ~0 ("fire forever").
+  if (Hit < A.FireAt || Hit - A.FireAt >= A.Repeat)
+    return false;
+  Fired[I].fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+uint64_t FaultPlan::totalFired() const {
+  uint64_t N = 0;
+  for (const auto &F : Fired)
+    N += F.load(std::memory_order_relaxed);
+  return N;
+}
+
+std::string FaultPlan::describe() const {
+  std::string Out;
+  for (size_t I = 0; I < FaultSiteCount; ++I) {
+    const SiteArm &A = Arms[I];
+    if (A.FireAt == 0)
+      continue;
+    if (!Out.empty())
+      Out += ", ";
+    Out += std::string(faultSiteName(static_cast<FaultSite>(I))) + "@" +
+           std::to_string(A.FireAt) + "x" + std::to_string(A.Repeat);
+    if (A.StallMs)
+      Out += "(" + std::to_string(A.StallMs) + "ms)";
+  }
+  return Out.empty() ? "none" : Out;
+}
+
+FaultPlan *FaultPlan::install(FaultPlan *Plan) {
+  return ActivePlan.exchange(Plan, std::memory_order_acq_rel);
+}
+
+FaultPlan *FaultPlan::active() {
+  return ActivePlan.load(std::memory_order_acquire);
+}
+
+bool tracesafe::faultPoint(FaultSite S) {
+  FaultPlan *Plan = FaultPlan::active();
+  return Plan && Plan->shouldFire(S);
+}
+
+void tracesafe::faultThrowBadAlloc(FaultSite S) {
+  if (faultPoint(S))
+    throw std::bad_alloc();
+}
+
+void tracesafe::faultThrowInjected(FaultSite S) {
+  if (faultPoint(S))
+    throw InjectedFault(S);
+}
+
+void tracesafe::faultMaybeStall(FaultSite S) {
+  FaultPlan *Plan = FaultPlan::active();
+  if (Plan && Plan->shouldFire(S))
+    std::this_thread::sleep_for(std::chrono::milliseconds(Plan->stallMs()));
+}

@@ -1,5 +1,7 @@
 #include "support/Intern.h"
 
+#include "support/Failure.h"
+
 #include <cassert>
 #include <cstring>
 
@@ -93,6 +95,10 @@ InternPool::InternPool(unsigned ShardBits, Budget *Shared)
 InternPool::~InternPool() = default;
 
 InternPool::Result InternPool::intern(const uint64_t *Words, size_t N) {
+  // Fault-injection site: simulated allocation failure, thrown before any
+  // shard state is touched so the pool stays consistent. The engines
+  // contain it at their query boundary as Unknown(EngineFault).
+  faultThrowBadAlloc(FaultSite::InternAlloc);
   uint64_t Hash = hashWords(Words, N);
   Shard &S = *Shards[Hash & ((1u << ShardBits) - 1)];
   std::lock_guard<std::mutex> Lock(S.M);

@@ -1,5 +1,7 @@
 #include "support/ThreadPool.h"
 
+#include "support/Failure.h"
+
 #include <chrono>
 #include <cstdlib>
 #include <memory>
@@ -117,6 +119,28 @@ bool ThreadPool::pop(Task &Out, int Self, TaskGroup *GroupOnly) {
   return false;
 }
 
+void ThreadPool::runTask(Task &T) {
+  // Drain: once a group has faulted, its remaining tasks are retired
+  // without running — the query is already lost to Unknown(EngineFault),
+  // so the fastest safe thing is to get the pool idle again.
+  if (!T.Group || !T.Group->faulted()) {
+    try {
+      faultMaybeStall(FaultSite::TaskStall);
+      faultThrowInjected(FaultSite::TaskRun);
+      T.Fn();
+    } catch (...) {
+      if (T.Group)
+        T.Group->noteException(std::current_exception());
+      // No group to report to: swallowing would hide a genuine bug, and
+      // rethrowing would terminate the worker. Tasks are only ever
+      // spawned through groups, so this cannot happen today; keep the
+      // containment anyway (the exception is dropped, the pool lives).
+    }
+  }
+  finish(T.Group);
+  T.Fn = nullptr;
+}
+
 void ThreadPool::finish(TaskGroup *Group) {
   // The decrement must happen under DoneM: wait() re-acquires DoneM after
   // observing Outstanding == 0, so holding the lock across decrement and
@@ -132,9 +156,7 @@ void ThreadPool::workerMain(unsigned Index) {
   Task T;
   while (true) {
     if (pop(T, static_cast<int>(Index), nullptr)) {
-      T.Fn();
-      finish(T.Group);
-      T.Fn = nullptr;
+      runTask(T);
       continue;
     }
     std::unique_lock<std::mutex> Lock(SleepM);
@@ -155,6 +177,23 @@ void ThreadPool::TaskGroup::spawn(std::function<void()> Fn) {
   Pool.push(Task{std::move(Fn), this});
 }
 
+void ThreadPool::TaskGroup::noteException(std::exception_ptr E) {
+  {
+    std::lock_guard<std::mutex> Lock(ExcM);
+    if (!Exc)
+      Exc = std::move(E);
+  }
+  Faulted.store(true, std::memory_order_release);
+}
+
+std::exception_ptr ThreadPool::TaskGroup::takeException() {
+  std::lock_guard<std::mutex> Lock(ExcM);
+  Faulted.store(false, std::memory_order_release);
+  std::exception_ptr Out = std::move(Exc);
+  Exc = nullptr;
+  return Out;
+}
+
 void ThreadPool::TaskGroup::wait() {
   int Self = CurrentWorker.Pool == &Pool ? CurrentWorker.Index : -1;
   Task T;
@@ -164,9 +203,7 @@ void ThreadPool::TaskGroup::wait() {
     // waits inside a task (nested parallel query) can never pick up an
     // unrelated long-running task.
     if (Pool.pop(T, Self, this)) {
-      T.Fn();
-      Pool.finish(T.Group);
-      T.Fn = nullptr;
+      Pool.runTask(T);
       continue;
     }
     // Nothing queued for this group: its remaining tasks are running on

@@ -25,6 +25,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -65,6 +66,17 @@ public:
   /// Fork/join scope. Spawned tasks may themselves spawn into the same
   /// group (recursive splitting); wait() returns once every task spawned
   /// so far has finished. The destructor waits.
+  ///
+  /// Exception containment: a task that throws does not unwind the worker
+  /// thread (which would std::terminate the process). The group captures
+  /// the *first* exception, marks itself faulted, and *drains* the rest —
+  /// remaining tasks of a faulted group are popped and retired without
+  /// running — so wait() still returns promptly and the pool stays
+  /// reusable for the next query. Callers inspect faulted() /
+  /// takeException() after wait() and surface the query as
+  /// Unknown(EngineFault); wait() itself never throws. A drained (or
+  /// partially run) group's results are by construction incomplete and
+  /// must be treated as truncated, never as a completed search.
   class TaskGroup {
   public:
     explicit TaskGroup(ThreadPool &Pool) : Pool(Pool) {}
@@ -76,12 +88,25 @@ public:
     void spawn(std::function<void()> Fn);
     void wait();
 
+    /// True once any task of this group has thrown.
+    bool faulted() const {
+      return Faulted.load(std::memory_order_acquire);
+    }
+    /// The first captured exception (null if none). Clears the fault so
+    /// the group is reusable; call after wait().
+    std::exception_ptr takeException();
+
   private:
     friend class ThreadPool;
+    void noteException(std::exception_ptr E);
+
     ThreadPool &Pool;
     std::atomic<uint64_t> Outstanding{0};
     std::mutex DoneM;
     std::condition_variable DoneCv;
+    std::atomic<bool> Faulted{false};
+    std::mutex ExcM;          ///< guards Exc
+    std::exception_ptr Exc;   ///< first task exception
   };
 
 private:
@@ -96,6 +121,9 @@ private:
   };
 
   void workerMain(unsigned Index);
+  /// Runs (or, for a faulted group, drains) one task with exception
+  /// containment, then retires it.
+  void runTask(Task &T);
   void push(Task T);
   /// Pops a task: own queue back first (when \p Self is a worker), then
   /// other queues front. \p GroupOnly restricts to tasks of that group.

@@ -628,11 +628,30 @@ public:
     NodeState Root;
     Root.Traces.assign(Tids.size(), Trace());
     uint64_t EmptyWord = TagTrace;
-    Root.TraceIds.assign(Tids.size(), Structs.intern(&EmptyWord, 1).Id);
+    try {
+      // The root-state intern is the engine's very first allocation; an
+      // injected InternAlloc failure can land here, before any search
+      // frame's containment is on the stack.
+      Root.TraceIds.assign(Tids.size(), Structs.intern(&EmptyWord, 1).Id);
+    } catch (...) {
+      engineFault();
+      std::lock_guard<std::mutex> Lock(ResM);
+      Stats.Visited = VisitedCount.load(std::memory_order_relaxed);
+      return;
+    }
     if (!RaceMode)
       Behaviours.insert(Behaviour{});
     if (!Parallel) {
-      search(Root);
+      // Exception containment, sequential engine: an allocation failure
+      // (real or injected) inside the intern pools unwinds to here and
+      // becomes a truncated result — partial behaviour sets / "no race
+      // found so far" are exactly what Unknown(EngineFault) means, and
+      // any witness already recorded stays definitive.
+      try {
+        search(Root);
+      } catch (...) {
+        engineFault();
+      }
     } else {
       if (Limits.Workers > 1)
         Owned = std::make_unique<ThreadPool>(Limits.Workers);
@@ -643,6 +662,13 @@ public:
         auto R = std::make_shared<NodeState>(std::move(Root));
         G.spawn([this, R] { search(*R); });
         G.wait();
+        // Parallel engine: every search frame runs inside a pool task,
+        // so a throwing frame is captured by the group (and the group
+        // drained) instead of unwinding a worker. Surface it here.
+        if (G.faulted()) {
+          G.takeException();
+          engineFault();
+        }
       }
       Group = nullptr;
     }
@@ -660,6 +686,16 @@ private:
   void truncate(TruncationReason R) {
     std::lock_guard<std::mutex> Lock(ResM);
     Stats.truncate(R);
+  }
+
+  /// Marks the query faulted: truncate with EngineFault and poison the
+  /// shared budget so sibling engines of the same query unwind too — a
+  /// result built on a faulted sub-search must never read as Proved.
+  void engineFault() {
+    truncate(TruncationReason::EngineFault);
+    StopFlag.store(true, std::memory_order_relaxed);
+    if (Limits.Shared)
+      Limits.Shared->poison(TruncationReason::EngineFault);
   }
 
   /// [TagState | counts, trace ids, (loc,val)*, (mon,owner),(depth)*,
@@ -913,6 +949,16 @@ public:
       auto R = std::make_shared<NodeState>(std::move(Root));
       G.spawn([this, R] { search(*R); });
       G.wait();
+      // A throwing search frame is captured by the group and the rest of
+      // the group drained; the visit sequence is incomplete, so the
+      // result must read as truncated, never as an exhausted search.
+      if (G.faulted()) {
+        G.takeException();
+        StopFlag.store(true, std::memory_order_relaxed);
+        truncate(TruncationReason::EngineFault);
+        if (Limits.Shared)
+          Limits.Shared->poison(TruncationReason::EngineFault);
+      }
     }
     Group = nullptr;
     std::lock_guard<std::mutex> Lock(StatsM);

@@ -1,0 +1,137 @@
+#include "verify/Degrade.h"
+
+using namespace tracesafe;
+
+std::string DegradeReport::str() const {
+  if (!PrimaryFaulted)
+    return "primary ok (" + std::to_string(PrimaryElapsedMs) + "ms/" +
+           std::to_string(PrimaryVisited) + " states)";
+  std::string Out = "primary " +
+                    std::string(truncationReasonName(PrimaryReason)) +
+                    " after " + std::to_string(PrimaryElapsedMs) + "ms/" +
+                    std::to_string(PrimaryVisited) + " states";
+  if (!FellBack)
+    return Out + "; no fallback";
+  Out += "; oracle fallback ";
+  Out += FallbackReason == TruncationReason::None
+             ? "answered"
+             : std::string("truncated (") +
+                   truncationReasonName(FallbackReason) + ")";
+  Out += " in " + std::to_string(FallbackElapsedMs) + "ms/" +
+         std::to_string(FallbackVisited) + " states";
+  return Out;
+}
+
+BudgetSpec tracesafe::remainingBudget(const BudgetSpec &Spec,
+                                      const Budget &Used) {
+  BudgetSpec Out = Spec;
+  if (Spec.DeadlineMs > 0) {
+    int64_t Left = Spec.DeadlineMs - Used.elapsedMs();
+    Out.DeadlineMs = Left > 0 ? Left : 1;
+  }
+  if (Spec.MaxVisited > 0) {
+    uint64_t V = Used.visited();
+    Out.MaxVisited = V < Spec.MaxVisited ? Spec.MaxVisited - V : 1;
+  }
+  return Out;
+}
+
+namespace {
+
+/// Shared shape of both degraded queries: run Primary under Spec; iff it
+/// reports Unknown(EngineFault), run Oracle under the remaining budget.
+/// Primary/Oracle receive the limits to use and return the truncation
+/// reason they ended with (None = completed).
+template <typename PrimaryFn, typename OracleFn>
+void degrade(const BudgetSpec &Spec, const CancelToken *Cancel,
+             unsigned Workers, DegradeReport *Report,
+             const PrimaryFn &Primary, const OracleFn &Oracle) {
+  DegradeReport Rep;
+  Budget First(Spec, Cancel);
+  EnumerationLimits L;
+  L.Shared = &First;
+  L.Workers = Workers;
+  TruncationReason R;
+  // Both engines are belt-and-braces wrapped: the reduced engine contains
+  // its own faults, but a throw from anywhere else on this path must
+  // degrade, not propagate.
+  try {
+    R = Primary(L);
+  } catch (...) {
+    R = TruncationReason::EngineFault;
+  }
+  Rep.PrimaryReason = R;
+  Rep.PrimaryVisited = First.visited();
+  Rep.PrimaryElapsedMs = First.elapsedMs();
+  Rep.PrimaryFaulted = R == TruncationReason::EngineFault;
+  if (Rep.PrimaryFaulted) {
+    Budget Second(remainingBudget(Spec, First), Cancel);
+    EnumerationLimits OL;
+    OL.Shared = &Second;
+    OL.Workers = 1;
+    OL.ExhaustiveOracle = true;
+    Rep.FellBack = true;
+    try {
+      Rep.FallbackReason = Oracle(OL);
+    } catch (...) {
+      Rep.FallbackReason = TruncationReason::EngineFault;
+    }
+    Rep.FallbackVisited = Second.visited();
+    Rep.FallbackElapsedMs = Second.elapsedMs();
+  }
+  if (Report)
+    *Report = Rep;
+}
+
+} // namespace
+
+Verdict<Interleaving>
+tracesafe::degradedDataRaceFreedom(const Traceset &T, const BudgetSpec &Spec,
+                                   DegradeReport *Report,
+                                   const CancelToken *Cancel,
+                                   unsigned Workers) {
+  Verdict<Interleaving> V = Verdict<Interleaving>::unknown(
+      TruncationReason::EngineFault);
+  degrade(
+      Spec, Cancel, Workers, Report,
+      [&](const EnumerationLimits &L) {
+        V = checkDataRaceFreedom(T, L);
+        return V.isUnknown() ? V.Reason : TruncationReason::None;
+      },
+      [&](const EnumerationLimits &L) {
+        V = checkDataRaceFreedom(T, L);
+        return V.isUnknown() ? V.Reason : TruncationReason::None;
+      });
+  return V;
+}
+
+std::set<Behaviour> tracesafe::degradedCollectBehaviours(
+    const Traceset &T, const BudgetSpec &Spec, EnumerationStats *Stats,
+    DegradeReport *Report, const CancelToken *Cancel, unsigned Workers) {
+  std::set<Behaviour> Out;
+  EnumerationStats S;
+  S.truncate(TruncationReason::EngineFault); // overwritten on any answer
+  degrade(
+      Spec, Cancel, Workers, Report,
+      [&](const EnumerationLimits &L) {
+        EnumerationStats Local;
+        std::set<Behaviour> B = collectBehaviours(T, L, &Local);
+        if (Local.Reason != TruncationReason::EngineFault) {
+          // A faulted primary's set is partial *and untrusted*; discard it
+          // so the fallback answers from scratch. Any other truncation is
+          // an honest partial answer and is kept.
+          Out = std::move(B);
+          S = Local;
+        }
+        return Local.Truncated ? Local.Reason : TruncationReason::None;
+      },
+      [&](const EnumerationLimits &L) {
+        EnumerationStats Local;
+        Out = collectBehaviours(T, L, &Local);
+        S = Local;
+        return Local.Truncated ? Local.Reason : TruncationReason::None;
+      });
+  if (Stats)
+    *Stats = S;
+  return Out;
+}

@@ -1,0 +1,83 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Graceful degradation: oracle fallback for faulted parallel queries.
+///
+/// The reduced parallel engine (interned states, sleep sets, work-stealing
+/// pool) is the fast path, but it is also the only engine with enough
+/// moving parts to fault: an allocation failure in an intern pool or a
+/// throwing pool task surfaces, after containment, as Unknown(EngineFault).
+/// That answer is sound but useless. The degradation layer turns it back
+/// into a real answer when it can: re-run the query on the sequential
+/// ExhaustiveOracle — the seed's std::set-memoised engine, which shares no
+/// code with the faulting path — under whatever budget the primary attempt
+/// left behind, and record the fallback in the report so a degraded result
+/// is never mistaken for a first-try one.
+///
+/// Only EngineFault degrades. Cancellation must win immediately (no
+/// sneaky retry after Ctrl-C) and budget exhaustion would exhaust the
+/// smaller remaining budget even faster.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACESAFE_VERIFY_DEGRADE_H
+#define TRACESAFE_VERIFY_DEGRADE_H
+
+#include "support/Budget.h"
+#include "trace/Enumerate.h"
+
+#include <set>
+#include <string>
+
+namespace tracesafe {
+
+/// What one degraded query did: the primary attempt's outcome and, when it
+/// faulted, the fallback's cost. str() renders the one-line form used in
+/// fuzz reports ("primary engine-fault after 12ms/3400 states; oracle
+/// fallback answered in 87ms/51200 states").
+struct DegradeReport {
+  bool PrimaryFaulted = false; ///< primary ended Unknown(EngineFault)
+  bool FellBack = false;       ///< the oracle fallback ran
+  TruncationReason PrimaryReason = TruncationReason::None;
+  uint64_t PrimaryVisited = 0;
+  int64_t PrimaryElapsedMs = 0;
+  uint64_t FallbackVisited = 0;
+  int64_t FallbackElapsedMs = 0;
+  /// The fallback's final truncation reason (None when it completed).
+  TruncationReason FallbackReason = TruncationReason::None;
+
+  std::string str() const;
+};
+
+/// The budget left over after \p Used ran under \p Spec: remaining wall
+/// clock and remaining visits, floored at 1 so the result stays *bounded*
+/// (0 means unlimited in BudgetSpec). The memory cap carries over
+/// unreduced — the faulted attempt's tables are freed before the fallback
+/// starts, so its charge is not actually occupied.
+BudgetSpec remainingBudget(const BudgetSpec &Spec, const Budget &Used);
+
+/// DRF query with degradation: parallel reduced engine first, sequential
+/// ExhaustiveOracle on EngineFault. \p Workers selects the primary
+/// engine's width (0 = shared pool default). A found race is definitive
+/// from either engine; Proved requires whichever engine answered to have
+/// run exhaustively, as always.
+Verdict<Interleaving>
+degradedDataRaceFreedom(const Traceset &T, const BudgetSpec &Spec,
+                        DegradeReport *Report = nullptr,
+                        const CancelToken *Cancel = nullptr,
+                        unsigned Workers = 0);
+
+/// Behaviour collection with degradation, same contract. When the primary
+/// faults, the returned set is the fallback's (a faulted primary's set is
+/// partial and is discarded); \p Stats reports the answering engine's
+/// stats.
+std::set<Behaviour>
+degradedCollectBehaviours(const Traceset &T, const BudgetSpec &Spec,
+                          EnumerationStats *Stats = nullptr,
+                          DegradeReport *Report = nullptr,
+                          const CancelToken *Cancel = nullptr,
+                          unsigned Workers = 0);
+
+} // namespace tracesafe
+
+#endif // TRACESAFE_VERIFY_DEGRADE_H

@@ -32,6 +32,9 @@ struct EscalationPolicy {
   unsigned MaxAttempts = 4;
   BudgetSpec Ceiling{/*DeadlineMs=*/15'000, /*MaxVisited=*/20'000'000,
                      /*MaxMemoryBytes=*/512u << 20};
+  /// Optional cooperative cancellation, wired into every attempt's Budget.
+  /// Non-owning; may be null.
+  const CancelToken *Cancel = nullptr;
 };
 
 /// What one rung of the ladder did.
@@ -66,7 +69,7 @@ Escalated<T> escalate(const EscalationPolicy &Policy, const QueryFn &Query) {
   Escalated<T> Out;
   BudgetSpec Spec = Policy.Initial.scaled(1, Policy.Ceiling);
   for (unsigned Attempt = 0; Attempt < Policy.MaxAttempts; ++Attempt) {
-    Budget B(Spec);
+    Budget B(Spec, Policy.Cancel);
     Verdict<T> V = Query(B);
     EscalationAttempt Rec;
     Rec.Spec = Spec;
@@ -77,6 +80,13 @@ Escalated<T> escalate(const EscalationPolicy &Policy, const QueryFn &Query) {
     Out.Attempts.push_back(Rec);
     Out.Final = std::move(V);
     if (!Out.Final.isUnknown())
+      return Out;
+    // Only budget-bound Unknowns escalate. A cancelled query must stay
+    // cancelled (no sneaky retry after Ctrl-C), and a faulted query is
+    // not budget-bound — a larger budget replays the same fault; the
+    // degradation layer (Degrade.h) is the right recovery for it.
+    if (Out.Final.Reason == TruncationReason::Cancelled ||
+        Out.Final.Reason == TruncationReason::EngineFault)
       return Out;
     BudgetSpec Next = Spec.scaled(Policy.Growth, Policy.Ceiling);
     if (Next.DeadlineMs == Spec.DeadlineMs &&

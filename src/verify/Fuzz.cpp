@@ -10,10 +10,13 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <sstream>
 #include <tuple>
 
 using namespace tracesafe;
@@ -112,8 +115,9 @@ CheckVerdict semanticChainVerdict(const Program &Orig,
 /// the candidate itself.
 bool propertyViolated(const Program &Orig, const Program &Transformed,
                       const std::string &Property, const BudgetSpec &Spec,
-                      uint64_t ChainSeed, size_t MaxChainSteps) {
-  Budget B(Spec);
+                      uint64_t ChainSeed, size_t MaxChainSteps,
+                      const CancelToken *Cancel) {
+  Budget B(Spec, Cancel);
   if (Property == "semantic-step") {
     Rng R(ChainSeed);
     TransformChain C = randomChain(Orig, RuleSet::all(), MaxChainSteps, R);
@@ -161,6 +165,259 @@ std::string jsonEscape(const std::string &S) {
   return Out;
 }
 
+//===--------------------------------------------------------------------===//
+// Checkpoint journal.
+//
+// Append-only, line-oriented, one *record* per finished program index:
+//   H \t 1 \t <seed> \t <programs>                 (file header, once)
+//   S \t <idx> \t <checks> \t <proved> \t <unknown> \t <escalated>
+//     \t <injected> \t <faulted> \t <degraded>
+//   F \t <idx> \t ... one line per failure, strings escaped ...
+//   D \t <idx>                                     (commit marker)
+// A record only counts once its D line is on disk; a crash mid-record
+// leaves a tail the loader discards, and the index is simply re-run on
+// resume. Strings escape '\\', '\t', '\n' so the format stays line- and
+// tab-splittable without a real parser.
+//===--------------------------------------------------------------------===//
+
+constexpr int JournalVersion = 1;
+
+/// One finished program index's contribution to the campaign report.
+/// RunOne accumulates into this, and exactly this is journaled, so a
+/// resumed index merges identically to a re-run one.
+struct IndexRecord {
+  uint64_t Checks = 0;
+  uint64_t Proved = 0;
+  uint64_t Unknown = 0;
+  uint64_t Escalated = 0;
+  bool Injected = false;
+  uint64_t Faulted = 0;
+  uint64_t Degraded = 0;
+  std::vector<FuzzFailure> Failures;
+};
+
+std::string escField(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    default:
+      Out += C;
+    }
+  }
+  return Out;
+}
+
+std::string unescField(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (size_t I = 0; I < S.size(); ++I) {
+    if (S[I] != '\\' || I + 1 >= S.size()) {
+      Out += S[I];
+      continue;
+    }
+    switch (S[++I]) {
+    case '\\':
+      Out += '\\';
+      break;
+    case 't':
+      Out += '\t';
+      break;
+    case 'n':
+      Out += '\n';
+      break;
+    default: // Unknown escape: keep both chars (forward compatibility).
+      Out += '\\';
+      Out += S[I];
+    }
+  }
+  return Out;
+}
+
+std::vector<std::string> splitTabs(const std::string &Line) {
+  std::vector<std::string> Out;
+  size_t Begin = 0;
+  while (true) {
+    size_t Tab = Line.find('\t', Begin);
+    if (Tab == std::string::npos) {
+      Out.push_back(Line.substr(Begin));
+      return Out;
+    }
+    Out.push_back(Line.substr(Begin, Tab - Begin));
+    Begin = Tab + 1;
+  }
+}
+
+bool parseU64(const std::string &S, uint64_t &Out) {
+  if (S.empty())
+    return false;
+  char *End = nullptr;
+  Out = std::strtoull(S.c_str(), &End, 10);
+  return End == S.c_str() + S.size();
+}
+
+void writeFailureLine(std::ostream &Os, uint64_t Idx, const FuzzFailure &F) {
+  Os << "F\t" << Idx << '\t' << escField(F.Property) << '\t'
+     << (F.Injected ? 1 : 0) << '\t' << F.OriginalStmts << '\t'
+     << F.ReducedStmts << '\t' << F.ShrinkRounds << '\t'
+     << F.ShrinkCandidates << '\t' << F.ChainSteps << '\t'
+     << F.ReducedChainSteps << '\t' << escField(F.ReproPath) << '\t'
+     << escField(F.Detail) << '\t' << escField(F.ReducedChain) << '\t'
+     << escField(F.OriginalSource) << '\t' << escField(F.ReducedSource)
+     << '\n';
+}
+
+bool parseFailureLine(const std::vector<std::string> &T, FuzzFailure &F) {
+  if (T.size() != 15)
+    return false;
+  uint64_t N = 0;
+  if (!parseU64(T[1], N))
+    return false;
+  F.ProgramIndex = N;
+  F.Property = unescField(T[2]);
+  F.Injected = T[3] == "1";
+  if (!parseU64(T[4], N))
+    return false;
+  F.OriginalStmts = N;
+  if (!parseU64(T[5], N))
+    return false;
+  F.ReducedStmts = N;
+  if (!parseU64(T[6], N))
+    return false;
+  F.ShrinkRounds = static_cast<unsigned>(N);
+  if (!parseU64(T[7], F.ShrinkCandidates))
+    return false;
+  if (!parseU64(T[8], N))
+    return false;
+  F.ChainSteps = N;
+  if (!parseU64(T[9], N))
+    return false;
+  F.ReducedChainSteps = N;
+  F.ReproPath = unescField(T[10]);
+  F.Detail = unescField(T[11]);
+  F.ReducedChain = unescField(T[12]);
+  F.OriginalSource = unescField(T[13]);
+  F.ReducedSource = unescField(T[14]);
+  return true;
+}
+
+/// Serialised writer for the checkpoint journal. Each record is written
+/// and flushed under one lock acquisition, so concurrent campaign workers
+/// interleave whole records, never lines.
+class Journal {
+public:
+  bool open(const std::string &Path, bool Append, uint64_t Seed,
+            uint64_t Programs) {
+    Os.open(Path, Append ? std::ios::app : std::ios::trunc);
+    if (!Os)
+      return false;
+    if (!Append) {
+      Os << "H\t" << JournalVersion << '\t' << Seed << '\t' << Programs
+         << '\n';
+      Os.flush();
+    }
+    return true;
+  }
+
+  bool active() const { return Os.is_open(); }
+
+  void record(uint64_t Idx, const IndexRecord &R) {
+    if (!Os.is_open())
+      return;
+    std::lock_guard<std::mutex> Lock(M);
+    Os << "S\t" << Idx << '\t' << R.Checks << '\t' << R.Proved << '\t'
+       << R.Unknown << '\t' << R.Escalated << '\t' << (R.Injected ? 1 : 0)
+       << '\t' << R.Faulted << '\t' << R.Degraded << '\n';
+    for (const FuzzFailure &F : R.Failures)
+      writeFailureLine(Os, Idx, F);
+    Os << "D\t" << Idx << '\n';
+    Os.flush();
+  }
+
+private:
+  std::mutex M;
+  std::ofstream Os;
+};
+
+/// Loads every committed (D-terminated) record of \p Path. False when the
+/// file is unreadable or its header does not describe the (Seed, Programs)
+/// campaign — the caller then starts fresh. Tolerates a torn tail and
+/// arbitrary garbage lines; an index recorded twice keeps the later
+/// record.
+bool loadJournal(const std::string &Path, uint64_t Seed, uint64_t Programs,
+                 std::map<uint64_t, IndexRecord> &Out) {
+  std::ifstream Is(Path);
+  if (!Is)
+    return false;
+  std::string Line;
+  if (!std::getline(Is, Line))
+    return false;
+  {
+    std::vector<std::string> T = splitTabs(Line);
+    uint64_t V = 0, S = 0, P = 0;
+    if (T.size() != 4 || T[0] != "H" || !parseU64(T[1], V) ||
+        !parseU64(T[2], S) || !parseU64(T[3], P) || V != JournalVersion ||
+        S != Seed || P != Programs)
+      return false;
+  }
+  std::map<uint64_t, IndexRecord> Pending;
+  while (std::getline(Is, Line)) {
+    std::vector<std::string> T = splitTabs(Line);
+    if (T.size() < 2)
+      continue;
+    uint64_t Idx = 0;
+    if (!parseU64(T[1], Idx) || Idx >= Programs)
+      continue;
+    if (T[0] == "S") {
+      if (T.size() != 9)
+        continue;
+      IndexRecord R;
+      uint64_t Inj = 0;
+      if (!parseU64(T[2], R.Checks) || !parseU64(T[3], R.Proved) ||
+          !parseU64(T[4], R.Unknown) || !parseU64(T[5], R.Escalated) ||
+          !parseU64(T[6], Inj) || !parseU64(T[7], R.Faulted) ||
+          !parseU64(T[8], R.Degraded))
+        continue;
+      R.Injected = Inj != 0;
+      Pending[Idx] = std::move(R); // Restarts any earlier torn record.
+    } else if (T[0] == "F") {
+      auto It = Pending.find(Idx);
+      FuzzFailure F;
+      if (It != Pending.end() && parseFailureLine(T, F))
+        It->second.Failures.push_back(std::move(F));
+    } else if (T[0] == "D") {
+      auto It = Pending.find(Idx);
+      if (It != Pending.end()) {
+        Out[Idx] = std::move(It->second);
+        Pending.erase(It);
+      }
+    }
+  }
+  return true;
+}
+
+void mergeIndex(FuzzReport &Into, const IndexRecord &R) {
+  ++Into.ProgramsRun;
+  Into.ChecksRun += R.Checks;
+  Into.ProvedQueries += R.Proved;
+  Into.UnknownQueries += R.Unknown;
+  Into.EscalatedQueries += R.Escalated;
+  Into.InjectedRuns += R.Injected ? 1 : 0;
+  Into.FaultedQueries += R.Faulted;
+  Into.DegradedQueries += R.Degraded;
+  for (const FuzzFailure &F : R.Failures)
+    Into.Failures.push_back(F);
+}
+
 } // namespace
 
 uint64_t FuzzReport::uninjectedFailures() const {
@@ -181,12 +438,19 @@ std::string FuzzReport::summary() const {
                     std::to_string(uninjectedFailures()) + " uninjected, " +
                     std::to_string(InjectedRuns) + " injected runs), " +
                     std::to_string(ElapsedMs) + "ms";
+  if (FaultedQueries || DegradedQueries)
+    Out += ", " + std::to_string(FaultedQueries) + " faulted/" +
+           std::to_string(DegradedQueries) + " degraded";
+  if (SkippedFromCheckpoint)
+    Out += ", " + std::to_string(SkippedFromCheckpoint) + " resumed";
   if (DeadlineHit)
     Out += " [deadline hit]";
+  if (Cancelled)
+    Out += " [cancelled]";
   return Out;
 }
 
-std::string FuzzReport::toJson() const {
+std::string FuzzReport::toJson(bool IncludeVolatile) const {
   std::string Out = "{\n";
   auto Field = [&](const std::string &K, const std::string &V, bool Comma) {
     Out += "  \"" + K + "\": " + V + (Comma ? ",\n" : "\n");
@@ -197,9 +461,16 @@ std::string FuzzReport::toJson() const {
   Field("unknown", std::to_string(UnknownQueries), true);
   Field("escalated", std::to_string(EscalatedQueries), true);
   Field("injected_runs", std::to_string(InjectedRuns), true);
+  Field("faulted", std::to_string(FaultedQueries), true);
+  Field("degraded", std::to_string(DegradedQueries), true);
   Field("uninjected_failures", std::to_string(uninjectedFailures()), true);
   Field("deadline_hit", DeadlineHit ? "true" : "false", true);
-  Field("elapsed_ms", std::to_string(ElapsedMs), true);
+  if (IncludeVolatile) {
+    Field("cancelled", Cancelled ? "true" : "false", true);
+    Field("skipped_from_checkpoint", std::to_string(SkippedFromCheckpoint),
+          true);
+    Field("elapsed_ms", std::to_string(ElapsedMs), true);
+  }
   Out += "  \"failures\": [";
   for (size_t I = 0; I < Failures.size(); ++I) {
     const FuzzFailure &F = Failures[I];
@@ -211,6 +482,10 @@ std::string FuzzReport::toJson() const {
     Out += ", \"original_stmts\": " + std::to_string(F.OriginalStmts);
     Out += ", \"reduced_stmts\": " + std::to_string(F.ReducedStmts);
     Out += ", \"shrink_rounds\": " + std::to_string(F.ShrinkRounds);
+    Out += ", \"chain_steps\": " + std::to_string(F.ChainSteps);
+    Out += ", \"reduced_chain_steps\": " +
+           std::to_string(F.ReducedChainSteps);
+    Out += ", \"reduced_chain\": \"" + jsonEscape(F.ReducedChain) + "\"";
     Out += ", \"repro_path\": \"" + jsonEscape(F.ReproPath) + "\"";
     Out += ", \"reduced_source\": \"" + jsonEscape(F.ReducedSource) + "\"";
     Out += "}";
@@ -228,23 +503,29 @@ FuzzReport tracesafe::runFuzz(const FuzzOptions &Options) {
                std::chrono::steady_clock::now() - Start)
         .count();
   };
+  auto CancelledNow = [&]() {
+    return Options.Cancel && Options.Cancel->requested();
+  };
+
+  EscalationPolicy Esc = Options.Escalation;
+  Esc.Cancel = Options.Cancel;
 
   // Budget for shrink-predicate re-checks: one mid-ladder rung.
   BudgetSpec ShrinkCheckSpec =
       Options.Escalation.Initial.scaled(Options.Escalation.Growth,
                                         Options.Escalation.Ceiling);
 
-  auto Track = [](FuzzReport &R, VerdictKind Kind, size_t Attempts) {
-    ++R.ChecksRun;
+  auto Track = [](IndexRecord &R, VerdictKind Kind, size_t Attempts) {
+    ++R.Checks;
     if (Attempts > 1)
-      ++R.EscalatedQueries;
+      ++R.Escalated;
     if (Kind == VerdictKind::Unknown)
-      ++R.UnknownQueries;
+      ++R.Unknown;
     if (Kind == VerdictKind::Proved)
-      ++R.ProvedQueries;
+      ++R.Proved;
   };
 
-  auto RecordFailure = [&](FuzzReport &Local, uint64_t Index,
+  auto RecordFailure = [&](IndexRecord &Rec, uint64_t Index,
                            const std::string &Property, bool Injected,
                            std::string Detail, const Program &Orig,
                            const TransformFn &Transform, uint64_t ChainSeed) {
@@ -263,13 +544,51 @@ FuzzReport tracesafe::runFuzz(const FuzzOptions &Options) {
       if (!TQ)
         return false;
       return propertyViolated(Q, *TQ, Property, ShrinkCheckSpec, ChainSeed,
-                              Options.MaxChainSteps);
+                              Options.MaxChainSteps, Options.Cancel);
     };
     ShrinkResult SR = shrinkProgram(Orig, Pred, Options.Shrink);
     F.ReducedSource = printProgram(SR.Reduced);
     F.ReducedStmts = countStatements(SR.Reduced);
     F.ShrinkRounds = SR.Rounds;
     F.ShrinkCandidates = SR.CandidatesTried;
+
+    if (!Injected) {
+      // Satellite: minimise the rewrite chain too. The chain the failure
+      // predicate used on the reduced program is regenerated from the
+      // seed, then its step list is delta-debugged to a subsequence that
+      // still reproduces when replayed with applyChain.
+      Rng CR(ChainSeed);
+      TransformChain Chain =
+          randomChain(SR.Reduced, RuleSet::all(), Options.MaxChainSteps, CR);
+      F.ChainSteps = Chain.Steps.size();
+      ChainFailurePredicate CPred =
+          [&](const std::vector<RewriteSite> &Steps) {
+            std::optional<Program> TQ = applyChain(SR.Reduced, Steps);
+            if (!TQ)
+              return false;
+            if (Property == "semantic-step") {
+              Budget B(ShrinkCheckSpec, Options.Cancel);
+              TransformChain C{std::move(*TQ), Steps};
+              return semanticChainVerdict(SR.Reduced, C, B) ==
+                     CheckVerdict::Fails;
+            }
+            return propertyViolated(SR.Reduced, *TQ, Property,
+                                    ShrinkCheckSpec, ChainSeed,
+                                    Options.MaxChainSteps, Options.Cancel);
+          };
+      std::vector<RewriteSite> Final = Chain.Steps;
+      if (!Chain.Steps.empty() && CPred(Chain.Steps)) {
+        ChainShrinkResult CS =
+            shrinkChain(Chain.Steps, CPred, Options.Shrink);
+        Final = CS.Steps;
+      }
+      F.ReducedChainSteps = Final.size();
+      for (const RewriteSite &S : Final) {
+        if (!F.ReducedChain.empty())
+          F.ReducedChain += "; ";
+        F.ReducedChain += S.str();
+      }
+    }
 
     if (!Options.ReproDir.empty()) {
       std::error_code Ec;
@@ -287,18 +606,24 @@ FuzzReport tracesafe::runFuzz(const FuzzOptions &Options) {
            << "// detail: " << F.Detail << "\n"
            << "// statements: " << F.OriginalStmts << " -> "
            << F.ReducedStmts << " in " << F.ShrinkRounds
-           << " shrink rounds\n"
-           << F.ReducedSource;
+           << " shrink rounds\n";
+        if (!F.Injected)
+          Os << "// chain: " << F.ChainSteps << " -> "
+             << F.ReducedChainSteps << " steps"
+             << (F.ReducedChain.empty() ? "" : ": " + F.ReducedChain)
+             << "\n";
+        Os << F.ReducedSource;
         F.ReproPath = Path;
       }
     }
-    Local.Failures.push_back(std::move(F));
+    Rec.Failures.push_back(std::move(F));
   };
 
-  // One fuzz iteration, accumulating into \p Local. Everything here
-  // depends only on (Options.Seed, I), so the campaign is deterministic
-  // for any worker count.
-  auto RunOne = [&](uint64_t I, FuzzReport &Local) {
+  // One fuzz iteration, accumulating into \p Rec. Everything here depends
+  // only on (Options.Seed, I), so the campaign is deterministic for any
+  // worker count — and a resumed index's journaled record is identical to
+  // a re-run one.
+  auto RunOne = [&](uint64_t I, IndexRecord &Rec) {
     uint64_t SubSeed = mixSeeds(Options.Seed, I);
     Rng R(SubSeed);
 
@@ -324,7 +649,6 @@ FuzzReport tracesafe::runFuzz(const FuzzOptions &Options) {
     G.AllowInput = I % 11 == 5;
 
     Program P = generateProgram(R, G);
-    ++Local.ProgramsRun;
 
     bool Injected = false;
     TransformFn Transform;
@@ -340,25 +664,75 @@ FuzzReport tracesafe::runFuzz(const FuzzOptions &Options) {
         return applySafeChain(Q, ChainSeed, MaxSteps);
       };
     }
-    if (Injected)
-      ++Local.InjectedRuns;
+    Rec.Injected = Injected;
 
     Program T = *Transform(P);
 
-    Escalated<DrfGuaranteeReport> Drf =
-        escalateDrfGuarantee(P, T, Options.Escalation);
-    Track(Local, Drf.Final.Kind, Drf.Attempts.size());
+    // Degraded retry for a faulted query: the armed fault trigger was
+    // consumed by the failing attempt, so one sequential re-run under the
+    // escalation ceiling (minus what the attempt spent) usually produces
+    // a real answer. Only EngineFault retries — cancellation must win,
+    // and budget exhaustion would exhaust the smaller budget faster.
+    auto FaultedReason = [](TruncationReason R2) {
+      return R2 == TruncationReason::EngineFault;
+    };
+
+    Escalated<DrfGuaranteeReport> Drf = escalateDrfGuarantee(P, T, Esc);
+    if (Drf.Final.isUnknown() && FaultedReason(Drf.Final.Reason)) {
+      ++Rec.Faulted;
+      Budget B(Options.Escalation.Ceiling, Options.Cancel);
+      ExecLimits E;
+      E.Shared = &B;
+      DrfGuaranteeReport R2 = checkDrfGuarantee(P, T, E);
+      switch (R2.outcome()) {
+      case GuaranteeOutcome::Holds:
+        Drf.Final = Verdict<DrfGuaranteeReport>::proved();
+        ++Rec.Degraded;
+        break;
+      case GuaranteeOutcome::Violated:
+        Drf.Final = Verdict<DrfGuaranteeReport>::refuted(std::move(R2));
+        ++Rec.Degraded;
+        break;
+      case GuaranteeOutcome::Unknown:
+        if (!FaultedReason(R2.Reason))
+          ++Rec.Degraded; // Honest budget-bound Unknown, not a re-fault.
+        break;
+      }
+    }
+    Track(Rec, Drf.Final.Kind, Drf.Attempts.size());
     if (Drf.Final.isRefuted())
-      RecordFailure(Local, I, "drf-guarantee", Injected,
+      RecordFailure(Rec, I, "drf-guarantee", Injected,
                     drfDetail(*Drf.Final.Witness), P, Transform, ChainSeed);
 
     if (Options.CheckThinAir) {
       Value C = freshConstantFor(P);
-      Escalated<ThinAirReport> Ta =
-          escalateThinAir(P, T, C, Options.Escalation);
-      Track(Local, Ta.Final.Kind, Ta.Attempts.size());
+      Escalated<ThinAirReport> Ta = escalateThinAir(P, T, C, Esc);
+      if (Ta.Final.isUnknown() && FaultedReason(Ta.Final.Reason)) {
+        ++Rec.Faulted;
+        Budget B(Options.Escalation.Ceiling, Options.Cancel);
+        ExecLimits E;
+        E.Shared = &B;
+        ExploreLimits X;
+        X.Shared = &B;
+        ThinAirReport R2 = checkThinAir(P, T, C, E, X);
+        switch (R2.outcome()) {
+        case GuaranteeOutcome::Holds:
+          Ta.Final = Verdict<ThinAirReport>::proved();
+          ++Rec.Degraded;
+          break;
+        case GuaranteeOutcome::Violated:
+          Ta.Final = Verdict<ThinAirReport>::refuted(std::move(R2));
+          ++Rec.Degraded;
+          break;
+        case GuaranteeOutcome::Unknown:
+          if (!FaultedReason(R2.Reason))
+            ++Rec.Degraded;
+          break;
+        }
+      }
+      Track(Rec, Ta.Final.Kind, Ta.Attempts.size());
       if (Ta.Final.isRefuted())
-        RecordFailure(Local, I, "thin-air", Injected,
+        RecordFailure(Rec, I, "thin-air", Injected,
                       thinAirDetail(*Ta.Final.Witness), P, Transform,
                       ChainSeed);
     }
@@ -370,43 +744,88 @@ FuzzReport tracesafe::runFuzz(const FuzzOptions &Options) {
       Rng CR(ChainSeed);
       TransformChain Chain =
           randomChain(P, RuleSet::all(), Options.MaxChainSteps, CR);
-      Budget B(ShrinkCheckSpec);
+      Budget B(ShrinkCheckSpec, Options.Cancel);
       CheckVerdict V = semanticChainVerdict(P, Chain, B);
-      Track(Local,
+      Track(Rec,
             V == CheckVerdict::Holds    ? VerdictKind::Proved
             : V == CheckVerdict::Fails  ? VerdictKind::Refuted
                                         : VerdictKind::Unknown,
             1);
       if (V == CheckVerdict::Fails)
-        RecordFailure(Local, I, "semantic-step", false,
+        RecordFailure(Rec, I, "semantic-step", false,
                       "chain step is not a semantic elimination/reordering "
                       "of its predecessor",
                       P, Transform, ChainSeed);
     }
   };
 
-  auto Merge = [](FuzzReport &Into, FuzzReport &&From) {
-    Into.ProgramsRun += From.ProgramsRun;
-    Into.ChecksRun += From.ChecksRun;
-    Into.ProvedQueries += From.ProvedQueries;
-    Into.UnknownQueries += From.UnknownQueries;
-    Into.EscalatedQueries += From.EscalatedQueries;
-    Into.InjectedRuns += From.InjectedRuns;
-    for (FuzzFailure &F : From.Failures)
-      Into.Failures.push_back(std::move(F));
+  // Resume: merge the journaled records and mark their indices done.
+  std::map<uint64_t, IndexRecord> Resumed;
+  if (Options.Resume && !Options.CheckpointPath.empty())
+    loadJournal(Options.CheckpointPath, Options.Seed, Options.Programs,
+                Resumed);
+  Journal J;
+  if (!Options.CheckpointPath.empty())
+    J.open(Options.CheckpointPath, /*Append=*/!Resumed.empty(),
+           Options.Seed, Options.Programs);
+
+  // Completion map: true once an index's record is merged (from the
+  // journal or a finished run). Drives the post-loop sweep that re-runs
+  // indices lost to a drained task group.
+  std::unique_ptr<std::atomic<bool>[]> Completed(
+      Options.Programs ? new std::atomic<bool>[Options.Programs]
+                       : nullptr);
+  for (uint64_t I = 0; I < Options.Programs; ++I)
+    Completed[I].store(false, std::memory_order_relaxed);
+
+  std::mutex ReportM; // guards Report during parallel merges
+  for (auto &[Idx, R] : Resumed) {
+    mergeIndex(Report, R);
+    ++Report.SkippedFromCheckpoint;
+    Completed[Idx].store(true, std::memory_order_relaxed);
+  }
+
+  // Runs index I and commits it (merge + journal). An index interrupted
+  // by cancellation is discarded instead — its results are cut-short
+  // noise, and discarding is what lets a resumed campaign reproduce it
+  // bit-for-bit. Returns false when RunOne threw (left uncommitted for
+  // the sweep).
+  auto RunCommit = [&](uint64_t I, FuzzReport &Into) {
+    IndexRecord Rec;
+    try {
+      RunOne(I, Rec);
+    } catch (...) {
+      return false;
+    }
+    if (CancelledNow())
+      return true; // Discarded; the cancellation check below ends the run.
+    {
+      std::lock_guard<std::mutex> Lock(ReportM);
+      mergeIndex(Into, Rec);
+    }
+    J.record(I, Rec);
+    Completed[I].store(true, std::memory_order_relaxed);
+    return true;
   };
 
   if (Options.Jobs == 1) {
     for (uint64_t I = 0; I < Options.Programs; ++I) {
+      if (Completed[I].load(std::memory_order_relaxed))
+        continue;
+      if (CancelledNow()) {
+        Report.Cancelled = true;
+        break;
+      }
       if (Options.DeadlineMs > 0 && ElapsedMs() >= Options.DeadlineMs) {
         Report.DeadlineHit = true;
         break;
       }
-      RunOne(I, Report);
+      RunCommit(I, Report);
     }
+    Report.Cancelled = Report.Cancelled || CancelledNow();
   } else {
-    // Workers claim program indices from a shared counter; each keeps a
-    // local report, merged (and failures sorted) afterwards, so the
+    // Workers claim program indices from a shared counter; merging is
+    // per-index under a lock and failures are sorted afterwards, so the
     // output is independent of scheduling.
     unsigned Jobs = Options.Jobs == 0 ? ThreadPool::defaultWorkerCount()
                                       : Options.Jobs;
@@ -418,36 +837,64 @@ FuzzReport tracesafe::runFuzz(const FuzzOptions &Options) {
       Owned = std::make_unique<ThreadPool>(Jobs);
       Pool = Owned.get();
     }
-    std::vector<FuzzReport> Locals(Jobs);
     std::atomic<uint64_t> Next{0};
     std::atomic<bool> DeadlineHit{false};
     {
       ThreadPool::TaskGroup G(*Pool);
       for (unsigned W = 0; W < Jobs; ++W)
-        G.spawn([&, W] {
+        G.spawn([&] {
           for (;;) {
             uint64_t I = Next.fetch_add(1, std::memory_order_relaxed);
             if (I >= Options.Programs)
+              return;
+            if (Completed[I].load(std::memory_order_relaxed))
+              continue;
+            if (CancelledNow())
               return;
             if (Options.DeadlineMs > 0 &&
                 ElapsedMs() >= Options.DeadlineMs) {
               DeadlineHit.store(true, std::memory_order_relaxed);
               return;
             }
-            RunOne(I, Locals[W]);
+            RunCommit(I, Report);
           }
         });
+      G.wait();
+      if (G.faulted())
+        G.takeException(); // Lost indices are re-run by the sweep below.
     }
-    for (FuzzReport &L : Locals)
-      Merge(Report, std::move(L));
     Report.DeadlineHit = DeadlineHit.load(std::memory_order_relaxed);
-    std::sort(Report.Failures.begin(), Report.Failures.end(),
-              [](const FuzzFailure &A, const FuzzFailure &B) {
-                return std::tie(A.ProgramIndex, A.Property) <
-                       std::tie(B.ProgramIndex, B.Property);
-              });
+    Report.Cancelled = CancelledNow();
   }
 
+  // Completion sweep: an injected task fault (or a drained group) can
+  // leave claimed-but-unrun indices behind. Re-run them inline; an index
+  // that *still* throws is committed as a faulted placeholder so the
+  // campaign nevertheless completes. Deadline- or cancellation-ended
+  // campaigns are genuinely partial and are left that way.
+  if (!Report.DeadlineHit && !Report.Cancelled) {
+    for (uint64_t I = 0; I < Options.Programs; ++I) {
+      if (Completed[I].load(std::memory_order_relaxed))
+        continue;
+      if (CancelledNow()) {
+        Report.Cancelled = true;
+        break;
+      }
+      if (!RunCommit(I, Report)) {
+        IndexRecord Placeholder;
+        Placeholder.Faulted = 1;
+        mergeIndex(Report, Placeholder);
+        J.record(I, Placeholder);
+        Completed[I].store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  std::sort(Report.Failures.begin(), Report.Failures.end(),
+            [](const FuzzFailure &A, const FuzzFailure &B) {
+              return std::tie(A.ProgramIndex, A.Property) <
+                     std::tie(B.ProgramIndex, B.Property);
+            });
   Report.ElapsedMs = ElapsedMs();
   return Report;
 }

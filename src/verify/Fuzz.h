@@ -68,6 +68,22 @@ struct FuzzOptions {
   /// Reduction limits for failure minimisation.
   ShrinkOptions Shrink{/*MaxRounds=*/32, /*MaxCandidates=*/1500,
                        /*DeadlineMs=*/10'000};
+  /// Append-only checkpoint journal ("" = none). One record per finished
+  /// program index, flushed as it completes, so a killed campaign loses at
+  /// most the indices that were in flight. See docs/PERFORMANCE.md for the
+  /// format.
+  std::string CheckpointPath;
+  /// Load CheckpointPath first and skip every index it records as done
+  /// (their recorded results are merged instead). Ignored when the
+  /// journal's header does not match (Seed, Programs) — a mismatched
+  /// journal describes a different campaign and is discarded.
+  bool Resume = false;
+  /// Cooperative cancellation for the whole campaign (non-owning; may be
+  /// null). Wired into every query budget, so a request unwinds in-flight
+  /// searches within one budget check interval; an index whose run was cut
+  /// by cancellation is discarded (not journaled), so a resumed campaign
+  /// reproduces it exactly.
+  const CancelToken *Cancel = nullptr;
 };
 
 /// One minimised guarantee violation.
@@ -83,6 +99,13 @@ struct FuzzFailure {
   size_t ReducedStmts = 0;
   unsigned ShrinkRounds = 0;
   uint64_t ShrinkCandidates = 0;
+  /// The minimised rewrite chain that still reproduces the failure on the
+  /// reduced program ("" when the transform was not a rewrite chain, e.g.
+  /// an injected unsafe pass). Steps joined by "; " in RewriteSite::str()
+  /// form; also written as a `// chain:` line in the repro header.
+  std::string ReducedChain;
+  size_t ChainSteps = 0;        ///< chain length before minimisation
+  size_t ReducedChainSteps = 0; ///< chain length after minimisation
 };
 
 struct FuzzReport {
@@ -94,7 +117,19 @@ struct FuzzReport {
   /// Queries that needed more than one budget rung.
   uint64_t EscalatedQueries = 0;
   uint64_t InjectedRuns = 0;
+  /// Queries whose final answer was Unknown(EngineFault) — an engine
+  /// threw (real or injected) and containment turned it into a verdict
+  /// instead of a crash.
+  uint64_t FaultedQueries = 0;
+  /// Faulted queries that the sequential degraded retry then answered
+  /// (Proved/Refuted, or an honest budget-bound Unknown).
+  uint64_t DegradedQueries = 0;
   bool DeadlineHit = false;
+  /// The campaign was cut short by cooperative cancellation; counters
+  /// cover only the indices that completed beforehand.
+  bool Cancelled = false;
+  /// Indices loaded from a resume journal instead of being re-run.
+  uint64_t SkippedFromCheckpoint = 0;
   int64_t ElapsedMs = 0;
   std::vector<FuzzFailure> Failures;
 
@@ -103,8 +138,12 @@ struct FuzzReport {
   uint64_t uninjectedFailures() const;
 
   std::string summary() const;
-  /// Machine-readable report (stable key order, no external deps).
-  std::string toJson() const;
+  /// Machine-readable report (stable key order, no external deps). With
+  /// \p IncludeVolatile false the wall-clock and campaign-lifecycle fields
+  /// (elapsed_ms, cancelled, skipped_from_checkpoint) are omitted: that
+  /// form is byte-identical between a fresh run and a kill/resume of the
+  /// same campaign, which the resume tests assert.
+  std::string toJson(bool IncludeVolatile = true) const;
 };
 
 FuzzReport runFuzz(const FuzzOptions &Options);

@@ -2,6 +2,7 @@
 
 #include "opt/Rewrite.h"
 
+#include <algorithm>
 #include <chrono>
 
 using namespace tracesafe;
@@ -261,5 +262,67 @@ ShrinkResult tracesafe::shrinkProgram(const Program &P,
     }
   }
   Res.Converged = !Progress;
+  return Res;
+}
+
+ChainShrinkResult
+tracesafe::shrinkChain(const std::vector<RewriteSite> &Steps,
+                       const ChainFailurePredicate &StillFails,
+                       const ShrinkOptions &Options) {
+  ChainShrinkResult Res;
+  Res.Steps = Steps;
+  auto Start = std::chrono::steady_clock::now();
+  auto Expired = [&]() {
+    if (Options.DeadlineMs <= 0)
+      return false;
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now() - Start)
+               .count() >= Options.DeadlineMs;
+  };
+  auto Budgeted = [&]() {
+    return Res.CandidatesTried < Options.MaxCandidates && !Expired();
+  };
+
+  if (Res.Steps.empty()) {
+    Res.Converged = true;
+    return Res;
+  }
+
+  // ddmin over the step list: try removing contiguous chunks, restarting
+  // at the same granularity on success, halving it on a full failed pass.
+  // At Chunk == 1 a full failed pass certifies 1-minimality.
+  size_t Chunk = std::max<size_t>(Res.Steps.size() / 2, 1);
+  while (Budgeted()) {
+    bool Progress = false;
+    for (size_t Begin = 0; Begin < Res.Steps.size() && Budgeted();) {
+      size_t End = std::min(Begin + Chunk, Res.Steps.size());
+      std::vector<RewriteSite> Cand;
+      Cand.reserve(Res.Steps.size() - (End - Begin));
+      Cand.insert(Cand.end(), Res.Steps.begin(),
+                  Res.Steps.begin() + static_cast<ptrdiff_t>(Begin));
+      Cand.insert(Cand.end(),
+                  Res.Steps.begin() + static_cast<ptrdiff_t>(End),
+                  Res.Steps.end());
+      ++Res.CandidatesTried;
+      if (StillFails(Cand)) {
+        Res.Steps = std::move(Cand);
+        Progress = true;
+        // Re-scan from the same position: the list shifted left under us.
+      } else {
+        Begin = End;
+      }
+    }
+    if (Res.Steps.empty()) {
+      Res.Converged = true;
+      return Res;
+    }
+    if (!Progress) {
+      if (Chunk == 1) {
+        Res.Converged = Budgeted();
+        return Res;
+      }
+      Chunk = std::max<size_t>(Chunk / 2, 1);
+    }
+  }
   return Res;
 }

@@ -23,6 +23,7 @@
 #define TRACESAFE_VERIFY_SHRINK_H
 
 #include "lang/Ast.h"
+#include "opt/Rewrite.h"
 
 #include <cstdint>
 #include <functional>
@@ -64,6 +65,30 @@ std::vector<Program> shrinkCandidates(const Program &P);
 ShrinkResult shrinkProgram(const Program &P,
                            const FailurePredicate &StillFails,
                            const ShrinkOptions &Options = {});
+
+/// Does a candidate step subsequence (to be applied to the fixed original
+/// program by the caller) still exhibit the failure? Like
+/// FailurePredicate, Unknown must be reported as false.
+using ChainFailurePredicate =
+    std::function<bool(const std::vector<RewriteSite> &)>;
+
+struct ChainShrinkResult {
+  std::vector<RewriteSite> Steps; ///< minimised subsequence
+  uint64_t CandidatesTried = 0;
+  /// True when the result is 1-minimal: removing any single remaining
+  /// step loses the failure (rather than a limit being hit).
+  bool Converged = false;
+};
+
+/// Delta-debugs a rewrite chain's step list: ddmin-style removal of
+/// contiguous chunks, halving the chunk size down to single steps, keeping
+/// every subsequence for which \p StillFails holds. Order is preserved —
+/// sites are positional, so the predicate is expected to replay the steps
+/// with applyChain and treat a dangling site as "does not reproduce".
+/// Only MaxCandidates and DeadlineMs of \p Options apply.
+ChainShrinkResult shrinkChain(const std::vector<RewriteSite> &Steps,
+                              const ChainFailurePredicate &StillFails,
+                              const ShrinkOptions &Options = {});
 
 } // namespace tracesafe
 

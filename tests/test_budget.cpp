@@ -277,4 +277,70 @@ TEST(Escalate, DrfGuaranteeReportsOutcome) {
   EXPECT_TRUE(E.Final.isProved());
 }
 
+//===----------------------------------------------------------------------===//
+// Cancellation and poisoning
+//===----------------------------------------------------------------------===//
+
+TEST(Budget, CancelTokenObservedWithinOneCheckInterval) {
+  CancelToken Cancel;
+  Cancel.request();
+  Budget B(BudgetSpec{}, &Cancel);
+  // The token is only consulted every 256 charges; it must stop the
+  // budget no later than the first check.
+  int Allowed = 0;
+  while (B.charge() && Allowed < 10'000)
+    ++Allowed;
+  EXPECT_LT(Allowed, 256);
+  EXPECT_TRUE(B.exhausted());
+  EXPECT_EQ(B.reason(), TruncationReason::Cancelled);
+  // Sticky after the token is observed.
+  EXPECT_FALSE(B.charge());
+}
+
+TEST(Budget, CancelTokenResetRearms) {
+  CancelToken Cancel;
+  Cancel.request();
+  EXPECT_TRUE(Cancel.requested());
+  Cancel.reset();
+  EXPECT_FALSE(Cancel.requested());
+  Budget B(BudgetSpec{}, &Cancel);
+  for (int I = 0; I < 1'000; ++I)
+    ASSERT_TRUE(B.charge());
+}
+
+TEST(Budget, ChargeBytesHonoursDeadline) {
+  Budget B(BudgetSpec{/*DeadlineMs=*/1, 0, 0});
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  // Unlike charge(), chargeBytes consults the clock on every call — a
+  // memory-only growth phase must not run past the wall clock.
+  EXPECT_FALSE(B.chargeBytes(64));
+  EXPECT_EQ(B.reason(), TruncationReason::Deadline);
+}
+
+TEST(Budget, ChargeBytesHonoursCancellation) {
+  CancelToken Cancel;
+  Cancel.request();
+  Budget B(BudgetSpec{}, &Cancel);
+  EXPECT_FALSE(B.chargeBytes(64));
+  EXPECT_EQ(B.reason(), TruncationReason::Cancelled);
+}
+
+TEST(Budget, PoisonIsStickyAndFirstWriterWins) {
+  Budget B((BudgetSpec()));
+  ASSERT_TRUE(B.charge());
+  B.poison(TruncationReason::EngineFault);
+  EXPECT_FALSE(B.charge());
+  EXPECT_FALSE(B.chargeBytes(1));
+  EXPECT_EQ(B.reason(), TruncationReason::EngineFault);
+  B.poison(TruncationReason::Deadline); // must not overwrite
+  EXPECT_EQ(B.reason(), TruncationReason::EngineFault);
+}
+
+TEST(Budget, CancelledAndEngineFaultHaveNames) {
+  EXPECT_STREQ(truncationReasonName(TruncationReason::Cancelled),
+               "cancelled");
+  EXPECT_STREQ(truncationReasonName(TruncationReason::EngineFault),
+               "engine-fault");
+}
+
 } // namespace

@@ -1,0 +1,156 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for graceful degradation: a faulted parallel query falls back to
+/// the sequential ExhaustiveOracle and still produces the right answer,
+/// cancellation wins over retry, and the remaining-budget arithmetic stays
+/// bounded.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lang/Explore.h"
+#include "lang/Parser.h"
+#include "support/Failure.h"
+#include "verify/Degrade.h"
+
+#include <gtest/gtest.h>
+
+using namespace tracesafe;
+
+namespace {
+
+Traceset tracesetFor(const std::string &Source) {
+  Program P = parseOrDie(Source);
+  ExploreLimits L;
+  L.MaxActions = 10;
+  return programTraceset(P, defaultDomainFor(P, 2), L);
+}
+
+const char *const RacySource = "thread { r0 := x; y := r0; x := 2; }\n"
+                               "thread { r1 := y; x := 1; print r1; }\n";
+
+const char *const DrfSource =
+    "thread { sync m { x := 1; x := 2; } }\n"
+    "thread { sync m { r0 := x; } print r0; }\n";
+
+BudgetSpec generous() {
+  return BudgetSpec{/*DeadlineMs=*/10'000, /*MaxVisited=*/5'000'000,
+                    /*MaxMemoryBytes=*/256u << 20};
+}
+
+TEST(RemainingBudget, SubtractsUsageAndFloorsAtOne) {
+  BudgetSpec Spec{/*DeadlineMs=*/10'000, /*MaxVisited=*/1'000, 0};
+  Budget Used(Spec);
+  for (int I = 0; I < 100; ++I)
+    ASSERT_TRUE(Used.charge());
+  BudgetSpec Rem = remainingBudget(Spec, Used);
+  EXPECT_EQ(Rem.MaxVisited, 900u);
+  EXPECT_GE(Rem.DeadlineMs, 1);
+  EXPECT_LE(Rem.DeadlineMs, 10'000);
+
+  // Fully spent: floored at 1, never 0 (0 would mean unlimited).
+  Budget Spent(BudgetSpec{0, /*MaxVisited=*/50, 0});
+  while (Spent.charge())
+    ;
+  BudgetSpec Floor = remainingBudget(BudgetSpec{0, 50, 0}, Spent);
+  EXPECT_EQ(Floor.MaxVisited, 1u);
+
+  // Unlimited fields stay unlimited.
+  BudgetSpec Unlimited = remainingBudget(BudgetSpec{}, Used);
+  EXPECT_EQ(Unlimited.DeadlineMs, 0);
+  EXPECT_EQ(Unlimited.MaxVisited, 0u);
+}
+
+TEST(Degrade, HealthyPrimaryDoesNotFallBack) {
+  Traceset Racy = tracesetFor(RacySource);
+  DegradeReport Rep;
+  Verdict<Interleaving> V =
+      degradedDataRaceFreedom(Racy, generous(), &Rep, nullptr, /*Workers=*/2);
+  EXPECT_TRUE(V.isRefuted());
+  EXPECT_FALSE(Rep.PrimaryFaulted);
+  EXPECT_FALSE(Rep.FellBack);
+  EXPECT_NE(Rep.str().find("primary ok"), std::string::npos);
+}
+
+TEST(Degrade, FaultedPrimaryFallsBackToOracleAnswer) {
+  Traceset Racy = tracesetFor(RacySource);
+  Traceset Drf = tracesetFor(DrfSource);
+  FaultPlan Plan;
+  // Every intern allocation fails: the reduced engine cannot take a step,
+  // while the std::set-based oracle never touches an InternPool.
+  Plan.arm(FaultSite::InternAlloc, 1, /*Repeat=*/~0ull);
+  FaultPlan::Scope Armed(Plan);
+
+  DegradeReport Rep;
+  Verdict<Interleaving> V =
+      degradedDataRaceFreedom(Racy, generous(), &Rep, nullptr, /*Workers=*/2);
+  EXPECT_TRUE(V.isRefuted());
+  EXPECT_TRUE(Rep.PrimaryFaulted);
+  EXPECT_EQ(Rep.PrimaryReason, TruncationReason::EngineFault);
+  EXPECT_TRUE(Rep.FellBack);
+  EXPECT_EQ(Rep.FallbackReason, TruncationReason::None);
+
+  DegradeReport Rep2;
+  Verdict<Interleaving> V2 =
+      degradedDataRaceFreedom(Drf, generous(), &Rep2, nullptr, /*Workers=*/2);
+  EXPECT_TRUE(V2.isProved());
+  EXPECT_TRUE(Rep2.FellBack);
+}
+
+TEST(Degrade, FaultedPrimaryBehavioursComeFromTheOracle) {
+  Traceset Racy = tracesetFor(RacySource);
+  EnumerationStats Clean;
+  std::set<Behaviour> Want =
+      degradedCollectBehaviours(Racy, generous(), &Clean);
+  ASSERT_FALSE(Clean.Truncated);
+  ASSERT_FALSE(Want.empty());
+
+  FaultPlan Plan;
+  Plan.arm(FaultSite::InternAlloc, 1, /*Repeat=*/~0ull);
+  FaultPlan::Scope Armed(Plan);
+  EnumerationStats Stats;
+  DegradeReport Rep;
+  std::set<Behaviour> Got = degradedCollectBehaviours(
+      Racy, generous(), &Stats, &Rep, nullptr, /*Workers=*/2);
+  EXPECT_TRUE(Rep.PrimaryFaulted);
+  EXPECT_TRUE(Rep.FellBack);
+  EXPECT_FALSE(Stats.Truncated);
+  EXPECT_EQ(Got, Want); // the faulted primary's partial set was discarded
+}
+
+TEST(Degrade, CancellationDoesNotTriggerFallback) {
+  Traceset Racy = tracesetFor(RacySource);
+  CancelToken Cancel;
+  Cancel.request(); // cancelled before the query even starts
+  DegradeReport Rep;
+  Verdict<Interleaving> V = degradedDataRaceFreedom(
+      Racy, generous(), &Rep, &Cancel, /*Workers=*/1);
+  // Small query: it may finish inside one budget check interval (a real
+  // answer) — but if it was cut short, the reason must be Cancelled and
+  // there must be no sneaky oracle retry.
+  if (V.isUnknown())
+    EXPECT_EQ(V.Reason, TruncationReason::Cancelled);
+  EXPECT_FALSE(Rep.FellBack);
+}
+
+TEST(Degrade, FaultedFallbackStaysUnknown) {
+  // Both engines poisoned: the BudgetCharge site fires on every interrupt
+  // check, so the fallback faults too — the verdict must stay
+  // Unknown(EngineFault), never invent an answer.
+  Traceset Racy = tracesetFor(RacySource);
+  FaultPlan Plan;
+  Plan.arm(FaultSite::BudgetCharge, 1, /*Repeat=*/~0ull);
+  Plan.arm(FaultSite::InternAlloc, 1, /*Repeat=*/~0ull);
+  FaultPlan::Scope Armed(Plan);
+  DegradeReport Rep;
+  Verdict<Interleaving> V =
+      degradedDataRaceFreedom(Racy, generous(), &Rep, nullptr, /*Workers=*/2);
+  EXPECT_TRUE(Rep.PrimaryFaulted);
+  EXPECT_TRUE(Rep.FellBack);
+  if (V.isUnknown())
+    EXPECT_EQ(V.Reason, TruncationReason::EngineFault);
+  else
+    EXPECT_TRUE(V.isRefuted()); // witness found before the first check
+}
+
+} // namespace

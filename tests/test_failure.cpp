@@ -1,0 +1,176 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for deterministic fault injection: FaultPlan trigger semantics,
+/// and — the robustness contract — every injected engine fault surfacing
+/// as a contained Unknown(EngineFault) verdict, never a crash and never a
+/// wrong answer, with the engines immediately reusable afterwards.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lang/Explore.h"
+#include "lang/Parser.h"
+#include "support/Failure.h"
+#include "trace/Enumerate.h"
+
+#include <gtest/gtest.h>
+
+using namespace tracesafe;
+
+namespace {
+
+Traceset tracesetFor(const std::string &Source) {
+  Program P = parseOrDie(Source);
+  ExploreLimits L;
+  L.MaxActions = 10;
+  return programTraceset(P, defaultDomainFor(P, 2), L);
+}
+
+/// Racy two-thread program: plenty of interleavings, definitive Refuted.
+const char *const RacySource = "thread { r0 := x; y := r0; x := 2; }\n"
+                               "thread { r1 := y; x := 1; print r1; }\n";
+
+/// Lock-disciplined program: definitive Proved.
+const char *const DrfSource =
+    "thread { sync m { x := 1; x := 2; } }\n"
+    "thread { sync m { r0 := x; } print r0; }\n";
+
+TEST(FaultPlan, FiresOnExactHitWindow) {
+  FaultPlan Plan;
+  Plan.arm(FaultSite::InternAlloc, /*FireAt=*/3, /*Repeat=*/2);
+  // Hits 1,2 pass; 3,4 fire; 5+ pass again.
+  EXPECT_FALSE(Plan.shouldFire(FaultSite::InternAlloc));
+  EXPECT_FALSE(Plan.shouldFire(FaultSite::InternAlloc));
+  EXPECT_TRUE(Plan.shouldFire(FaultSite::InternAlloc));
+  EXPECT_TRUE(Plan.shouldFire(FaultSite::InternAlloc));
+  EXPECT_FALSE(Plan.shouldFire(FaultSite::InternAlloc));
+  EXPECT_EQ(Plan.hits(FaultSite::InternAlloc), 5u);
+  EXPECT_EQ(Plan.fired(FaultSite::InternAlloc), 2u);
+  EXPECT_EQ(Plan.totalFired(), 2u);
+  // Unarmed sites never fire and do not count hits.
+  EXPECT_FALSE(Plan.shouldFire(FaultSite::TaskRun));
+  EXPECT_EQ(Plan.fired(FaultSite::TaskRun), 0u);
+}
+
+TEST(FaultPlan, NoPlanInstalledIsInert) {
+  ASSERT_EQ(FaultPlan::active(), nullptr);
+  EXPECT_FALSE(faultPoint(FaultSite::BudgetCharge));
+  EXPECT_NO_THROW(faultThrowBadAlloc(FaultSite::InternAlloc));
+  EXPECT_NO_THROW(faultThrowInjected(FaultSite::TaskRun));
+}
+
+TEST(FaultPlan, ScopeInstallsAndRestores) {
+  FaultPlan Plan;
+  Plan.arm(FaultSite::TaskRun, 1);
+  {
+    FaultPlan::Scope Armed(Plan);
+    EXPECT_EQ(FaultPlan::active(), &Plan);
+    EXPECT_THROW(faultThrowInjected(FaultSite::TaskRun), InjectedFault);
+  }
+  EXPECT_EQ(FaultPlan::active(), nullptr);
+}
+
+TEST(FaultPlan, RandomizeIsDeterministicAndArmsSomething) {
+  FaultPlan A, B;
+  A.randomize(42);
+  B.randomize(42);
+  EXPECT_EQ(A.describe(), B.describe());
+  EXPECT_NE(A.describe(), "none");
+  // Re-randomizing resets the counters.
+  A.shouldFire(FaultSite::InternAlloc);
+  A.randomize(43);
+  EXPECT_EQ(A.hits(FaultSite::InternAlloc), 0u);
+}
+
+TEST(FaultInjection, InternAllocFaultIsContainedSequential) {
+  Traceset T = tracesetFor(RacySource);
+  FaultPlan Plan;
+  Plan.arm(FaultSite::InternAlloc, 1); // first intern throws bad_alloc
+  FaultPlan::Scope Armed(Plan);
+  Verdict<Interleaving> V = checkDataRaceFreedom(T);
+  EXPECT_TRUE(V.isUnknown());
+  EXPECT_EQ(V.Reason, TruncationReason::EngineFault);
+  EXPECT_GE(Plan.fired(FaultSite::InternAlloc), 1u);
+}
+
+TEST(FaultInjection, InternAllocFaultIsContainedParallel) {
+  Traceset T = tracesetFor(RacySource);
+  FaultPlan Plan;
+  Plan.arm(FaultSite::InternAlloc, 1, /*Repeat=*/1'000'000);
+  FaultPlan::Scope Armed(Plan);
+  EnumerationLimits L;
+  L.Workers = 4;
+  Verdict<Interleaving> V = checkDataRaceFreedom(T, L);
+  EXPECT_TRUE(V.isUnknown());
+  EXPECT_EQ(V.Reason, TruncationReason::EngineFault);
+}
+
+TEST(FaultInjection, TaskFaultIsContained) {
+  Traceset T = tracesetFor(RacySource);
+  FaultPlan Plan;
+  Plan.arm(FaultSite::TaskRun, 1, /*Repeat=*/1'000'000);
+  FaultPlan::Scope Armed(Plan);
+  EnumerationLimits L;
+  L.Workers = 4;
+  Verdict<Interleaving> V = checkDataRaceFreedom(T, L);
+  // Either every parallel task was killed (Unknown) or the search finished
+  // on the calling thread before forking; it must never crash or prove.
+  if (V.isUnknown())
+    EXPECT_EQ(V.Reason, TruncationReason::EngineFault);
+  else
+    EXPECT_TRUE(V.isRefuted());
+}
+
+TEST(FaultInjection, BudgetChargeFaultPoisonsTheQuery) {
+  Traceset T = tracesetFor(RacySource);
+  FaultPlan Plan;
+  Plan.arm(FaultSite::BudgetCharge, 1);
+  FaultPlan::Scope Armed(Plan);
+  Budget B(BudgetSpec{/*DeadlineMs=*/0, /*MaxVisited=*/1'000'000, 0});
+  EnumerationLimits L;
+  L.Shared = &B;
+  Verdict<Interleaving> V = checkDataRaceFreedom(T, L);
+  // The interrupt check runs every 256 charges; this query is large
+  // enough to reach it, so the armed fault must exhaust the budget.
+  EXPECT_TRUE(B.exhausted());
+  EXPECT_EQ(B.reason(), TruncationReason::EngineFault);
+  EXPECT_FALSE(V.isProved());
+}
+
+TEST(FaultInjection, EnginesAreReusableAfterAFault) {
+  Traceset Racy = tracesetFor(RacySource);
+  Traceset Drf = tracesetFor(DrfSource);
+  {
+    FaultPlan Plan;
+    Plan.arm(FaultSite::InternAlloc, 1);
+    Plan.arm(FaultSite::TaskRun, 1);
+    FaultPlan::Scope Armed(Plan);
+    EnumerationLimits L;
+    L.Workers = 2;
+    (void)checkDataRaceFreedom(Racy, L);
+  }
+  // Faults disarmed: the same process answers both queries definitively.
+  EnumerationLimits L;
+  L.Workers = 2;
+  EXPECT_TRUE(checkDataRaceFreedom(Racy, L).isRefuted());
+  EXPECT_TRUE(checkDataRaceFreedom(Drf, L).isProved());
+}
+
+TEST(FaultInjection, FaultNeverFabricatesAVerdict) {
+  // A DRF traceset under persistent faults must never come back Refuted,
+  // and a racy one must never come back Proved — containment turns faults
+  // into Unknown, not into answers.
+  Traceset Drf = tracesetFor(DrfSource);
+  Traceset Racy = tracesetFor(RacySource);
+  FaultPlan Plan;
+  Plan.arm(FaultSite::InternAlloc, 2, /*Repeat=*/1'000'000);
+  FaultPlan::Scope Armed(Plan);
+  for (unsigned Workers : {1u, 4u}) {
+    EnumerationLimits L;
+    L.Workers = Workers;
+    EXPECT_FALSE(checkDataRaceFreedom(Drf, L).isRefuted());
+    EXPECT_FALSE(checkDataRaceFreedom(Racy, L).isProved());
+  }
+}
+
+} // namespace

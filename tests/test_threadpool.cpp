@@ -13,6 +13,7 @@
 
 #include <atomic>
 #include <set>
+#include <stdexcept>
 #include <vector>
 
 using namespace tracesafe;
@@ -122,6 +123,82 @@ TEST(ThreadPool, SharedPoolIsUsable) {
 
 TEST(ThreadPool, DefaultWorkerCountPositive) {
   EXPECT_GE(ThreadPool::defaultWorkerCount(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Exception containment
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPool, ThrowingTaskDoesNotKillThePool) {
+  ThreadPool Pool(2);
+  {
+    ThreadPool::TaskGroup G(Pool);
+    G.spawn([] { throw std::runtime_error("boom"); });
+    G.wait(); // must return, not std::terminate
+    EXPECT_TRUE(G.faulted());
+    std::exception_ptr E = G.takeException();
+    ASSERT_NE(E, nullptr);
+    EXPECT_THROW(std::rethrow_exception(E), std::runtime_error);
+    // takeException clears the fault; the group is reusable.
+    EXPECT_FALSE(G.faulted());
+  }
+  // And so is the pool, with full worker participation.
+  std::atomic<int> Done{0};
+  {
+    ThreadPool::TaskGroup G(Pool);
+    for (int I = 0; I < 64; ++I)
+      G.spawn([&Done] { Done.fetch_add(1); });
+  }
+  EXPECT_EQ(Done.load(), 64);
+}
+
+TEST(ThreadPool, FirstExceptionWinsAndWaitStillJoins) {
+  ThreadPool Pool(4);
+  std::atomic<int> Ran{0};
+  ThreadPool::TaskGroup G(Pool);
+  for (int I = 0; I < 32; ++I)
+    G.spawn([&Ran] {
+      Ran.fetch_add(1);
+      throw std::runtime_error("each task throws");
+    });
+  G.wait();
+  EXPECT_TRUE(G.faulted());
+  // Exactly one exception is captured no matter how many threw.
+  EXPECT_NE(G.takeException(), nullptr);
+  EXPECT_EQ(G.takeException(), nullptr);
+  EXPECT_LE(Ran.load(), 32);
+}
+
+TEST(ThreadPool, FaultedGroupDrainsRemainingTasks) {
+  ThreadPool Pool(2);
+  std::atomic<int> Ran{0};
+  ThreadPool::TaskGroup G(Pool);
+  G.spawn([] { throw std::runtime_error("first"); });
+  G.wait();
+  ASSERT_TRUE(G.faulted());
+  // Every task spawned into the already-faulted group is drained: popped
+  // and retired without running, so wait() returns promptly.
+  for (int I = 0; I < 100; ++I)
+    G.spawn([&Ran] { Ran.fetch_add(1); });
+  G.wait();
+  EXPECT_EQ(Ran.load(), 0);
+  G.takeException();
+}
+
+TEST(ThreadPool, FaultInOneGroupDoesNotPoisonAnother) {
+  ThreadPool Pool(2);
+  std::atomic<int> Done{0};
+  ThreadPool::TaskGroup Bad(Pool);
+  ThreadPool::TaskGroup Good(Pool);
+  Bad.spawn([] { throw std::runtime_error("contained"); });
+  for (int I = 0; I < 32; ++I)
+    Good.spawn([&Done] { Done.fetch_add(1); });
+  Bad.wait();
+  Good.wait();
+  EXPECT_TRUE(Bad.faulted());
+  EXPECT_FALSE(Good.faulted());
+  EXPECT_EQ(Done.load(), 32);
+  Bad.takeException();
 }
 
 } // namespace
