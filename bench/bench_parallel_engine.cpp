@@ -22,8 +22,10 @@
 
 #include "BenchUtil.h"
 
+#include "lang/Parser.h"
 #include "support/Symbol.h"
 #include "trace/Enumerate.h"
+#include "verify/BehaviourCache.h"
 
 #include <chrono>
 
@@ -143,6 +145,39 @@ void claims() {
   benchutil::claim(
       "behaviour query >= 4x faster than seed engine at 8 workers",
       BehOracle / BehPor8 >= 4.0);
+
+  // Source sets layered on sleep sets: same answers, fewer arrivals on
+  // independence-heavy tracesets.
+  EnumerationLimits Src = engine(1, false);
+  EnumerationLimits NoSrc = engine(1, false);
+  NoSrc.SourceSets = false;
+  EnumerationStats WithSrc, WithoutSrc;
+  std::set<Behaviour> SrcB = collectBehaviours(Ind, Src, &WithSrc);
+  std::set<Behaviour> NoSrcB = collectBehaviours(Ind, NoSrc, &WithoutSrc);
+  std::printf("  source sets: %llu states vs %llu sleep-sets-only\n",
+              static_cast<unsigned long long>(WithSrc.Visited),
+              static_cast<unsigned long long>(WithoutSrc.Visited));
+  benchutil::claim("source sets preserve the behaviour set", SrcB == NoSrcB);
+  benchutil::claim("source sets do not explore more than sleep sets alone",
+                   WithSrc.Visited <= WithoutSrc.Visited);
+
+  // Cross-query cache: a warm hit replays only budget charges.
+  Program CacheP = parseOrDie(
+      "thread { x := 1; y := 1; r0 := y; r1 := x; print r0; print r1; }\n"
+      "thread { y := 2; x := 2; r2 := x; r3 := y; print r2; print r3; }\n");
+  BehaviourCache Cache;
+  std::vector<Value> Domain{0, 1};
+  ExploreLimits EL;
+  double Cold = secondsFor([&] {
+    Cache.clear();
+    Cache.tracesetFor(CacheP, Domain, EL);
+  });
+  Cache.clear();
+  Cache.tracesetFor(CacheP, Domain, EL);
+  double Warm = secondsFor([&] { Cache.tracesetFor(CacheP, Domain, EL); });
+  std::printf("  behaviour cache: cold %.2fms, warm hit %.3fms (%.0fx)\n",
+              Cold * 1e3, Warm * 1e3, Warm > 0 ? Cold / Warm : 0.0);
+  benchutil::claim("warm cache hit beats recomputation", Warm < Cold);
 }
 
 // --- timed benchmarks -------------------------------------------------------
@@ -203,6 +238,38 @@ void BM_behaviours_sharedtail_por_w8(benchmark::State &S) {
     benchmark::DoNotOptimize(collectBehaviours(T, engine(8, false)).size());
 }
 BENCHMARK(BM_behaviours_sharedtail_por_w8)->Unit(benchmark::kMillisecond);
+
+// Source-set sweep on the independence-heavy traceset (best case for the
+// grouping: fully disjoint thread footprints).
+
+void BM_behaviours_independent_oracle(benchmark::State &S) {
+  Traceset T = independentWriters(4, 10);
+  for (auto _ : S)
+    benchmark::DoNotOptimize(collectBehaviours(T, engine(1, true)).size());
+}
+BENCHMARK(BM_behaviours_independent_oracle)->Unit(benchmark::kMillisecond);
+
+void BM_behaviours_independent_nopor_w1(benchmark::State &S) {
+  Traceset T = independentWriters(4, 10);
+  for (auto _ : S)
+    benchmark::DoNotOptimize(
+        collectBehaviours(T, engine(1, false, /*Por=*/false)).size());
+}
+BENCHMARK(BM_behaviours_independent_nopor_w1)->Unit(benchmark::kMillisecond);
+
+void BM_behaviours_independent_por_w1(benchmark::State &S) {
+  Traceset T = independentWriters(4, 10);
+  for (auto _ : S)
+    benchmark::DoNotOptimize(collectBehaviours(T, engine(1, false)).size());
+}
+BENCHMARK(BM_behaviours_independent_por_w1)->Unit(benchmark::kMillisecond);
+
+void BM_behaviours_independent_por_w8(benchmark::State &S) {
+  Traceset T = independentWriters(4, 10);
+  for (auto _ : S)
+    benchmark::DoNotOptimize(collectBehaviours(T, engine(8, false)).size());
+}
+BENCHMARK(BM_behaviours_independent_por_w8)->Unit(benchmark::kMillisecond);
 
 void BM_behaviours_readers_oracle(benchmark::State &S) {
   Traceset T = readersAndWriters(5);

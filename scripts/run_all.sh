@@ -38,15 +38,18 @@ cmake --build build-asan --target fuzz_harness test_budget test_shrink
   --repro-dir build-asan/fuzz_repros
 
 # ThreadSanitizer pass: rebuild with TSan and drive the parallel engine —
-# pool + interning unit tests, the POR-vs-oracle equivalence suite, and a
-# parallel fuzz campaign (see docs/PERFORMANCE.md).
+# pool + interning unit tests, the POR-vs-oracle equivalence suites (SC
+# enumeration and the TSO/PSO buffered engine), and a parallel fuzz
+# campaign (see docs/PERFORMANCE.md).
 echo "===== thread sanitizer parallel smoke ====="
 cmake -B build-tsan -G Ninja -DTRACESAFE_TSAN=ON
 cmake --build build-tsan --target \
-  test_threadpool test_intern test_parallel_enumerate fuzz_harness
+  test_threadpool test_intern test_parallel_enumerate test_tso_parallel \
+  fuzz_harness
 ./build-tsan/tests/test_threadpool
 ./build-tsan/tests/test_intern
 ./build-tsan/tests/test_parallel_enumerate
+./build-tsan/tests/test_tso_parallel
 ./build-tsan/examples/fuzz_harness --programs 100 --deadline-ms 60000 \
   --seed 3 --no-thin-air --query-deadline-ms 50 --jobs 4 --semantic
 
@@ -56,9 +59,10 @@ cmake --build build-tsan --target \
 echo "===== ubsan robustness smoke ====="
 cmake -B build-ubsan -G Ninja -DTRACESAFE_UBSAN=ON
 cmake --build build-ubsan --target \
-  test_failure test_degrade test_resume fuzz_harness
+  test_failure test_degrade test_resume test_behaviour_cache fuzz_harness
 ./build-ubsan/tests/test_failure
 ./build-ubsan/tests/test_degrade
 ./build-ubsan/tests/test_resume
-./build-ubsan/examples/fuzz_harness --chaos --programs 40 --seed 4 \
-  --no-thin-air --query-deadline-ms 50
+./build-ubsan/tests/test_behaviour_cache
+./build-ubsan/examples/fuzz_harness --chaos --chaos-rounds 2 \
+  --programs 40 --seed 4 --no-thin-air --query-deadline-ms 50

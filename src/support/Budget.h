@@ -129,6 +129,30 @@ public:
     return true;
   }
 
+  /// Bulk charge: \p Visits state visits plus \p Bytes of memory in one
+  /// call. Used when a cached result is replayed — the cache replays the
+  /// recorded cost of the original computation against the current
+  /// query's budget, so a cache hit truncates a tight budget exactly
+  /// where the recomputation would have (warmth must not change
+  /// verdicts). Checks the clock/cancel token unconditionally: bulk
+  /// charges are rare.
+  bool chargeMany(uint64_t Visits, uint64_t Bytes) {
+    if (Exhausted.load(std::memory_order_relaxed) != TruncationReason::None)
+      return false;
+    uint64_t V = Visited.fetch_add(Visits, std::memory_order_relaxed) +
+                 Visits;
+    uint64_t B = Bytes_.fetch_add(Bytes, std::memory_order_relaxed) + Bytes;
+    if (Spec.MaxVisited && V > Spec.MaxVisited) {
+      exhaust(TruncationReason::StateCap);
+      return false;
+    }
+    if (Spec.MaxMemoryBytes && B > Spec.MaxMemoryBytes) {
+      exhaust(TruncationReason::MemoryCap);
+      return false;
+    }
+    return checkInterrupts();
+  }
+
   /// Charges memory only, without consuming a state visit. Used by the
   /// interned-state containers, which charge their real allocation sizes
   /// as they grow rather than a per-entry guess. Container growth is rare

@@ -30,6 +30,8 @@ const char *tracesafe::faultSiteName(FaultSite S) {
     return "task-stall";
   case FaultSite::BudgetCharge:
     return "budget-charge";
+  case FaultSite::BehaviourCache:
+    return "behaviour-cache";
   case FaultSite::Count_:
     break;
   }
@@ -77,6 +79,11 @@ void FaultPlan::randomize(uint64_t Seed) {
           /*StallMs=*/1 + static_cast<unsigned>(Next() % 20));
       break;
     }
+    case FaultSite::BehaviourCache:
+      // A fuzz campaign probes the cache a handful of times per program,
+      // so the trigger must land within tens of hits.
+      arm(S, 1 + Next() % 50, Repeat);
+      break;
     case FaultSite::Count_:
       break;
     }

@@ -31,10 +31,11 @@ namespace tracesafe {
 
 /// The instrumented failure sites.
 enum class FaultSite : uint8_t {
-  InternAlloc,   ///< InternPool::intern throws std::bad_alloc
-  TaskRun,       ///< a ThreadPool task throws before running
-  TaskStall,     ///< a ThreadPool task sleeps StallMs before running
-  BudgetCharge,  ///< Budget::charge spuriously exhausts with EngineFault
+  InternAlloc,    ///< InternPool::intern throws std::bad_alloc
+  TaskRun,        ///< a ThreadPool task throws before running
+  TaskStall,      ///< a ThreadPool task sleeps StallMs before running
+  BudgetCharge,   ///< Budget::charge spuriously exhausts with EngineFault
+  BehaviourCache, ///< BehaviourCache lookup/insert throws InjectedFault
   Count_,
 };
 

@@ -1,0 +1,104 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Adaptive fork-depth control for the work-stealing searches.
+///
+/// The parallel engines fork a subtree to the pool only when an idle
+/// worker exists AND the current depth is below a limit. The limit used to
+/// be a fixed constant (12): deep enough that fan-out exceeds any pool
+/// width, shallow enough that per-fork NodeState copies stay bounded on
+/// hosts where idleness is almost always true (a pool wider than the
+/// machine). A constant is wrong at both extremes, though — a search with
+/// branching factor ~1 (long silent chains, heavy sleep-set pruning) never
+/// reaches pool-width parallelism within twelve levels, while a bushy
+/// search forks far more subtrees than the pool can drain.
+///
+/// ForkPolicy replaces the constant with a per-query controller: every
+/// expanded node reports its out-degree, and every retune interval the
+/// limit is recomputed so that the *expected* fan-out within the limit,
+/// branching^limit, is a small multiple of the worker count. A starved
+/// pool (still idle at retune time) pushes the limit further down the
+/// tree. Fork decisions never affect results — the engines merge into
+/// sets and monotone flags — so adaptivity is free of determinism
+/// concerns; it only moves work between "inline" and "spawned".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACESAFE_SUPPORT_FORKPOLICY_H
+#define TRACESAFE_SUPPORT_FORKPOLICY_H
+
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+
+namespace tracesafe {
+
+class ForkPolicy {
+public:
+  /// \p Workers is the pool width the query runs on (used to size the
+  /// fan-out target); Floor/Ceil clamp the adaptive limit.
+  explicit ForkPolicy(unsigned Workers, unsigned Floor = 4,
+                      unsigned Ceil = 64)
+      : Workers(Workers ? Workers : 1), Floor(Floor), Ceil(Ceil) {}
+
+  /// Current fork-depth limit.
+  unsigned limit() const { return Limit.load(std::memory_order_relaxed); }
+
+  /// The engines' fork gate: below the adaptive depth limit and a worker
+  /// is actually parked. Cheap (two relaxed loads).
+  bool shouldFork(const ThreadPool &Pool, unsigned Depth) const {
+    return Depth < limit() && Pool.hasIdleWorker();
+  }
+
+  /// Reports the out-degree (number of explored transitions) of one
+  /// expanded node. Every RetuneInterval observations the limit is
+  /// recomputed from the average branching factor; \p Pool supplies the
+  /// idleness signal for the starvation nudge.
+  void observe(unsigned Degree, const ThreadPool &Pool) {
+    DegreeSum.fetch_add(Degree, std::memory_order_relaxed);
+    uint64_t N = Observed.fetch_add(1, std::memory_order_relaxed) + 1;
+    if ((N & (RetuneInterval - 1)) != 0)
+      return;
+    // Average branching factor, floored away from 1: a factor at (or
+    // below) 1 would ask for an unbounded limit, and sub-1.1 branching is
+    // indistinguishable from noise at this sample size anyway.
+    double Sum = static_cast<double>(DegreeSum.load(std::memory_order_relaxed));
+    double B = Sum / static_cast<double>(N);
+    if (B < 1.1)
+      B = 1.1;
+    // Depth at which expected fan-out reaches ~8 subtrees per worker —
+    // enough slack that steals always find work without forking every
+    // edge near the root.
+    double Target = 8.0 * static_cast<double>(Workers);
+    unsigned D = static_cast<unsigned>(std::ceil(std::log(Target) /
+                                                 std::log(B)));
+    // Starvation nudge: if workers are still parked after a whole retune
+    // interval, the gate is too shallow for this tree — push it down.
+    if (Pool.hasIdleWorker())
+      D += 4;
+    if (D < Floor)
+      D = Floor;
+    if (D > Ceil)
+      D = Ceil;
+    Limit.store(D, std::memory_order_relaxed);
+  }
+
+private:
+  /// Power of two; the retune test is a mask.
+  static constexpr uint64_t RetuneInterval = 1024;
+
+  unsigned Workers;
+  unsigned Floor;
+  unsigned Ceil;
+  /// Starts at the old fixed constant so short queries behave exactly as
+  /// before; only searches that live past a retune interval adapt.
+  std::atomic<unsigned> Limit{12};
+  std::atomic<uint64_t> DegreeSum{0};
+  std::atomic<uint64_t> Observed{0};
+};
+
+} // namespace tracesafe
+
+#endif // TRACESAFE_SUPPORT_FORKPOLICY_H

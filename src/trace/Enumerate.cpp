@@ -1,7 +1,9 @@
 #include "trace/Enumerate.h"
 
+#include "support/ForkPolicy.h"
 #include "support/Intern.h"
 #include "support/ThreadPool.h"
+#include "trace/ActionWord.h"
 #include "trace/HappensBefore.h"
 
 #include <algorithm>
@@ -428,54 +430,39 @@ RaceReport oracleFindAdjacentRace(const Traceset &T,
 //    disabled after a's write, then b was enabled at s itself and the pair
 //    fires as b.a; writes are always enabled.) The predicate is evaluated
 //    once per distinct interned state.
+//
+// Source sets (persistent sets): on top of sleep sets, collectBehaviours
+// restricts each expansion to ONE dependence-closed group of threads. A
+// conservative future footprint — every location read, every location
+// written, every monitor touched, and whether an external can be emitted
+// by ANY continuation of a thread's trace — is memoised per interned trie
+// node; threads whose footprints overlap (monitor overlap, write/write,
+// write/read, or both-external) are grouped by union-find, and only the
+// group with the fewest enabled transitions is expanded. Transitions of
+// threads outside the chosen group are independent of — and can never be
+// enabled or disabled by — every current AND future transition of the
+// group, which is exactly the persistent-set condition, so every maximal
+// execution of the full graph still has an explored representative and
+// every behaviour is still recorded (externals are pairwise dependent, so
+// all external-capable threads land in one group). Selection is a pure
+// function of the interned state, keeping the memoisation sound. The race
+// query is exempt: its state-local predicate needs every reachable state,
+// which persistent sets do not preserve.
 //===----------------------------------------------------------------------===//
 
 namespace {
 
-// Forking is restricted to the first MaxForkDepth levels of a search:
-// that is where the large subtrees live, and it bounds the per-transition
-// NodeState copies on hosts where idle workers are always available (a
-// pool wider than the machine), where an unconditional hasIdleWorker()
-// gate would fork nearly every edge. Fan-out within twelve levels is far
-// more than any pool width, so real machines still fill every core.
-constexpr unsigned MaxForkDepth = 12;
+// Forking is restricted to the shallow levels of a search — that is where
+// the large subtrees live, and it bounds the per-transition NodeState
+// copies on hosts where idle workers are always available (a pool wider
+// than the machine), where an unconditional hasIdleWorker() gate would
+// fork nearly every edge. The depth limit is adaptive (ForkPolicy): each
+// query measures its own branching factor and retunes the limit so the
+// fan-out within it is a small multiple of the pool width.
 
-// Span kind tags (top bits of the first word) keep the trie/event/state
-// encodings from colliding inside the shared intern pool.
-constexpr uint64_t TagTrace = 0x1ULL << 62;
-constexpr uint64_t TagEvent = 0x2ULL << 62;
-constexpr uint64_t TagState = 0x3ULL << 62;
-
-/// One action packed into a word: kind | volatile | wildcard | id | value.
-uint64_t actionWord(const Action &A) {
-  uint64_t Id = 0;
-  uint64_t Val = 0;
-  switch (A.kind()) {
-  case ActionKind::Start:
-    Id = A.entry();
-    break;
-  case ActionKind::Read:
-    Id = A.location();
-    if (!A.isWildcard())
-      Val = static_cast<uint32_t>(A.value());
-    break;
-  case ActionKind::Write:
-    Id = A.location();
-    Val = static_cast<uint32_t>(A.value());
-    break;
-  case ActionKind::Lock:
-  case ActionKind::Unlock:
-    Id = A.monitor();
-    break;
-  case ActionKind::External:
-    Val = static_cast<uint32_t>(A.value());
-    break;
-  }
-  assert(Id < (1ULL << 25) && "symbol id exceeds action-word encoding");
-  return (static_cast<uint64_t>(A.kind()) << 59) |
-         (static_cast<uint64_t>(A.isVolatileAccess()) << 58) |
-         (static_cast<uint64_t>(A.isWildcard()) << 57) | (Id << 32) | Val;
-}
+// The span tag constants (TagTrace/TagEvent/TagState) and the one-word
+// action packing live in trace/ActionWord.h, shared with the TSO/PSO
+// engine and the behaviour cache.
 
 /// Mazurkiewicz independence for this semantics. Dependent pairs: same
 /// thread (program order); two externals (behaviour order is observable);
@@ -607,6 +594,49 @@ bool sleepContains(const std::vector<SleepElem> &Sleep, uint32_t Id) {
   return It != Sleep.end() && It->Id == Id;
 }
 
+/// Conservative over-approximation of everything a thread can still do:
+/// the union over every continuation of its trace inside the traceset.
+/// Volatile accesses count as reads/writes too (their enabledness and
+/// effects go through memory just like normal accesses).
+struct Footprint {
+  std::vector<SymbolId> Reads;    ///< sorted, deduped
+  std::vector<SymbolId> Writes;   ///< sorted, deduped
+  std::vector<SymbolId> Monitors; ///< sorted, deduped
+  bool HasExternal = false;
+};
+
+/// Sorted-vector intersection test (linear merge).
+bool overlaps(const std::vector<SymbolId> &A, const std::vector<SymbolId> &B) {
+  size_t I = 0, J = 0;
+  while (I < A.size() && J < B.size()) {
+    if (A[I] < B[J])
+      ++I;
+    else if (B[J] < A[I])
+      ++J;
+    else
+      return true;
+  }
+  return false;
+}
+
+/// Can ANY future transition of one thread depend on (or enable/disable)
+/// ANY future transition of the other? Mirrors independentEvents over the
+/// footprint over-approximation: both-external, same monitor, or a
+/// same-location pair with a write.
+bool footprintsDependent(const Footprint &X, const Footprint &Y) {
+  if (X.HasExternal && Y.HasExternal)
+    return true;
+  if (overlaps(X.Monitors, Y.Monitors))
+    return true;
+  if (overlaps(X.Writes, Y.Writes))
+    return true;
+  if (overlaps(X.Writes, Y.Reads))
+    return true;
+  if (overlaps(X.Reads, Y.Writes))
+    return true;
+  return false;
+}
+
 /// The memoised behaviour/race searches on the interned + sleep-set + (when
 /// Workers != 1) work-stealing engine.
 class ReducedQuery {
@@ -616,7 +646,9 @@ public:
       : T(T), Limits(Limits), RaceMode(RaceMode),
         Parallel(Limits.Workers != 1),
         Structs(Parallel ? 6 : 0, Limits.Shared),
-        Sigs(Parallel ? 6 : 0, Limits.Shared) {
+        Sigs(Parallel ? 6 : 0, Limits.Shared),
+        Forks(Limits.Workers ? Limits.Workers
+                             : ThreadPool::defaultWorkerCount()) {
     if (Limits.SleepSets)
       Memo = std::make_unique<SleepMemo>(Parallel ? 6 : 0, Sigs,
                                          Limits.Shared);
@@ -746,6 +778,128 @@ private:
     return It->second;
   }
 
+  /// Future footprint of a thread trace, memoised by its interned trie id
+  /// like successorsFor. Recursion is bounded by the (finite, prefix-
+  /// closed) traceset depth, and each distinct trace node is computed
+  /// once. Two arrivals may race to compute the same node; the first
+  /// insert wins and the duplicate work is discarded — results are
+  /// identical either way.
+  const Footprint &footprintFor(uint32_t Id, const Trace &Tr) {
+    FootShard &S = FootCache[Id % FootCache.size()];
+    {
+      std::lock_guard<std::mutex> Lock(S.M);
+      auto It = S.Map.find(Id);
+      if (It != S.Map.end())
+        return It->second;
+    }
+    Footprint F;
+    Trace Child = Tr;
+    for (const Action &A : successorsFor(Id, Tr)) {
+      switch (A.kind()) {
+      case ActionKind::Read:
+        F.Reads.push_back(A.location());
+        break;
+      case ActionKind::Write:
+        F.Writes.push_back(A.location());
+        break;
+      case ActionKind::Lock:
+      case ActionKind::Unlock:
+        F.Monitors.push_back(A.monitor());
+        break;
+      case ActionKind::External:
+        F.HasExternal = true;
+        break;
+      case ActionKind::Start:
+        break; // starts never interact across threads
+      }
+      uint64_t W[2] = {TagTrace | Id, actionWord(A)};
+      uint32_t ChildId = Structs.intern(W, 2).Id;
+      Child.push_back(A);
+      const Footprint &CF = footprintFor(ChildId, Child);
+      Child.pop_back();
+      F.Reads.insert(F.Reads.end(), CF.Reads.begin(), CF.Reads.end());
+      F.Writes.insert(F.Writes.end(), CF.Writes.begin(), CF.Writes.end());
+      F.Monitors.insert(F.Monitors.end(), CF.Monitors.begin(),
+                        CF.Monitors.end());
+      F.HasExternal |= CF.HasExternal;
+    }
+    auto Canon = [](std::vector<SymbolId> &V) {
+      std::sort(V.begin(), V.end());
+      V.erase(std::unique(V.begin(), V.end()), V.end());
+      V.shrink_to_fit();
+    };
+    Canon(F.Reads);
+    Canon(F.Writes);
+    Canon(F.Monitors);
+    std::lock_guard<std::mutex> Lock(S.M);
+    auto [It, Inserted] = S.Map.emplace(Id, std::move(F));
+    if (Inserted && Limits.Shared)
+      Limits.Shared->chargeBytes(
+          (It->second.Reads.size() + It->second.Writes.size() +
+           It->second.Monitors.size()) *
+              sizeof(SymbolId) +
+          sizeof(Footprint) + sizeof(void *) * 4);
+    return It->second;
+  }
+
+  /// Persistent-set restriction for the behaviours query: groups threads
+  /// by future-footprint dependence (union-find) and, when more than one
+  /// group has an enabled transition, keeps only the group with the
+  /// fewest enabled transitions (ties to the lowest thread index). The
+  /// result is a pure function of the interned state: footprints depend
+  /// only on trie ids and enabledness only on the encoded state.
+  void restrictToSourceGroup(const NodeState &N,
+                             const std::vector<const std::vector<Action> *>
+                                 &Succ,
+                             std::vector<char> &InGroup) {
+    size_t NT = Tids.size();
+    std::vector<unsigned> Enabled(NT, 0);
+    for (size_t Ti = 0; Ti < NT; ++Ti)
+      for (const Action &A : *Succ[Ti])
+        if (stepEnabled(Tids, N, Ti, A))
+          ++Enabled[Ti];
+    std::vector<size_t> Parent(NT);
+    for (size_t I = 0; I < NT; ++I)
+      Parent[I] = I;
+    auto Find = [&Parent](size_t X) {
+      while (Parent[X] != X)
+        X = Parent[X] = Parent[Parent[X]];
+      return X;
+    };
+    for (size_t I = 0; I < NT; ++I)
+      for (size_t J = I + 1; J < NT; ++J) {
+        size_t RI = Find(I), RJ = Find(J);
+        if (RI == RJ)
+          continue;
+        if (footprintsDependent(footprintFor(N.TraceIds[I], N.Traces[I]),
+                                footprintFor(N.TraceIds[J], N.Traces[J])))
+          Parent[RJ] = RI;
+      }
+    // Per-group enabled totals and lowest member (threads iterate in
+    // ascending index order, so the first member seen is the minimum).
+    std::vector<unsigned> GroupEnabled(NT, 0);
+    std::vector<size_t> GroupMin(NT, NT);
+    for (size_t Ti = 0; Ti < NT; ++Ti) {
+      size_t R = Find(Ti);
+      GroupEnabled[R] += Enabled[Ti];
+      if (GroupMin[R] == NT)
+        GroupMin[R] = Ti;
+    }
+    size_t Best = NT;
+    for (size_t R = 0; R < NT; ++R) {
+      if (Find(R) != R || GroupEnabled[R] == 0)
+        continue;
+      if (Best == NT || GroupEnabled[R] < GroupEnabled[Best] ||
+          (GroupEnabled[R] == GroupEnabled[Best] &&
+           GroupMin[R] < GroupMin[Best]))
+        Best = R;
+    }
+    if (Best == NT)
+      return; // nothing enabled anywhere: no restriction to make
+    for (size_t Ti = 0; Ti < NT; ++Ti)
+      InGroup[Ti] = Find(Ti) == Best;
+  }
+
   /// State-local adjacent-race predicate (see file comment). Returns true
   /// (and records the witness, broadcasting stop) when a race fires at N.
   bool checkRace(const NodeState &N,
@@ -841,9 +995,18 @@ private:
       truncate(TruncationReason::DepthCap);
     if (RaceMode && checkRace(N, Succ))
       return;
+    // Persistent-set restriction (behaviours only; a depth-capped thread
+    // has an unexplorable future, so its footprint cannot vouch for it —
+    // fall back to full expansion for this state).
+    std::vector<char> InGroup(NT, 1);
+    if (!RaceMode && Limits.SourceSets && !DepthHit && NT > 1)
+      restrictToSourceGroup(N, Succ, InGroup);
     // Expand in deterministic (thread, action) order.
     std::vector<SleepElem> Done; // earlier explored siblings
+    unsigned Degree = 0;         // explored out-degree, for ForkPolicy
     for (size_t Ti = 0; Ti < NT; ++Ti) {
+      if (!InGroup[Ti])
+        continue;
       for (const Action &A : *Succ[Ti]) {
         if (StopFlag.load(std::memory_order_relaxed))
           return;
@@ -880,7 +1043,8 @@ private:
                       return X.Id < Y.Id;
                     });
         }
-        if (Group && Depth < MaxForkDepth && Pool->hasIdleWorker()) {
+        ++Degree;
+        if (Group && Forks.shouldFork(*Pool, Depth)) {
           // Hand the subtree to an idle worker: one NodeState copy.
           auto Child = std::make_shared<NodeState>(N);
           Child->Sleep = std::move(ChildSleep);
@@ -900,6 +1064,8 @@ private:
           Done.push_back({EvId, Ev});
       }
     }
+    if (Group)
+      Forks.observe(Degree, *Pool);
   }
 
   const Traceset &T;
@@ -913,6 +1079,12 @@ private:
     std::unordered_map<uint32_t, std::vector<Action>> Map;
   };
   std::array<SuccShard, 16> SuccCache; ///< trie id -> successor actions
+  struct FootShard {
+    std::mutex M;
+    std::unordered_map<uint32_t, Footprint> Map;
+  };
+  std::array<FootShard, 16> FootCache; ///< trie id -> future footprint
+  ForkPolicy Forks;                    ///< adaptive fork-depth controller
   std::unique_ptr<SleepMemo> Memo;
   std::vector<ThreadId> Tids;
   std::unique_ptr<ThreadPool> Owned;
@@ -932,7 +1104,9 @@ public:
   VisitorSearch(const Traceset &T, const EnumerationLimits &Limits,
                 bool MaximalOnly,
                 const std::function<bool(const Interleaving &)> &Visit)
-      : T(T), Limits(Limits), MaximalOnly(MaximalOnly), Visit(Visit) {
+      : T(T), Limits(Limits), MaximalOnly(MaximalOnly), Visit(Visit),
+        Forks(Limits.Workers ? Limits.Workers
+                             : ThreadPool::defaultWorkerCount()) {
     Tids = T.entryPoints();
     std::sort(Tids.begin(), Tids.end());
   }
@@ -1003,12 +1177,14 @@ private:
         return;
       }
     }
+    if (Group)
+      Forks.observe(static_cast<unsigned>(Steps.size()), *Pool);
     for (const auto &[Ti, A] : Steps) {
       if (StopFlag.load(std::memory_order_relaxed))
         return;
       Event Ev{Tids[Ti], A};
-      // Same shallow-fork gate as ReducedQuery::search.
-      if (Group && Depth < MaxForkDepth && Pool->hasIdleWorker()) {
+      // Same adaptive shallow-fork gate as ReducedQuery::search.
+      if (Group && Forks.shouldFork(*Pool, Depth)) {
         auto Child = std::make_shared<NodeState>(N);
         StepUndo U;
         applyStep(*Child, Ti, Ev, nullptr, false, true, U);
@@ -1026,6 +1202,7 @@ private:
   EnumerationLimits Limits;
   bool MaximalOnly;
   const std::function<bool(const Interleaving &)> &Visit;
+  ForkPolicy Forks; ///< adaptive fork-depth controller
   std::vector<ThreadId> Tids;
   std::unique_ptr<ThreadPool> Owned;
   ThreadPool *Pool = nullptr;

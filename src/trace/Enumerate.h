@@ -56,6 +56,14 @@ struct EnumerationLimits {
   /// findAdjacentRace. Sound for both queries (see docs/PERFORMANCE.md);
   /// the visitor-based enumerations never prune.
   bool SleepSets = true;
+  /// Source-set (persistent-set) reduction layered on top of sleep sets:
+  /// at each state, expansion is restricted to one dependence-closed group
+  /// of threads whose *future* actions cannot interact with the other
+  /// groups'. Applies to collectBehaviours only — the race query's
+  /// state-local predicate needs every reachable state, which persistent
+  /// sets do not preserve. See docs/PERFORMANCE.md for the soundness
+  /// argument.
+  bool SourceSets = true;
   /// Run the seed's sequential std::set-memoised engine instead of the
   /// parallel interned one. Cross-check oracle: equivalence tests assert
   /// verdict-identical results between the two.

@@ -1,0 +1,592 @@
+#include "tso/BufferedEngine.h"
+
+#include "lang/Explore.h"
+#include "support/ForkPolicy.h"
+#include "support/Intern.h"
+#include "support/ThreadPool.h"
+#include "trace/ActionWord.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+using namespace tracesafe;
+
+//===----------------------------------------------------------------------===//
+// Engine structure
+//
+// Mirrors trace/Enumerate.cpp's ReducedQuery, transplanted to machine
+// states. Thread configurations (continuation + registers + monitor
+// depths) are not word-encodable, so they get dense ids from a
+// mutex-guarded side map; everything else of a state — buffers, memory,
+// locks, actions-done counters and the behaviour tail — is encoded as a
+// length-prefixed span of words and interned. The memo granularity is
+// exactly the sequential explorers' (State, ActionsDone, BehSoFar) tuple.
+//
+// Transitions are of two kinds:
+//  - drain(T) / drain(T, L): commit the oldest entry of a (per-location,
+//    for PSO) store buffer to memory;
+//  - instruction steps from possibleStepsWithMemory, with the machine's
+//    enabledness rules (buffer cap for non-volatile writes; empty own
+//    buffer for synchronisation actions; monitor mutual exclusion).
+//
+// Independence relation for the sleep sets. Every event touches at most
+// one shared-memory location:
+//  - drain(T, L) *writes* memory at L;
+//  - a read of L (any volatility, even when it would forward from the own
+//    buffer) *reads* memory at L — conservative, but forwarding depends
+//    on the own buffer only, and same-thread pairs are always dependent;
+//  - a volatile write of L *writes* memory at L;
+//  - a non-volatile write has NO memory footprint: it only appends to the
+//    issuing thread's buffer.
+// Two events of different threads are dependent iff both are external
+// (behaviour order is observable), they lock/unlock the same monitor, or
+// their memory footprints overlap on a location with a write on either
+// side. Everything else commutes and neither side can enable or disable
+// the other: in particular cross-thread drains to different locations
+// commute, and a drain commutes with another thread's fence (a fence only
+// requires the *own* buffer to be empty).
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+using StoreBuffer = std::deque<std::pair<SymbolId, Value>>;
+using PsoBuffers = std::map<SymbolId, std::deque<Value>>;
+
+/// Dense ids for thread configurations. std::map keeps references stable
+/// and needs only ThreadState's operator<=>; the search holds the lock
+/// for one tree comparison path per lookup, which profiles far below the
+/// interning and step-generation costs.
+class ConfigIds {
+public:
+  explicit ConfigIds(Budget *Shared) : Shared(Shared) {}
+
+  uint32_t id(const ThreadState &S) {
+    std::lock_guard<std::mutex> Lock(M);
+    auto [It, Inserted] =
+        Map.try_emplace(S, static_cast<uint32_t>(Map.size()));
+    if (Inserted && Shared)
+      Shared->chargeBytes(sizeof(ThreadState) + 8 * sizeof(void *));
+    return It->second;
+  }
+
+private:
+  std::mutex M;
+  std::map<ThreadState, uint32_t> Map;
+  Budget *Shared;
+};
+
+/// One machine transition, as the sleep sets see it.
+struct BufEvent {
+  ThreadId Tid = 0;
+  bool IsDrain = false;
+  SymbolId Loc = 0;           ///< drained location (IsDrain only)
+  Value Val = 0;              ///< drained value (IsDrain only)
+  std::optional<Action> Act;  ///< instruction action (!IsDrain)
+};
+
+/// Memory-write footprint of an event (see file comment).
+bool memWrite(const BufEvent &E, SymbolId &Loc) {
+  if (E.IsDrain) {
+    Loc = E.Loc;
+    return true;
+  }
+  if (E.Act->isWrite() && E.Act->isVolatileAccess()) {
+    Loc = E.Act->location();
+    return true;
+  }
+  return false;
+}
+
+/// Memory-read footprint of an event.
+bool memRead(const BufEvent &E, SymbolId &Loc) {
+  if (!E.IsDrain && E.Act->isRead()) {
+    Loc = E.Act->location();
+    return true;
+  }
+  return false;
+}
+
+bool independentEvents(const BufEvent &X, const BufEvent &Y) {
+  if (X.Tid == Y.Tid)
+    return false;
+  if (!X.IsDrain && !Y.IsDrain) {
+    const Action &A = *X.Act;
+    const Action &B = *Y.Act;
+    if (A.isExternal() && B.isExternal())
+      return false;
+    if ((A.isLock() || A.isUnlock()) && (B.isLock() || B.isUnlock()) &&
+        A.monitor() == B.monitor())
+      return false;
+  }
+  SymbolId WX = 0, WY = 0, RX = 0, RY = 0;
+  bool XW = memWrite(X, WX), YW = memWrite(Y, WY);
+  bool XR = memRead(X, RX), YR = memRead(Y, RY);
+  if (XW && YW && WX == WY)
+    return false;
+  if (XW && YR && WX == RY)
+    return false;
+  if (XR && YW && RX == WY)
+    return false;
+  return true;
+}
+
+struct SleepElem {
+  uint32_t Id;
+  BufEvent Ev;
+};
+
+bool sleepContains(const std::vector<SleepElem> &Sleep, uint32_t Id) {
+  auto It = std::lower_bound(
+      Sleep.begin(), Sleep.end(), Id,
+      [](const SleepElem &S, uint32_t V) { return S.Id < V; });
+  return It != Sleep.end() && It->Id == Id;
+}
+
+/// Mutable global machine state. Copyable: every explored edge builds the
+/// child as one copy (the sequential explorers save/restore full copies
+/// per edge too), which doubles as the hand-off unit for forked subtrees.
+struct BufNode {
+  std::vector<ThreadState> Threads;
+  std::vector<uint32_t> ConfigIdv;   ///< dense config id per thread
+  std::vector<StoreBuffer> Tso;      ///< Model == Tso
+  std::vector<PsoBuffers> Pso;       ///< Model == Pso
+  std::vector<uint64_t> ActionsDone;
+  std::map<SymbolId, Value> Memory;
+  std::map<SymbolId, std::pair<ThreadId, int>> Locks;
+  Behaviour Beh;                     ///< behaviour so far
+  std::vector<SleepElem> Sleep;      ///< sorted by Id
+};
+
+/// A transition out of a node: the event plus, for instruction steps, the
+/// successor thread configuration computed by possibleStepsWithMemory.
+struct Transition {
+  BufEvent Ev;
+  std::optional<Step> Instr;
+};
+
+class BufferedSearch {
+public:
+  BufferedSearch(const Program &P, const TsoLimits &Limits,
+                 BufferModel Model)
+      : P(P),
+        Ctx(P, Limits.InputDomain.empty() ? defaultDomainFor(P)
+                                          : Limits.InputDomain),
+        Limits(Limits), Model(Model), Parallel(Limits.Workers != 1),
+        Structs(Parallel ? 6 : 0, Limits.Shared),
+        Sigs(Parallel ? 6 : 0, Limits.Shared),
+        Configs(Limits.Shared),
+        Forks(Limits.Workers ? Limits.Workers
+                             : ThreadPool::defaultWorkerCount()) {
+    if (Limits.UseReduction)
+      Memo = std::make_unique<SleepMemo>(Parallel ? 6 : 0, Sigs,
+                                         Limits.Shared);
+  }
+
+  std::set<Behaviour> run() {
+    BufNode Root;
+    size_t NT = P.threadCount();
+    bool Trunc = false;
+    for (ThreadId Tid = 0; Tid < NT; ++Tid) {
+      bool T1 = false;
+      Root.Threads.push_back(silentClosure(initialThreadState(P, Tid), Ctx,
+                                           Limits.MaxSilentRun, &T1));
+      Trunc |= T1;
+    }
+    if (Trunc)
+      truncate(TruncationReason::SilentLoop);
+    if (Model == BufferModel::Tso)
+      Root.Tso.assign(NT, StoreBuffer{});
+    else
+      Root.Pso.assign(NT, PsoBuffers{});
+    Root.ActionsDone.assign(NT, 0);
+    try {
+      // The config-id side map is the engine's first allocation; a budget
+      // or injected failure can land here, before any search frame's
+      // containment is on the stack.
+      for (const ThreadState &S : Root.Threads)
+        Root.ConfigIdv.push_back(Configs.id(S));
+    } catch (...) {
+      engineFault();
+      finishStats();
+      return std::move(Behaviours);
+    }
+    Behaviours.insert(Behaviour{});
+    if (!Parallel) {
+      // Sequential engine: an allocation failure (real or injected)
+      // inside the pools unwinds to here and becomes a truncated result.
+      try {
+        search(Root, 0);
+      } catch (...) {
+        engineFault();
+      }
+    } else {
+      if (Limits.Workers > 1)
+        Owned = std::make_unique<ThreadPool>(Limits.Workers);
+      Pool = Owned ? Owned.get() : &ThreadPool::shared();
+      {
+        ThreadPool::TaskGroup G(*Pool);
+        Group = &G;
+        auto R = std::make_shared<BufNode>(std::move(Root));
+        G.spawn([this, R] { search(*R, 0); });
+        G.wait();
+        // A throwing search frame is captured by the group and the rest
+        // drained; the result is incomplete, so it must read truncated.
+        if (G.faulted()) {
+          G.takeException();
+          engineFault();
+        }
+      }
+      Group = nullptr;
+    }
+    finishStats();
+    return std::move(Behaviours);
+  }
+
+  ExecStats Stats;
+
+private:
+  void finishStats() {
+    std::lock_guard<std::mutex> Lock(ResM);
+    Stats.Visited = VisitedCount.load(std::memory_order_relaxed);
+  }
+
+  void truncate(TruncationReason R) {
+    std::lock_guard<std::mutex> Lock(ResM);
+    Stats.truncate(R);
+  }
+
+  /// Marks the query faulted: truncate with EngineFault and poison the
+  /// shared budget so sibling engines of the same query unwind too.
+  void engineFault() {
+    truncate(TruncationReason::EngineFault);
+    StopFlag.store(true, std::memory_order_relaxed);
+    if (Limits.Shared)
+      Limits.Shared->poison(TruncationReason::EngineFault);
+  }
+
+  /// Value thread \p Tid reads from \p Loc: own buffer (newest matching
+  /// entry), else memory.
+  Value readValue(const BufNode &N, ThreadId Tid, SymbolId Loc) const {
+    if (Model == BufferModel::Tso) {
+      const StoreBuffer &B = N.Tso[Tid];
+      for (auto It = B.rbegin(); It != B.rend(); ++It)
+        if (It->first == Loc)
+          return It->second;
+    } else {
+      auto It = N.Pso[Tid].find(Loc);
+      if (It != N.Pso[Tid].end() && !It->second.empty())
+        return It->second.back();
+    }
+    auto MIt = N.Memory.find(Loc);
+    return MIt == N.Memory.end() ? DefaultValue : MIt->second;
+  }
+
+  bool buffersEmpty(const BufNode &N, ThreadId Tid) const {
+    if (Model == BufferModel::Tso)
+      return N.Tso[Tid].empty();
+    for (const auto &[Loc, Q] : N.Pso[Tid])
+      if (!Q.empty())
+        return false;
+    return true;
+  }
+
+  size_t bufferedCount(const BufNode &N, ThreadId Tid) const {
+    if (Model == BufferModel::Tso)
+      return N.Tso[Tid].size();
+    size_t Count = 0;
+    for (const auto &[Loc, Q] : N.Pso[Tid])
+      Count += Q.size();
+    return Count;
+  }
+
+  /// Every transition out of \p N, in deterministic (kind, thread,
+  /// location/step) order: drains first, then instruction steps.
+  std::vector<Transition> transitionsOf(const BufNode &N) {
+    std::vector<Transition> Out;
+    size_t NT = N.Threads.size();
+    for (ThreadId Tid = 0; Tid < NT; ++Tid) {
+      if (Model == BufferModel::Tso) {
+        if (N.Tso[Tid].empty())
+          continue;
+        BufEvent Ev;
+        Ev.Tid = Tid;
+        Ev.IsDrain = true;
+        Ev.Loc = N.Tso[Tid].front().first;
+        Ev.Val = N.Tso[Tid].front().second;
+        Out.push_back({std::move(Ev), std::nullopt});
+      } else {
+        for (const auto &[Loc, Q] : N.Pso[Tid]) {
+          if (Q.empty())
+            continue;
+          BufEvent Ev;
+          Ev.Tid = Tid;
+          Ev.IsDrain = true;
+          Ev.Loc = Loc;
+          Ev.Val = Q.front();
+          Out.push_back({std::move(Ev), std::nullopt});
+        }
+      }
+    }
+    for (ThreadId Tid = 0; Tid < NT; ++Tid) {
+      const ThreadState &S = N.Threads[Tid];
+      if (S.done())
+        continue;
+      if (N.ActionsDone[Tid] >= Limits.MaxActionsPerThread) {
+        truncate(TruncationReason::DepthCap);
+        continue;
+      }
+      std::vector<Step> Steps = possibleStepsWithMemory(
+          S, Ctx, [&](SymbolId Loc) { return readValue(N, Tid, Loc); });
+      assert(!Steps.empty() && Steps[0].Act &&
+             "closed thread must have pending actions");
+      for (Step &PendingStep : Steps) {
+        const Action &A = *PendingStep.Act;
+        // Enabledness under the store-buffer machine.
+        if (A.isWrite() && !A.isVolatileAccess() &&
+            bufferedCount(N, Tid) >= Limits.MaxBufferedStores)
+          continue; // Must drain first.
+        if (A.isSynchronisation() && !buffersEmpty(N, Tid))
+          continue; // Fence: drain the own buffer first.
+        if (A.isLock()) {
+          auto It = N.Locks.find(A.monitor());
+          if (It != N.Locks.end() && It->second.second > 0 &&
+              It->second.first != Tid)
+            continue;
+        }
+        BufEvent Ev;
+        Ev.Tid = Tid;
+        Ev.Act = A;
+        Out.push_back({std::move(Ev), std::move(PendingStep)});
+      }
+    }
+    return Out;
+  }
+
+  /// Applies \p T to \p C (already a private copy). External actions
+  /// record the extended behaviour immediately, matching the sequential
+  /// explorers (which record before recursing, so memo pruning of the
+  /// child never loses a behaviour).
+  void applyTo(BufNode &C, const Transition &T) {
+    ThreadId Tid = T.Ev.Tid;
+    if (T.Ev.IsDrain) {
+      if (Model == BufferModel::Tso) {
+        auto Entry = C.Tso[Tid].front();
+        C.Tso[Tid].pop_front();
+        C.Memory[Entry.first] = Entry.second;
+      } else {
+        auto It = C.Pso[Tid].find(T.Ev.Loc);
+        assert(It != C.Pso[Tid].end() && !It->second.empty());
+        Value V = It->second.front();
+        It->second.pop_front();
+        if (It->second.empty())
+          C.Pso[Tid].erase(It);
+        C.Memory[T.Ev.Loc] = V;
+      }
+      return;
+    }
+    const Action &A = *T.Ev.Act;
+    bool Trunc = false;
+    C.Threads[Tid] =
+        silentClosure(T.Instr->Next, Ctx, Limits.MaxSilentRun, &Trunc);
+    if (Trunc)
+      truncate(TruncationReason::SilentLoop);
+    C.ConfigIdv[Tid] = Configs.id(C.Threads[Tid]);
+    ++C.ActionsDone[Tid];
+    if (A.isWrite()) {
+      if (A.isVolatileAccess())
+        C.Memory[A.location()] = A.value();
+      else if (Model == BufferModel::Tso)
+        C.Tso[Tid].emplace_back(A.location(), A.value());
+      else
+        C.Pso[Tid][A.location()].push_back(A.value());
+    } else if (A.isLock()) {
+      auto &Slot = C.Locks[A.monitor()];
+      Slot = {Tid, Slot.second + 1};
+    } else if (A.isUnlock()) {
+      auto It = C.Locks.find(A.monitor());
+      assert(It != C.Locks.end() && It->second.first == Tid);
+      if (--It->second.second == 0)
+        C.Locks.erase(It);
+    } else if (A.isExternal()) {
+      C.Beh.push_back(A.value());
+      std::lock_guard<std::mutex> Lock(ResM);
+      Behaviours.insert(C.Beh);
+    }
+  }
+
+  /// Canonical length-prefixed word encoding of a node: injective by
+  /// construction (every variable-length section carries its own count).
+  /// Empty PSO queues are skipped — the machine treats an empty queue and
+  /// an absent one identically, so merging them only tightens the memo.
+  void encodeState(const BufNode &N, std::vector<uint64_t> &Out) const {
+    Out.clear();
+    size_t NT = N.Threads.size();
+    Out.push_back(TagState | NT);
+    for (size_t Ti = 0; Ti < NT; ++Ti) {
+      Out.push_back(N.ConfigIdv[Ti]);
+      Out.push_back(N.ActionsDone[Ti]);
+      if (Model == BufferModel::Tso) {
+        const StoreBuffer &B = N.Tso[Ti];
+        Out.push_back(B.size());
+        for (const auto &[Loc, V] : B)
+          Out.push_back((static_cast<uint64_t>(Loc) << 32) |
+                        static_cast<uint32_t>(V));
+      } else {
+        size_t NonEmpty = 0;
+        for (const auto &[Loc, Q] : N.Pso[Ti])
+          if (!Q.empty())
+            ++NonEmpty;
+        Out.push_back(NonEmpty);
+        for (const auto &[Loc, Q] : N.Pso[Ti]) {
+          if (Q.empty())
+            continue;
+          Out.push_back((static_cast<uint64_t>(Loc) << 32) | Q.size());
+          for (Value V : Q)
+            Out.push_back(static_cast<uint32_t>(V));
+        }
+      }
+    }
+    Out.push_back(N.Memory.size());
+    for (const auto &[Loc, V] : N.Memory)
+      Out.push_back((static_cast<uint64_t>(Loc) << 32) |
+                    static_cast<uint32_t>(V));
+    size_t NumLocks = 0;
+    for (const auto &[Mon, Slot] : N.Locks)
+      if (Slot.second > 0)
+        ++NumLocks;
+    Out.push_back(NumLocks);
+    for (const auto &[Mon, Slot] : N.Locks)
+      if (Slot.second > 0) {
+        Out.push_back((static_cast<uint64_t>(Mon) << 32) |
+                      static_cast<uint32_t>(Slot.first));
+        Out.push_back(static_cast<uint64_t>(Slot.second));
+      }
+    Out.push_back(N.Beh.size());
+    for (Value V : N.Beh)
+      Out.push_back(static_cast<uint32_t>(V));
+  }
+
+  uint32_t internEvent(const BufEvent &Ev) {
+    uint64_t Hi = TagEvent | Ev.Tid;
+    uint64_t Lo;
+    if (Ev.IsDrain) {
+      Hi |= DrainBit;
+      Lo = (static_cast<uint64_t>(Ev.Loc) << 32) |
+           static_cast<uint32_t>(Ev.Val);
+    } else {
+      Lo = actionWord(*Ev.Act);
+    }
+    uint64_t W[2] = {Hi, Lo};
+    return Structs.intern(W, 2).Id;
+  }
+
+  void search(BufNode &N, unsigned Depth) {
+    if (StopFlag.load(std::memory_order_relaxed))
+      return;
+    uint64_t V = VisitedCount.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (V > Limits.MaxVisited) {
+      truncate(TruncationReason::StateCap);
+      return;
+    }
+    if (Limits.Shared && !Limits.Shared->charge()) {
+      truncate(Limits.Shared->reason());
+      return;
+    }
+    // Intern the state; prune revisits (subset rule under POR).
+    std::vector<uint64_t> Enc;
+    encodeState(N, Enc);
+    InternPool::Result State = Structs.intern(Enc.data(), Enc.size());
+    if (Memo) {
+      Enc.clear();
+      for (const SleepElem &S : N.Sleep)
+        Enc.push_back(S.Id);
+      InternPool::Result Sig = Sigs.intern(Enc.data(), Enc.size());
+      if (!Memo->shouldExplore(State.Id, Sig.Id))
+        return;
+    } else if (!State.Inserted) {
+      return;
+    }
+    std::vector<Transition> Trans = transitionsOf(N);
+    std::vector<SleepElem> Done; // earlier explored siblings
+    unsigned Degree = 0;
+    for (const Transition &T : Trans) {
+      if (StopFlag.load(std::memory_order_relaxed))
+        return;
+      uint32_t EvId = 0;
+      if (Memo) {
+        EvId = internEvent(T.Ev);
+        // Asleep: the sibling branch that explored this event covers
+        // every schedule that starts with it here.
+        if (sleepContains(N.Sleep, EvId))
+          continue;
+      }
+      ++Degree;
+      std::vector<SleepElem> ChildSleep;
+      if (Memo) {
+        for (const SleepElem &S : N.Sleep)
+          if (independentEvents(S.Ev, T.Ev))
+            ChildSleep.push_back(S);
+        for (const SleepElem &S : Done)
+          if (independentEvents(S.Ev, T.Ev))
+            ChildSleep.push_back(S);
+        std::sort(ChildSleep.begin(), ChildSleep.end(),
+                  [](const SleepElem &X, const SleepElem &Y) {
+                    return X.Id < Y.Id;
+                  });
+      }
+      if (Group && Forks.shouldFork(*Pool, Depth)) {
+        // Hand the subtree to an idle worker: one node copy.
+        auto Child = std::make_shared<BufNode>(N);
+        Child->Sleep = std::move(ChildSleep);
+        applyTo(*Child, T);
+        Group->spawn([this, Child, Depth] { search(*Child, Depth + 1); });
+      } else {
+        BufNode Child = N;
+        Child.Sleep = std::move(ChildSleep);
+        applyTo(Child, T);
+        search(Child, Depth + 1);
+      }
+      if (Memo)
+        Done.push_back({EvId, T.Ev});
+    }
+    if (Group)
+      Forks.observe(Degree, *Pool);
+  }
+
+  const Program &P;
+  LangContext Ctx;
+  TsoLimits Limits;
+  BufferModel Model;
+  bool Parallel;
+  InternPool Structs; ///< states and event ids
+  InternPool Sigs;    ///< sorted event-id sleep signatures
+  ConfigIds Configs;
+  ForkPolicy Forks;
+  std::unique_ptr<SleepMemo> Memo;
+  std::unique_ptr<ThreadPool> Owned;
+  ThreadPool *Pool = nullptr;
+  ThreadPool::TaskGroup *Group = nullptr;
+  std::atomic<uint64_t> VisitedCount{0};
+  std::atomic<bool> StopFlag{false};
+  std::mutex ResM; ///< guards Behaviours and Stats
+  std::set<Behaviour> Behaviours;
+};
+
+} // namespace
+
+std::set<Behaviour> tracesafe::bufferedBehaviours(const Program &P,
+                                                  const TsoLimits &Limits,
+                                                  BufferModel Model,
+                                                  ExecStats *Stats) {
+  BufferedSearch S(P, Limits, Model);
+  std::set<Behaviour> Out = S.run();
+  if (Stats)
+    *Stats = S.Stats;
+  return Out;
+}

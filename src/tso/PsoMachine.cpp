@@ -1,5 +1,6 @@
 #include "tso/PsoMachine.h"
 #include "lang/Explore.h"
+#include "tso/BufferedEngine.h"
 
 #include <cassert>
 #include <deque>
@@ -168,6 +169,8 @@ private:
 std::set<Behaviour> tracesafe::psoBehaviours(const Program &P,
                                              TsoLimits Limits,
                                              ExecStats *Stats) {
+  if (!Limits.ExhaustiveOracle)
+    return bufferedBehaviours(P, Limits, BufferModel::Pso, Stats);
   PsoExplorer E(P, Limits);
   std::set<Behaviour> Out = E.run();
   if (Stats)
@@ -184,10 +187,12 @@ std::set<Behaviour> tracesafe::psoOnlyBehaviours(const Program &P,
   ScLimits.MaxActionsPerThread = Limits.MaxActionsPerThread;
   ScLimits.MaxSilentRun = Limits.MaxSilentRun;
   ScLimits.MaxVisited = Limits.MaxVisited;
+  ScLimits.Shared = Limits.Shared;
   std::set<Behaviour> Sc = programBehaviours(P, ScLimits, &ScStats);
   if (Stats) {
     Stats->Visited = PsoStats.Visited + ScStats.Visited;
     Stats->Truncated = PsoStats.Truncated || ScStats.Truncated;
+    Stats->Reason = mergeReason(PsoStats.Reason, ScStats.Reason);
   }
   std::set<Behaviour> Out;
   for (const Behaviour &B : Pso)

@@ -1,5 +1,6 @@
 #include "tso/TsoMachine.h"
 #include "lang/Explore.h"
+#include "tso/BufferedEngine.h"
 
 #include <cassert>
 #include <deque>
@@ -155,6 +156,8 @@ private:
 std::set<Behaviour> tracesafe::tsoBehaviours(const Program &P,
                                              TsoLimits Limits,
                                              ExecStats *Stats) {
+  if (!Limits.ExhaustiveOracle)
+    return bufferedBehaviours(P, Limits, BufferModel::Tso, Stats);
   TsoExplorer E(P, Limits);
   std::set<Behaviour> Out = E.run();
   if (Stats)
@@ -171,10 +174,12 @@ std::set<Behaviour> tracesafe::tsoOnlyBehaviours(const Program &P,
   ScLimits.MaxActionsPerThread = Limits.MaxActionsPerThread;
   ScLimits.MaxSilentRun = Limits.MaxSilentRun;
   ScLimits.MaxVisited = Limits.MaxVisited;
+  ScLimits.Shared = Limits.Shared;
   std::set<Behaviour> Sc = programBehaviours(P, ScLimits, &ScStats);
   if (Stats) {
     Stats->Visited = TsoStats.Visited + ScStats.Visited;
     Stats->Truncated = TsoStats.Truncated || ScStats.Truncated;
+    Stats->Reason = mergeReason(TsoStats.Reason, ScStats.Reason);
   }
   std::set<Behaviour> Out;
   for (const Behaviour &B : Tso)

@@ -37,6 +37,24 @@ struct TsoLimits {
   size_t MaxSilentRun = 512;
   size_t MaxBufferedStores = 8;
   uint64_t MaxVisited = 50'000'000;
+  /// Search workers: 1 = sequential in the calling thread; 0 = the shared
+  /// work-stealing pool at its default width (TRACESAFE_WORKERS or
+  /// hardware concurrency); N > 1 = exactly N-wide forking on an owned
+  /// pool. Behaviour sets are identical for every width.
+  unsigned Workers = 1;
+  /// Sleep-set partial-order reduction over store-buffer transitions
+  /// (see tso/BufferedEngine.cpp for the independence relation). Sound:
+  /// results are identical with and without; the switch exists for the
+  /// cross-check tests and the POR state-count benchmarks.
+  bool UseReduction = true;
+  /// Run the seed's sequential std::set-memoised explorer instead of the
+  /// interned engine. Cross-check oracle: equivalence tests assert
+  /// identical behaviour sets between the two.
+  bool ExhaustiveOracle = false;
+  /// Optional shared query budget (deadline / visit / memory caps across
+  /// every engine of one query). Non-owning; may be null. Only the
+  /// interned engine charges it.
+  Budget *Shared = nullptr;
 };
 
 /// The set of observable behaviours of \p P on the TSO machine.

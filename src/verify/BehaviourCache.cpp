@@ -1,0 +1,245 @@
+#include "verify/BehaviourCache.h"
+
+#include "lang/Printer.h"
+#include "support/Failure.h"
+#include "trace/ActionWord.h"
+
+using namespace tracesafe;
+
+namespace {
+
+void appendWord(std::string &K, uint64_t W) {
+  for (int I = 0; I < 8; ++I)
+    K.push_back(static_cast<char>((W >> (8 * I)) & 0xFF));
+}
+
+void appendDomain(std::string &K, const std::vector<Value> &Domain) {
+  appendWord(K, Domain.size());
+  for (Value V : Domain)
+    appendWord(K, static_cast<uint64_t>(static_cast<int64_t>(V)));
+}
+
+/// Exact key: printed program + domain + the bounds that shape a complete
+/// traceset. The printer is injective up to alpha-renaming the program
+/// does not perform, so equal keys mean equal programs.
+std::string tracesetKey(const Program &P, const std::vector<Value> &Domain,
+                        const ExploreLimits &Limits) {
+  std::string K = printProgram(P);
+  K.push_back('\0');
+  appendDomain(K, Domain);
+  appendWord(K, Limits.MaxActions);
+  appendWord(K, Limits.MaxSilentRun);
+  return K;
+}
+
+/// Exact key: every trace serialised as its action words (the same
+/// encoding the interned engines use, see trace/ActionWord.h), plus the
+/// domain, the interleaving bound and the engine-selection flags.
+std::string behaviourKey(const Traceset &T, const EnumerationLimits &Limits) {
+  std::string K;
+  K.reserve(T.size() * 24);
+  for (const Trace &Tr : T.traces()) {
+    appendWord(K, TagTrace | Tr.actions().size());
+    for (const Action &A : Tr.actions())
+      appendWord(K, actionWord(A));
+  }
+  appendDomain(K, T.domain());
+  appendWord(K, Limits.MaxEvents);
+  appendWord(K, (Limits.SleepSets ? 1ULL : 0) |
+                    (Limits.SourceSets ? 2ULL : 0) |
+                    (Limits.ExhaustiveOracle ? 4ULL : 0));
+  return K;
+}
+
+uint64_t tracesetFootprint(const std::string &Key, const Traceset &T) {
+  uint64_t B = Key.size() + sizeof(Traceset) + 64;
+  for (const Trace &Tr : T.traces())
+    B += Tr.actions().size() * sizeof(Action) + 48;
+  return B;
+}
+
+uint64_t behaviourFootprint(const std::string &Key,
+                            const std::set<Behaviour> &S) {
+  uint64_t B = Key.size() + 64;
+  for (const Behaviour &Beh : S)
+    B += Beh.size() * sizeof(Value) + 48;
+  return B;
+}
+
+/// Replays the recorded cost of a cached computation against the current
+/// query's budget. Returns the truncation reason the replay ended with
+/// (None = the budget absorbed the full cost). Warmth invariance: this is
+/// what keeps a hit from being "free" under a visit or memory cap.
+TruncationReason replayCost(Budget *Shared, uint64_t Visits,
+                            uint64_t Bytes) {
+  if (!Shared)
+    return TruncationReason::None;
+  if (Shared->chargeMany(Visits, Bytes))
+    return TruncationReason::None;
+  TruncationReason R = Shared->reason();
+  return R == TruncationReason::None ? TruncationReason::StateCap : R;
+}
+
+} // namespace
+
+void BehaviourCache::reserveLocked(uint64_t Need) {
+  if (Counters.Bytes + Need <= MaxBytes)
+    return;
+  Tracesets.clear();
+  Behaviours.clear();
+  Counters.Bytes = 0;
+  ++Counters.Clears;
+}
+
+std::shared_ptr<const Traceset>
+BehaviourCache::tracesetFor(const Program &P,
+                            const std::vector<Value> &Domain,
+                            const ExploreLimits &Limits,
+                            ExploreStats *Stats) {
+  std::string Key = tracesetKey(P, Domain, Limits);
+
+  // Lookup. An injected cache fault degrades to a miss: the result is
+  // recomputed, never changed.
+  try {
+    faultThrowInjected(FaultSite::BehaviourCache);
+    std::lock_guard<std::mutex> Lock(M);
+    auto It = Tracesets.find(Key);
+    if (It != Tracesets.end()) {
+      ++Counters.TracesetHits;
+      const TracesetEntry &E = It->second;
+      if (Stats)
+        Stats->Visited += E.CostVisits;
+      TruncationReason R =
+          replayCost(Limits.Shared, E.CostVisits, E.CostBytes);
+      if (R != TruncationReason::None && Stats)
+        Stats->truncate(R);
+      return E.Set;
+    }
+    ++Counters.TracesetMisses;
+  } catch (const InjectedFault &) {
+    std::lock_guard<std::mutex> Lock(M);
+    ++Counters.Faults;
+    ++Counters.TracesetMisses;
+  }
+
+  // Miss: compute under the caller's limits and budget. The budget delta
+  // is the replay cost — at these call sites one budget serves one query
+  // at a time, so the delta is exactly what this computation charged.
+  Budget *Shared = Limits.Shared;
+  uint64_t V0 = Shared ? Shared->visited() : 0;
+  uint64_t B0 = Shared ? Shared->chargedBytes() : 0;
+  ExploreStats Local;
+  auto Set = std::make_shared<const Traceset>(
+      programTraceset(P, Domain, Limits, &Local));
+  if (Stats) {
+    Stats->Visited += Local.Visited;
+    if (Local.Truncated)
+      Stats->truncate(Local.Reason);
+  }
+
+  // Only complete results are cacheable: a truncated set is an artefact
+  // of this query's budget, not a property of the program.
+  if (Local.Truncated || (Shared && Shared->exhausted()))
+    return Set;
+
+  TracesetEntry E;
+  E.Set = Set;
+  E.CostVisits = Shared ? Shared->visited() - V0 : Local.Visited;
+  E.CostBytes = Shared ? Shared->chargedBytes() - B0 : 0;
+  E.Footprint = tracesetFootprint(Key, *Set);
+  try {
+    faultThrowInjected(FaultSite::BehaviourCache);
+    std::lock_guard<std::mutex> Lock(M);
+    reserveLocked(E.Footprint);
+    if (E.Footprint <= MaxBytes) {
+      uint64_t F = E.Footprint;
+      if (Tracesets.emplace(std::move(Key), std::move(E)).second)
+        Counters.Bytes += F;
+    }
+  } catch (const InjectedFault &) {
+    std::lock_guard<std::mutex> Lock(M);
+    ++Counters.Faults; // Skipped insert; the answer is unaffected.
+  }
+  return Set;
+}
+
+std::set<Behaviour>
+BehaviourCache::behavioursFor(const Traceset &T,
+                              const EnumerationLimits &Limits,
+                              EnumerationStats *Stats) {
+  std::string Key = behaviourKey(T, Limits);
+
+  try {
+    faultThrowInjected(FaultSite::BehaviourCache);
+    std::lock_guard<std::mutex> Lock(M);
+    auto It = Behaviours.find(Key);
+    if (It != Behaviours.end()) {
+      ++Counters.BehaviourHits;
+      const BehaviourEntry &E = It->second;
+      if (Stats)
+        Stats->Visited += E.CostVisits;
+      TruncationReason R =
+          replayCost(Limits.Shared, E.CostVisits, E.CostBytes);
+      if (R != TruncationReason::None && Stats)
+        Stats->truncate(R);
+      return E.Set;
+    }
+    ++Counters.BehaviourMisses;
+  } catch (const InjectedFault &) {
+    std::lock_guard<std::mutex> Lock(M);
+    ++Counters.Faults;
+    ++Counters.BehaviourMisses;
+  }
+
+  Budget *Shared = Limits.Shared;
+  uint64_t V0 = Shared ? Shared->visited() : 0;
+  uint64_t B0 = Shared ? Shared->chargedBytes() : 0;
+  EnumerationStats Local;
+  std::set<Behaviour> Set = collectBehaviours(T, Limits, &Local);
+  if (Stats) {
+    Stats->Visited += Local.Visited;
+    if (Local.Truncated)
+      Stats->truncate(Local.Reason);
+  }
+
+  if (Local.Truncated || (Shared && Shared->exhausted()))
+    return Set;
+
+  BehaviourEntry E;
+  E.Set = Set;
+  E.CostVisits = Shared ? Shared->visited() - V0 : Local.Visited;
+  E.CostBytes = Shared ? Shared->chargedBytes() - B0 : 0;
+  E.Footprint = behaviourFootprint(Key, Set);
+  try {
+    faultThrowInjected(FaultSite::BehaviourCache);
+    std::lock_guard<std::mutex> Lock(M);
+    reserveLocked(E.Footprint);
+    if (E.Footprint <= MaxBytes) {
+      uint64_t F = E.Footprint;
+      if (Behaviours.emplace(std::move(Key), std::move(E)).second)
+        Counters.Bytes += F;
+    }
+  } catch (const InjectedFault &) {
+    std::lock_guard<std::mutex> Lock(M);
+    ++Counters.Faults;
+  }
+  return Set;
+}
+
+BehaviourCache::CacheStats BehaviourCache::stats() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Counters;
+}
+
+void BehaviourCache::clear() {
+  std::lock_guard<std::mutex> Lock(M);
+  Tracesets.clear();
+  Behaviours.clear();
+  Counters.Bytes = 0;
+  ++Counters.Clears;
+}
+
+BehaviourCache &BehaviourCache::global() {
+  static BehaviourCache Cache;
+  return Cache;
+}

@@ -1,0 +1,134 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cross-query behaviour cache (process-global, budget-aware).
+///
+/// The fuzz campaign recomputes the same tracesets and behaviour sets many
+/// times over: the semantic chain checker rebuilds [[P]] for every chain
+/// prefix, the shrink predicate rebuilds it for every candidate, and the
+/// degraded oracle fallback re-enumerates behaviours the escalation ladder
+/// already enumerated. This cache memoises both results across queries,
+/// keyed on exact serialisations (printed program text / action words via
+/// trace/ActionWord.h) plus the semantically relevant limit fields — no
+/// hashing shortcuts, so a hit can never be a collision.
+///
+/// Two invariants keep the cache transparent:
+///
+///  - *Warmth invariance.* Only complete (untruncated) results are cached,
+///    and a hit replays the recorded visit/byte cost of the original
+///    computation against the current query's Budget via
+///    Budget::chargeMany. A tight budget is therefore exhausted by a hit
+///    exactly where recomputation would have exhausted it, so cache
+///    warmth never flips a verdict that depends on visit or memory caps.
+///
+///  - *Fault transparency.* Lookup and insert probe
+///    FaultSite::BehaviourCache; an injected fault degrades the operation
+///    to a miss (recompute) or a skipped insert, never to a changed
+///    answer. See docs/ROBUSTNESS.md.
+///
+/// The cache owns bounded memory (whole-cache clear on overflow) that is
+/// deliberately *not* charged to any query budget: it is process
+/// infrastructure, like the thread pool, not part of a query's footprint.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACESAFE_VERIFY_BEHAVIOURCACHE_H
+#define TRACESAFE_VERIFY_BEHAVIOURCACHE_H
+
+#include "lang/Explore.h"
+#include "trace/Enumerate.h"
+
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+namespace tracesafe {
+
+class BehaviourCache {
+public:
+  /// Monotonic counters (snapshot under the cache lock). Hit/miss pairs
+  /// are per family; Faults counts injected cache faults degraded to
+  /// recomputation; Clears counts whole-cache evictions on overflow.
+  struct CacheStats {
+    uint64_t TracesetHits = 0;
+    uint64_t TracesetMisses = 0;
+    uint64_t BehaviourHits = 0;
+    uint64_t BehaviourMisses = 0;
+    uint64_t Faults = 0;
+    uint64_t Clears = 0;
+    uint64_t Bytes = 0; ///< approximate current footprint
+
+    uint64_t hits() const { return TracesetHits + BehaviourHits; }
+    uint64_t misses() const { return TracesetMisses + BehaviourMisses; }
+  };
+
+  explicit BehaviourCache(uint64_t MaxBytes = 64ULL << 20)
+      : MaxBytes(MaxBytes ? MaxBytes : 1) {}
+
+  BehaviourCache(const BehaviourCache &) = delete;
+  BehaviourCache &operator=(const BehaviourCache &) = delete;
+
+  /// Cached programTraceset. The key covers the printed program, the
+  /// domain, and the bounds that shape a *complete* traceset (MaxActions,
+  /// MaxSilentRun); MaxStates and Workers are excluded — a result that
+  /// completed under some state cap and width is the full set under every
+  /// other. Returns a shared pointer so chain checkers can hold several
+  /// tracesets without copying. On a hit with an exhausted-by-replay
+  /// budget the complete cached set is still returned, with \p Stats
+  /// marked truncated by the budget's reason — content-wise a superset of
+  /// what recomputation would have produced, verdict-wise identical
+  /// (truncated means Unknown downstream either way).
+  std::shared_ptr<const Traceset>
+  tracesetFor(const Program &P, const std::vector<Value> &Domain,
+              const ExploreLimits &Limits, ExploreStats *Stats = nullptr);
+
+  /// Cached collectBehaviours. Keyed on the action-word serialisation of
+  /// the traceset, its domain, MaxEvents, and the engine-selection flags
+  /// (SleepSets, SourceSets, ExhaustiveOracle). The flags cannot change a
+  /// complete result — the equivalence tests assert exactly that — but
+  /// they stay in the key defensively, so a reduction bug could never
+  /// leak across engines through the cache.
+  std::set<Behaviour> behavioursFor(const Traceset &T,
+                                    const EnumerationLimits &Limits,
+                                    EnumerationStats *Stats = nullptr);
+
+  CacheStats stats() const;
+
+  /// Drops every entry (counters are kept; Clears is incremented).
+  void clear();
+
+  /// The process-global instance used by the fuzz harness and the
+  /// degraded-query fallbacks. Tests wanting isolation construct their
+  /// own.
+  static BehaviourCache &global();
+
+private:
+  struct TracesetEntry {
+    std::shared_ptr<const Traceset> Set;
+    uint64_t CostVisits = 0; ///< visits the computing query charged
+    uint64_t CostBytes = 0;  ///< bytes the computing query charged
+    uint64_t Footprint = 0;  ///< approximate bytes this entry occupies
+  };
+  struct BehaviourEntry {
+    std::set<Behaviour> Set;
+    uint64_t CostVisits = 0;
+    uint64_t CostBytes = 0;
+    uint64_t Footprint = 0;
+  };
+
+  /// Reserves room for \p Need more bytes, clearing everything when the
+  /// cap would be exceeded. Call with the lock held.
+  void reserveLocked(uint64_t Need);
+
+  const uint64_t MaxBytes;
+  mutable std::mutex M;
+  std::unordered_map<std::string, TracesetEntry> Tracesets;
+  std::unordered_map<std::string, BehaviourEntry> Behaviours;
+  CacheStats Counters;
+};
+
+} // namespace tracesafe
+
+#endif // TRACESAFE_VERIFY_BEHAVIOURCACHE_H

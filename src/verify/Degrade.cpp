@@ -1,5 +1,7 @@
 #include "verify/Degrade.h"
 
+#include "verify/BehaviourCache.h"
+
 using namespace tracesafe;
 
 std::string DegradeReport::str() const {
@@ -126,8 +128,13 @@ std::set<Behaviour> tracesafe::degradedCollectBehaviours(
         return Local.Truncated ? Local.Reason : TruncationReason::None;
       },
       [&](const EnumerationLimits &L) {
+        // The oracle fallback re-enumerates tracesets the escalation
+        // ladder has often enumerated before (same traceset, sequential
+        // exhaustive engine); the cross-query cache answers those
+        // repeats. Cost replay inside the cache keeps the remaining
+        // budget's truncation behaviour identical to recomputation.
         EnumerationStats Local;
-        Out = collectBehaviours(T, L, &Local);
+        Out = BehaviourCache::global().behavioursFor(T, L, &Local);
         S = Local;
         return Local.Truncated ? Local.Reason : TruncationReason::None;
       });

@@ -4,9 +4,11 @@
 #include "opt/Pipeline.h"
 #include "opt/Unsafe.h"
 #include "support/ThreadPool.h"
+#include "verify/BehaviourCache.h"
 #include "verify/Theorems.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -84,19 +86,27 @@ CheckVerdict semanticChainVerdict(const Program &Orig,
   std::vector<Value> Domain = defaultDomainFor(Orig, 2);
   Program Cur = Orig;
   ExploreStats Stats;
-  Traceset CurSet = programTraceset(Cur, Domain, Explore, &Stats);
+  // Tracesets come from the cross-query cache: chain walks revisit the
+  // same intermediate programs constantly (every chain prefix, every
+  // shrink candidate re-check), and the cache replays the recorded cost
+  // against B so a hit truncates a tight budget exactly where
+  // recomputation would.
+  std::shared_ptr<const Traceset> CurSet =
+      BehaviourCache::global().tracesetFor(Cur, Domain, Explore, &Stats);
   CheckVerdict Out = CheckVerdict::Holds;
   for (const RewriteSite &Site : Chain.Steps) {
     Program Next = applyRewrite(Cur, Site);
     ExploreStats NextStats;
-    Traceset NextSet = programTraceset(Next, Domain, Explore, &NextStats);
+    std::shared_ptr<const Traceset> NextSet =
+        BehaviourCache::global().tracesetFor(Next, Domain, Explore,
+                                             &NextStats);
     CheckVerdict V;
     if (Stats.Truncated || NextStats.Truncated)
       V = CheckVerdict::Unknown;
     else if (isEliminationRule(Site.Rule))
-      V = checkElimination(CurSet, NextSet).Verdict;
+      V = checkElimination(*CurSet, *NextSet).Verdict;
     else
-      V = checkEliminationThenReordering(CurSet, NextSet).Verdict;
+      V = checkEliminationThenReordering(*CurSet, *NextSet).Verdict;
     if (V == CheckVerdict::Fails)
       return CheckVerdict::Fails;
     if (V == CheckVerdict::Unknown)
@@ -405,6 +415,105 @@ bool loadJournal(const std::string &Path, uint64_t Seed, uint64_t Programs,
   return true;
 }
 
+//===--------------------------------------------------------------------===//
+// Coverage-guided seed scheduling.
+//
+// Program indices are grouped into epochs of SchedulerEpoch. Inside epoch
+// 0 the generator discipline rotates uniformly (exactly the seed
+// campaign's schedule); from epoch 1 on it is a seeded weighted pick,
+// with each discipline bucket weighted by how "interesting" its programs
+// of *earlier* epochs were (Unknowns, escalations, and uninjected repros
+// score; proved-everywhere programs do not). The campaign loops place a
+// completion barrier at every epoch boundary, so the weights for epoch k
+// are a pure function of a deterministic record set — the report stays
+// identical for every worker count, and a resumed campaign recomputes
+// the same schedule from its journal.
+//===--------------------------------------------------------------------===//
+
+constexpr uint64_t SchedulerEpoch = 32;
+
+constexpr std::array<GenDiscipline, 4> SchedulerBuckets = {
+    GenDiscipline::Racy, GenDiscipline::LockDiscipline,
+    GenDiscipline::VolatileLocations, GenDiscipline::Mixed};
+
+class SeedScheduler {
+public:
+  explicit SeedScheduler(uint64_t Seed) : Seed(Seed) {}
+
+  GenDiscipline disciplineFor(uint64_t I) {
+    std::lock_guard<std::mutex> Lock(M);
+    return SchedulerBuckets[bucketLocked(I)];
+  }
+
+  /// Folds a committed record into its index's bucket. Placeholder
+  /// records (Checks == 0: the index faulted before running any check)
+  /// are ignored — in the run that faulted they contributed nothing to
+  /// the weights either, so ignoring them keeps a resumed campaign's
+  /// schedule identical to the original's.
+  void observe(uint64_t I, const IndexRecord &R) {
+    if (R.Checks == 0)
+      return;
+    uint64_t Score = R.Unknown + R.Escalated;
+    for (const FuzzFailure &F : R.Failures)
+      if (!F.Injected)
+        Score += 4;
+    std::lock_guard<std::mutex> Lock(M);
+    Observed[I] = Score;
+  }
+
+private:
+  struct Bucket {
+    uint64_t Runs = 0;
+    uint64_t Score = 0;
+  };
+
+  unsigned bucketLocked(uint64_t I) {
+    uint64_t E = I / SchedulerEpoch;
+    if (E == 0)
+      return static_cast<unsigned>(I % SchedulerBuckets.size());
+    const std::array<uint64_t, 4> &W = weightsLocked(E);
+    uint64_t Total = W[0] + W[1] + W[2] + W[3];
+    uint64_t R = mixSeeds(Seed ^ 0x5EEDC0DEULL, I) % Total;
+    for (unsigned B = 0; B + 1 < W.size(); ++B) {
+      if (R < W[B])
+        return B;
+      R -= W[B];
+    }
+    return static_cast<unsigned>(W.size()) - 1;
+  }
+
+  /// Weights for epoch \p E (E >= 1), built lazily in epoch order:
+  /// Weights[K] covers epoch K+1 and is computed by folding epoch K's
+  /// observed records into the cumulative bucket aggregate. The fold
+  /// calls bucketLocked for epoch-K indices, whose weights are already
+  /// built (or epoch 0's rotation), so the recursion is well-founded.
+  const std::array<uint64_t, 4> &weightsLocked(uint64_t E) {
+    while (Weights.size() < E) {
+      uint64_t Prev = Weights.size();
+      uint64_t Begin = Prev * SchedulerEpoch;
+      for (uint64_t I = Begin; I < Begin + SchedulerEpoch; ++I) {
+        auto It = Observed.find(I);
+        if (It == Observed.end())
+          continue;
+        Bucket &B = Agg[bucketLocked(I)];
+        ++B.Runs;
+        B.Score += It->second;
+      }
+      std::array<uint64_t, 4> W;
+      for (unsigned B = 0; B < W.size(); ++B)
+        W[B] = 1 + (Agg[B].Runs ? 16 * Agg[B].Score / Agg[B].Runs : 0);
+      Weights.push_back(W);
+    }
+    return Weights[E - 1];
+  }
+
+  const uint64_t Seed;
+  std::mutex M;
+  std::map<uint64_t, uint64_t> Observed; ///< index -> interest score
+  std::array<Bucket, 4> Agg;             ///< epochs folded so far
+  std::vector<std::array<uint64_t, 4>> Weights;
+};
+
 void mergeIndex(FuzzReport &Into, const IndexRecord &R) {
   ++Into.ProgramsRun;
   Into.ChecksRun += R.Checks;
@@ -443,6 +552,9 @@ std::string FuzzReport::summary() const {
            std::to_string(DegradedQueries) + " degraded";
   if (SkippedFromCheckpoint)
     Out += ", " + std::to_string(SkippedFromCheckpoint) + " resumed";
+  if (CacheHits || CacheMisses)
+    Out += ", " + std::to_string(CacheHits) + "/" +
+           std::to_string(CacheHits + CacheMisses) + " cache hits";
   if (DeadlineHit)
     Out += " [deadline hit]";
   if (Cancelled)
@@ -469,6 +581,8 @@ std::string FuzzReport::toJson(bool IncludeVolatile) const {
     Field("cancelled", Cancelled ? "true" : "false", true);
     Field("skipped_from_checkpoint", std::to_string(SkippedFromCheckpoint),
           true);
+    Field("behaviour_cache_hits", std::to_string(CacheHits), true);
+    Field("behaviour_cache_misses", std::to_string(CacheMisses), true);
     Field("elapsed_ms", std::to_string(ElapsedMs), true);
   }
   Out += "  \"failures\": [";
@@ -509,6 +623,9 @@ FuzzReport tracesafe::runFuzz(const FuzzOptions &Options) {
 
   EscalationPolicy Esc = Options.Escalation;
   Esc.Cancel = Options.Cancel;
+
+  SeedScheduler Sched(Options.Seed);
+  BehaviourCache::CacheStats Cache0 = BehaviourCache::global().stats();
 
   // Budget for shrink-predicate re-checks: one mid-ladder rung.
   BudgetSpec ShrinkCheckSpec =
@@ -628,22 +745,11 @@ FuzzReport tracesafe::runFuzz(const FuzzOptions &Options) {
     Rng R(SubSeed);
 
     // Vary the program shape so one run sweeps all disciplines and a mix
-    // of thread counts / input use.
+    // of thread counts / input use. The discipline itself is coverage-
+    // guided (SeedScheduler): epoch 0 rotates uniformly, later epochs
+    // weight the buckets that produced Unknowns and repros.
     GenOptions G = Options.Gen;
-    switch (I % 4) {
-    case 0:
-      G.Discipline = GenDiscipline::Racy;
-      break;
-    case 1:
-      G.Discipline = GenDiscipline::LockDiscipline;
-      break;
-    case 2:
-      G.Discipline = GenDiscipline::VolatileLocations;
-      break;
-    default:
-      G.Discipline = GenDiscipline::Mixed;
-      break;
-    }
+    G.Discipline = Sched.disciplineFor(I);
     if (I % 7 == 3)
       G.Threads = G.Threads < 3 ? G.Threads + 1 : G.Threads;
     G.AllowInput = I % 11 == 5;
@@ -764,10 +870,20 @@ FuzzReport tracesafe::runFuzz(const FuzzOptions &Options) {
   if (Options.Resume && !Options.CheckpointPath.empty())
     loadJournal(Options.CheckpointPath, Options.Seed, Options.Programs,
                 Resumed);
+  // Satellite: journal compaction. The journal is always rewritten fresh
+  // — header first, then every resumed record re-recorded in index order
+  // — instead of appending to the old file. A journal that has survived
+  // several kill/resume cycles accumulates torn tails, superseded
+  // duplicate records and garbage lines; compaction drops all of that.
+  // Each record is flushed as it is rewritten, so a crash mid-compaction
+  // still leaves a loadable (if shorter) journal.
   Journal J;
-  if (!Options.CheckpointPath.empty())
-    J.open(Options.CheckpointPath, /*Append=*/!Resumed.empty(),
-           Options.Seed, Options.Programs);
+  if (!Options.CheckpointPath.empty()) {
+    J.open(Options.CheckpointPath, /*Append=*/false, Options.Seed,
+           Options.Programs);
+    for (const auto &[Idx, R] : Resumed)
+      J.record(Idx, R);
+  }
 
   // Completion map: true once an index's record is merged (from the
   // journal or a finished run). Drives the post-loop sweep that re-runs
@@ -781,6 +897,7 @@ FuzzReport tracesafe::runFuzz(const FuzzOptions &Options) {
   std::mutex ReportM; // guards Report during parallel merges
   for (auto &[Idx, R] : Resumed) {
     mergeIndex(Report, R);
+    Sched.observe(Idx, R);
     ++Report.SkippedFromCheckpoint;
     Completed[Idx].store(true, std::memory_order_relaxed);
   }
@@ -803,6 +920,7 @@ FuzzReport tracesafe::runFuzz(const FuzzOptions &Options) {
       std::lock_guard<std::mutex> Lock(ReportM);
       mergeIndex(Into, Rec);
     }
+    Sched.observe(I, Rec);
     J.record(I, Rec);
     Completed[I].store(true, std::memory_order_relaxed);
     return true;
@@ -824,9 +942,12 @@ FuzzReport tracesafe::runFuzz(const FuzzOptions &Options) {
     }
     Report.Cancelled = Report.Cancelled || CancelledNow();
   } else {
-    // Workers claim program indices from a shared counter; merging is
-    // per-index under a lock and failures are sorted afterwards, so the
-    // output is independent of scheduling.
+    // Workers claim program indices from a shared counter, one scheduler
+    // epoch at a time: the task-group wait at each epoch boundary is the
+    // completion barrier the coverage-guided scheduler relies on (the
+    // weights for epoch k see all of epochs < k, for every worker
+    // count). Merging is per-index under a lock and failures are sorted
+    // afterwards, so the output is independent of scheduling.
     unsigned Jobs = Options.Jobs == 0 ? ThreadPool::defaultWorkerCount()
                                       : Options.Jobs;
     if (Jobs > Options.Programs)
@@ -837,15 +958,22 @@ FuzzReport tracesafe::runFuzz(const FuzzOptions &Options) {
       Owned = std::make_unique<ThreadPool>(Jobs);
       Pool = Owned.get();
     }
-    std::atomic<uint64_t> Next{0};
     std::atomic<bool> DeadlineHit{false};
-    {
+    for (uint64_t Begin = 0; Begin < Options.Programs;
+         Begin += SchedulerEpoch) {
+      if (CancelledNow() || DeadlineHit.load(std::memory_order_relaxed))
+        break;
+      uint64_t End = std::min(Begin + SchedulerEpoch, Options.Programs);
+      std::atomic<uint64_t> Next{Begin};
       ThreadPool::TaskGroup G(*Pool);
-      for (unsigned W = 0; W < Jobs; ++W)
+      unsigned Spawn = Jobs;
+      if (Spawn > End - Begin)
+        Spawn = static_cast<unsigned>(End - Begin);
+      for (unsigned W = 0; W < Spawn; ++W)
         G.spawn([&] {
           for (;;) {
             uint64_t I = Next.fetch_add(1, std::memory_order_relaxed);
-            if (I >= Options.Programs)
+            if (I >= End)
               return;
             if (Completed[I].load(std::memory_order_relaxed))
               continue;
@@ -895,6 +1023,9 @@ FuzzReport tracesafe::runFuzz(const FuzzOptions &Options) {
               return std::tie(A.ProgramIndex, A.Property) <
                      std::tie(B.ProgramIndex, B.Property);
             });
+  BehaviourCache::CacheStats Cache1 = BehaviourCache::global().stats();
+  Report.CacheHits = Cache1.hits() - Cache0.hits();
+  Report.CacheMisses = Cache1.misses() - Cache0.misses();
   Report.ElapsedMs = ElapsedMs();
   return Report;
 }

@@ -130,6 +130,13 @@ struct FuzzReport {
   bool Cancelled = false;
   /// Indices loaded from a resume journal instead of being re-run.
   uint64_t SkippedFromCheckpoint = 0;
+  /// Cross-query BehaviourCache traffic attributable to this run (deltas
+  /// of the process-global counters). Volatile like ElapsedMs: a resumed
+  /// campaign skips recomputation and a warm process changes the split,
+  /// without affecting any verdict (the cache replays costs against the
+  /// query budgets — see verify/BehaviourCache.h).
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
   int64_t ElapsedMs = 0;
   std::vector<FuzzFailure> Failures;
 

@@ -1,0 +1,186 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the cross-query BehaviourCache: correctness of hits, warmth
+/// invariance (a hit replays the original cost against the current
+/// budget, so caps fire exactly where recomputation would have), fault
+/// transparency (injected cache faults degrade to recomputation, never to
+/// a changed answer), and the completeness rule (truncated results are
+/// not cached).
+///
+//===----------------------------------------------------------------------===//
+
+#include "verify/BehaviourCache.h"
+
+#include "lang/Parser.h"
+#include "support/Failure.h"
+
+#include <gtest/gtest.h>
+
+using namespace tracesafe;
+
+namespace {
+
+Program sbProgram() {
+  return parseOrDie(R"(
+thread { x := 1; r1 := y; print r1; }
+thread { y := 1; r2 := x; print r2; }
+)");
+}
+
+TEST(BehaviourCache, SecondLookupHitsAndReturnsTheSameTraceset) {
+  BehaviourCache Cache;
+  Program P = sbProgram();
+  std::vector<Value> Domain{0, 1};
+  ExploreLimits L;
+  auto A = Cache.tracesetFor(P, Domain, L);
+  auto B = Cache.tracesetFor(P, Domain, L);
+  ASSERT_TRUE(A && B);
+  EXPECT_EQ(A->traces(), B->traces());
+  BehaviourCache::CacheStats S = Cache.stats();
+  EXPECT_EQ(S.TracesetMisses, 1u);
+  EXPECT_EQ(S.TracesetHits, 1u);
+}
+
+TEST(BehaviourCache, HitMatchesRecomputation) {
+  BehaviourCache Cache;
+  Program P = sbProgram();
+  std::vector<Value> Domain{0, 1};
+  ExploreLimits EL;
+  auto T = Cache.tracesetFor(P, Domain, EL);
+  ASSERT_TRUE(T);
+  EnumerationLimits L;
+  std::set<Behaviour> Cold = Cache.behavioursFor(*T, L);
+  std::set<Behaviour> Warm = Cache.behavioursFor(*T, L);
+  EXPECT_EQ(Cold, collectBehaviours(*T, L));
+  EXPECT_EQ(Warm, Cold);
+  EXPECT_EQ(Cache.stats().BehaviourHits, 1u);
+}
+
+TEST(BehaviourCache, WarmHitChargesTheBudgetLikeRecomputation) {
+  BehaviourCache Cache;
+  Program P = sbProgram();
+  std::vector<Value> Domain{0, 1};
+
+  // Cold run under a budget: record what a real computation charges.
+  Budget Cold(BudgetSpec{});
+  ExploreLimits L1;
+  L1.Shared = &Cold;
+  ASSERT_TRUE(Cache.tracesetFor(P, Domain, L1));
+  uint64_t ColdVisits = Cold.visited();
+  EXPECT_GT(ColdVisits, 0u);
+
+  // Warm run under a fresh budget: the replay must charge the same visits.
+  Budget Warm(BudgetSpec{});
+  ExploreLimits L2;
+  L2.Shared = &Warm;
+  ASSERT_TRUE(Cache.tracesetFor(P, Domain, L2));
+  EXPECT_EQ(Warm.visited(), ColdVisits);
+  EXPECT_EQ(Cache.stats().TracesetHits, 1u);
+}
+
+TEST(BehaviourCache, WarmHitUnderTightBudgetReportsTruncation) {
+  // Warmth invariance for verdicts: if recomputation would have exhausted
+  // the budget, a hit must report the same exhaustion instead of handing
+  // out a free complete answer.
+  BehaviourCache Cache;
+  Program P = sbProgram();
+  std::vector<Value> Domain{0, 1};
+  ExploreLimits L;
+  ExploreStats Stats;
+  ASSERT_TRUE(Cache.tracesetFor(P, Domain, L, &Stats));
+  ASSERT_FALSE(Stats.Truncated);
+
+  Budget Tight(BudgetSpec{/*DeadlineMs=*/0, /*MaxVisited=*/1,
+                          /*MaxMemoryBytes=*/0});
+  ExploreLimits LT;
+  LT.Shared = &Tight;
+  ExploreStats WarmStats;
+  auto T = Cache.tracesetFor(P, Domain, LT, &WarmStats);
+  ASSERT_TRUE(T);
+  EXPECT_TRUE(WarmStats.Truncated);
+  EXPECT_EQ(WarmStats.Reason, TruncationReason::StateCap);
+  EXPECT_TRUE(Tight.exhausted());
+}
+
+TEST(BehaviourCache, TruncatedResultsAreNotCached) {
+  BehaviourCache Cache;
+  Program P = sbProgram();
+  std::vector<Value> Domain{0, 1};
+  Budget Tiny(BudgetSpec{/*DeadlineMs=*/0, /*MaxVisited=*/2,
+                         /*MaxMemoryBytes=*/0});
+  ExploreLimits L;
+  L.Shared = &Tiny;
+  ExploreStats Stats;
+  Cache.tracesetFor(P, Domain, L, &Stats);
+  EXPECT_TRUE(Stats.Truncated);
+  BehaviourCache::CacheStats S = Cache.stats();
+  EXPECT_EQ(S.TracesetMisses, 1u);
+  EXPECT_EQ(S.Bytes, 0u) << "a partial traceset must not be cached";
+
+  // A later unconstrained query recomputes from scratch (another miss),
+  // and only then does the complete result enter the cache.
+  ExploreLimits Free;
+  ASSERT_TRUE(Cache.tracesetFor(P, Domain, Free));
+  S = Cache.stats();
+  EXPECT_EQ(S.TracesetMisses, 2u);
+  EXPECT_GT(S.Bytes, 0u);
+}
+
+TEST(BehaviourCache, InjectedFaultsDegradeToMissesNotWrongAnswers) {
+  Program P = sbProgram();
+  std::vector<Value> Domain{0, 1};
+  ExploreLimits L;
+
+  BehaviourCache Clean;
+  auto Want = Clean.tracesetFor(P, Domain, L);
+  ASSERT_TRUE(Want);
+
+  BehaviourCache Faulty;
+  FaultPlan Plan;
+  // Fire on every probe: both the lookup and the insert of both calls.
+  Plan.arm(FaultSite::BehaviourCache, /*FireAt=*/1, /*Repeat=*/100);
+  {
+    FaultPlan::Scope Armed(Plan);
+    auto A = Faulty.tracesetFor(P, Domain, L);
+    auto B = Faulty.tracesetFor(P, Domain, L);
+    ASSERT_TRUE(A && B);
+    EXPECT_EQ(A->traces(), Want->traces());
+    EXPECT_EQ(B->traces(), Want->traces());
+  }
+  BehaviourCache::CacheStats S = Faulty.stats();
+  EXPECT_GT(S.Faults, 0u);
+  EXPECT_EQ(S.TracesetHits, 0u) << "faulted lookups must degrade to misses";
+  EXPECT_GT(Plan.totalFired(), 0u);
+}
+
+TEST(BehaviourCache, OverflowClearsAndKeepsAnswering) {
+  // A cache too small for any entry evicts on every insert but must stay
+  // correct.
+  BehaviourCache Tiny(/*MaxBytes=*/1);
+  Program P = sbProgram();
+  std::vector<Value> Domain{0, 1};
+  ExploreLimits L;
+  auto A = Tiny.tracesetFor(P, Domain, L);
+  auto B = Tiny.tracesetFor(P, Domain, L);
+  ASSERT_TRUE(A && B);
+  EXPECT_EQ(A->traces(), B->traces());
+  EXPECT_EQ(Tiny.stats().TracesetHits, 0u);
+}
+
+TEST(BehaviourCache, KeysSeparateDomainsAndLimits) {
+  BehaviourCache Cache;
+  Program P = sbProgram();
+  ExploreLimits L;
+  ASSERT_TRUE(Cache.tracesetFor(P, {0, 1}, L));
+  ASSERT_TRUE(Cache.tracesetFor(P, {0, 1, 2}, L));
+  ExploreLimits Shorter;
+  Shorter.MaxActions = 3;
+  ASSERT_TRUE(Cache.tracesetFor(P, {0, 1}, Shorter));
+  BehaviourCache::CacheStats S = Cache.stats();
+  EXPECT_EQ(S.TracesetMisses, 3u)
+      << "different domains/limits must not collide";
+  EXPECT_EQ(S.TracesetHits, 0u);
+}
+
+} // namespace

@@ -188,6 +188,43 @@ TEST(ParallelEnumerate, SleepSetsOffStillMatches) {
             findAdjacentRace(T, NoPor).HasRace);
 }
 
+TEST(ParallelEnumerate, SourceSetsOffStillMatches) {
+  // Source-set grouping layered on sleep sets is sound and optional; every
+  // on/off combination must agree with the oracle.
+  for (size_t I = 0; I < std::size(Corpus); ++I) {
+    Traceset T = tracesetFor(Corpus[I]);
+    std::set<Behaviour> Want =
+        collectBehaviours(T, limitsFor(1, /*Oracle=*/true));
+    for (bool Sleep : {true, false})
+      for (bool Source : {true, false})
+        for (unsigned Workers : {1u, 4u}) {
+          EnumerationLimits L = limitsFor(Workers);
+          L.SleepSets = Sleep;
+          L.SourceSets = Source;
+          EXPECT_EQ(Want, collectBehaviours(T, L))
+              << "corpus[" << I << "] sleep=" << Sleep
+              << " source=" << Source << " workers=" << Workers;
+        }
+  }
+}
+
+TEST(ParallelEnumerate, SourceSetsPruneDisjointThreadGroups) {
+  // Threads touching disjoint locations are the best case for source-set
+  // grouping: scheduling between the groups is irrelevant, and the search
+  // should commit to one group at a time instead of interleaving them.
+  Traceset T = tracesetFor("thread { x := 1; r0 := x; print r0; }\n"
+                           "thread { y := 1; r1 := y; print r1; }\n");
+  EnumerationStats With, Without;
+  EnumerationLimits On = limitsFor(1);
+  EnumerationLimits Off = limitsFor(1);
+  Off.SourceSets = false;
+  std::set<Behaviour> A = collectBehaviours(T, On, &With);
+  std::set<Behaviour> B = collectBehaviours(T, Off, &Without);
+  EXPECT_EQ(A, B);
+  EXPECT_LE(With.Visited, Without.Visited)
+      << "source sets explored more than plain sleep sets";
+}
+
 TEST(ParallelEnumerate, ExploreWorkersDeterministic) {
   // programTraceset must return the identical traceset for every width.
   Program P = parseOrDie(Corpus[2]);

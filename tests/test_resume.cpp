@@ -35,6 +35,12 @@ FuzzOptions campaign(const std::string &Journal) {
   Options.InjectUnsafe = true;
   Options.InjectEvery = 3;
   Options.CheckpointPath = Journal;
+  // Byte-identity across runs must not hinge on the wall clock: under a
+  // loaded machine (parallel ctest) a 200ms query deadline can fire in
+  // one run and not the other, changing the Unknown/escalation counts.
+  // Visit caps are deterministic; keep only those.
+  Options.Escalation.Initial.DeadlineMs = 0;
+  Options.Escalation.Ceiling.DeadlineMs = 0;
   return Options;
 }
 
