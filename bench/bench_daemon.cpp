@@ -1,0 +1,185 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// tracesafed throughput benches: queries/sec through the full daemon
+/// stack — wire protocol, admission control, budget clamp, scheduling on
+/// the shared pool — against an in-process server on a unix socket.
+///
+/// `daemon_query_warm` is the overhead floor (the BehaviourCache answers
+/// the engine work, so the row is protocol + admission + scheduling);
+/// `daemon_query_cold` includes a full exploration per query;
+/// `daemon_batch32_warm` amortises round trips over a pipelined batch;
+/// the `_c4` row drives four concurrent client connections. Each row sets
+/// items_per_second = queries/sec for scripts/merge_bench_json.py, which
+/// surfaces them as the `daemon` throughput family in BENCH_results.json.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "daemon/Client.h"
+#include "daemon/Server.h"
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+
+using namespace tracesafe;
+using namespace tracesafe::daemon;
+
+namespace {
+
+const char *WarmSource = "thread { x := 1; r0 := x; print r0; }\n"
+                         "thread { x := 0; r1 := x; }\n";
+
+/// Wall-clock-free ceiling: the rows measure work, not deadline jitter.
+const BudgetSpec BenchCeiling{/*DeadlineMs=*/0, /*MaxVisited=*/500'000,
+                              /*MaxMemoryBytes=*/256ULL << 20};
+
+/// One in-process daemon shared by every benchmark in this binary.
+struct BenchServer {
+  ServerOptions Opts;
+  CancelToken Stop;
+  ServerStats Stats;
+  std::thread Thread;
+
+  void start() {
+    Opts.SocketPath = (std::filesystem::temp_directory_path() /
+                       ("tracesafed_bench_" + std::to_string(::getpid()) +
+                        ".sock"))
+                          .string();
+    Opts.QuotaCeiling = BenchCeiling;
+    Opts.QueueCap = 256;
+    Opts.Stop = &Stop;
+    Thread = std::thread([this] { runServer(Opts, &Stats); });
+    for (int I = 0; I < 500; ++I) {
+      int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      sockaddr_un Addr{};
+      Addr.sun_family = AF_UNIX;
+      std::snprintf(Addr.sun_path, sizeof(Addr.sun_path), "%s",
+                    Opts.SocketPath.c_str());
+      bool Up = ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                          sizeof(Addr)) == 0;
+      ::close(Fd);
+      if (Up)
+        return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+
+  void stop() {
+    Stop.request();
+    if (Thread.joinable())
+      Thread.join();
+    std::remove(Opts.SocketPath.c_str());
+  }
+};
+
+BenchServer Server;
+
+DaemonClient makeClient(const std::string &Tag) {
+  static std::atomic<unsigned> Counter{0};
+  ClientOptions CO;
+  CO.SocketPath = Server.Opts.SocketPath;
+  CO.Name = "bench-" + Tag + "-" + std::to_string(Counter.fetch_add(1));
+  return DaemonClient(CO);
+}
+
+QueryRequest warmQuery() {
+  QueryRequest Q;
+  Q.Kind = QueryKind::ProgramDrf;
+  Q.Program = WarmSource;
+  return Q;
+}
+
+/// Distinct program text per call: a fresh location name defeats the
+/// BehaviourCache, so every query pays a full exploration.
+QueryRequest coldQuery() {
+  static std::atomic<uint64_t> Counter{0};
+  uint64_t N = Counter.fetch_add(1);
+  std::string Loc = "c" + std::to_string(N);
+  QueryRequest Q;
+  Q.Kind = QueryKind::ProgramDrf;
+  Q.Program = "thread { " + Loc + " := 1; r0 := " + Loc +
+              "; print r0; }\nthread { " + Loc + " := 0; }\n";
+  return Q;
+}
+
+void daemon_query_warm(benchmark::State &State) {
+  DaemonClient Client = makeClient("warm");
+  QueryRequest Q = warmQuery();
+  for (auto _ : State) {
+    QueryResponse R = Client.call(Q);
+    benchmark::DoNotOptimize(R.Visited);
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(daemon_query_warm)->UseRealTime()->Unit(benchmark::kMicrosecond);
+
+void daemon_query_warm_c4(benchmark::State &State) {
+  // Four concurrent connections hammering the admission path; aggregate
+  // items/sec is the daemon's multi-client throughput.
+  DaemonClient Client = makeClient("warm-c4");
+  QueryRequest Q = warmQuery();
+  for (auto _ : State) {
+    QueryResponse R = Client.call(Q);
+    benchmark::DoNotOptimize(R.Visited);
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(daemon_query_warm_c4)->Threads(4)->UseRealTime()->Unit(benchmark::kMicrosecond);
+
+void daemon_query_cold(benchmark::State &State) {
+  DaemonClient Client = makeClient("cold");
+  for (auto _ : State) {
+    QueryResponse R = Client.call(coldQuery());
+    benchmark::DoNotOptimize(R.Visited);
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(daemon_query_cold)->UseRealTime()->Unit(benchmark::kMicrosecond);
+
+void daemon_batch32_warm(benchmark::State &State) {
+  DaemonClient Client = makeClient("batch");
+  std::vector<QueryRequest> Qs(32, warmQuery());
+  for (auto _ : State) {
+    std::vector<QueryResponse> Rs = Client.callBatch(Qs);
+    benchmark::DoNotOptimize(Rs.size());
+  }
+  State.SetItemsProcessed(State.iterations() * 32);
+}
+BENCHMARK(daemon_batch32_warm)->UseRealTime()->Unit(benchmark::kMicrosecond);
+
+void claims() {
+  using tracesafe::benchutil::claim;
+  tracesafe::benchutil::header(
+      "tracesafed throughput",
+      "daemonised verification with admission control");
+  Server.start();
+  DaemonClient Client = makeClient("claims");
+  QueryResponse Remote = Client.call(warmQuery());
+  QueryResponse Local = evaluateQuery(warmQuery(), BenchCeiling);
+  claim("remote verdict bytes match the in-process evaluator",
+        Remote.str() == Local.str());
+  claim("warm query is answered Ok (admission not saturated)",
+        Remote.Status == ResponseStatus::Ok);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  claims();
+  ::benchmark::Initialize(&argc, argv);
+  int Rc = 1;
+  if (!::benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    ::benchmark::RunSpecifiedBenchmarks();
+    ::benchmark::Shutdown();
+    Rc = ::tracesafe::benchutil::Failures == 0 ? 0 : 2;
+  }
+  Server.stop(); // before exit: the listener thread must join
+  return Rc;
+}

@@ -35,17 +35,22 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "daemon/Client.h"
 #include "lang/Parser.h"
+#include "lang/Printer.h"
+#include "opt/Pipeline.h"
 #include "opt/Unsafe.h"
 #include "support/Failure.h"
+#include "support/Signal.h"
 #include "verify/Fuzz.h"
+#include "verify/ProgramGen.h"
 
 #include <chrono>
-#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <thread>
 
@@ -55,11 +60,9 @@ using namespace tracesafe;
 
 namespace {
 
-/// Written to by the signal handler, read by every query budget.
-/// CancelToken::request() is async-signal-safe (one relaxed atomic store).
+/// Requested by SIGINT/SIGTERM (via support/Signal), read by every query
+/// budget.
 CancelToken GCancel;
-
-extern "C" void onSignal(int) { GCancel.request(); }
 
 void usage(const char *Argv0) {
   std::fprintf(
@@ -70,6 +73,8 @@ void usage(const char *Argv0) {
       "  --deadline-ms N     whole-run wall-clock cap (default none)\n"
       "  --json PATH         write a JSON report to PATH\n"
       "  --repro-dir DIR     write minimised .tsl repros to DIR\n"
+      "  --server SOCKET     run the campaign as a thin client of a\n"
+      "                      tracesafed daemon listening on SOCKET\n"
       "  --checkpoint PATH   journal finished indices to PATH\n"
       "  --resume PATH       continue a campaign from its journal (implies\n"
       "                      --checkpoint PATH)\n"
@@ -245,6 +250,103 @@ int runChaos(FuzzOptions Options, uint64_t Seed,
   return Bad == 0 ? 0 : 1;
 }
 
+/// --server: the campaign's generate-and-check loop as a thin client of a
+/// tracesafed daemon. Programs and transforms are produced locally (the
+/// daemon is a verification service, not a fuzzer); every guarantee query
+/// ships over the socket and retries through the client library's
+/// backoff, so a daemon restart mid-campaign only delays the batch.
+int runRemote(const FuzzOptions &Options, const std::string &Socket,
+              bool Verbose) {
+  daemon::ClientOptions CO;
+  CO.SocketPath = Socket;
+  CO.Name = "fuzz-harness-" + std::to_string(::getpid());
+  daemon::DaemonClient Client(CO);
+
+  Rng R(Options.Seed);
+  std::vector<daemon::QueryRequest> Batch;
+  std::vector<bool> IsInjected;
+  std::vector<uint64_t> Origin;
+  for (uint64_t I = 0; I < Options.Programs; ++I) {
+    if (GCancel.requested())
+      return ExitInterrupted;
+    Program P = generateProgram(R, Options.Gen);
+    bool Injected = false;
+    std::optional<Program> T;
+    if (Options.InjectUnsafe && Options.InjectEvery &&
+        I % Options.InjectEvery == 0) {
+      T = firstUnsafe(P);
+      Injected = T.has_value();
+    }
+    if (!T)
+      T = greedyChain(P, RuleSet::all(), Options.MaxChainSteps).Result;
+
+    daemon::QueryRequest Q;
+    Q.Kind = daemon::QueryKind::DrfGuarantee;
+    Q.Program = printProgram(P);
+    Q.Transformed = printProgram(*T);
+    Batch.push_back(Q);
+    IsInjected.push_back(Injected);
+    Origin.push_back(I);
+    if (Options.CheckThinAir) {
+      Q.Kind = daemon::QueryKind::ThinAir;
+      Batch.push_back(Q);
+      IsInjected.push_back(Injected);
+      Origin.push_back(I);
+    }
+  }
+
+  std::vector<daemon::QueryResponse> Verdicts;
+  try {
+    Verdicts = Client.callBatch(Batch);
+  } catch (const daemon::ProtocolError &E) {
+    std::fprintf(stderr, "remote campaign failed: %s\n", E.what());
+    return GCancel.requested() ? ExitInterrupted : 1;
+  }
+
+  uint64_t Violations = 0, InjectedCaught = 0, Unknowns = 0, Degraded = 0;
+  for (size_t I = 0; I < Verdicts.size(); ++I) {
+    const daemon::QueryResponse &V = Verdicts[I];
+    if (V.Degraded)
+      ++Degraded;
+    if (V.Status != daemon::ResponseStatus::Ok ||
+        V.Kind == VerdictKind::Unknown) {
+      ++Unknowns;
+      continue;
+    }
+    if (V.Kind != VerdictKind::Refuted)
+      continue;
+    if (IsInjected[I]) {
+      ++InjectedCaught;
+      continue;
+    }
+    ++Violations;
+    std::fprintf(stderr, "remote: program %llu violated a guarantee: %s\n",
+                 static_cast<unsigned long long>(Origin[I]),
+                 V.str().c_str());
+  }
+  if (Verbose)
+    for (size_t I = 0; I < Verdicts.size(); ++I)
+      std::printf("remote: #%llu %s\n",
+                  static_cast<unsigned long long>(Origin[I]),
+                  Verdicts[I].str().c_str());
+  const daemon::DaemonClient::Stats &CS = Client.stats();
+  std::printf("remote campaign: %llu programs, %zu queries, "
+              "%llu violations, %llu injected caught, %llu unknown, "
+              "%llu degraded (connects=%llu retries=%llu "
+              "transport-errors=%llu)\n",
+              static_cast<unsigned long long>(Options.Programs),
+              Batch.size(), static_cast<unsigned long long>(Violations),
+              static_cast<unsigned long long>(InjectedCaught),
+              static_cast<unsigned long long>(Unknowns),
+              static_cast<unsigned long long>(Degraded),
+              static_cast<unsigned long long>(CS.Connects),
+              static_cast<unsigned long long>(CS.Retries),
+              static_cast<unsigned long long>(CS.TransportErrors));
+  if (GCancel.requested())
+    return ExitInterrupted;
+  return Violations == 0 ? 0 : 1;
+}
+
 /// SplitMix64 for deriving decorrelated per-round fault seeds.
 uint64_t mixSeed(uint64_t Z) {
   Z += 0x9E3779B97F4A7C15ULL;
@@ -287,6 +389,7 @@ int runChaosRounds(const FuzzOptions &Base, uint64_t Seed,
 int main(int Argc, char **Argv) {
   FuzzOptions Options;
   std::string JsonPath;
+  std::string ServerSocket;
   bool ExpectFailures = false;
   bool Verbose = false;
   bool Chaos = false;
@@ -329,6 +432,9 @@ int main(int Argc, char **Argv) {
         return 2;
     } else if (Arg == "--repro-dir") {
       if (!NextPath(Options.ReproDir))
+        return 2;
+    } else if (Arg == "--server") {
+      if (!NextPath(ServerSocket))
         return 2;
     } else if (Arg == "--checkpoint") {
       if (!NextPath(Options.CheckpointPath))
@@ -385,8 +491,10 @@ int main(int Argc, char **Argv) {
     }
   }
 
-  std::signal(SIGINT, onSignal);
-  std::signal(SIGTERM, onSignal);
+  installCancelOnSignal(GCancel);
+
+  if (!ServerSocket.empty())
+    return runRemote(Options, ServerSocket, Verbose);
 
   if (Chaos)
     return ChaosRounds > 1

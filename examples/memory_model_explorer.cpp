@@ -14,6 +14,7 @@
 #include "lang/ProgramExec.h"
 #include "tso/PsoMachine.h"
 #include "tso/TsoExplain.h"
+#include "support/Signal.h"
 
 #include <cstdio>
 #include <fstream>
@@ -55,6 +56,8 @@ std::vector<Behaviour> frontier(const std::set<Behaviour> &Bs) {
 } // namespace
 
 int main(int argc, char **argv) {
+  static CancelToken Stop;
+  installCancelOnSignal(Stop);
   std::string Source = Demo;
   std::string Name = "<builtin demo>";
   if (argc > 1) {
@@ -115,5 +118,7 @@ int main(int argc, char **argv) {
               "%zu/%zu relaxed behaviours explained%s\n",
               Programs, Explained, Relaxed.size(),
               Truncated ? " (truncated!)" : "");
+  if (signalled())
+    return ExitInterrupted;
   return Explained == Relaxed.size() && !Truncated ? 0 : 1;
 }

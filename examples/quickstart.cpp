@@ -18,12 +18,15 @@
 #include "opt/Pipeline.h"
 #include "semantics/Elimination.h"
 #include "verify/Checks.h"
+#include "support/Signal.h"
 
 #include <cstdio>
 
 using namespace tracesafe;
 
 int main() {
+  static CancelToken Stop;
+  installCancelOnSignal(Stop);
   // A lock-protected producer/consumer: data race free by construction.
   Program P = parseOrDie(R"(
 thread {
@@ -87,5 +90,7 @@ thread {
   TransformCheckResult E = checkElimination(Orig, Opt);
   std::printf("== semantic elimination check ==\n  verdict: %s\n",
               checkVerdictName(E.Verdict).c_str());
+  if (signalled())
+    return ExitInterrupted;
   return E.Verdict == CheckVerdict::Holds && R.holds() ? 0 : 1;
 }

@@ -16,6 +16,7 @@
 #include "opt/Unsafe.h"
 #include "semantics/Reordering.h"
 #include "verify/Checks.h"
+#include "support/Signal.h"
 
 #include <cstdio>
 
@@ -50,6 +51,8 @@ const char *verdictOf(const Traceset &From, const Traceset &To) {
 } // namespace
 
 int main() {
+  static CancelToken Stop;
+  installCancelOnSignal(Stop);
   Program A = parseOrDie(StageA);
   std::printf("stage (a): lock-protected exchange\n%s\n",
               printProgram(A).c_str());
@@ -87,5 +90,5 @@ int main() {
               canPrintTwoZeros(C) ? "yes" : "no");
   std::printf("\nconclusion: the unsound step is the read *introduction*;\n"
               "every elimination/reordering after it is individually safe.\n");
-  return 0;
+  return signalled() ? ExitInterrupted : 0;
 }

@@ -9,19 +9,28 @@
 /// Usage:
 ///   safe_optimizer_cli [file]            # default: a built-in demo
 ///   safe_optimizer_cli --rules=elim|reorder|all [--max-steps=N] [file]
+///   safe_optimizer_cli --server=SOCKET [file]   # certify via tracesafed
 ///
-/// Exit code 0 iff every verification passed.
+/// With --server the end-to-end DRF and thin-air guarantees are checked by
+/// a tracesafed daemon (warm caches, admission control, retry/backoff on
+/// restarts) instead of in-process; the transformation chain itself is
+/// still computed locally. Exit code 0 iff every verification passed; 130
+/// when interrupted.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "daemon/Client.h"
 #include "lang/Parser.h"
 #include "lang/Printer.h"
+#include "support/Signal.h"
 #include "verify/Theorems.h"
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+
+#include <unistd.h>
 
 using namespace tracesafe;
 
@@ -49,8 +58,44 @@ thread {
 void usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--rules=elim|reorder|all] [--max-steps=N] "
-               "[file]\n",
+               "[--server=SOCKET] [file]\n",
                Argv0);
+}
+
+/// Remote certification: the guarantees a daemon can check (Theorems 1-5
+/// end to end on the chain's endpoints). Step-wise semantic checks stay
+/// local-only; with --server they are skipped, which the output says.
+int certifyRemote(const std::string &Socket, const Program &P,
+                  const Program &Result) {
+  daemon::ClientOptions CO;
+  CO.SocketPath = Socket;
+  CO.Name = "safe-optimizer-" + std::to_string(::getpid());
+  daemon::DaemonClient Client(CO);
+
+  daemon::QueryRequest Drf;
+  Drf.Kind = daemon::QueryKind::DrfGuarantee;
+  Drf.Program = printProgram(P);
+  Drf.Transformed = printProgram(Result);
+  daemon::QueryRequest Thin = Drf;
+  Thin.Kind = daemon::QueryKind::ThinAir;
+
+  std::vector<daemon::QueryResponse> V;
+  try {
+    V = Client.callBatch({Drf, Thin});
+  } catch (const daemon::ProtocolError &E) {
+    std::fprintf(stderr, "remote certification failed: %s\n", E.what());
+    return signalled() ? ExitInterrupted : 1;
+  }
+  std::printf("DRF guarantee (remote):      %s\n", V[0].str().c_str());
+  std::printf("thin-air guarantee (remote): %s\n", V[1].str().c_str());
+  bool Ok = V[0].Status == daemon::ResponseStatus::Ok &&
+            V[1].Status == daemon::ResponseStatus::Ok &&
+            V[0].Kind == VerdictKind::Proved &&
+            V[1].Kind == VerdictKind::Proved;
+  std::printf("verdict: %s\n", Ok ? "CERTIFIED (remote)" : "NOT certified");
+  if (signalled())
+    return ExitInterrupted;
+  return Ok ? 0 : 1;
 }
 
 } // namespace
@@ -60,10 +105,16 @@ int main(int argc, char **argv) {
   size_t MaxSteps = 16;
   std::string Source = DemoProgram;
   std::string SourceName = "<builtin demo>";
+  std::string ServerSocket;
+
+  static CancelToken Stop;
+  installCancelOnSignal(Stop);
 
   for (int I = 1; I < argc; ++I) {
     const char *Arg = argv[I];
-    if (std::strncmp(Arg, "--rules=", 8) == 0) {
+    if (std::strncmp(Arg, "--server=", 9) == 0) {
+      ServerSocket = Arg + 9;
+    } else if (std::strncmp(Arg, "--rules=", 8) == 0) {
       std::string Mode = Arg + 8;
       if (Mode == "elim")
         Rules = RuleSet::eliminationsOnly();
@@ -115,9 +166,13 @@ int main(int argc, char **argv) {
               printProgram(Chain.Result).c_str());
 
   std::printf("== certification ==\n");
+  if (!ServerSocket.empty())
+    return certifyRemote(ServerSocket, P, Chain.Result);
   TheoremCaseReport Report = checkTheoremsOnChain(P, Chain);
   std::printf("%s\n", Report.summary().c_str());
   std::printf("verdict: %s\n",
               Report.allHold() ? "CERTIFIED" : "NOT certified");
+  if (signalled())
+    return ExitInterrupted;
   return Report.allHold() ? 0 : 1;
 }

@@ -1,0 +1,174 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// tracesafed — the long-lived verification daemon.
+///
+/// Serves DRF / behaviour / guarantee queries over a unix-domain socket,
+/// keeping the process-global caches warm across clients. See
+/// docs/PROTOCOL.md for the wire format and docs/ROBUSTNESS.md for the
+/// admission/containment/durability contract.
+///
+/// Usage:
+///   tracesafed --socket /tmp/ts.sock [--journal ts.journal] [--resume]
+///              [--queue-cap N] [--per-client-cap N] [--workers N]
+///              [--quota-deadline-ms N] [--quota-visited N]
+///              [--quota-mem-mb N] [--fault-seed N] [--verbose]
+///
+/// Exit codes:
+///   0    clean shutdown (never happens without a Stop source today)
+///   1    fatal startup error (socket, journal)
+///   2    usage error
+///   130  SIGINT/SIGTERM — journal flushed, in-flight queries cancelled
+///        (their records stay orphaned, so --resume recomputes them)
+///
+//===----------------------------------------------------------------------===//
+
+#include "daemon/Server.h"
+#include "support/Failure.h"
+#include "support/Signal.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+using namespace tracesafe;
+using namespace tracesafe::daemon;
+
+namespace {
+
+void usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --socket PATH [options]\n"
+      "  --socket PATH          unix-domain socket to listen on\n"
+      "  --journal PATH         crash-recovery journal (A/V records)\n"
+      "  --resume               replay the journal before serving\n"
+      "  --queue-cap N          global in-flight cap (default 64)\n"
+      "  --per-client-cap N     per-client cap (default: fair share)\n"
+      "  --workers N            query workers (default: shared pool)\n"
+      "  --quota-deadline-ms N  per-query deadline ceiling (0 = none)\n"
+      "  --quota-visited N      per-query visit ceiling (0 = none)\n"
+      "  --quota-mem-mb N       per-query memory ceiling (0 = none)\n"
+      "  --fault-seed N         arm a random daemon fault plan (tests)\n"
+      "  --verbose              log lifecycle events to stderr\n",
+      Argv0);
+}
+
+bool parseU64Arg(const char *S, uint64_t &Out) {
+  char *End = nullptr;
+  Out = std::strtoull(S, &End, 10);
+  return End != S && *End == '\0';
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ServerOptions Opts;
+  uint64_t FaultSeed = 0;
+  bool HaveFaultSeed = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto NextValue = [&](uint64_t &Out) {
+      if (I + 1 >= Argc || !parseU64Arg(Argv[++I], Out)) {
+        std::fprintf(stderr, "%s: %s needs a numeric argument\n", Argv[0],
+                     Arg.c_str());
+        return false;
+      }
+      return true;
+    };
+    auto NextPath = [&](std::string &Out) {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "%s: %s needs a path\n", Argv[0], Arg.c_str());
+        return false;
+      }
+      Out = Argv[++I];
+      return true;
+    };
+    uint64_t N = 0;
+    if (Arg == "--help" || Arg == "-h") {
+      usage(Argv[0]);
+      return 0;
+    } else if (Arg == "--socket") {
+      if (!NextPath(Opts.SocketPath))
+        return 2;
+    } else if (Arg == "--journal") {
+      if (!NextPath(Opts.JournalPath))
+        return 2;
+    } else if (Arg == "--resume") {
+      Opts.Resume = true;
+    } else if (Arg == "--queue-cap") {
+      if (!NextValue(N) || N == 0)
+        return 2;
+      Opts.QueueCap = static_cast<unsigned>(N);
+    } else if (Arg == "--per-client-cap") {
+      if (!NextValue(N))
+        return 2;
+      Opts.PerClientCap = static_cast<unsigned>(N);
+    } else if (Arg == "--workers") {
+      if (!NextValue(N))
+        return 2;
+      Opts.Workers = static_cast<unsigned>(N);
+    } else if (Arg == "--quota-deadline-ms") {
+      if (!NextValue(N))
+        return 2;
+      Opts.QuotaCeiling.DeadlineMs = static_cast<int64_t>(N);
+    } else if (Arg == "--quota-visited") {
+      if (!NextValue(Opts.QuotaCeiling.MaxVisited))
+        return 2;
+    } else if (Arg == "--quota-mem-mb") {
+      if (!NextValue(N))
+        return 2;
+      Opts.QuotaCeiling.MaxMemoryBytes = N << 20;
+    } else if (Arg == "--fault-seed") {
+      if (!NextValue(FaultSeed))
+        return 2;
+      HaveFaultSeed = true;
+    } else if (Arg == "--verbose") {
+      Opts.Verbose = true;
+    } else {
+      std::fprintf(stderr, "%s: unknown option %s\n", Argv[0], Arg.c_str());
+      usage(Argv[0]);
+      return 2;
+    }
+  }
+  if (Opts.SocketPath.empty()) {
+    usage(Argv[0]);
+    return 2;
+  }
+
+  static CancelToken Stop;
+  installCancelOnSignal(Stop);
+  Opts.Stop = &Stop;
+
+  FaultPlan Plan;
+  std::optional<FaultPlan::Scope> Armed;
+  if (HaveFaultSeed) {
+    Plan.randomizeDaemon(FaultSeed);
+    std::fprintf(stderr, "[tracesafed] fault plan: %s\n",
+                 Plan.describe().c_str());
+    Armed.emplace(Plan);
+  }
+
+  ServerStats Stats;
+  int Rc = runServer(Opts, &Stats);
+  Armed.reset();
+  if (Opts.Verbose)
+    std::fprintf(stderr,
+                 "[tracesafed] conns=%llu admitted=%llu completed=%llu "
+                 "overloaded=%llu replayed=%llu resumed=%llu degraded=%llu "
+                 "proto-errors=%llu accept-faults=%llu\n",
+                 static_cast<unsigned long long>(Stats.Connections),
+                 static_cast<unsigned long long>(Stats.Admitted),
+                 static_cast<unsigned long long>(Stats.Completed),
+                 static_cast<unsigned long long>(Stats.Overloaded),
+                 static_cast<unsigned long long>(Stats.Replayed),
+                 static_cast<unsigned long long>(Stats.Resumed),
+                 static_cast<unsigned long long>(Stats.Degraded),
+                 static_cast<unsigned long long>(Stats.ProtoErrors),
+                 static_cast<unsigned long long>(Stats.AcceptFaults));
+  if (signalled())
+    return ExitInterrupted;
+  return Rc;
+}

@@ -12,12 +12,15 @@
 #include "lang/Parser.h"
 #include "tso/Litmus.h"
 #include "tso/TsoExplain.h"
+#include "support/Signal.h"
 
 #include <cstdio>
 
 using namespace tracesafe;
 
 int main() {
+  static CancelToken Stop;
+  installCancelOnSignal(Stop);
   std::printf("%-8s | %-28s | %-3s | %-3s | %s\n", "test", "asked outcome",
               "SC", "TSO", "explained by transformations?");
   std::printf("---------+------------------------------+-----+-----+----"
@@ -47,5 +50,7 @@ int main() {
   std::printf("\n%s\n", AllOk ? "all litmus outcomes match the models and "
                                 "are explained by the transformations"
                               : "MISMATCH — see table");
+  if (signalled())
+    return ExitInterrupted;
   return AllOk ? 0 : 1;
 }

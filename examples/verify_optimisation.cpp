@@ -10,17 +10,29 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "daemon/Client.h"
 #include "lang/Explore.h"
 #include "lang/Parser.h"
 #include "lang/ProgramExec.h"
+#include "lang/Printer.h"
 #include "semantics/Reordering.h"
+#include "support/Signal.h"
 #include "verify/Checks.h"
 
 #include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include <unistd.h>
 
 using namespace tracesafe;
 
 namespace {
+
+/// Non-null in --server mode: the DRF-guarantee leg of each scenario is
+/// answered by a tracesafed daemon instead of in-process (the behaviour
+/// diff and semantic checks stay local — they are the demo).
+std::unique_ptr<daemon::DaemonClient> GRemote;
 
 void printBehaviourDiff(const Program &O, const Program &T) {
   std::set<Behaviour> BO = programBehaviours(O);
@@ -52,6 +64,15 @@ void analyse(const char *Title, const char *Orig, const char *Transformed,
   std::printf("semantic %s check: %s\n", Reordering ? "reordering"
                                                     : "elimination",
               checkVerdictName(R.Verdict).c_str());
+  if (GRemote) {
+    daemon::QueryRequest Q;
+    Q.Kind = daemon::QueryKind::DrfGuarantee;
+    Q.Program = printProgram(O);
+    Q.Transformed = printProgram(T);
+    std::printf("DRF guarantee (remote): %s\n\n",
+                GRemote->call(Q).str().c_str());
+    return;
+  }
   DrfGuaranteeReport G = checkDrfGuarantee(O, T);
   std::printf("DRF guarantee: %s%s\n\n", G.holds() ? "holds" : "VIOLATED",
               G.OriginalDrf ? "" : " (vacuously: original has races)");
@@ -59,7 +80,20 @@ void analyse(const char *Title, const char *Orig, const char *Transformed,
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  static CancelToken Stop;
+  installCancelOnSignal(Stop);
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--server") == 0 && I + 1 < argc) {
+      daemon::ClientOptions CO;
+      CO.SocketPath = argv[++I];
+      CO.Name = "verify-optimisation-" + std::to_string(::getpid());
+      GRemote = std::make_unique<daemon::DaemonClient>(std::move(CO));
+    } else {
+      std::fprintf(stderr, "usage: %s [--server SOCKET]\n", argv[0]);
+      return 2;
+    }
+  }
   analyse("Fig 1: overwritten write + redundant read elimination",
           R"(
 thread { x := 2; y := 1; x := 1; }
@@ -81,5 +115,5 @@ thread { r1 := x; y := r1; }
 thread { x := 1; r2 := y; print r2; }
 )",
           /*Reordering=*/true);
-  return 0;
+  return signalled() ? ExitInterrupted : 0;
 }

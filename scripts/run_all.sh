@@ -37,6 +37,17 @@ cmake --build build-asan --target fuzz_harness test_budget test_shrink
   --inject --inject-every 1 --expect-failures --no-thin-air --seed 2 \
   --repro-dir build-asan/fuzz_repros
 
+# Daemon stage under ASan: wire-protocol corruption matrix, the full
+# in-process server suite (admission, idempotency, degradation, injected
+# transport faults), and the kill -9/resume chaos smoke against a real
+# ASan-built tracesafed (see docs/PROTOCOL.md and docs/ROBUSTNESS.md).
+echo "===== sanitizer daemon smoke ====="
+cmake --build build-asan --target test_protocol test_daemon \
+  test_daemon_chaos tracesafed
+./build-asan/tests/test_protocol
+./build-asan/tests/test_daemon
+./build-asan/tests/test_daemon_chaos
+
 # ThreadSanitizer pass: rebuild with TSan and drive the parallel engine —
 # pool + interning unit tests, the POR-vs-oracle equivalence suites (SC
 # enumeration and the TSO/PSO buffered engine), and a parallel fuzz

@@ -1,0 +1,195 @@
+#include "daemon/Client.h"
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <unordered_map>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace tracesafe;
+using namespace tracesafe::daemon;
+
+namespace {
+
+uint64_t xorshift(uint64_t &S) {
+  S ^= S << 13;
+  S ^= S >> 7;
+  S ^= S << 17;
+  return S;
+}
+
+} // namespace
+
+uint64_t daemon::backoffDelayMs(unsigned Attempt, uint64_t BaseMs,
+                                uint64_t CapMs, uint64_t &Rng) {
+  // Truncated exponential ceiling; shifting past 63 bits would wrap.
+  uint64_t Ceil = CapMs;
+  if (Attempt < 63) {
+    uint64_t Exp = BaseMs << Attempt;
+    if ((Exp >> Attempt) == BaseMs && Exp < CapMs)
+      Ceil = Exp;
+  }
+  if (Ceil == 0)
+    return 0;
+  // Full jitter: uniform in [0, Ceil]. Thundering-herd avoidance matters
+  // more than the exact distribution.
+  return xorshift(Rng) % (Ceil + 1);
+}
+
+DaemonClient::DaemonClient(ClientOptions O)
+    : Opts(std::move(O)), NextId(Opts.FirstRequestId),
+      Rng(Opts.Seed ? Opts.Seed : 1) {}
+
+DaemonClient::~DaemonClient() { disconnect(); }
+
+void DaemonClient::disconnect() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+  ReadBuf.clear();
+}
+
+void DaemonClient::backoff(unsigned Attempt) {
+  ++Counters.Retries;
+  uint64_t Ms =
+      backoffDelayMs(Attempt, Opts.BackoffBaseMs, Opts.BackoffCapMs, Rng);
+  if (Ms)
+    std::this_thread::sleep_for(std::chrono::milliseconds(Ms));
+}
+
+void DaemonClient::ensureConnected() {
+  if (Fd >= 0)
+    return;
+  std::string LastError = "no attempts made";
+  for (unsigned Attempt = 0; Attempt < Opts.MaxAttempts; ++Attempt) {
+    if (Attempt)
+      backoff(Attempt - 1);
+    sockaddr_un Addr{};
+    Addr.sun_family = AF_UNIX;
+    if (Opts.SocketPath.size() >= sizeof(Addr.sun_path))
+      throw ProtocolError("socket path too long: " + Opts.SocketPath);
+    std::strncpy(Addr.sun_path, Opts.SocketPath.c_str(),
+                 sizeof(Addr.sun_path) - 1);
+    int S = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (S < 0)
+      throw ProtocolError(std::string("socket: ") + std::strerror(errno));
+    if (::connect(S, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+        0) {
+      LastError = std::string("connect: ") + std::strerror(errno);
+      ::close(S);
+      continue;
+    }
+    Fd = S;
+    try {
+      Frame Hello;
+      Hello.Type = FrameType::Hello;
+      Hello.Payload = encodeHello(Opts.Name);
+      writeFrame(Fd, Hello);
+      Frame Welcome;
+      std::string ServerName;
+      if (!readFrame(Fd, ReadBuf, Welcome) ||
+          Welcome.Type != FrameType::Welcome ||
+          !decodeWelcome(Welcome.Payload, ServerName))
+        throw ProtocolError("bad welcome");
+      ++Counters.Connects;
+      return;
+    } catch (const ProtocolError &E) {
+      LastError = E.what();
+      ++Counters.TransportErrors;
+      disconnect();
+    }
+  }
+  throw ProtocolError("connect retries exhausted: " + LastError);
+}
+
+QueryResponse DaemonClient::call(const QueryRequest &Q) {
+  std::vector<QueryResponse> R = callBatch({Q});
+  return R.at(0);
+}
+
+std::vector<QueryResponse>
+DaemonClient::callBatch(const std::vector<QueryRequest> &Qs) {
+  // Ids are allocated once, up front: every retransmission below reuses
+  // them, which is what makes retries idempotent on the server.
+  std::vector<uint64_t> Ids(Qs.size());
+  for (size_t I = 0; I < Qs.size(); ++I)
+    Ids[I] = NextId++;
+  std::unordered_map<uint64_t, size_t> Slot;
+  for (size_t I = 0; I < Ids.size(); ++I)
+    Slot[Ids[I]] = I;
+
+  std::vector<QueryResponse> Out(Qs.size());
+  std::vector<bool> Done(Qs.size(), false);
+  size_t Remaining = Qs.size();
+  unsigned Attempt = 0;
+  while (Remaining) {
+    try {
+      ensureConnected();
+      // (Re)submit everything unanswered, pipelined, then collect. The
+      // server answers replays instantly and recomputes nothing.
+      for (size_t I = 0; I < Qs.size(); ++I) {
+        if (Done[I])
+          continue;
+        Frame F;
+        F.Type = FrameType::Submit;
+        F.RequestId = Ids[I];
+        F.Payload = encodeSubmit(Qs[I]);
+        writeFrame(Fd, F);
+      }
+      while (Remaining) {
+        Frame F;
+        if (!readFrame(Fd, ReadBuf, F))
+          throw ProtocolError("server closed mid-batch");
+        if (F.Type != FrameType::Verdict)
+          continue; // Pong or future frame types: ignore.
+        auto It = Slot.find(F.RequestId);
+        if (It == Slot.end() || Done[It->second])
+          continue; // duplicate verdict after a resubmission race
+        QueryResponse R;
+        if (!decodeResponse(F.Payload, R))
+          throw ProtocolError("malformed verdict payload");
+        if (R.Status == ResponseStatus::Overloaded &&
+            Opts.RetryOverloaded) {
+          // Deliberate shedding: back off, then resubmit just this id.
+          ++Counters.OverloadedRetries;
+          backoff(Attempt < 63 ? Attempt++ : Attempt);
+          Frame Again;
+          Again.Type = FrameType::Submit;
+          Again.RequestId = F.RequestId;
+          Again.Payload = encodeSubmit(Qs[It->second]);
+          writeFrame(Fd, Again);
+          continue;
+        }
+        Out[It->second] = R;
+        Done[It->second] = true;
+        --Remaining;
+        Attempt = 0; // progress resets the backoff clock
+      }
+    } catch (const ProtocolError &) {
+      ++Counters.TransportErrors;
+      disconnect();
+      if (++Attempt >= Opts.MaxAttempts)
+        throw;
+      backoff(Attempt - 1);
+    }
+  }
+  return Out;
+}
+
+void DaemonClient::cancel(uint64_t RequestId) {
+  if (Fd < 0)
+    return;
+  try {
+    Frame F;
+    F.Type = FrameType::Cancel;
+    F.RequestId = RequestId;
+    writeFrame(Fd, F);
+  } catch (const ProtocolError &) {
+    ++Counters.TransportErrors;
+    disconnect();
+  }
+}

@@ -1,0 +1,120 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Client library for the tracesafed daemon.
+///
+/// The client owns the retry story so callers get at-most-once *charging*
+/// with at-least-once *delivery*:
+///
+///  - Request ids are allocated once per logical query and reused across
+///    every retransmission. The server keys admissions on
+///    (client name, request id), so a retry after a dropped connection
+///    attaches to the in-flight computation or replays the stored verdict
+///    — it never double-charges the admission quota.
+///
+///  - Transport errors (connect failure, torn frame, injected
+///    ProtoRead/ProtoWrite fault, daemon restart) tear the connection down
+///    and retry after truncated exponential backoff with deterministic
+///    jitter (seedable, so tests replay the exact schedule).
+///
+///  - Overloaded verdicts are the server shedding load on purpose; with
+///    RetryOverloaded (the default) they are retried through the same
+///    backoff, otherwise surfaced to the caller.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACESAFE_DAEMON_CLIENT_H
+#define TRACESAFE_DAEMON_CLIENT_H
+
+#include "daemon/Protocol.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tracesafe {
+namespace daemon {
+
+struct ClientOptions {
+  std::string SocketPath;
+  /// Client identity; half of the idempotency key. Two clients sharing a
+  /// name share replay state on the server, so make it unique per logical
+  /// session.
+  std::string Name = "client";
+  /// Attempts per operation (connect, or one batch round-trip) before
+  /// giving up. Each failure backs off before the next attempt.
+  unsigned MaxAttempts = 8;
+  /// Truncated exponential backoff: delay ~ U(0, min(Cap, Base * 2^n)).
+  uint64_t BackoffBaseMs = 10;
+  uint64_t BackoffCapMs = 1000;
+  /// Jitter seed; fixed so tests can replay a schedule.
+  uint64_t Seed = 1;
+  /// Retry Overloaded responses (with backoff) instead of returning them.
+  bool RetryOverloaded = true;
+  /// First request id handed out; ids increment from here. A client that
+  /// resumes an interrupted batch must reuse the original ids to hit the
+  /// server's replay path.
+  uint64_t FirstRequestId = 1;
+};
+
+/// Full jitter over a truncated exponential: delay is uniform in
+/// [0, min(Cap, Base << Attempt)]. Pure so the unit test can pin the
+/// schedule; \p Rng is any xorshift-style state word, advanced in place.
+uint64_t backoffDelayMs(unsigned Attempt, uint64_t BaseMs, uint64_t CapMs,
+                        uint64_t &Rng);
+
+class DaemonClient {
+public:
+  struct Stats {
+    uint64_t Connects = 0;          ///< successful connect+hello handshakes
+    uint64_t Retries = 0;           ///< backoff sleeps taken
+    uint64_t TransportErrors = 0;   ///< connections torn down on error
+    uint64_t OverloadedRetries = 0; ///< Overloaded verdicts retried
+  };
+
+  explicit DaemonClient(ClientOptions Opts);
+  ~DaemonClient();
+
+  DaemonClient(const DaemonClient &) = delete;
+  DaemonClient &operator=(const DaemonClient &) = delete;
+
+  /// Submits one query and blocks for its verdict, retrying through
+  /// reconnects. Throws ProtocolError once MaxAttempts is exhausted.
+  QueryResponse call(const QueryRequest &Q);
+
+  /// Submits a batch pipelined on one connection and collects the
+  /// verdicts (returned in submission order; the wire order may differ).
+  /// On a transport error only the unanswered ids are resubmitted — the
+  /// server's idempotency makes the resubmission safe and free.
+  std::vector<QueryResponse> callBatch(const std::vector<QueryRequest> &Qs);
+
+  /// Requests cancellation of a previously submitted request id.
+  /// Best-effort: a dead connection is simply dropped (the daemon's
+  /// per-request deadline still bounds the orphan).
+  void cancel(uint64_t RequestId);
+
+  /// Id that the next submitted query will use; exposed so callers can
+  /// correlate cancel() targets.
+  uint64_t nextRequestId() const { return NextId; }
+
+  const Stats &stats() const { return Counters; }
+
+private:
+  void disconnect();
+  /// Ensures a connected, greeted socket; retries with backoff. Throws
+  /// ProtocolError when attempts are exhausted.
+  void ensureConnected();
+  void backoff(unsigned Attempt);
+
+  ClientOptions Opts;
+  int Fd = -1;
+  std::string ReadBuf;
+  uint64_t NextId;
+  uint64_t Rng;
+  Stats Counters;
+};
+
+} // namespace daemon
+} // namespace tracesafe
+
+#endif // TRACESAFE_DAEMON_CLIENT_H

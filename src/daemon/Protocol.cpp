@@ -1,0 +1,348 @@
+#include "daemon/Protocol.h"
+
+#include "support/Failure.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace tracesafe;
+using namespace tracesafe::daemon;
+
+//===----------------------------------------------------------------------===//
+// CRC32
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct Crc32Table {
+  uint32_t T[256];
+  Crc32Table() {
+    for (uint32_t I = 0; I < 256; ++I) {
+      uint32_t C = I;
+      for (int K = 0; K < 8; ++K)
+        C = (C & 1) ? 0xEDB88320u ^ (C >> 1) : C >> 1;
+      T[I] = C;
+    }
+  }
+};
+
+const Crc32Table &crcTable() {
+  static Crc32Table Table;
+  return Table;
+}
+
+void putU32(std::string &Out, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+}
+
+uint32_t getU32(const unsigned char *P) {
+  return static_cast<uint32_t>(P[0]) | (static_cast<uint32_t>(P[1]) << 8) |
+         (static_cast<uint32_t>(P[2]) << 16) |
+         (static_cast<uint32_t>(P[3]) << 24);
+}
+
+uint64_t getU64(const unsigned char *P) {
+  return static_cast<uint64_t>(getU32(P)) |
+         (static_cast<uint64_t>(getU32(P + 4)) << 32);
+}
+
+} // namespace
+
+uint32_t daemon::crc32(const void *Data, size_t Len) {
+  const Crc32Table &Table = crcTable();
+  const auto *P = static_cast<const unsigned char *>(Data);
+  uint32_t C = 0xFFFFFFFFu;
+  for (size_t I = 0; I < Len; ++I)
+    C = Table.T[(C ^ P[I]) & 0xFF] ^ (C >> 8);
+  return C ^ 0xFFFFFFFFu;
+}
+
+//===----------------------------------------------------------------------===//
+// Frame codec
+//===----------------------------------------------------------------------===//
+
+std::string daemon::encodeFrame(const Frame &F) {
+  std::string Out;
+  Out.reserve(FrameHeaderSize + F.Payload.size());
+  putU32(Out, FrameMagic);
+  Out.push_back(static_cast<char>(ProtocolVersion));
+  Out.push_back(static_cast<char>(F.Type));
+  Out.push_back(0); // flags, reserved
+  Out.push_back(0);
+  putU64(Out, F.RequestId);
+  putU32(Out, static_cast<uint32_t>(F.Payload.size()));
+  putU32(Out, crc32(F.Payload.data(), F.Payload.size()));
+  Out += F.Payload;
+  return Out;
+}
+
+const char *daemon::decodeStatusName(DecodeStatus S) {
+  switch (S) {
+  case DecodeStatus::Ok:
+    return "ok";
+  case DecodeStatus::NeedMore:
+    return "need-more";
+  case DecodeStatus::BadMagic:
+    return "bad-magic";
+  case DecodeStatus::BadVersion:
+    return "bad-version";
+  case DecodeStatus::BadLength:
+    return "bad-length";
+  case DecodeStatus::BadCrc:
+    return "bad-crc";
+  }
+  return "invalid";
+}
+
+DecodeStatus daemon::decodeFrame(std::string &Buf, Frame &Out) {
+  if (Buf.size() < FrameHeaderSize)
+    return DecodeStatus::NeedMore;
+  const auto *P = reinterpret_cast<const unsigned char *>(Buf.data());
+  if (getU32(P) != FrameMagic)
+    return DecodeStatus::BadMagic;
+  if (P[4] != ProtocolVersion)
+    return DecodeStatus::BadVersion;
+  uint32_t Len = getU32(P + 16);
+  if (Len > MaxFramePayload)
+    return DecodeStatus::BadLength;
+  if (Buf.size() < FrameHeaderSize + Len)
+    return DecodeStatus::NeedMore;
+  uint32_t WantCrc = getU32(P + 20);
+  if (crc32(Buf.data() + FrameHeaderSize, Len) != WantCrc)
+    return DecodeStatus::BadCrc;
+  Out.Type = static_cast<FrameType>(P[5]);
+  Out.RequestId = getU64(P + 8);
+  Out.Payload.assign(Buf, FrameHeaderSize, Len);
+  Buf.erase(0, FrameHeaderSize + Len);
+  return DecodeStatus::Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// Payload primitives
+//===----------------------------------------------------------------------===//
+
+void daemon::putU8(std::string &Out, uint8_t V) {
+  Out.push_back(static_cast<char>(V));
+}
+
+void daemon::putU64(std::string &Out, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+}
+
+void daemon::putStr(std::string &Out, const std::string &S) {
+  putU32(Out, static_cast<uint32_t>(S.size()));
+  Out += S;
+}
+
+bool PayloadReader::u8(uint8_t &V) {
+  if (!Ok || Pos + 1 > Buf.size())
+    return Ok = false;
+  V = static_cast<uint8_t>(Buf[Pos++]);
+  return true;
+}
+
+bool PayloadReader::u64(uint64_t &V) {
+  if (!Ok || Pos + 8 > Buf.size())
+    return Ok = false;
+  V = getU64(reinterpret_cast<const unsigned char *>(Buf.data()) + Pos);
+  Pos += 8;
+  return true;
+}
+
+bool PayloadReader::str(std::string &V) {
+  if (!Ok || Pos + 4 > Buf.size())
+    return Ok = false;
+  uint32_t Len =
+      getU32(reinterpret_cast<const unsigned char *>(Buf.data()) + Pos);
+  Pos += 4;
+  if (Len > MaxFramePayload || Pos + Len > Buf.size())
+    return Ok = false;
+  V.assign(Buf, Pos, Len);
+  Pos += Len;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Query messages
+//===----------------------------------------------------------------------===//
+
+const char *daemon::queryKindName(QueryKind K) {
+  switch (K) {
+  case QueryKind::ProgramDrf:
+    return "program-drf";
+  case QueryKind::Behaviours:
+    return "behaviours";
+  case QueryKind::DrfGuarantee:
+    return "drf-guarantee";
+  case QueryKind::ThinAir:
+    return "thin-air";
+  }
+  return "invalid";
+}
+
+const char *daemon::responseStatusName(ResponseStatus S) {
+  switch (S) {
+  case ResponseStatus::Ok:
+    return "ok";
+  case ResponseStatus::Overloaded:
+    return "overloaded";
+  case ResponseStatus::BadRequest:
+    return "bad-request";
+  case ResponseStatus::Error:
+    return "error";
+  }
+  return "invalid";
+}
+
+std::string QueryResponse::str() const {
+  std::string Out = responseStatusName(Status);
+  Out += " ";
+  Out += verdictKindName(Kind);
+  Out += " ";
+  Out += truncationReasonName(Reason);
+  if (Degraded)
+    Out += " degraded";
+  Out += " visited=" + std::to_string(Visited);
+  if (!Detail.empty())
+    Out += " " + Detail;
+  return Out;
+}
+
+std::string daemon::encodeHello(const std::string &ClientName) {
+  std::string Out;
+  putStr(Out, ClientName);
+  return Out;
+}
+
+bool daemon::decodeHello(const std::string &Payload,
+                         std::string &ClientName) {
+  PayloadReader R(Payload);
+  return R.str(ClientName) && R.done();
+}
+
+std::string daemon::encodeWelcome(const std::string &ServerName) {
+  std::string Out;
+  putU64(Out, ProtocolVersion);
+  putStr(Out, ServerName);
+  return Out;
+}
+
+bool daemon::decodeWelcome(const std::string &Payload,
+                           std::string &ServerName) {
+  PayloadReader R(Payload);
+  uint64_t Version = 0;
+  return R.u64(Version) && Version == ProtocolVersion &&
+         R.str(ServerName) && R.done();
+}
+
+std::string daemon::encodeSubmit(const QueryRequest &Q) {
+  std::string Out;
+  putU8(Out, static_cast<uint8_t>(Q.Kind));
+  putU64(Out, static_cast<uint64_t>(Q.Budget.DeadlineMs));
+  putU64(Out, Q.Budget.MaxVisited);
+  putU64(Out, Q.Budget.MaxMemoryBytes);
+  putStr(Out, Q.Program);
+  putStr(Out, Q.Transformed);
+  return Out;
+}
+
+bool daemon::decodeSubmit(const std::string &Payload, QueryRequest &Q) {
+  PayloadReader R(Payload);
+  uint8_t Kind = 0;
+  uint64_t DeadlineMs = 0;
+  if (!R.u8(Kind) || !R.u64(DeadlineMs) || !R.u64(Q.Budget.MaxVisited) ||
+      !R.u64(Q.Budget.MaxMemoryBytes) || !R.str(Q.Program) ||
+      !R.str(Q.Transformed) || !R.done())
+    return false;
+  if (Kind < static_cast<uint8_t>(QueryKind::ProgramDrf) ||
+      Kind > static_cast<uint8_t>(QueryKind::ThinAir))
+    return false;
+  Q.Kind = static_cast<QueryKind>(Kind);
+  Q.Budget.DeadlineMs = static_cast<int64_t>(DeadlineMs);
+  return true;
+}
+
+std::string daemon::encodeResponse(const QueryResponse &R) {
+  std::string Out;
+  putU8(Out, static_cast<uint8_t>(R.Status));
+  putU8(Out, static_cast<uint8_t>(R.Kind));
+  putU8(Out, static_cast<uint8_t>(R.Reason));
+  putU8(Out, R.Degraded ? 1 : 0);
+  putU64(Out, R.Visited);
+  putStr(Out, R.Detail);
+  return Out;
+}
+
+bool daemon::decodeResponse(const std::string &Payload, QueryResponse &R) {
+  PayloadReader Rd(Payload);
+  uint8_t Status = 0, Kind = 0, Reason = 0, Degraded = 0;
+  if (!Rd.u8(Status) || !Rd.u8(Kind) || !Rd.u8(Reason) ||
+      !Rd.u8(Degraded) || !Rd.u64(R.Visited) || !Rd.str(R.Detail) ||
+      !Rd.done())
+    return false;
+  if (Status < static_cast<uint8_t>(ResponseStatus::Ok) ||
+      Status > static_cast<uint8_t>(ResponseStatus::Error))
+    return false;
+  if (Kind > static_cast<uint8_t>(VerdictKind::Unknown) ||
+      Reason > static_cast<uint8_t>(TruncationReason::EngineFault))
+    return false;
+  R.Status = static_cast<ResponseStatus>(Status);
+  R.Kind = static_cast<VerdictKind>(Kind);
+  R.Reason = static_cast<TruncationReason>(Reason);
+  R.Degraded = Degraded != 0;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Blocking fd transport
+//===----------------------------------------------------------------------===//
+
+void daemon::writeFrame(int Fd, const Frame &F) {
+  if (faultPoint(FaultSite::ProtoWrite))
+    throw ProtocolError("injected fault at proto-write");
+  std::string Bytes = encodeFrame(F);
+  size_t Off = 0;
+  while (Off < Bytes.size()) {
+    // MSG_NOSIGNAL: a peer that died mid-frame must surface as an EPIPE
+    // ProtocolError (client retries, server drops the connection) — never
+    // as a process-killing SIGPIPE.
+    ssize_t N =
+        ::send(Fd, Bytes.data() + Off, Bytes.size() - Off, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      throw ProtocolError(std::string("write: ") + std::strerror(errno));
+    }
+    Off += static_cast<size_t>(N);
+  }
+}
+
+bool daemon::readFrame(int Fd, std::string &Buf, Frame &Out) {
+  for (;;) {
+    DecodeStatus S = decodeFrame(Buf, Out);
+    if (S == DecodeStatus::Ok)
+      return true;
+    if (S != DecodeStatus::NeedMore)
+      throw ProtocolError(std::string("corrupt frame: ") +
+                          decodeStatusName(S));
+    if (faultPoint(FaultSite::ProtoRead))
+      throw ProtocolError("injected fault at proto-read");
+    char Tmp[4096];
+    ssize_t N = ::read(Fd, Tmp, sizeof(Tmp));
+    if (N == 0) {
+      if (Buf.empty())
+        return false; // clean EOF at a frame boundary
+      throw ProtocolError("eof mid-frame");
+    }
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      throw ProtocolError(std::string("read: ") + std::strerror(errno));
+    }
+    Buf.append(Tmp, static_cast<size_t>(N));
+  }
+}

@@ -1,0 +1,185 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wire protocol of the tracesafed verification daemon.
+///
+/// Length-prefixed binary frames over a unix-domain stream socket. Every
+/// frame carries a fixed little-endian header — magic, protocol version,
+/// frame type, request id, payload length, payload CRC32 — followed by
+/// the payload bytes. The CRC makes torn or bit-flipped frames detectable
+/// at the decoder instead of surfacing as garbage queries: a corrupt
+/// stream is a *transport* error (reconnect and retry under idempotent
+/// request ids), never a wrong verdict. The format mirrors the journal's
+/// robustness contract (see docs/PROTOCOL.md for the byte layout and
+/// docs/ROBUSTNESS.md for the recovery semantics).
+///
+/// The codec is pure (strings in, strings out) so torn/truncated/garbage
+/// frames are unit-testable without a socket; the fd helpers layer
+/// blocking I/O and the ProtoRead/ProtoWrite fault-injection sites on
+/// top.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACESAFE_DAEMON_PROTOCOL_H
+#define TRACESAFE_DAEMON_PROTOCOL_H
+
+#include "support/Budget.h"
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace tracesafe {
+namespace daemon {
+
+/// "TSFD" on the wire (little-endian u32).
+constexpr uint32_t FrameMagic = 0x44465354;
+constexpr uint8_t ProtocolVersion = 1;
+/// Fixed header size in bytes; see docs/PROTOCOL.md.
+constexpr size_t FrameHeaderSize = 24;
+/// Upper bound on a single payload: a decoder must be able to reject a
+/// corrupt length field without attempting a huge allocation.
+constexpr uint32_t MaxFramePayload = 16u << 20;
+
+enum class FrameType : uint8_t {
+  Hello = 1,   ///< client -> server: client name
+  Welcome = 2, ///< server -> client: version + server name
+  Submit = 3,  ///< client -> server: one query (request id in header)
+  Verdict = 4, ///< server -> client: response for one request id
+  Cancel = 5,  ///< client -> server: cancel the request id in the header
+  Ping = 6,    ///< client -> server: liveness probe
+  Pong = 7,    ///< server -> client: liveness reply
+};
+
+struct Frame {
+  FrameType Type = FrameType::Ping;
+  uint64_t RequestId = 0;
+  std::string Payload;
+};
+
+/// CRC32 (reflected, polynomial 0xEDB88320 — the zlib/PNG polynomial).
+uint32_t crc32(const void *Data, size_t Len);
+
+/// Serialises header + payload.
+std::string encodeFrame(const Frame &F);
+
+enum class DecodeStatus : uint8_t {
+  Ok,        ///< one frame decoded and consumed from the buffer
+  NeedMore,  ///< the buffer holds a frame prefix; keep reading
+  BadMagic,  ///< stream out of sync or not a tracesafed peer
+  BadVersion,///< peer speaks a different protocol revision
+  BadLength, ///< declared payload length exceeds MaxFramePayload
+  BadCrc,    ///< payload bytes do not match their checksum
+};
+
+const char *decodeStatusName(DecodeStatus S);
+
+/// Attempts to decode one frame from the front of \p Buf. On Ok the
+/// frame's bytes are removed from \p Buf (pipelined frames behind it are
+/// kept). Any Bad* status means the stream is unrecoverably corrupt: the
+/// connection must be dropped, not resynchronised.
+DecodeStatus decodeFrame(std::string &Buf, Frame &Out);
+
+//===----------------------------------------------------------------------===//
+// Payload primitives (little-endian u8/u64, u32-length-prefixed strings)
+//===----------------------------------------------------------------------===//
+
+void putU8(std::string &Out, uint8_t V);
+void putU64(std::string &Out, uint64_t V);
+void putStr(std::string &Out, const std::string &S);
+
+/// Bounds-checked cursor over a payload; every getter returns false once
+/// the payload is exhausted or malformed (and stays false).
+class PayloadReader {
+public:
+  explicit PayloadReader(const std::string &Buf) : Buf(Buf) {}
+  bool u8(uint8_t &V);
+  bool u64(uint64_t &V);
+  bool str(std::string &V);
+  /// True iff every byte was consumed and no getter failed.
+  bool done() const { return Ok && Pos == Buf.size(); }
+
+private:
+  const std::string &Buf;
+  size_t Pos = 0;
+  bool Ok = true;
+};
+
+//===----------------------------------------------------------------------===//
+// Query model
+//===----------------------------------------------------------------------===//
+
+enum class QueryKind : uint8_t {
+  ProgramDrf = 1,   ///< is Program data race free?
+  Behaviours = 2,   ///< enumerate Program's SC behaviours
+  DrfGuarantee = 3, ///< DRF guarantee for (Program, Transformed)
+  ThinAir = 4,      ///< out-of-thin-air guarantee for the pair
+};
+
+const char *queryKindName(QueryKind K);
+
+struct QueryRequest {
+  QueryKind Kind = QueryKind::ProgramDrf;
+  std::string Program;     ///< .tsl source of the original program
+  std::string Transformed; ///< .tsl source of the pair queries' second leg
+  /// Requested per-query budget; field-wise 0 = "whatever the server's
+  /// quota ceiling allows". The server clamps every field to its ceiling.
+  BudgetSpec Budget;
+};
+
+enum class ResponseStatus : uint8_t {
+  Ok = 1,         ///< the query ran; see the verdict fields
+  Overloaded = 2, ///< shed by admission control; retry after backoff
+  BadRequest = 3, ///< malformed payload or unparseable program
+  Error = 4,      ///< transport-level failure injected by the client lib
+};
+
+const char *responseStatusName(ResponseStatus S);
+
+struct QueryResponse {
+  ResponseStatus Status = ResponseStatus::Error;
+  VerdictKind Kind = VerdictKind::Unknown;
+  TruncationReason Reason = TruncationReason::None;
+  bool Degraded = false; ///< the sequential oracle fallback answered
+  uint64_t Visited = 0;  ///< budget visits charged by the query
+  std::string Detail;    ///< human-readable outcome / witness summary
+
+  /// Canonical one-line rendering; the chaos test diffs these byte for
+  /// byte between a resumed daemon run and a single-process run.
+  std::string str() const;
+};
+
+std::string encodeHello(const std::string &ClientName);
+bool decodeHello(const std::string &Payload, std::string &ClientName);
+std::string encodeWelcome(const std::string &ServerName);
+bool decodeWelcome(const std::string &Payload, std::string &ServerName);
+std::string encodeSubmit(const QueryRequest &Q);
+bool decodeSubmit(const std::string &Payload, QueryRequest &Q);
+std::string encodeResponse(const QueryResponse &R);
+bool decodeResponse(const std::string &Payload, QueryResponse &R);
+
+//===----------------------------------------------------------------------===//
+// Blocking fd transport
+//===----------------------------------------------------------------------===//
+
+/// Transport-level failure: EOF mid-frame, a socket error, a corrupt
+/// frame, or an injected ProtoRead/ProtoWrite fault. The client library
+/// maps these to reconnect-and-retry; the server drops the connection.
+struct ProtocolError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Writes one frame, looping over partial writes. Probes
+/// FaultSite::ProtoWrite. Throws ProtocolError on failure.
+void writeFrame(int Fd, const Frame &F);
+
+/// Reads one frame into \p Out, buffering partial reads in \p Buf (the
+/// caller keeps one buffer per connection). Returns false on a clean EOF
+/// at a frame boundary. Probes FaultSite::ProtoRead. Throws ProtocolError
+/// on mid-frame EOF, socket errors, or corrupt frames.
+bool readFrame(int Fd, std::string &Buf, Frame &Out);
+
+} // namespace daemon
+} // namespace tracesafe
+
+#endif // TRACESAFE_DAEMON_PROTOCOL_H

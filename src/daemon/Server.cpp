@@ -1,0 +1,860 @@
+#include "daemon/Server.h"
+
+#include "lang/Explore.h"
+#include "lang/Parser.h"
+#include "support/Failure.h"
+#include "support/ThreadPool.h"
+#include "trace/Enumerate.h"
+#include "verify/BehaviourCache.h"
+#include "verify/Checks.h"
+#include "verify/Degrade.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace tracesafe;
+using namespace tracesafe::daemon;
+
+//===----------------------------------------------------------------------===//
+// Query evaluation (shared with the standalone CLI modes)
+//===----------------------------------------------------------------------===//
+
+BudgetSpec daemon::clampBudget(const BudgetSpec &Requested,
+                               const BudgetSpec &Ceiling) {
+  auto Clamp = [](uint64_t R, uint64_t C) {
+    if (R == 0)
+      return C;
+    return C == 0 ? R : std::min(R, C);
+  };
+  BudgetSpec Out;
+  Out.DeadlineMs = static_cast<int64_t>(
+      Clamp(static_cast<uint64_t>(Requested.DeadlineMs),
+            static_cast<uint64_t>(Ceiling.DeadlineMs)));
+  Out.MaxVisited = Clamp(Requested.MaxVisited, Ceiling.MaxVisited);
+  Out.MaxMemoryBytes =
+      Clamp(Requested.MaxMemoryBytes, Ceiling.MaxMemoryBytes);
+  return Out;
+}
+
+namespace {
+
+VerdictKind outcomeVerdict(GuaranteeOutcome O) {
+  switch (O) {
+  case GuaranteeOutcome::Holds:
+    return VerdictKind::Proved;
+  case GuaranteeOutcome::Violated:
+    return VerdictKind::Refuted;
+  case GuaranteeOutcome::Unknown:
+    break;
+  }
+  return VerdictKind::Unknown;
+}
+
+/// Deterministic (set-ordered) rendering of a behaviour set, capped so a
+/// pathological program cannot blow up the response frame.
+std::string renderBehaviours(const std::set<Behaviour> &S) {
+  std::string Out = "behaviours=" + std::to_string(S.size());
+  size_t Shown = 0;
+  for (const Behaviour &B : S) {
+    if (Shown++ == 32) {
+      Out += " ...";
+      break;
+    }
+    Out += " [";
+    for (size_t I = 0; I < B.size(); ++I) {
+      if (I)
+        Out += ',';
+      Out += std::to_string(B[I]);
+    }
+    Out += "]";
+  }
+  return Out;
+}
+
+/// One attempt at a query. \p Oracle selects the sequential
+/// std::set-memoised engines (the Degrade layer's fallback path, sharing
+/// no code with the interned reduced engines) and bypasses the
+/// BehaviourCache, so a fault in the primary path cannot recur in the
+/// fallback. Engines run Workers=1: the daemon parallelises across
+/// queries, and sequential engines keep verdict bytes run-independent.
+QueryResponse runKind(QueryKind K, const Program &O, const Program *T2,
+                      Budget &B, bool Oracle) {
+  QueryResponse R;
+  R.Status = ResponseStatus::Ok;
+  switch (K) {
+  case QueryKind::ProgramDrf:
+  case QueryKind::Behaviours: {
+    std::vector<Value> Domain = defaultDomainFor(O, 2);
+    ExploreLimits XL;
+    XL.Shared = &B;
+    XL.Workers = 1;
+    ExploreStats XS;
+    std::shared_ptr<const Traceset> TS =
+        Oracle ? std::make_shared<const Traceset>(
+                     programTraceset(O, Domain, XL, &XS))
+               : BehaviourCache::global().tracesetFor(O, Domain, XL, &XS);
+    if (XS.Truncated) {
+      R.Kind = VerdictKind::Unknown;
+      R.Reason = XS.Reason;
+      return R;
+    }
+    EnumerationLimits EL;
+    EL.Shared = &B;
+    EL.Workers = 1;
+    EL.ExhaustiveOracle = Oracle;
+    if (K == QueryKind::ProgramDrf) {
+      Verdict<Interleaving> V = checkDataRaceFreedom(*TS, EL);
+      R.Kind = V.Kind;
+      R.Reason = V.Reason;
+      R.Detail = V.isProved()    ? "data-race-free"
+                 : V.isRefuted() ? "race"
+                                 : "";
+      return R;
+    }
+    EnumerationStats ES;
+    std::set<Behaviour> S =
+        Oracle ? collectBehaviours(*TS, EL, &ES)
+               : BehaviourCache::global().behavioursFor(*TS, EL, &ES);
+    if (ES.Truncated) {
+      R.Kind = VerdictKind::Unknown;
+      R.Reason = ES.Reason;
+      return R;
+    }
+    R.Kind = VerdictKind::Proved;
+    R.Detail = renderBehaviours(S);
+    return R;
+  }
+  case QueryKind::DrfGuarantee: {
+    ExecLimits E;
+    E.Shared = &B;
+    DrfGuaranteeReport Rep = checkDrfGuarantee(O, *T2, E);
+    R.Kind = outcomeVerdict(Rep.outcome());
+    if (R.Kind == VerdictKind::Unknown)
+      R.Reason = Rep.Reason;
+    R.Detail = std::string("orig-drf=") + (Rep.OriginalDrf ? "1" : "0") +
+               " trans-drf=" + (Rep.TransformedDrf ? "1" : "0") +
+               " preserved=" + (Rep.BehavioursPreserved ? "1" : "0");
+    return R;
+  }
+  case QueryKind::ThinAir: {
+    Value C = freshConstantFor(O);
+    ExecLimits E;
+    E.Shared = &B;
+    ExploreLimits XL;
+    XL.Shared = &B;
+    XL.Workers = 1;
+    ThinAirReport Rep = checkThinAir(O, *T2, C, E, XL);
+    R.Kind = outcomeVerdict(Rep.outcome());
+    if (R.Kind == VerdictKind::Unknown)
+      R.Reason = Rep.Reason;
+    R.Detail = "c=" + std::to_string(C) +
+               " outputs=" + (Rep.TransformedOutputs ? "1" : "0") +
+               " origin=" + (Rep.TransformedHasOrigin ? "1" : "0");
+    return R;
+  }
+  }
+  R.Status = ResponseStatus::BadRequest;
+  R.Detail = "unknown query kind";
+  return R;
+}
+
+} // namespace
+
+QueryResponse daemon::evaluateQuery(const QueryRequest &Q,
+                                    const BudgetSpec &Ceiling,
+                                    const CancelToken *Cancel) {
+  QueryResponse R;
+  ParseResult O = parseProgram(Q.Program);
+  if (!O) {
+    R.Status = ResponseStatus::BadRequest;
+    R.Detail = "parse error (program): " + O.Error;
+    return R;
+  }
+  const bool NeedsPair =
+      Q.Kind == QueryKind::DrfGuarantee || Q.Kind == QueryKind::ThinAir;
+  ParseResult T;
+  if (NeedsPair) {
+    T = parseProgram(Q.Transformed);
+    if (!T) {
+      R.Status = ResponseStatus::BadRequest;
+      R.Detail = "parse error (transformed): " + T.Error;
+      return R;
+    }
+  }
+  BudgetSpec Spec = clampBudget(Q.Budget, Ceiling);
+
+  // Primary attempt: reduced engines, warm cache. Containment: anything
+  // thrown here is this query's problem only.
+  Budget B(Spec, Cancel);
+  try {
+    R = runKind(Q.Kind, *O.Prog, NeedsPair ? &*T.Prog : nullptr, B,
+                /*Oracle=*/false);
+  } catch (...) {
+    B.poison(TruncationReason::EngineFault);
+    R = QueryResponse{};
+    R.Status = ResponseStatus::Ok;
+    R.Kind = VerdictKind::Unknown;
+    R.Reason = TruncationReason::EngineFault;
+  }
+  R.Visited = B.visited();
+
+  // EngineFault (and only EngineFault — cancellation must win, and an
+  // exhausted budget would exhaust the leftovers faster) degrades to the
+  // sequential oracle under whatever budget the primary left behind.
+  if (R.Status == ResponseStatus::Ok && R.Kind == VerdictKind::Unknown &&
+      R.Reason == TruncationReason::EngineFault) {
+    Budget B2(remainingBudget(Spec, B), Cancel);
+    try {
+      QueryResponse R2 = runKind(Q.Kind, *O.Prog,
+                                 NeedsPair ? &*T.Prog : nullptr, B2,
+                                 /*Oracle=*/true);
+      R2.Degraded = true;
+      R2.Visited = B.visited() + B2.visited();
+      return R2;
+    } catch (...) {
+      R.Detail = "oracle fallback faulted";
+    }
+  }
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Journal (same line/tab format family as the fuzz campaign journal:
+// append-only, whole records flushed under one lock, torn tails ignored
+// by the loader)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string escField(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    default:
+      Out += C;
+    }
+  }
+  return Out;
+}
+
+std::string unescField(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (size_t I = 0; I < S.size(); ++I) {
+    if (S[I] != '\\' || I + 1 >= S.size()) {
+      Out += S[I];
+      continue;
+    }
+    switch (S[++I]) {
+    case '\\':
+      Out += '\\';
+      break;
+    case 't':
+      Out += '\t';
+      break;
+    case 'n':
+      Out += '\n';
+      break;
+    default: // Unknown escape: keep both chars (forward compatibility).
+      Out += '\\';
+      Out += S[I];
+    }
+  }
+  return Out;
+}
+
+std::vector<std::string> splitTabs(const std::string &Line) {
+  std::vector<std::string> Out;
+  size_t Begin = 0;
+  while (true) {
+    size_t Tab = Line.find('\t', Begin);
+    if (Tab == std::string::npos) {
+      Out.push_back(Line.substr(Begin));
+      return Out;
+    }
+    Out.push_back(Line.substr(Begin, Tab - Begin));
+    Begin = Tab + 1;
+  }
+}
+
+bool parseU64(const std::string &S, uint64_t &Out) {
+  if (S.empty())
+    return false;
+  char *End = nullptr;
+  Out = std::strtoull(S.c_str(), &End, 10);
+  return End == S.c_str() + S.size();
+}
+
+constexpr uint64_t JournalVersion = 1;
+
+/// One client request as the journal sees it: the admission record and,
+/// once computed, the verdict.
+struct JournalEntry {
+  std::string Client;
+  uint64_t Id = 0;
+  QueryRequest Q;
+  QueryResponse Resp;
+  bool Done = false;
+};
+
+std::string requestKey(const std::string &Client, uint64_t Id) {
+  return Client + '\0' + std::to_string(Id);
+}
+
+void writeAdmitLine(std::ostream &Os, const JournalEntry &E) {
+  Os << "A\t" << escField(E.Client) << '\t' << E.Id << '\t'
+     << static_cast<unsigned>(E.Q.Kind) << '\t' << E.Q.Budget.DeadlineMs
+     << '\t' << E.Q.Budget.MaxVisited << '\t' << E.Q.Budget.MaxMemoryBytes
+     << '\t' << escField(E.Q.Program) << '\t' << escField(E.Q.Transformed)
+     << '\n';
+}
+
+void writeVerdictLine(std::ostream &Os, const JournalEntry &E) {
+  Os << "V\t" << escField(E.Client) << '\t' << E.Id << '\t'
+     << static_cast<unsigned>(E.Resp.Status) << '\t'
+     << static_cast<unsigned>(E.Resp.Kind) << '\t'
+     << static_cast<unsigned>(E.Resp.Reason) << '\t'
+     << (E.Resp.Degraded ? 1 : 0) << '\t' << E.Resp.Visited << '\t'
+     << escField(E.Resp.Detail) << '\n';
+}
+
+/// Loads a daemon journal, tolerating a torn tail and unknown record
+/// types: a crashed daemon's journal is, by construction, a valid prefix
+/// plus at most one torn line.
+std::vector<JournalEntry> loadDaemonJournal(const std::string &Path) {
+  std::vector<JournalEntry> Out;
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return Out;
+  std::stringstream Ss;
+  Ss << In.rdbuf();
+  std::string All = Ss.str();
+  std::unordered_map<std::string, size_t> Index;
+  size_t Begin = 0;
+  while (Begin < All.size()) {
+    size_t End = All.find('\n', Begin);
+    if (End == std::string::npos)
+      break; // torn tail: no terminating newline, ignore
+    std::string Line = All.substr(Begin, End - Begin);
+    Begin = End + 1;
+    std::vector<std::string> T = splitTabs(Line);
+    if (T.empty())
+      continue;
+    if (T[0] == "A" && T.size() == 9) {
+      JournalEntry E;
+      E.Client = unescField(T[1]);
+      uint64_t Kind = 0, Deadline = 0;
+      if (!parseU64(T[2], E.Id) || !parseU64(T[3], Kind) ||
+          !parseU64(T[4], Deadline) ||
+          !parseU64(T[5], E.Q.Budget.MaxVisited) ||
+          !parseU64(T[6], E.Q.Budget.MaxMemoryBytes))
+        continue;
+      if (Kind < static_cast<uint64_t>(QueryKind::ProgramDrf) ||
+          Kind > static_cast<uint64_t>(QueryKind::ThinAir))
+        continue;
+      E.Q.Kind = static_cast<QueryKind>(Kind);
+      E.Q.Budget.DeadlineMs = static_cast<int64_t>(Deadline);
+      E.Q.Program = unescField(T[7]);
+      E.Q.Transformed = unescField(T[8]);
+      std::string Key = requestKey(E.Client, E.Id);
+      if (Index.count(Key))
+        continue; // duplicate admission: first one wins
+      Index[Key] = Out.size();
+      Out.push_back(std::move(E));
+    } else if (T[0] == "V" && T.size() == 9) {
+      std::string Client = unescField(T[1]);
+      uint64_t Id = 0, Status = 0, Kind = 0, Reason = 0, Degraded = 0,
+               Visited = 0;
+      if (!parseU64(T[2], Id) || !parseU64(T[3], Status) ||
+          !parseU64(T[4], Kind) || !parseU64(T[5], Reason) ||
+          !parseU64(T[6], Degraded) || !parseU64(T[7], Visited))
+        continue;
+      auto It = Index.find(requestKey(Client, Id));
+      if (It == Index.end())
+        continue; // verdict without admission: ignore
+      JournalEntry &E = Out[It->second];
+      if (Status < static_cast<uint64_t>(ResponseStatus::Ok) ||
+          Status > static_cast<uint64_t>(ResponseStatus::Error) ||
+          Kind > static_cast<uint64_t>(VerdictKind::Unknown) ||
+          Reason > static_cast<uint64_t>(TruncationReason::EngineFault))
+        continue;
+      E.Resp.Status = static_cast<ResponseStatus>(Status);
+      E.Resp.Kind = static_cast<VerdictKind>(Kind);
+      E.Resp.Reason = static_cast<TruncationReason>(Reason);
+      E.Resp.Degraded = Degraded != 0;
+      E.Resp.Visited = Visited;
+      E.Resp.Detail = unescField(T[8]);
+      E.Done = true;
+    }
+    // "H" headers and unknown types: skipped (forward compatibility).
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Server
+//===----------------------------------------------------------------------===//
+
+struct Connection {
+  int Fd = -1;
+  std::string Client; ///< set by Hello; guarded by the server mutex
+  std::mutex WriteM;
+  std::atomic<bool> Open{true};
+
+  void send(const Frame &F) {
+    std::lock_guard<std::mutex> Lock(WriteM);
+    writeFrame(Fd, F);
+  }
+};
+
+using ConnPtr = std::shared_ptr<Connection>;
+
+class Server {
+public:
+  Server(const ServerOptions &Opts, ServerStats &Stats)
+      : Opts(Opts), Stats(Stats) {}
+
+  int run();
+
+private:
+  struct Request {
+    std::string Client;
+    uint64_t Id = 0;
+    QueryRequest Q;
+    QueryResponse Resp;
+    bool Done = false;
+    CancelToken Cancel;
+    std::weak_ptr<Connection> Waiter;
+  };
+  using ReqPtr = std::shared_ptr<Request>;
+
+  void log(const std::string &Msg) {
+    if (Opts.Verbose)
+      std::cerr << "[tracesafed] " << Msg << "\n";
+  }
+
+  unsigned perClientCapLocked() const {
+    if (Opts.PerClientCap)
+      return Opts.PerClientCap;
+    size_t Clients = std::max<size_t>(1, Connected.size());
+    return std::max<unsigned>(
+        1, Opts.QueueCap / static_cast<unsigned>(Clients));
+  }
+
+  void journalAdmitLocked(const Request &R) {
+    if (!Journal.is_open())
+      return;
+    JournalEntry E;
+    E.Client = R.Client;
+    E.Id = R.Id;
+    E.Q = R.Q;
+    writeAdmitLine(Journal, E);
+    Journal.flush();
+  }
+
+  void journalVerdictLocked(const Request &R) {
+    if (!Journal.is_open())
+      return;
+    JournalEntry E;
+    E.Client = R.Client;
+    E.Id = R.Id;
+    E.Resp = R.Resp;
+    writeVerdictLine(Journal, E);
+    Journal.flush();
+  }
+
+  void runRequest(ReqPtr Req) {
+    QueryResponse R;
+    try {
+      R = evaluateQuery(Req->Q, Opts.QuotaCeiling, &Req->Cancel);
+    } catch (...) {
+      // evaluateQuery contains everything already; this is the last-ditch
+      // belt so a bug in the containment cannot fault the task group.
+      R = QueryResponse{};
+      R.Status = ResponseStatus::Ok;
+      R.Kind = VerdictKind::Unknown;
+      R.Reason = TruncationReason::EngineFault;
+    }
+    ConnPtr W;
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      W = Req->Waiter.lock();
+      if (ShuttingDown && R.Reason == TruncationReason::Cancelled) {
+        // Shutdown-cancelled: leave the admission orphaned (no verdict
+        // record, entry dropped) so a resumed daemon recomputes it
+        // instead of serving a Cancelled verdict.
+        Requests.erase(requestKey(Req->Client, Req->Id));
+      } else {
+        Req->Done = true;
+        Req->Resp = R;
+        ++Stats.Completed;
+        if (R.Degraded)
+          ++Stats.Degraded;
+        journalVerdictLocked(*Req);
+      }
+      --Inflight;
+      auto It = ClientLoad.find(Req->Client);
+      if (It != ClientLoad.end() && --It->second == 0)
+        ClientLoad.erase(It);
+    }
+    if (W && W->Open.load(std::memory_order_relaxed)) {
+      Frame Out;
+      Out.Type = FrameType::Verdict;
+      Out.RequestId = Req->Id;
+      Out.Payload = encodeResponse(R);
+      try {
+        W->send(Out);
+      } catch (...) {
+        // Client gone mid-send: the verdict is journaled; a reconnecting
+        // client replays it by request id.
+      }
+    }
+  }
+
+  void handleSubmit(const ConnPtr &C, const Frame &F) {
+    if (C->Client.empty())
+      throw ProtocolError("submit before hello");
+    Frame Out;
+    Out.Type = FrameType::Verdict;
+    Out.RequestId = F.RequestId;
+    QueryRequest Q;
+    if (!decodeSubmit(F.Payload, Q)) {
+      QueryResponse R;
+      R.Status = ResponseStatus::BadRequest;
+      R.Detail = "malformed submit payload";
+      {
+        std::lock_guard<std::mutex> Lock(M);
+        ++Stats.BadRequests;
+      }
+      Out.Payload = encodeResponse(R);
+      C->send(Out);
+      return;
+    }
+    ReqPtr Spawn;
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      std::string Key = requestKey(C->Client, F.RequestId);
+      auto It = Requests.find(Key);
+      if (It != Requests.end()) {
+        // Idempotent retry: an in-flight request is re-targeted at this
+        // connection; a completed one replays its stored verdict. Neither
+        // consumes admission quota again.
+        if (!It->second->Done) {
+          It->second->Waiter = C;
+          return;
+        }
+        ++Stats.Replayed;
+        Out.Payload = encodeResponse(It->second->Resp);
+      } else if (ShuttingDown || faultPoint(FaultSite::Admission) ||
+                 Inflight >= Opts.QueueCap ||
+                 ClientLoad[C->Client] >= perClientCapLocked()) {
+        // Bounded admission: shed instead of queueing unboundedly. The
+        // Admission fault site makes spurious shedding injectable — a
+        // correct client treats Overloaded as retry-after-backoff.
+        ++Stats.Overloaded;
+        QueryResponse R;
+        R.Status = ResponseStatus::Overloaded;
+        R.Detail = ShuttingDown ? "shutting down" : "queue full";
+        Out.Payload = encodeResponse(R);
+      } else {
+        auto Req = std::make_shared<Request>();
+        Req->Client = C->Client;
+        Req->Id = F.RequestId;
+        Req->Q = std::move(Q);
+        Req->Waiter = C;
+        Requests.emplace(std::move(Key), Req);
+        ++Inflight;
+        ++ClientLoad[C->Client];
+        ++Stats.Admitted;
+        journalAdmitLocked(*Req);
+        Spawn = std::move(Req);
+      }
+    }
+    if (!Out.Payload.empty())
+      C->send(Out);
+    if (Spawn)
+      Group->spawn([this, Spawn] { runRequest(Spawn); });
+  }
+
+  void handleCancel(const ConnPtr &C, const Frame &F) {
+    if (C->Client.empty())
+      throw ProtocolError("cancel before hello");
+    std::lock_guard<std::mutex> Lock(M);
+    auto It = Requests.find(requestKey(C->Client, F.RequestId));
+    if (It != Requests.end() && !It->second->Done)
+      It->second->Cancel.request();
+  }
+
+  void serveConnection(ConnPtr C) {
+    std::string Buf;
+    try {
+      Frame F;
+      while (readFrame(C->Fd, Buf, F)) {
+        switch (F.Type) {
+        case FrameType::Hello: {
+          std::string Name;
+          if (!decodeHello(F.Payload, Name) || Name.empty())
+            throw ProtocolError("malformed hello");
+          {
+            std::lock_guard<std::mutex> Lock(M);
+            C->Client = Name;
+            ++Connected[Name];
+          }
+          Frame W;
+          W.Type = FrameType::Welcome;
+          W.Payload = encodeWelcome("tracesafed");
+          C->send(W);
+          break;
+        }
+        case FrameType::Submit:
+          handleSubmit(C, F);
+          break;
+        case FrameType::Cancel:
+          handleCancel(C, F);
+          break;
+        case FrameType::Ping: {
+          Frame P;
+          P.Type = FrameType::Pong;
+          P.RequestId = F.RequestId;
+          C->send(P);
+          break;
+        }
+        default:
+          throw ProtocolError("unexpected frame type");
+        }
+      }
+    } catch (const std::exception &E) {
+      std::lock_guard<std::mutex> Lock(M);
+      ++Stats.ProtoErrors;
+      if (Opts.Verbose)
+        std::cerr << "[tracesafed] connection dropped: " << E.what()
+                  << "\n";
+    }
+    C->Open.store(false, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      if (!C->Client.empty()) {
+        auto It = Connected.find(C->Client);
+        if (It != Connected.end() && --It->second == 0)
+          Connected.erase(It);
+      }
+    }
+    ::close(C->Fd);
+  }
+
+  const ServerOptions &Opts;
+  ServerStats &Stats;
+  std::mutex M;
+  std::unordered_map<std::string, ReqPtr> Requests;
+  std::unordered_map<std::string, unsigned> ClientLoad; ///< in-flight per client
+  std::unordered_map<std::string, unsigned> Connected;  ///< open conns per client
+  unsigned Inflight = 0;
+  bool ShuttingDown = false;
+  std::ofstream Journal;
+  ThreadPool::TaskGroup *Group = nullptr;
+};
+
+int Server::run() {
+  // Durability first: replay the journal before accepting traffic, so a
+  // reconnecting client's retries hit stored verdicts, and compact it
+  // (completed entries keep their verdicts; orphans keep only their
+  // admission and are recomputed below).
+  std::vector<ReqPtr> Orphans;
+  if (!Opts.JournalPath.empty()) {
+    if (Opts.Resume) {
+      std::vector<JournalEntry> Entries =
+          loadDaemonJournal(Opts.JournalPath);
+      std::ofstream Compact(Opts.JournalPath + ".tmp",
+                            std::ios::binary | std::ios::trunc);
+      Compact << "H\t" << JournalVersion << "\ttracesafed\n";
+      for (JournalEntry &E : Entries) {
+        writeAdmitLine(Compact, E);
+        if (E.Done)
+          writeVerdictLine(Compact, E);
+        auto Req = std::make_shared<Request>();
+        Req->Client = E.Client;
+        Req->Id = E.Id;
+        Req->Q = std::move(E.Q);
+        Req->Resp = std::move(E.Resp);
+        Req->Done = E.Done;
+        Requests.emplace(requestKey(Req->Client, Req->Id), Req);
+        if (!Req->Done)
+          Orphans.push_back(std::move(Req));
+      }
+      Compact.flush();
+      if (!Compact) {
+        std::cerr << "tracesafed: cannot rewrite journal "
+                  << Opts.JournalPath << "\n";
+        return 1;
+      }
+      Compact.close();
+      if (std::rename((Opts.JournalPath + ".tmp").c_str(),
+                      Opts.JournalPath.c_str()) != 0) {
+        std::cerr << "tracesafed: cannot replace journal "
+                  << Opts.JournalPath << "\n";
+        return 1;
+      }
+      log("resumed " + std::to_string(Requests.size()) + " entries, " +
+          std::to_string(Orphans.size()) + " orphans to recompute");
+    }
+    Journal.open(Opts.JournalPath, std::ios::binary | std::ios::app);
+    if (!Journal) {
+      std::cerr << "tracesafed: cannot open journal " << Opts.JournalPath
+                << "\n";
+      return 1;
+    }
+    if (!Opts.Resume) {
+      Journal << "H\t" << JournalVersion << "\ttracesafed\n";
+      Journal.flush();
+    }
+  }
+
+  // Unix-domain listener.
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Opts.SocketPath.size() >= sizeof(Addr.sun_path)) {
+    std::cerr << "tracesafed: socket path too long: " << Opts.SocketPath
+              << "\n";
+    return 1;
+  }
+  std::strncpy(Addr.sun_path, Opts.SocketPath.c_str(),
+               sizeof(Addr.sun_path) - 1);
+  int ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (ListenFd < 0) {
+    std::cerr << "tracesafed: socket: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  ::unlink(Opts.SocketPath.c_str());
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr),
+             sizeof(Addr)) != 0 ||
+      ::listen(ListenFd, 64) != 0) {
+    std::cerr << "tracesafed: bind/listen " << Opts.SocketPath << ": "
+              << std::strerror(errno) << "\n";
+    ::close(ListenFd);
+    return 1;
+  }
+
+  std::unique_ptr<ThreadPool> Owned;
+  if (Opts.Workers > 0)
+    Owned = std::make_unique<ThreadPool>(Opts.Workers);
+  ThreadPool &Pool = Owned ? *Owned : ThreadPool::shared();
+  std::vector<std::thread> Readers;
+  std::vector<ConnPtr> Conns;
+  {
+    ThreadPool::TaskGroup G(Pool);
+    Group = &G;
+
+    // Recompute orphaned admissions from the resumed journal: the crash
+    // interrupted them mid-flight; their (client, id) keys are already
+    // registered, so a retrying client attaches as waiter.
+    for (ReqPtr &Req : Orphans) {
+      std::lock_guard<std::mutex> Lock(M);
+      ++Inflight;
+      ++ClientLoad[Req->Client];
+      ++Stats.Resumed;
+      ReqPtr R = Req;
+      G.spawn([this, R] { runRequest(R); });
+    }
+    Orphans.clear();
+    log("listening on " + Opts.SocketPath);
+
+    // Accept loop: poll with a short timeout so Stop is observed within
+    // ~100ms even with no traffic.
+    for (;;) {
+      if (Opts.Stop && Opts.Stop->requested())
+        break;
+      pollfd Pfd{ListenFd, POLLIN, 0};
+      int Ready = ::poll(&Pfd, 1, 100);
+      if (Ready < 0) {
+        if (errno == EINTR)
+          continue;
+        std::cerr << "tracesafed: poll: " << std::strerror(errno) << "\n";
+        break;
+      }
+      if (Ready == 0)
+        continue;
+      int Fd = ::accept(ListenFd, nullptr, nullptr);
+      if (Fd < 0) {
+        if (errno == EINTR)
+          continue;
+        std::cerr << "tracesafed: accept: " << std::strerror(errno)
+                  << "\n";
+        break;
+      }
+      if (faultPoint(FaultSite::Accept)) {
+        // Injected accept failure: the peer sees an immediate close and
+        // retries through its backoff, like a listen backlog overflow.
+        std::lock_guard<std::mutex> Lock(M);
+        ++Stats.AcceptFaults;
+        ::close(Fd);
+        continue;
+      }
+      auto C = std::make_shared<Connection>();
+      C->Fd = Fd;
+      {
+        std::lock_guard<std::mutex> Lock(M);
+        ++Stats.Connections;
+      }
+      Conns.push_back(C);
+      Readers.emplace_back([this, C] { serveConnection(C); });
+    }
+
+    // Shutdown: stop admitting, cancel in-flight queries (their journal
+    // records stay orphaned for the next --resume), drain the group.
+    ::close(ListenFd);
+    ::unlink(Opts.SocketPath.c_str());
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      ShuttingDown = true;
+      for (auto &KV : Requests)
+        if (!KV.second->Done)
+          KV.second->Cancel.request();
+    }
+    G.wait();
+    Group = nullptr;
+  }
+
+  // Unblock and join the readers.
+  for (ConnPtr &C : Conns)
+    ::shutdown(C->Fd, SHUT_RDWR);
+  for (std::thread &T : Readers)
+    T.join();
+  if (Journal.is_open())
+    Journal.flush();
+  log("clean shutdown: " + std::to_string(Stats.Completed) +
+      " completed, " + std::to_string(Stats.Overloaded) + " shed");
+  return 0;
+}
+
+} // namespace
+
+int daemon::runServer(const ServerOptions &Options, ServerStats *Stats) {
+  ServerStats Local;
+  Server S(Options, Stats ? *Stats : Local);
+  return S.run();
+}

@@ -1,0 +1,117 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// tracesafed: the long-lived verification daemon.
+///
+/// One process serves many clients over a unix-domain socket, keeping the
+/// process-global InternPool/BehaviourCache warm across queries. The
+/// robustness contract, in order of importance:
+///
+///  - *Bounded admission.* Queries are admitted under a global in-flight
+///    cap and a fair per-client share of it; a request over either limit
+///    is answered immediately with a structured Overloaded response,
+///    never queued unboundedly. Admitted queries run on the shared
+///    work-stealing ThreadPool under a Budget clamped to the server's
+///    quota ceiling.
+///
+///  - *Containment.* Every query task catches everything; a poisoned
+///    query degrades to the sequential oracle (Degrade layer) and at
+///    worst reports Unknown(EngineFault). The pool, the listener and the
+///    other clients never observe the fault.
+///
+///  - *Durability.* With a journal configured, each admitted request is
+///    appended (A record) before it is scheduled and its verdict (V
+///    record) when it completes, both flushed. `--resume` replays the
+///    journal: completed verdicts are served from the journal without
+///    recomputation (and without re-charging any quota) and admitted-but-
+///    unfinished requests are recomputed, so a `kill -9` mid-batch
+///    resumes to byte-identical merged results.
+///
+///  - *Idempotency.* Requests are keyed (client name, request id): a
+///    retransmitted Submit attaches to the in-flight computation or
+///    replays the stored verdict instead of double-charging admission.
+///
+/// Determinism note: the daemon parallelises *across* queries and runs
+/// each query's engines sequentially (Workers=1), so any query under a
+/// wall-clock-free budget produces the same verdict bytes in any run —
+/// the property the chaos smoke test diffs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACESAFE_DAEMON_SERVER_H
+#define TRACESAFE_DAEMON_SERVER_H
+
+#include "daemon/Protocol.h"
+#include "support/Budget.h"
+
+#include <cstdint>
+#include <string>
+
+namespace tracesafe {
+namespace daemon {
+
+struct ServerOptions {
+  std::string SocketPath;
+  /// Append-only journal for crash recovery; empty = no durability.
+  std::string JournalPath;
+  /// Replay JournalPath on startup (serve completed verdicts, recompute
+  /// orphaned admissions).
+  bool Resume = false;
+  /// Query workers. 0 = the shared pool's default width.
+  unsigned Workers = 0;
+  /// Global cap on admitted-but-unfinished queries; anything beyond is
+  /// answered Overloaded.
+  unsigned QueueCap = 64;
+  /// Per-client cap on in-flight queries. 0 = fair share, i.e.
+  /// max(1, QueueCap / connected clients).
+  unsigned PerClientCap = 0;
+  /// Field-wise ceiling clamped onto every requested budget (0 =
+  /// unbounded field). The default keeps one rogue query from starving
+  /// the pool for more than ~10 s.
+  BudgetSpec QuotaCeiling{/*DeadlineMs=*/10'000, /*MaxVisited=*/2'000'000,
+                          /*MaxMemoryBytes=*/256ULL << 20};
+  /// Cooperative shutdown: when requested, the listener drains, in-flight
+  /// queries are cancelled (their journal records stay orphaned, so a
+  /// restart recomputes them), and runServer returns.
+  const CancelToken *Stop = nullptr;
+  /// Log one line per lifecycle event to stderr.
+  bool Verbose = false;
+};
+
+/// Monotonic daemon counters, exposed for tests and the --verbose exit
+/// summary.
+struct ServerStats {
+  uint64_t Connections = 0;  ///< accepted sockets
+  uint64_t Admitted = 0;     ///< queries admitted (journal A records)
+  uint64_t Completed = 0;    ///< verdicts computed (journal V records)
+  uint64_t Overloaded = 0;   ///< requests shed by admission control
+  uint64_t BadRequests = 0;  ///< malformed submits
+  uint64_t Replayed = 0;     ///< verdicts served from memory or journal
+  uint64_t Resumed = 0;      ///< orphaned admissions recomputed on resume
+  uint64_t Degraded = 0;     ///< queries answered by the oracle fallback
+  uint64_t ProtoErrors = 0;  ///< connections dropped on transport errors
+  uint64_t AcceptFaults = 0; ///< injected accept-site faults
+};
+
+/// Runs the daemon until Stop is requested (or the listener fails
+/// fatally). Returns 0 on clean shutdown. \p Stats, when non-null,
+/// receives the final counters.
+int runServer(const ServerOptions &Options, ServerStats *Stats = nullptr);
+
+/// Evaluates one query exactly as a daemon worker does — budget clamp,
+/// sequential engines, exception containment, oracle degradation — shared
+/// by the standalone CLI modes and the chaos test's single-process
+/// reference run. \p Ceiling is applied field-wise; \p Cancel may be
+/// null.
+QueryResponse evaluateQuery(const QueryRequest &Q, const BudgetSpec &Ceiling,
+                            const CancelToken *Cancel = nullptr);
+
+/// The field-wise clamp evaluateQuery applies: requested 0 means "use the
+/// ceiling"; otherwise the smaller of the two (ceiling 0 = unbounded).
+BudgetSpec clampBudget(const BudgetSpec &Requested,
+                       const BudgetSpec &Ceiling);
+
+} // namespace daemon
+} // namespace tracesafe
+
+#endif // TRACESAFE_DAEMON_SERVER_H

@@ -32,6 +32,20 @@ const char *tracesafe::faultSiteName(FaultSite S) {
     return "budget-charge";
   case FaultSite::BehaviourCache:
     return "behaviour-cache";
+  case FaultSite::BufferedIntern:
+    return "buffered-intern";
+  case FaultSite::BufferedFork:
+    return "buffered-fork";
+  case FaultSite::BufferedDrain:
+    return "buffered-drain";
+  case FaultSite::ProtoRead:
+    return "proto-read";
+  case FaultSite::ProtoWrite:
+    return "proto-write";
+  case FaultSite::Accept:
+    return "accept";
+  case FaultSite::Admission:
+    return "admission";
   case FaultSite::Count_:
     break;
   }
@@ -46,12 +60,24 @@ void FaultPlan::arm(FaultSite S, uint64_t FireAt, uint64_t Repeat,
   A.StallMs = StallMs;
 }
 
-void FaultPlan::randomize(uint64_t Seed) {
+void FaultPlan::reset() {
   for (size_t I = 0; I < FaultSiteCount; ++I) {
     Arms[I] = SiteArm{};
     Hits[I].store(0, std::memory_order_relaxed);
     Fired[I].store(0, std::memory_order_relaxed);
   }
+}
+
+void FaultPlan::randomize(uint64_t Seed) {
+  reset();
+  // The campaign sites predate the daemon/engine extensions; drawing from
+  // this fixed list (in enum order) keeps (seed -> plan) stable for the
+  // recorded chaos seeds even as new sites are appended to the enum.
+  static constexpr FaultSite CampaignSites[] = {
+      FaultSite::InternAlloc, FaultSite::TaskRun, FaultSite::TaskStall,
+      FaultSite::BudgetCharge, FaultSite::BehaviourCache};
+  constexpr size_t NumCampaignSites =
+      sizeof(CampaignSites) / sizeof(CampaignSites[0]);
   uint64_t Z = Seed;
   auto Next = [&Z] { return Z = mix64(Z); };
   // Arm one to three distinct sites. Trigger counts are kept small enough
@@ -59,7 +85,7 @@ void FaultPlan::randomize(uint64_t Seed) {
   // and budgets see thousands of hits per campaign, the task sites tens.
   unsigned Sites = 1 + static_cast<unsigned>(Next() % 3);
   for (unsigned I = 0; I < Sites; ++I) {
-    FaultSite S = static_cast<FaultSite>(Next() % FaultSiteCount);
+    FaultSite S = CampaignSites[Next() % NumCampaignSites];
     uint64_t Repeat = 1 + Next() % 3;
     switch (S) {
     case FaultSite::InternAlloc:
@@ -84,7 +110,48 @@ void FaultPlan::randomize(uint64_t Seed) {
       // so the trigger must land within tens of hits.
       arm(S, 1 + Next() % 50, Repeat);
       break;
-    case FaultSite::Count_:
+    default:
+      break;
+    }
+  }
+}
+
+void FaultPlan::randomizeDaemon(uint64_t Seed) {
+  reset();
+  static constexpr FaultSite DaemonSites[] = {
+      FaultSite::ProtoRead,      FaultSite::ProtoWrite,
+      FaultSite::Accept,         FaultSite::Admission,
+      FaultSite::BufferedIntern, FaultSite::BufferedFork,
+      FaultSite::BufferedDrain};
+  constexpr size_t NumDaemonSites =
+      sizeof(DaemonSites) / sizeof(DaemonSites[0]);
+  uint64_t Z = mix64(Seed ^ 0xDAE110ULL);
+  auto Next = [&Z] { return Z = mix64(Z); };
+  unsigned Sites = 1 + static_cast<unsigned>(Next() % 3);
+  for (unsigned I = 0; I < Sites; ++I) {
+    FaultSite S = DaemonSites[Next() % NumDaemonSites];
+    uint64_t Repeat = 1 + Next() % 3;
+    switch (S) {
+    case FaultSite::ProtoRead:
+    case FaultSite::ProtoWrite:
+      // A small batch moves tens of frames; land inside it.
+      arm(S, 1 + Next() % 20, Repeat);
+      break;
+    case FaultSite::Accept:
+    case FaultSite::Admission:
+      // Accepts and admissions are one per connection / request.
+      arm(S, 1 + Next() % 6, Repeat);
+      break;
+    case FaultSite::BufferedIntern:
+      // The buffered search interns a state and its events per visit;
+      // even a small TSO query racks up thousands of hits.
+      arm(S, 1 + Next() % 2'000, Repeat);
+      break;
+    case FaultSite::BufferedFork:
+    case FaultSite::BufferedDrain:
+      arm(S, 1 + Next() % 50, Repeat);
+      break;
+    default:
       break;
     }
   }

@@ -36,6 +36,13 @@ enum class FaultSite : uint8_t {
   TaskStall,      ///< a ThreadPool task sleeps StallMs before running
   BudgetCharge,   ///< Budget::charge spuriously exhausts with EngineFault
   BehaviourCache, ///< BehaviourCache lookup/insert throws InjectedFault
+  BufferedIntern, ///< BufferedEngine state interning throws std::bad_alloc
+  BufferedFork,   ///< BufferedEngine subtree handoff throws InjectedFault
+  BufferedDrain,  ///< BufferedEngine drain step throws InjectedFault
+  ProtoRead,      ///< daemon protocol read fails mid-frame
+  ProtoWrite,     ///< daemon protocol write fails mid-frame
+  Accept,         ///< daemon accept loop drops an incoming connection
+  Admission,      ///< daemon admission control spuriously sheds a request
   Count_,
 };
 
@@ -78,8 +85,20 @@ public:
   /// Re-arms this plan as a seeded random plan for chaos runs: one to
   /// three sites with small trigger counts so faults land inside a short
   /// campaign. In place because the hit counters are atomics (the plan is
-  /// neither copyable nor movable); also resets the counters.
+  /// neither copyable nor movable); also resets the counters. Draws from
+  /// the original engine-side campaign sites only (intern, task, budget,
+  /// cache) so chaos plans replay identically across releases that add
+  /// new sites; daemon transports arm randomizeDaemon instead.
   void randomize(uint64_t Seed);
+
+  /// Seeded random plan over the daemon sites (protocol read/write,
+  /// accept, admission) plus the BufferedEngine search sites, used by
+  /// `tracesafed --fault-seed` and the client retry tests. Trigger counts
+  /// are tuned so a short daemon batch actually reaches them.
+  void randomizeDaemon(uint64_t Seed);
+
+  /// Disarms every site and resets the counters.
+  void reset();
 
   /// Consults (and advances) the hit counter of \p S. True iff the fault
   /// fires on this hit.

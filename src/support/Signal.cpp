@@ -1,0 +1,37 @@
+#include "support/Signal.h"
+
+#include <atomic>
+#include <csignal>
+
+using namespace tracesafe;
+
+namespace {
+
+std::atomic<CancelToken *> GToken{nullptr};
+std::atomic<bool> GSignalled{false};
+
+extern "C" void tracesafeOnSignal(int Sig) {
+  GSignalled.store(true, std::memory_order_relaxed);
+  if (CancelToken *T = GToken.load(std::memory_order_relaxed))
+    T->request();
+  // A second signal kills the process the ordinary way: restore the
+  // default disposition so a run stuck past its cancellation check
+  // interval stays killable from the terminal.
+  std::signal(Sig, SIG_DFL);
+}
+
+} // namespace
+
+void tracesafe::installCancelOnSignal(CancelToken &Token) {
+  GToken.store(&Token, std::memory_order_relaxed);
+  std::signal(SIGINT, tracesafeOnSignal);
+  std::signal(SIGTERM, tracesafeOnSignal);
+}
+
+const CancelToken *tracesafe::signalToken() {
+  return GToken.load(std::memory_order_relaxed);
+}
+
+bool tracesafe::signalled() {
+  return GSignalled.load(std::memory_order_relaxed);
+}

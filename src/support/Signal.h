@@ -1,0 +1,41 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared SIGINT/SIGTERM handling for the CLI binaries.
+///
+/// Every long-running example binary follows the same contract: the first
+/// SIGINT or SIGTERM requests cooperative cancellation through a
+/// CancelToken (so journals are flushed and partial results reported), and
+/// the process exits with the conventional 130 once the run has unwound.
+/// The handler only flips an atomic flag — async-signal-safe by
+/// construction — and a second signal while the first is still unwinding
+/// falls back to the default disposition, so a wedged run can still be
+/// killed from the terminal.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACESAFE_SUPPORT_SIGNAL_H
+#define TRACESAFE_SUPPORT_SIGNAL_H
+
+#include "support/Budget.h"
+
+namespace tracesafe {
+
+/// Exit status for runs interrupted by SIGINT/SIGTERM (128 + SIGINT).
+constexpr int ExitInterrupted = 130;
+
+/// Routes SIGINT and SIGTERM to \p Token.request(). The token must
+/// outlive the handlers (install from main over a token with static or
+/// main-scope storage). Installing a second token replaces the first.
+void installCancelOnSignal(CancelToken &Token);
+
+/// The token currently wired to the signal handlers (nullptr when none).
+const CancelToken *signalToken();
+
+/// True once a routed signal has been delivered. Binaries poll this (or
+/// their token) between phases and return ExitInterrupted after flushing.
+bool signalled();
+
+} // namespace tracesafe
+
+#endif // TRACESAFE_SUPPORT_SIGNAL_H

@@ -1,6 +1,7 @@
 #include "tso/BufferedEngine.h"
 
 #include "lang/Explore.h"
+#include "support/Failure.h"
 #include "support/ForkPolicy.h"
 #include "support/Intern.h"
 #include "support/ThreadPool.h"
@@ -375,6 +376,9 @@ private:
   void applyTo(BufNode &C, const Transition &T) {
     ThreadId Tid = T.Ev.Tid;
     if (T.Ev.IsDrain) {
+      // Injected drain failure: unwinds through search() into the
+      // engine's containment (sequential catch or the task group).
+      faultThrowInjected(FaultSite::BufferedDrain);
       if (Model == BufferModel::Tso) {
         auto Entry = C.Tso[Tid].front();
         C.Tso[Tid].pop_front();
@@ -501,6 +505,7 @@ private:
     // Intern the state; prune revisits (subset rule under POR).
     std::vector<uint64_t> Enc;
     encodeState(N, Enc);
+    faultThrowBadAlloc(FaultSite::BufferedIntern);
     InternPool::Result State = Structs.intern(Enc.data(), Enc.size());
     if (Memo) {
       Enc.clear();
@@ -541,6 +546,9 @@ private:
                   });
       }
       if (Group && Forks.shouldFork(*Pool, Depth)) {
+        // Injected fork failure: fires before the subtree is handed off,
+        // so the child is neither run locally nor leaked.
+        faultThrowInjected(FaultSite::BufferedFork);
         // Hand the subtree to an idle worker: one node copy.
         auto Child = std::make_shared<BufNode>(N);
         Child->Sleep = std::move(ChildSleep);

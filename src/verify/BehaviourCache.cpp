@@ -82,13 +82,84 @@ TruncationReason replayCost(Budget *Shared, uint64_t Visits,
 
 } // namespace
 
-void BehaviourCache::reserveLocked(uint64_t Need) {
-  if (Counters.Bytes + Need <= MaxBytes)
+void BehaviourCache::linkLocked(LruState &Lru, Family Kind,
+                                const std::string &Key) {
+  Probation.push_front(LruRef{Kind, &Key});
+  Lru.It = Probation.begin();
+  Lru.Protected_ = false;
+}
+
+void BehaviourCache::touchLocked(LruState &Lru, uint64_t Footprint) {
+  if (Lru.Protected_) {
+    Protected_.splice(Protected_.begin(), Protected_, Lru.It);
     return;
-  Tracesets.clear();
-  Behaviours.clear();
-  Counters.Bytes = 0;
-  ++Counters.Clears;
+  }
+  // First re-use: promote out of probation. Splicing keeps the iterator
+  // valid and pointing at the same node.
+  Protected_.splice(Protected_.begin(), Probation, Lru.It);
+  Lru.Protected_ = true;
+  ProtectedBytes += Footprint;
+  // Keep the protected segment within its share of the cap by demoting
+  // its coldest entries back to probation — demoted entries get another
+  // probation pass rather than being evicted outright.
+  const uint64_t ProtectedCap = MaxBytes - MaxBytes / 5;
+  while (ProtectedBytes > ProtectedCap && Protected_.size() > 1) {
+    const LruRef &Cold = Protected_.back();
+    LruState *ColdLru = nullptr;
+    uint64_t ColdBytes = 0;
+    if (Cold.Kind == Family::Traceset) {
+      auto It = Tracesets.find(*Cold.Key);
+      ColdLru = &It->second.Lru;
+      ColdBytes = It->second.Footprint;
+    } else {
+      auto It = Behaviours.find(*Cold.Key);
+      ColdLru = &It->second.Lru;
+      ColdBytes = It->second.Footprint;
+    }
+    Probation.splice(Probation.begin(), Protected_, ColdLru->It);
+    ColdLru->Protected_ = false;
+    ProtectedBytes -= ColdBytes;
+  }
+}
+
+void BehaviourCache::evictLocked(const LruRef &Ref, bool FromProtected) {
+  uint64_t Freed = 0;
+  if (Ref.Kind == Family::Traceset) {
+    auto It = Tracesets.find(*Ref.Key);
+    if (It == Tracesets.end())
+      return;
+    Freed = It->second.Footprint;
+    Tracesets.erase(It);
+  } else {
+    auto It = Behaviours.find(*Ref.Key);
+    if (It == Behaviours.end())
+      return;
+    Freed = It->second.Footprint;
+    Behaviours.erase(It);
+  }
+  Counters.Bytes -= Freed;
+  if (FromProtected)
+    ProtectedBytes -= Freed;
+  ++Counters.Evictions;
+}
+
+void BehaviourCache::reserveLocked(uint64_t Need) {
+  // Probation tails go first: one-shot scan traffic washes out before any
+  // re-used entry is touched. Protected tails only fall once probation is
+  // empty.
+  while (Counters.Bytes + Need > MaxBytes) {
+    if (!Probation.empty()) {
+      LruRef Victim = Probation.back();
+      Probation.pop_back();
+      evictLocked(Victim, /*FromProtected=*/false);
+    } else if (!Protected_.empty()) {
+      LruRef Victim = Protected_.back();
+      Protected_.pop_back();
+      evictLocked(Victim, /*FromProtected=*/true);
+    } else {
+      break;
+    }
+  }
 }
 
 std::shared_ptr<const Traceset>
@@ -106,6 +177,7 @@ BehaviourCache::tracesetFor(const Program &P,
     auto It = Tracesets.find(Key);
     if (It != Tracesets.end()) {
       ++Counters.TracesetHits;
+      touchLocked(It->second.Lru, It->second.Footprint);
       const TracesetEntry &E = It->second;
       if (Stats)
         Stats->Visited += E.CostVisits;
@@ -153,8 +225,11 @@ BehaviourCache::tracesetFor(const Program &P,
     reserveLocked(E.Footprint);
     if (E.Footprint <= MaxBytes) {
       uint64_t F = E.Footprint;
-      if (Tracesets.emplace(std::move(Key), std::move(E)).second)
+      auto [Slot, Inserted] = Tracesets.emplace(std::move(Key), std::move(E));
+      if (Inserted) {
         Counters.Bytes += F;
+        linkLocked(Slot->second.Lru, Family::Traceset, Slot->first);
+      }
     }
   } catch (const InjectedFault &) {
     std::lock_guard<std::mutex> Lock(M);
@@ -175,6 +250,7 @@ BehaviourCache::behavioursFor(const Traceset &T,
     auto It = Behaviours.find(Key);
     if (It != Behaviours.end()) {
       ++Counters.BehaviourHits;
+      touchLocked(It->second.Lru, It->second.Footprint);
       const BehaviourEntry &E = It->second;
       if (Stats)
         Stats->Visited += E.CostVisits;
@@ -216,8 +292,11 @@ BehaviourCache::behavioursFor(const Traceset &T,
     reserveLocked(E.Footprint);
     if (E.Footprint <= MaxBytes) {
       uint64_t F = E.Footprint;
-      if (Behaviours.emplace(std::move(Key), std::move(E)).second)
+      auto [Slot, Inserted] = Behaviours.emplace(std::move(Key), std::move(E));
+      if (Inserted) {
         Counters.Bytes += F;
+        linkLocked(Slot->second.Lru, Family::Behaviour, Slot->first);
+      }
     }
   } catch (const InjectedFault &) {
     std::lock_guard<std::mutex> Lock(M);
@@ -235,6 +314,9 @@ void BehaviourCache::clear() {
   std::lock_guard<std::mutex> Lock(M);
   Tracesets.clear();
   Behaviours.clear();
+  Probation.clear();
+  Protected_.clear();
+  ProtectedBytes = 0;
   Counters.Bytes = 0;
   ++Counters.Clears;
 }

@@ -26,9 +26,12 @@
 ///    to a miss (recompute) or a skipped insert, never to a changed
 ///    answer. See docs/ROBUSTNESS.md.
 ///
-/// The cache owns bounded memory (whole-cache clear on overflow) that is
-/// deliberately *not* charged to any query budget: it is process
-/// infrastructure, like the thread pool, not part of a query's footprint.
+/// The cache owns bounded memory that is deliberately *not* charged to
+/// any query budget: it is process infrastructure, like the thread pool,
+/// not part of a query's footprint. Overflow is handled by segmented LRU
+/// eviction (probation for entries seen once, protected for re-used
+/// ones): a long-lived daemon keeps its warm set while one-shot scans
+/// wash through probation, instead of periodically dropping everything.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -38,6 +41,7 @@
 #include "lang/Explore.h"
 #include "trace/Enumerate.h"
 
+#include <list>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -50,13 +54,15 @@ class BehaviourCache {
 public:
   /// Monotonic counters (snapshot under the cache lock). Hit/miss pairs
   /// are per family; Faults counts injected cache faults degraded to
-  /// recomputation; Clears counts whole-cache evictions on overflow.
+  /// recomputation; Evictions counts single entries dropped by the
+  /// segmented LRU on overflow; Clears counts explicit clear() calls.
   struct CacheStats {
     uint64_t TracesetHits = 0;
     uint64_t TracesetMisses = 0;
     uint64_t BehaviourHits = 0;
     uint64_t BehaviourMisses = 0;
     uint64_t Faults = 0;
+    uint64_t Evictions = 0;
     uint64_t Clears = 0;
     uint64_t Bytes = 0; ///< approximate current footprint
 
@@ -105,27 +111,67 @@ public:
   static BehaviourCache &global();
 
 private:
+  /// Which family an LRU node belongs to (the two families share the
+  /// recency lists so eviction pressure is global, like the byte cap).
+  enum class Family : uint8_t { Traceset, Behaviour };
+
+  /// A node of the segmented LRU lists: enough to find (and erase) the
+  /// owning map entry. Map key storage is stable under rehash, so the
+  /// pointer stays valid for the entry's lifetime.
+  struct LruRef {
+    Family Kind;
+    const std::string *Key;
+  };
+  using LruList = std::list<LruRef>;
+
+  /// Recency bookkeeping shared by both entry kinds.
+  struct LruState {
+    LruList::iterator It;
+    bool Protected_ = false; ///< which segment It points into
+  };
+
   struct TracesetEntry {
     std::shared_ptr<const Traceset> Set;
     uint64_t CostVisits = 0; ///< visits the computing query charged
     uint64_t CostBytes = 0;  ///< bytes the computing query charged
     uint64_t Footprint = 0;  ///< approximate bytes this entry occupies
+    LruState Lru;
   };
   struct BehaviourEntry {
     std::set<Behaviour> Set;
     uint64_t CostVisits = 0;
     uint64_t CostBytes = 0;
     uint64_t Footprint = 0;
+    LruState Lru;
   };
 
-  /// Reserves room for \p Need more bytes, clearing everything when the
-  /// cap would be exceeded. Call with the lock held.
+  /// Moves a just-hit entry to the front of the protected segment,
+  /// demoting protected tails back to probation if the segment outgrows
+  /// its share of the byte cap. Call with the lock held.
+  void touchLocked(LruState &Lru, uint64_t Footprint);
+
+  /// Links a freshly inserted entry at the front of probation. Call with
+  /// the lock held.
+  void linkLocked(LruState &Lru, Family Kind, const std::string &Key);
+
+  /// Evicts probation (then protected) tails until \p Need more bytes fit
+  /// under the cap or the cache is empty. Call with the lock held.
   void reserveLocked(uint64_t Need);
+
+  /// Erases the entry behind \p Ref from its map, adjusting the byte and
+  /// segment accounting. Call with the lock held.
+  void evictLocked(const LruRef &Ref, bool FromProtected);
 
   const uint64_t MaxBytes;
   mutable std::mutex M;
   std::unordered_map<std::string, TracesetEntry> Tracesets;
   std::unordered_map<std::string, BehaviourEntry> Behaviours;
+  /// Segmented LRU: entries enter Probation (front = most recent) and are
+  /// promoted to Protected on their first hit. Eviction drains probation
+  /// tails first, so scan traffic cannot flush the re-used warm set.
+  LruList Probation;
+  LruList Protected_;
+  uint64_t ProtectedBytes = 0;
   CacheStats Counters;
 };
 

@@ -168,6 +168,98 @@ TEST(BehaviourCache, OverflowClearsAndKeepsAnswering) {
   EXPECT_EQ(Tiny.stats().TracesetHits, 0u);
 }
 
+TEST(BehaviourCache, SegmentedLruEvictsColdProbationBeforeWarmEntries) {
+  Program P = sbProgram();
+  ExploreLimits L;
+
+  // Measure per-entry footprints with an unbounded probe cache: entries
+  // keyed on three distinct domains, near-identical sizes.
+  uint64_t BytesA, BytesB;
+  {
+    BehaviourCache Probe;
+    ASSERT_TRUE(Probe.tracesetFor(P, {0, 1}, L));
+    BytesA = Probe.stats().Bytes;
+    ASSERT_TRUE(Probe.tracesetFor(P, {0, 2}, L));
+    BytesB = Probe.stats().Bytes - BytesA;
+    ASSERT_GT(BytesA, 0u);
+    ASSERT_GT(BytesB, 0u);
+  }
+
+  // A cache that holds exactly A and B. Insert both, then *touch* A so it
+  // is promoted to the protected segment; inserting C must evict the
+  // probation tail (B), never the re-used A.
+  BehaviourCache Cache(BytesA + BytesB);
+  ASSERT_TRUE(Cache.tracesetFor(P, {0, 1}, L)); // A: miss, probation
+  ASSERT_TRUE(Cache.tracesetFor(P, {0, 2}, L)); // B: miss, probation
+  ASSERT_TRUE(Cache.tracesetFor(P, {0, 1}, L)); // A: hit -> protected
+  ASSERT_TRUE(Cache.tracesetFor(P, {0, 3}, L)); // C: miss, evicts B
+
+  BehaviourCache::CacheStats S = Cache.stats();
+  EXPECT_GE(S.Evictions, 1u);
+  EXPECT_EQ(S.Clears, 0u) << "overflow must evict entries, not clear";
+
+  ASSERT_TRUE(Cache.tracesetFor(P, {0, 1}, L)); // A must still be warm
+  EXPECT_EQ(Cache.stats().TracesetHits, 2u);
+  ASSERT_TRUE(Cache.tracesetFor(P, {0, 2}, L)); // B was the victim
+  EXPECT_EQ(Cache.stats().TracesetMisses, 4u);
+}
+
+TEST(BehaviourCache, ScanTrafficDoesNotFlushTheWarmSet) {
+  Program P = sbProgram();
+  ExploreLimits L;
+  uint64_t OneEntry;
+  {
+    BehaviourCache Probe;
+    ASSERT_TRUE(Probe.tracesetFor(P, {0, 1}, L));
+    OneEntry = Probe.stats().Bytes;
+  }
+
+  // Room for roughly three entries. A is inserted and re-used (protected);
+  // a stream of one-shot lookups then washes through probation.
+  BehaviourCache Cache(3 * OneEntry + OneEntry / 2);
+  ASSERT_TRUE(Cache.tracesetFor(P, {0, 1}, L));
+  ASSERT_TRUE(Cache.tracesetFor(P, {0, 1}, L)); // promote A
+  for (Value V = 2; V <= 9; ++V)
+    ASSERT_TRUE(Cache.tracesetFor(P, {0, V}, L)); // scan: seen once each
+
+  BehaviourCache::CacheStats Before = Cache.stats();
+  ASSERT_TRUE(Cache.tracesetFor(P, {0, 1}, L));
+  BehaviourCache::CacheStats After = Cache.stats();
+  EXPECT_EQ(After.TracesetHits, Before.TracesetHits + 1)
+      << "the scan must not have evicted the re-used entry";
+  EXPECT_GE(After.Evictions, 1u);
+}
+
+TEST(BehaviourCache, WarmthInvarianceSurvivesEviction) {
+  // The cost-replay property must hold whether an answer comes from the
+  // cache or is recomputed after its entry was evicted: the budget sees
+  // the same visit charge either way.
+  Program P = sbProgram();
+  ExploreLimits Plain;
+  uint64_t OneEntry;
+  {
+    BehaviourCache Probe;
+    ASSERT_TRUE(Probe.tracesetFor(P, {0, 1}, Plain));
+    OneEntry = Probe.stats().Bytes;
+  }
+
+  BehaviourCache Cache(OneEntry + OneEntry / 2); // holds one entry
+  Budget Cold(BudgetSpec{});
+  ExploreLimits L1;
+  L1.Shared = &Cold;
+  ASSERT_TRUE(Cache.tracesetFor(P, {0, 1}, L1));
+  uint64_t ColdVisits = Cold.visited();
+
+  // Evict it by inserting an unrelated entry, then re-query under a fresh
+  // budget: recomputation must charge exactly the cold cost again.
+  ASSERT_TRUE(Cache.tracesetFor(P, {0, 2}, Plain));
+  Budget Again(BudgetSpec{});
+  ExploreLimits L2;
+  L2.Shared = &Again;
+  ASSERT_TRUE(Cache.tracesetFor(P, {0, 1}, L2));
+  EXPECT_EQ(Again.visited(), ColdVisits);
+}
+
 TEST(BehaviourCache, KeysSeparateDomainsAndLimits) {
   BehaviourCache Cache;
   Program P = sbProgram();

@@ -1,0 +1,424 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// In-process tests for the tracesafed server: verdict correctness against
+/// the shared evaluateQuery oracle, structured Overloaded under
+/// oversubscription (the daemon sheds, it never hangs), idempotent request
+/// ids (a retry never recomputes or double-charges), per-request
+/// cancellation, exception containment with oracle degradation, and the
+/// client library's retry/backoff under injected transport faults.
+///
+//===----------------------------------------------------------------------===//
+
+#include "daemon/Client.h"
+#include "daemon/Server.h"
+#include "support/Failure.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+
+using namespace tracesafe;
+using namespace tracesafe::daemon;
+
+namespace {
+
+/// Deterministic ceiling: no wall clock, so verdicts (including Visited)
+/// are byte-identical across runs and machines.
+const BudgetSpec TestCeiling{/*DeadlineMs=*/0, /*MaxVisited=*/200'000,
+                             /*MaxMemoryBytes=*/128ULL << 20};
+
+std::string uniqueSocket(const char *Tag) {
+  static std::atomic<unsigned> Counter{0};
+  return (std::filesystem::temp_directory_path() /
+          ("tracesafed_test_" + std::string(Tag) + "_" +
+           std::to_string(::getpid()) + "_" +
+           std::to_string(Counter.fetch_add(1)) + ".sock"))
+      .string();
+}
+
+/// Runs a server on a background thread for the duration of a test.
+class ServerFixture {
+public:
+  explicit ServerFixture(ServerOptions O) : Opts(std::move(O)) {
+    if (Opts.QuotaCeiling.DeadlineMs == 10'000) // default -> deterministic
+      Opts.QuotaCeiling = TestCeiling;
+    Opts.Stop = &Stop;
+    Thread = std::thread([this] { Rc = runServer(Opts, &Stats); });
+    // The listener is up once the socket path accepts a connection.
+    for (int I = 0; I < 500; ++I) {
+      int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      sockaddr_un Addr{};
+      Addr.sun_family = AF_UNIX;
+      std::snprintf(Addr.sun_path, sizeof(Addr.sun_path), "%s",
+                    Opts.SocketPath.c_str());
+      bool Up = ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                          sizeof(Addr)) == 0;
+      ::close(Fd);
+      if (Up)
+        return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ADD_FAILURE() << "server did not come up on " << Opts.SocketPath;
+  }
+
+  ServerStats shutdown() {
+    if (Thread.joinable()) {
+      Stop.request();
+      Thread.join();
+    }
+    EXPECT_EQ(Rc, 0);
+    return Stats;
+  }
+
+  ~ServerFixture() {
+    shutdown();
+    std::remove(Opts.SocketPath.c_str());
+    if (!Opts.JournalPath.empty())
+      std::remove(Opts.JournalPath.c_str());
+  }
+
+  ServerOptions Opts;
+
+private:
+  CancelToken Stop;
+  ServerStats Stats;
+  int Rc = -1;
+  std::thread Thread;
+};
+
+QueryRequest drfQuery(const std::string &Src) {
+  QueryRequest Q;
+  Q.Kind = QueryKind::ProgramDrf;
+  Q.Program = Src;
+  return Q;
+}
+
+/// Racy program with a deliberately large interleaving space: keeps a
+/// query in flight long enough for admission control to be observable.
+std::string slowProgram(unsigned Salt) {
+  std::string P;
+  for (int T = 0; T < 3; ++T) {
+    P += "thread { ";
+    for (int I = 0; I < 5; ++I)
+      P += "x" + std::to_string(Salt) + " := " + std::to_string(I % 2) +
+           "; r" + std::to_string(T) + " := x" + std::to_string(Salt) +
+           "; ";
+    P += "}\n";
+  }
+  return P;
+}
+
+TEST(Daemon, VerdictsMatchTheSharedEvaluator) {
+  ServerOptions O;
+  O.SocketPath = uniqueSocket("verdicts");
+  ServerFixture Server(O);
+
+  std::vector<QueryRequest> Qs;
+  Qs.push_back(drfQuery("thread { x := 1; }\nthread { r0 := x; }\n"));
+  Qs.push_back(drfQuery(
+      "thread { sync m { x := 1; } }\nthread { sync m { r0 := x; } }\n"));
+  {
+    QueryRequest Q;
+    Q.Kind = QueryKind::Behaviours;
+    Q.Program = "thread { x := 1; r0 := x; print r0; }\n";
+    Qs.push_back(Q);
+  }
+  {
+    QueryRequest Q;
+    Q.Kind = QueryKind::DrfGuarantee;
+    Q.Program = "thread { sync m { x := 1; x := 2; } }\n"
+                "thread { sync m { r0 := x; print r0; } }\n";
+    Q.Transformed = "thread { sync m { x := 2; } }\n"
+                    "thread { sync m { r0 := x; print r0; } }\n";
+    Qs.push_back(Q);
+  }
+  {
+    QueryRequest Q;
+    Q.Kind = QueryKind::ThinAir;
+    Q.Program = "thread { r2 := y; x := r2; print r2; }\n"
+                "thread { r1 := x; y := r1; }\n";
+    Q.Transformed = Q.Program;
+    Qs.push_back(Q);
+  }
+
+  ClientOptions CO;
+  CO.SocketPath = Server.Opts.SocketPath;
+  CO.Name = "verdict-test";
+  DaemonClient Client(CO);
+  std::vector<QueryResponse> Got = Client.callBatch(Qs);
+  ASSERT_EQ(Got.size(), Qs.size());
+  for (size_t I = 0; I < Qs.size(); ++I) {
+    QueryResponse Want = evaluateQuery(Qs[I], TestCeiling);
+    EXPECT_EQ(Got[I].str(), Want.str()) << "query " << I;
+    EXPECT_EQ(Got[I].Status, ResponseStatus::Ok);
+    EXPECT_NE(Got[I].Kind, VerdictKind::Unknown) << "query " << I;
+  }
+
+  ServerStats S = Server.shutdown();
+  EXPECT_EQ(S.Admitted, Qs.size());
+  EXPECT_EQ(S.Completed, Qs.size());
+  EXPECT_EQ(S.Overloaded, 0u);
+}
+
+TEST(Daemon, BadRequestsAreStructuredNotFatal) {
+  ServerOptions O;
+  O.SocketPath = uniqueSocket("badreq");
+  ServerFixture Server(O);
+  ClientOptions CO;
+  CO.SocketPath = Server.Opts.SocketPath;
+  CO.Name = "badreq-test";
+  DaemonClient Client(CO);
+
+  QueryResponse R = Client.call(drfQuery("thread { this is not a program"));
+  EXPECT_EQ(R.Status, ResponseStatus::BadRequest);
+  EXPECT_NE(R.Detail.find("parse error"), std::string::npos);
+
+  // The connection and the server survive: a valid query still works.
+  QueryResponse Ok = Client.call(drfQuery("thread { x := 1; }\n"));
+  EXPECT_EQ(Ok.Status, ResponseStatus::Ok);
+}
+
+TEST(Daemon, OversubscriptionShedsWithStructuredOverloaded) {
+  // 4x oversubscription against a queue of 2: the daemon must answer
+  // every request — some Ok, some Overloaded — and never hang.
+  ServerOptions O;
+  O.SocketPath = uniqueSocket("overload");
+  O.QueueCap = 2;
+  O.PerClientCap = 2;
+  ServerFixture Server(O);
+
+  ClientOptions CO;
+  CO.SocketPath = Server.Opts.SocketPath;
+  CO.Name = "overload-test";
+  CO.RetryOverloaded = false; // surface the shedding
+  DaemonClient Client(CO);
+
+  std::vector<QueryRequest> Qs;
+  for (unsigned I = 0; I < 8; ++I)
+    Qs.push_back(drfQuery(slowProgram(I)));
+  std::vector<QueryResponse> Got = Client.callBatch(Qs);
+  ASSERT_EQ(Got.size(), 8u);
+
+  unsigned Ok = 0, Shed = 0;
+  for (const QueryResponse &R : Got) {
+    if (R.Status == ResponseStatus::Ok)
+      ++Ok;
+    else if (R.Status == ResponseStatus::Overloaded)
+      ++Shed;
+  }
+  EXPECT_EQ(Ok + Shed, 8u) << "every request gets a structured answer";
+  EXPECT_GE(Ok, 1u);
+  EXPECT_GE(Shed, 1u) << "4x oversubscription must shed";
+  ServerStats S = Server.shutdown();
+  EXPECT_EQ(S.Overloaded, Shed);
+  EXPECT_EQ(S.Admitted + S.Overloaded, 8u);
+}
+
+TEST(Daemon, OverloadedRetriesEventuallyComplete) {
+  // Same oversubscription, but the client retries shed requests through
+  // its backoff: everything completes, nothing hangs.
+  ServerOptions O;
+  O.SocketPath = uniqueSocket("retryover");
+  O.QueueCap = 2;
+  ServerFixture Server(O);
+
+  ClientOptions CO;
+  CO.SocketPath = Server.Opts.SocketPath;
+  CO.Name = "retryover-test";
+  CO.RetryOverloaded = true;
+  CO.BackoffCapMs = 50;
+  DaemonClient Client(CO);
+
+  std::vector<QueryRequest> Qs;
+  for (unsigned I = 0; I < 8; ++I)
+    Qs.push_back(drfQuery(slowProgram(I)));
+  std::vector<QueryResponse> Got = Client.callBatch(Qs);
+  for (const QueryResponse &R : Got)
+    EXPECT_EQ(R.Status, ResponseStatus::Ok);
+}
+
+TEST(Daemon, RetransmittedRequestIdsAreIdempotent) {
+  ServerOptions O;
+  O.SocketPath = uniqueSocket("idem");
+  ServerFixture Server(O);
+
+  // Two clients with the same name and the same FirstRequestId simulate a
+  // reconnecting client retransmitting its batch: the second submission
+  // must replay stored verdicts, not recompute or re-admit.
+  QueryRequest Q = drfQuery("thread { x := 1; }\nthread { r0 := x; }\n");
+  ClientOptions CO;
+  CO.SocketPath = Server.Opts.SocketPath;
+  CO.Name = "idem-test";
+  CO.FirstRequestId = 1;
+  QueryResponse First, Second;
+  {
+    DaemonClient A(CO);
+    First = A.call(Q);
+  }
+  {
+    DaemonClient B(CO); // same identity, same request id
+    Second = B.call(Q);
+  }
+  EXPECT_EQ(First.str(), Second.str());
+  ServerStats S = Server.shutdown();
+  EXPECT_EQ(S.Admitted, 1u) << "the retry must not be re-admitted";
+  EXPECT_EQ(S.Completed, 1u) << "the retry must not recompute";
+  EXPECT_EQ(S.Replayed, 1u);
+}
+
+TEST(Daemon, CancelAbortsAnInflightQuery) {
+  ServerOptions O;
+  O.SocketPath = uniqueSocket("cancel");
+  // Big visit ceiling: the query would run a long time if not cancelled.
+  O.QuotaCeiling = BudgetSpec{0, 50'000'000, 512ULL << 20};
+  ServerFixture Server(O);
+
+  ClientOptions CO;
+  CO.SocketPath = Server.Opts.SocketPath;
+  CO.Name = "cancel-test";
+  DaemonClient Client(CO);
+
+  std::string Big;
+  for (int T = 0; T < 4; ++T) {
+    Big += "thread { ";
+    for (int I = 0; I < 6; ++I)
+      Big += "x := " + std::to_string(I) + "; r" + std::to_string(T) +
+             " := x; ";
+    Big += "}\n";
+  }
+  uint64_t Id = Client.nextRequestId();
+  std::thread Canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    DaemonClient Side(CO); // separate connection, same client name
+    Side.cancel(Id);
+  });
+  QueryResponse R = Client.call(drfQuery(Big));
+  Canceller.join();
+  // Either the cancel landed (Unknown/Cancelled) or the query finished
+  // first; it must never hang or crash.
+  if (R.Kind == VerdictKind::Unknown) {
+    EXPECT_EQ(R.Reason, TruncationReason::Cancelled);
+  }
+}
+
+TEST(Daemon, EngineFaultsDegradeToTheSequentialOracle) {
+  // A BehaviourCache fault inside the primary engine path must degrade
+  // the query, not poison the daemon: the verdict is still computed (by
+  // the oracle fallback or the cache's own recompute path) and later
+  // queries are unaffected.
+  ServerOptions O;
+  O.SocketPath = uniqueSocket("degrade");
+  ServerFixture Server(O);
+  ClientOptions CO;
+  CO.SocketPath = Server.Opts.SocketPath;
+  CO.Name = "degrade-test";
+  DaemonClient Client(CO);
+
+  QueryRequest Q = drfQuery("thread { x := 1; }\nthread { r0 := x; }\n");
+  QueryResponse Want = evaluateQuery(Q, TestCeiling);
+
+  FaultPlan Plan;
+  Plan.arm(FaultSite::BufferedIntern, 1, /*Repeat=*/1'000'000);
+  Plan.arm(FaultSite::BehaviourCache, 1, /*Repeat=*/1'000'000);
+  QueryResponse Got;
+  {
+    FaultPlan::Scope Armed(Plan);
+    Got = Client.call(Q);
+  }
+  EXPECT_EQ(Got.Status, ResponseStatus::Ok);
+  EXPECT_EQ(Got.Kind, Want.Kind) << "faults must not change the verdict";
+
+  // Faults disarmed: the daemon answers normally again.
+  QueryResponse After = Client.call(Q);
+  EXPECT_EQ(After.Kind, Want.Kind);
+}
+
+TEST(Daemon, ClientRetriesThroughInjectedTransportFaults) {
+  ServerOptions O;
+  O.SocketPath = uniqueSocket("retry");
+  ServerFixture Server(O);
+  ClientOptions CO;
+  CO.SocketPath = Server.Opts.SocketPath;
+  CO.Name = "retry-test";
+  CO.MaxAttempts = 32;
+  CO.BackoffCapMs = 20;
+  DaemonClient Client(CO);
+
+  // The plan is process-global, so fires may land on either end of the
+  // socket (client write, server read, server write, client read) — every
+  // one of them must surface as a retried transport error, never a wrong
+  // or lost verdict.
+  FaultPlan Plan;
+  Plan.arm(FaultSite::ProtoRead, 3, /*Repeat=*/2);
+  Plan.arm(FaultSite::ProtoWrite, 5, /*Repeat=*/2);
+  std::vector<QueryRequest> Qs;
+  for (unsigned I = 0; I < 6; ++I)
+    Qs.push_back(drfQuery("thread { x := " + std::to_string(I % 2) +
+                          "; }\nthread { r0 := x; }\n"));
+  std::vector<QueryResponse> Got;
+  {
+    FaultPlan::Scope Armed(Plan);
+    Got = Client.callBatch(Qs);
+  }
+  ASSERT_EQ(Got.size(), Qs.size());
+  for (size_t I = 0; I < Qs.size(); ++I) {
+    EXPECT_EQ(Got[I].Status, ResponseStatus::Ok) << I;
+    EXPECT_EQ(Got[I].str(), evaluateQuery(Qs[I], TestCeiling).str()) << I;
+  }
+  EXPECT_GT(Plan.totalFired(), 0u) << "the faults must actually fire";
+  EXPECT_GE(Client.stats().TransportErrors + Server.shutdown().ProtoErrors,
+            1u);
+}
+
+TEST(Daemon, AcceptAndAdmissionFaultsAreSurvivable) {
+  ServerOptions O;
+  O.SocketPath = uniqueSocket("acceptfault");
+  ServerFixture Server(O);
+  FaultPlan Plan;
+  Plan.arm(FaultSite::Accept, 1, /*Repeat=*/2);
+  Plan.arm(FaultSite::Admission, 1, /*Repeat=*/1);
+  ClientOptions CO;
+  CO.SocketPath = Server.Opts.SocketPath;
+  CO.Name = "acceptfault-test";
+  CO.MaxAttempts = 32;
+  CO.BackoffCapMs = 20;
+  QueryResponse R;
+  {
+    FaultPlan::Scope Armed(Plan);
+    DaemonClient Client(CO);
+    R = Client.call(drfQuery("thread { x := 1; }\n"));
+  }
+  EXPECT_EQ(R.Status, ResponseStatus::Ok);
+  EXPECT_EQ(R.Kind, VerdictKind::Proved);
+  ServerStats S = Server.shutdown();
+  EXPECT_GE(S.AcceptFaults + S.Overloaded, 1u);
+}
+
+TEST(Daemon, ClampBudgetIsFieldWise) {
+  BudgetSpec Ceiling{1000, 500, 1 << 20};
+  BudgetSpec Unlimited{};
+  BudgetSpec C = clampBudget(Unlimited, Ceiling);
+  EXPECT_EQ(C.DeadlineMs, 1000);
+  EXPECT_EQ(C.MaxVisited, 500u);
+  EXPECT_EQ(C.MaxMemoryBytes, 1u << 20);
+  BudgetSpec Tighter{10, 100, 1 << 10};
+  C = clampBudget(Tighter, Ceiling);
+  EXPECT_EQ(C.DeadlineMs, 10);
+  EXPECT_EQ(C.MaxVisited, 100u);
+  BudgetSpec Looser{100'000, 50'000, 1ULL << 40};
+  C = clampBudget(Looser, Ceiling);
+  EXPECT_EQ(C.DeadlineMs, 1000);
+  EXPECT_EQ(C.MaxVisited, 500u);
+  EXPECT_EQ(C.MaxMemoryBytes, 1u << 20);
+  // A zero ceiling is unbounded: the request passes through.
+  C = clampBudget(Looser, BudgetSpec{});
+  EXPECT_EQ(C.MaxVisited, 50'000u);
+}
+
+} // namespace

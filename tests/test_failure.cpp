@@ -12,6 +12,7 @@
 #include "lang/Parser.h"
 #include "support/Failure.h"
 #include "trace/Enumerate.h"
+#include "tso/BufferedEngine.h"
 
 #include <gtest/gtest.h>
 
@@ -174,3 +175,140 @@ TEST(FaultInjection, FaultNeverFabricatesAVerdict) {
 }
 
 } // namespace
+
+//===----------------------------------------------------------------------===//
+// BufferedEngine (TSO/PSO) fault sites: interning, subtree fork handoff,
+// and the drain step. Same contract as the SC engine — contained
+// Unknown-style truncation (EngineFault), never a crash, never a wrong
+// behaviour set — plus exact hit-counter replay in sequential mode.
+//===----------------------------------------------------------------------===//
+
+TEST(BufferedFaults, InternFaultIsContainedSequential) {
+  Program P = parseOrDie(RacySource);
+  FaultPlan Plan;
+  Plan.arm(FaultSite::BufferedIntern, 1, /*Repeat=*/1'000'000);
+  FaultPlan::Scope Armed(Plan);
+  TsoLimits L;
+  L.Workers = 1;
+  ExecStats Stats;
+  std::set<Behaviour> S = bufferedBehaviours(P, L, BufferModel::Tso, &Stats);
+  EXPECT_TRUE(Stats.Truncated);
+  EXPECT_EQ(Stats.Reason, TruncationReason::EngineFault);
+  EXPECT_GE(Plan.fired(FaultSite::BufferedIntern), 1u);
+  // The fault fires before the root state is interned, so nothing beyond
+  // the engine's unconditional empty-behaviour seed survives — and a
+  // truncated set is a subset of the true behaviours, never a superset.
+  EXPECT_LE(S.size(), 1u);
+  Plan.reset();
+  std::set<Behaviour> Clean = bufferedBehaviours(P, L, BufferModel::Tso);
+  for (const Behaviour &B : S)
+    EXPECT_TRUE(Clean.count(B));
+}
+
+TEST(BufferedFaults, DrainFaultIsContainedSequential) {
+  Program P = parseOrDie(RacySource);
+  FaultPlan Plan;
+  Plan.arm(FaultSite::BufferedDrain, 1, /*Repeat=*/1'000'000);
+  FaultPlan::Scope Armed(Plan);
+  TsoLimits L;
+  L.Workers = 1;
+  ExecStats Stats;
+  std::set<Behaviour> Faulted =
+      bufferedBehaviours(P, L, BufferModel::Tso, &Stats);
+  EXPECT_TRUE(Stats.Truncated);
+  EXPECT_EQ(Stats.Reason, TruncationReason::EngineFault);
+  EXPECT_GE(Plan.fired(FaultSite::BufferedDrain), 1u);
+  // Never a fabricated behaviour: the faulted (truncated) set must be a
+  // subset of the true one.
+  TsoLimits Clean;
+  Clean.Workers = 1;
+  std::set<Behaviour> Truth = bufferedBehaviours(P, Clean, BufferModel::Tso);
+  for (const Behaviour &B : Faulted)
+    EXPECT_TRUE(Truth.count(B));
+}
+
+TEST(BufferedFaults, ForkFaultIsContainedParallel) {
+  Program P = parseOrDie(RacySource);
+  FaultPlan Plan;
+  Plan.arm(FaultSite::BufferedFork, 1, /*Repeat=*/1'000'000);
+  FaultPlan::Scope Armed(Plan);
+  TsoLimits L;
+  L.Workers = 4;
+  ExecStats Stats;
+  std::set<Behaviour> Faulted =
+      bufferedBehaviours(P, L, BufferModel::Pso, &Stats);
+  // The adaptive fork gate may keep a small search sequential; when a
+  // fork was attempted the fault must surface as EngineFault, and either
+  // way the set must not contain fabricated behaviours.
+  if (Plan.fired(FaultSite::BufferedFork) > 0) {
+    EXPECT_TRUE(Stats.Truncated);
+    EXPECT_EQ(Stats.Reason, TruncationReason::EngineFault);
+  }
+  TsoLimits Clean;
+  Clean.Workers = 1;
+  std::set<Behaviour> Truth = bufferedBehaviours(P, Clean, BufferModel::Pso);
+  for (const Behaviour &B : Faulted)
+    EXPECT_TRUE(Truth.count(B));
+}
+
+TEST(BufferedFaults, HitCountersReplayExactlySequential) {
+  // Sequential runs are deterministic, so the per-site hit counters are
+  // an exact replay coordinate: two identical runs hit each site the
+  // same number of times. (This is what lets a chaos failure be rerun
+  // from just (plan, seed).)
+  Program P = parseOrDie(RacySource);
+  auto RunOnce = [&](FaultPlan &Plan) {
+    FaultPlan::Scope Armed(Plan);
+    TsoLimits L;
+    L.Workers = 1;
+    ExecStats Stats;
+    (void)bufferedBehaviours(P, L, BufferModel::Tso, &Stats);
+  };
+  FaultPlan A, B;
+  A.arm(FaultSite::BufferedDrain, 7, /*Repeat=*/2);
+  B.arm(FaultSite::BufferedDrain, 7, /*Repeat=*/2);
+  RunOnce(A);
+  RunOnce(B);
+  EXPECT_EQ(A.hits(FaultSite::BufferedIntern), B.hits(FaultSite::BufferedIntern));
+  EXPECT_EQ(A.hits(FaultSite::BufferedDrain), B.hits(FaultSite::BufferedDrain));
+  EXPECT_EQ(A.fired(FaultSite::BufferedDrain), B.fired(FaultSite::BufferedDrain));
+  EXPECT_GE(A.fired(FaultSite::BufferedDrain), 1u);
+}
+
+TEST(BufferedFaults, EngineReusableAfterFault) {
+  Program P = parseOrDie(RacySource);
+  TsoLimits L;
+  L.Workers = 1;
+  std::set<Behaviour> Before = bufferedBehaviours(P, L, BufferModel::Tso);
+  {
+    FaultPlan Plan;
+    Plan.arm(FaultSite::BufferedIntern, 1, /*Repeat=*/1'000'000);
+    FaultPlan::Scope Armed(Plan);
+    ExecStats Stats;
+    (void)bufferedBehaviours(P, L, BufferModel::Tso, &Stats);
+    EXPECT_TRUE(Stats.Truncated);
+  }
+  EXPECT_EQ(bufferedBehaviours(P, L, BufferModel::Tso), Before);
+}
+
+TEST(FaultPlan, RandomizeDaemonIsDeterministicAndSeparate) {
+  FaultPlan A, B;
+  A.randomizeDaemon(7);
+  B.randomizeDaemon(7);
+  EXPECT_EQ(A.describe(), B.describe());
+  EXPECT_NE(A.describe(), "none");
+  // The daemon plan never arms the pool scheduling sites — a fault-seeded
+  // daemon must keep its worker pool alive.
+  EXPECT_FALSE(A.shouldFire(FaultSite::TaskRun));
+  EXPECT_FALSE(A.shouldFire(FaultSite::TaskStall));
+  // And the campaign plan stream is unchanged by the new sites (seeded
+  // chaos runs replay across releases): seed 4 must arm campaign sites
+  // only.
+  FaultPlan C;
+  C.randomize(4);
+  std::string D = C.describe();
+  EXPECT_EQ(D.find("proto-"), std::string::npos);
+  EXPECT_EQ(D.find("buffered-"), std::string::npos);
+  EXPECT_EQ(D.find("accept"), std::string::npos);
+  EXPECT_EQ(D.find("admission"), std::string::npos);
+}

@@ -1,0 +1,230 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wire-protocol decoder tests (torn, truncated, and garbage frames; CRC
+/// detection; pipelined decoding) plus the client backoff schedule and a
+/// socketpair-driven retry test under injected transport faults. The
+/// decoder is pure, so every corruption case runs without a socket.
+///
+//===----------------------------------------------------------------------===//
+
+#include "daemon/Client.h"
+#include "daemon/Protocol.h"
+#include "support/Failure.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+
+using namespace tracesafe;
+using namespace tracesafe::daemon;
+
+namespace {
+
+Frame submitFrame(uint64_t Id) {
+  Frame F;
+  F.Type = FrameType::Submit;
+  F.RequestId = Id;
+  QueryRequest Q;
+  Q.Kind = QueryKind::DrfGuarantee;
+  Q.Program = "thread { x := 1; }\n";
+  Q.Transformed = "thread { x := 1; x := 1; }\n";
+  Q.Budget = BudgetSpec{/*DeadlineMs=*/250, /*MaxVisited=*/1000,
+                        /*MaxMemoryBytes=*/1 << 20};
+  F.Payload = encodeSubmit(Q);
+  return F;
+}
+
+TEST(Protocol, Crc32MatchesTheStandardCheckValue) {
+  // The canonical CRC-32 check value for "123456789".
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(crc32("", 0), 0u);
+}
+
+TEST(Protocol, FrameRoundTrips) {
+  Frame In = submitFrame(42);
+  std::string Buf = encodeFrame(In);
+  Frame Out;
+  ASSERT_EQ(decodeFrame(Buf, Out), DecodeStatus::Ok);
+  EXPECT_EQ(Out.Type, FrameType::Submit);
+  EXPECT_EQ(Out.RequestId, 42u);
+  EXPECT_EQ(Out.Payload, In.Payload);
+  EXPECT_TRUE(Buf.empty()) << "the decoded frame must be consumed";
+
+  QueryRequest Q;
+  ASSERT_TRUE(decodeSubmit(Out.Payload, Q));
+  EXPECT_EQ(Q.Kind, QueryKind::DrfGuarantee);
+  EXPECT_EQ(Q.Program, "thread { x := 1; }\n");
+  EXPECT_EQ(Q.Budget.DeadlineMs, 250);
+  EXPECT_EQ(Q.Budget.MaxVisited, 1000u);
+}
+
+TEST(Protocol, ResponseRoundTripsAndRenders) {
+  QueryResponse R;
+  R.Status = ResponseStatus::Ok;
+  R.Kind = VerdictKind::Refuted;
+  R.Reason = TruncationReason::None;
+  R.Degraded = true;
+  R.Visited = 1234;
+  R.Detail = "race";
+  std::string Payload = encodeResponse(R);
+  QueryResponse Out;
+  ASSERT_TRUE(decodeResponse(Payload, Out));
+  EXPECT_EQ(Out.str(), R.str());
+  EXPECT_EQ(Out.str(), "ok refuted none degraded visited=1234 race");
+}
+
+TEST(Protocol, TruncatedFramesAskForMoreAtEveryPrefix) {
+  std::string Whole = encodeFrame(submitFrame(7));
+  // Every strict prefix is NeedMore — the decoder must never misparse a
+  // torn frame, whether the tear is in the header or the payload.
+  for (size_t Len = 0; Len < Whole.size(); ++Len) {
+    std::string Buf = Whole.substr(0, Len);
+    Frame Out;
+    EXPECT_EQ(decodeFrame(Buf, Out), DecodeStatus::NeedMore) << Len;
+    EXPECT_EQ(Buf.size(), Len) << "NeedMore must not consume bytes";
+  }
+}
+
+TEST(Protocol, PipelinedFramesDecodeOneAtATime) {
+  std::string Buf = encodeFrame(submitFrame(1)) +
+                    encodeFrame(submitFrame(2)) +
+                    encodeFrame(submitFrame(3));
+  for (uint64_t Want = 1; Want <= 3; ++Want) {
+    Frame Out;
+    ASSERT_EQ(decodeFrame(Buf, Out), DecodeStatus::Ok);
+    EXPECT_EQ(Out.RequestId, Want);
+  }
+  Frame Out;
+  EXPECT_EQ(decodeFrame(Buf, Out), DecodeStatus::NeedMore);
+}
+
+TEST(Protocol, GarbageIsRejectedNotParsed) {
+  Frame Out;
+  {
+    std::string Buf(64, '\xA5'); // random-ish junk, wrong magic
+    EXPECT_EQ(decodeFrame(Buf, Out), DecodeStatus::BadMagic);
+  }
+  {
+    std::string Buf = encodeFrame(submitFrame(1));
+    Buf[4] = 99; // version byte
+    EXPECT_EQ(decodeFrame(Buf, Out), DecodeStatus::BadVersion);
+  }
+  {
+    std::string Buf = encodeFrame(submitFrame(1));
+    Buf[16] = '\xFF'; // payload length -> > MaxFramePayload
+    Buf[17] = '\xFF';
+    Buf[18] = '\xFF';
+    Buf[19] = '\x7F';
+    EXPECT_EQ(decodeFrame(Buf, Out), DecodeStatus::BadLength);
+  }
+}
+
+TEST(Protocol, BitFlipsAreCaughtByTheCrc) {
+  std::string Whole = encodeFrame(submitFrame(9));
+  // Flip one bit in every payload byte in turn: all must be BadCrc.
+  for (size_t I = FrameHeaderSize; I < Whole.size(); I += 7) {
+    std::string Buf = Whole;
+    Buf[I] = static_cast<char>(Buf[I] ^ 0x10);
+    Frame Out;
+    EXPECT_EQ(decodeFrame(Buf, Out), DecodeStatus::BadCrc) << I;
+  }
+}
+
+TEST(Protocol, MalformedPayloadsFailCleanly) {
+  QueryRequest Q;
+  EXPECT_FALSE(decodeSubmit("", Q));
+  std::string Good = encodeSubmit(Q);
+  EXPECT_FALSE(decodeSubmit(Good.substr(0, Good.size() - 1), Q));
+  EXPECT_FALSE(decodeSubmit(Good + "x", Q)) << "trailing bytes rejected";
+  std::string BadKind = Good;
+  BadKind[0] = 99;
+  EXPECT_FALSE(decodeSubmit(BadKind, Q));
+  QueryResponse R;
+  EXPECT_FALSE(decodeResponse("", R));
+}
+
+TEST(Backoff, DeterministicBoundedAndJittered) {
+  // Same seed, same schedule.
+  uint64_t R1 = 77, R2 = 77;
+  for (unsigned A = 0; A < 12; ++A)
+    EXPECT_EQ(backoffDelayMs(A, 10, 1000, R1),
+              backoffDelayMs(A, 10, 1000, R2));
+
+  // Every delay respects the truncated-exponential ceiling.
+  uint64_t R = 5;
+  for (unsigned A = 0; A < 40; ++A) {
+    uint64_t Ceil = std::min<uint64_t>(1000, 10ull << std::min(A, 20u));
+    EXPECT_LE(backoffDelayMs(A, 10, 1000, R), Ceil) << A;
+  }
+
+  // Jitter actually varies (not a constant schedule).
+  uint64_t R3 = 123;
+  uint64_t First = backoffDelayMs(6, 10, 1000, R3);
+  bool Varied = false;
+  for (int I = 0; I < 16 && !Varied; ++I)
+    Varied = backoffDelayMs(6, 10, 1000, R3) != First;
+  EXPECT_TRUE(Varied);
+
+  // Degenerate parameters do not divide by zero.
+  uint64_t R4 = 1;
+  EXPECT_EQ(backoffDelayMs(0, 0, 0, R4), 0u);
+}
+
+TEST(Transport, ReadFrameSurvivesByteAtATimeDelivery) {
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  std::string Whole = encodeFrame(submitFrame(11));
+  std::thread Writer([&] {
+    for (char C : Whole) {
+      ASSERT_EQ(::write(Fds[0], &C, 1), 1);
+    }
+    ::shutdown(Fds[0], SHUT_WR);
+  });
+  std::string Buf;
+  Frame Out;
+  EXPECT_TRUE(readFrame(Fds[1], Buf, Out));
+  EXPECT_EQ(Out.RequestId, 11u);
+  EXPECT_FALSE(readFrame(Fds[1], Buf, Out)) << "then a clean EOF";
+  Writer.join();
+  ::close(Fds[0]);
+  ::close(Fds[1]);
+}
+
+TEST(Transport, MidFrameEofIsAnError) {
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  std::string Whole = encodeFrame(submitFrame(12));
+  ASSERT_GT(::write(Fds[0], Whole.data(), Whole.size() / 2), 0);
+  ::shutdown(Fds[0], SHUT_WR);
+  std::string Buf;
+  Frame Out;
+  EXPECT_THROW(readFrame(Fds[1], Buf, Out), ProtocolError);
+  ::close(Fds[0]);
+  ::close(Fds[1]);
+}
+
+TEST(Transport, InjectedFaultsThrowAtTheInstrumentedSites) {
+  FaultPlan Plan;
+  Plan.arm(FaultSite::ProtoWrite, 1);
+  Plan.arm(FaultSite::ProtoRead, 1);
+  FaultPlan::Scope Armed(Plan);
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  EXPECT_THROW(writeFrame(Fds[0], submitFrame(1)), ProtocolError);
+  // Disarmed after one fire: the next write goes through.
+  EXPECT_NO_THROW(writeFrame(Fds[0], submitFrame(2)));
+  std::string Buf;
+  Frame Out;
+  EXPECT_THROW(readFrame(Fds[1], Buf, Out), ProtocolError);
+  EXPECT_TRUE(readFrame(Fds[1], Buf, Out));
+  EXPECT_EQ(Out.RequestId, 2u);
+  EXPECT_EQ(Plan.fired(FaultSite::ProtoWrite), 1u);
+  EXPECT_EQ(Plan.fired(FaultSite::ProtoRead), 1u);
+  ::close(Fds[0]);
+  ::close(Fds[1]);
+}
+
+} // namespace
