@@ -32,10 +32,26 @@ inline void header(const std::string &Experiment, const std::string &Paper) {
   std::printf("==== %s — %s ====\n", Experiment.c_str(), Paper.c_str());
 }
 
+/// How *this* binary was compiled. google-benchmark's own
+/// `library_build_type` context field describes the installed benchmark
+/// library, not the code under test — on a host whose libbenchmark was
+/// built without NDEBUG every run would look "debug" no matter how the
+/// engines were compiled. The merge script keys its debug-refusal on
+/// this custom field instead.
+inline const char *buildType() {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
 /// Standard bench main: print claims, then run benchmarks.
 #define TRACESAFE_BENCH_MAIN(CLAIMS_FN)                                       \
   int main(int argc, char **argv) {                                           \
     CLAIMS_FN();                                                               \
+    ::benchmark::AddCustomContext("tracesafe_build_type",                     \
+                                  ::tracesafe::benchutil::buildType());       \
     ::benchmark::Initialize(&argc, argv);                                     \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv))                 \
       return 1;                                                                \

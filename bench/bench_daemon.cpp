@@ -173,6 +173,8 @@ void claims() {
 
 int main(int argc, char **argv) {
   claims();
+  ::benchmark::AddCustomContext("tracesafe_build_type",
+                                ::tracesafe::benchutil::buildType());
   ::benchmark::Initialize(&argc, argv);
   int Rc = 1;
   if (!::benchmark::ReportUnrecognizedArguments(argc, argv)) {

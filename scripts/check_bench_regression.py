@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Diff two merged BENCH_results.json files per family, with a tolerance.
+
+Usage: check_bench_regression.py BASELINE.json CURRENT.json
+           [--tolerance PCT] [--families REGEX]
+
+Rows are grouped by (family, engine, por, workers) — the configuration
+key merge_bench_json.py parses out of the benchmark names — and each
+group is reduced to its best (minimum) ns/op, the same best-of-N rule
+the merge script uses for its speedup section. A configuration present
+in both files whose current best is more than PCT percent slower than
+the baseline best is a regression; the script lists every comparison,
+flags regressions, and exits 1 if any were found (2 on usage errors).
+
+Configurations present on only one side are listed as added/removed but
+are never failures: benches come and go with the code under test.
+
+Comparing numbers recorded on different hosts, build types or revisions
+is usually meaningless; mismatches in the host records are printed as
+warnings so a surprising verdict can be traced to its cause.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def config_key(row):
+    return (row["family"], row["engine"],
+            bool(row.get("por")), int(row.get("workers", 1)))
+
+
+def best_by_config(doc, pattern):
+    best = {}
+    for row in doc.get("benchmarks", []):
+        if pattern and not pattern.search(row["family"]):
+            continue
+        key = config_key(row)
+        ns = float(row["ns_per_op"])
+        if key not in best or ns < best[key]:
+            best[key] = ns
+    return best
+
+
+def fmt_key(key):
+    family, engine, por, workers = key
+    tag = engine + ("+por" if por else "")
+    return f"{family} [{tag} w{workers}]"
+
+
+def fmt_ns(ns):
+    if ns >= 1e9:
+        return f"{ns / 1e9:.3f}s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.3f}ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.3f}us"
+    return f"{ns:.0f}ns"
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        description="per-family bench regression check")
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=10.0,
+                    help="allowed slowdown in percent (default 10)")
+    ap.add_argument("--families", default=None,
+                    help="only check families matching this regex")
+    args = ap.parse_args(argv[1:])
+
+    try:
+        with open(args.baseline) as f:
+            base_doc = json.load(f)
+        with open(args.current) as f:
+            cur_doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.stderr.write(f"error: {e}\n")
+        return 2
+
+    pattern = re.compile(args.families) if args.families else None
+    base = best_by_config(base_doc, pattern)
+    cur = best_by_config(cur_doc, pattern)
+
+    for field in ("build_type", "num_cpus", "revision"):
+        b = base_doc.get("host", {}).get(field)
+        c = cur_doc.get("host", {}).get(field)
+        if b is not None and c is not None and b != c:
+            sys.stderr.write(
+                f"warning: host {field} differs: "
+                f"baseline={b} current={c}\n")
+
+    regressions = []
+    improved = 0
+    for key in sorted(base.keys() & cur.keys()):
+        b, c = base[key], cur[key]
+        delta = (c - b) / b * 100.0 if b else 0.0
+        mark = " "
+        if delta > args.tolerance:
+            mark = "!"
+            regressions.append((key, b, c, delta))
+        elif delta < 0:
+            mark = "+"
+            improved += 1
+        print(f"{mark} {fmt_key(key)}: {fmt_ns(b)} -> {fmt_ns(c)} "
+              f"({delta:+.1f}%)")
+    for key in sorted(base.keys() - cur.keys()):
+        print(f"- {fmt_key(key)}: removed (baseline {fmt_ns(base[key])})")
+    for key in sorted(cur.keys() - base.keys()):
+        print(f"* {fmt_key(key)}: added ({fmt_ns(cur[key])})")
+
+    shared = len(base.keys() & cur.keys())
+    print(f"\n{shared} configurations compared, {improved} improved, "
+          f"{len(regressions)} regressed (tolerance {args.tolerance:.1f}%)")
+    if regressions:
+        print("regressions:")
+        for key, b, c, delta in regressions:
+            print(f"  {fmt_key(key)}: {fmt_ns(b)} -> {fmt_ns(c)} "
+                  f"({delta:+.1f}%)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

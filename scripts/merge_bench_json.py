@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Merge google-benchmark JSON outputs into one BENCH_results.json.
 
-Usage: merge_bench_json.py OUT.json IN1.json [IN2.json ...]
+Usage: merge_bench_json.py [--allow-debug] OUT.json IN1.json [IN2.json ...]
 
 Each input is one bench binary's --benchmark_out file. The merged record
 keeps, per benchmark, the wall time in ns/op plus the engine configuration
@@ -11,6 +11,15 @@ parsed from the benchmark name:
   *_nopor         the interned engine with sleep sets disabled
   *_por           the interned engine with sleep-set POR
   *_wN            N search workers (absent: 1)
+  daemon_*        daemon throughput benches (engine "daemon")
+
+google-benchmark appends slash-separated qualifiers to the registered
+name — numeric args (`bench/4`), time selectors (`.../real_time`) and
+thread counts (`.../threads:4`). These are parsed off before the engine
+suffixes: `threads:N` sets the worker count, time selectors are dropped,
+and numeric args stay part of the family, so
+`daemon_query_warm_c4/real_time/threads:4` lands as family
+`daemon_query_warm_c4`, engine `daemon`, workers 4.
 
 For every (bench, query) family that has both an `_oracle` row and a
 `_por*_w8` row, a speedup entry oracle/por_w8 is emitted — the PR's
@@ -19,33 +28,70 @@ acceptance metric (>= 4x on the race and behaviour queries).
 Rows that report items_per_second (the daemon throughput benches set
 items = queries) are additionally surfaced under a `daemon` section as a
 queries/sec family, keyed by benchmark name.
+
+Every row (and the host record) is stamped with the current git revision
+so two result files can be diffed against known trees. Inputs recorded
+from a debug build are refused unless --allow-debug is given — debug
+numbers silently merged into a baseline make every later comparison lie.
 """
 
 import json
+import os
 import re
+import subprocess
 import sys
+
+TIME_SELECTORS = {"real_time", "manual_time", "process_time", "cpu_time"}
 
 
 def parse_name(name):
     """Extract (family, engine, por, workers) from a benchmark name."""
-    workers = 1
-    m = re.search(r"_w(\d+)$", name)
+    parts = name.split("/")
+    base = parts[0]
+    args = []
+    workers = None
+    for q in parts[1:]:
+        if q in TIME_SELECTORS:
+            continue
+        if q.startswith("threads:"):
+            workers = int(q.split(":", 1)[1])
+            continue
+        args.append(q)
+    m = re.search(r"_w(\d+)$", base)
     if m:
-        workers = int(m.group(1))
-        name = name[: m.start()]
-    if name.endswith("_oracle"):
+        if workers is None:
+            workers = int(m.group(1))
+        base = base[: m.start()]
+    if base.endswith("_oracle"):
         engine, por = "oracle", False
-        family = name[: -len("_oracle")]
-    elif name.endswith("_nopor"):
+        base = base[: -len("_oracle")]
+    elif base.endswith("_nopor"):
         engine, por = "interned", False
-        family = name[: -len("_nopor")]
-    elif name.endswith("_por"):
+        base = base[: -len("_nopor")]
+    elif base.endswith("_por"):
         engine, por = "interned", True
-        family = name[: -len("_por")]
+        base = base[: -len("_por")]
+    elif base.startswith("daemon_"):
+        engine, por = "daemon", False
     else:
         engine, por = "unknown", False
-        family = name
-    return family, engine, por, workers
+    family = "/".join([base] + args)
+    return family, engine, por, workers if workers is not None else 1
+
+
+def git_revision():
+    """Short revision of the tree this script lives in ("unknown" when the
+    repo state cannot be read — merging still succeeds)."""
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    try:
+        out = subprocess.run(
+            ["git", "-C", repo, "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+        rev = out.stdout.strip()
+        return rev if out.returncode == 0 and rev else "unknown"
+    except OSError:
+        return "unknown"
 
 
 def to_ns(t, unit):
@@ -53,10 +99,18 @@ def to_ns(t, unit):
 
 
 def main(argv):
-    if len(argv) < 3:
+    allow_debug = False
+    args = []
+    for a in argv[1:]:
+        if a == "--allow-debug":
+            allow_debug = True
+        else:
+            args.append(a)
+    if len(args) < 2:
         sys.stderr.write(__doc__)
         return 2
-    out_path, inputs = argv[1], argv[2:]
+    out_path, inputs = args[0], args[1:]
+    revision = git_revision()
 
     rows = []
     context = {}
@@ -64,6 +118,21 @@ def main(argv):
         with open(path) as f:
             doc = json.load(f)
         context = doc.get("context", context)
+        # Prefer the binary's own report of how the code under test was
+        # compiled (TRACESAFE_BENCH_MAIN adds it); library_build_type only
+        # describes the installed benchmark library.
+        ctx = doc.get("context", {})
+        build_type = ctx.get("tracesafe_build_type",
+                             ctx.get("library_build_type", ""))
+        if build_type == "debug":
+            msg = (f"{path}: recorded from a debug build; its timings are "
+                   "not comparable to release numbers")
+            if not allow_debug:
+                sys.stderr.write(
+                    f"error: {msg}. Re-run the benches from a release "
+                    "build, or pass --allow-debug to merge anyway.\n")
+                return 3
+            sys.stderr.write(f"warning: {msg} (merged anyway).\n")
         source = doc.get("context", {}).get("executable", path)
         source = source.rsplit("/", 1)[-1]
         for b in doc.get("benchmarks", []):
@@ -79,6 +148,7 @@ def main(argv):
                 "workers": workers,
                 "ns_per_op": to_ns(b["real_time"], b.get("time_unit", "ns")),
                 "iterations": b.get("iterations", 0),
+                "revision": revision,
             }
             if "items_per_second" in b:
                 row["items_per_second"] = b["items_per_second"]
@@ -125,7 +195,9 @@ def main(argv):
         "host": {
             "num_cpus": context.get("num_cpus"),
             "mhz_per_cpu": context.get("mhz_per_cpu"),
-            "build_type": context.get("library_build_type"),
+            "build_type": context.get("tracesafe_build_type",
+                                      context.get("library_build_type")),
+            "revision": revision,
         },
         "benchmarks": rows,
         "speedups": speedups,

@@ -2,7 +2,9 @@
 # Build, test and run every bench + example; the one-button check.
 set -e
 cd "$(dirname "$0")/.."
-cmake -B build -G Ninja
+# Release: the bench numbers merged into BENCH_results.json must come
+# from an optimised build (merge_bench_json.py refuses debug inputs).
+cmake -B build -G Ninja -DCMAKE_BUILD_TYPE=Release
 cmake --build build
 ctest --test-dir build --output-on-failure
 
@@ -17,6 +19,18 @@ for b in build/bench/bench_*; do
     --benchmark_out="build/bench_json/$n.json" --benchmark_out_format=json
 done
 python3 scripts/merge_bench_json.py BENCH_results.json build/bench_json/*.json
+
+# Opt-in perf-regression gate: set TRACESAFE_BENCH_BASELINE to a previous
+# BENCH_results.json to fail the run when any (family, engine, workers)
+# configuration got more than TRACESAFE_BENCH_TOLERANCE percent slower
+# (default 10). Off by default: bench timings on shared CI hosts are too
+# noisy to block every run on.
+if [ -n "${TRACESAFE_BENCH_BASELINE:-}" ]; then
+  echo "===== bench regression check ====="
+  python3 scripts/check_bench_regression.py \
+    "$TRACESAFE_BENCH_BASELINE" BENCH_results.json \
+    --tolerance "${TRACESAFE_BENCH_TOLERANCE:-10}"
+fi
 
 for e in build/examples/*; do
   [ -f "$e" ] && [ -x "$e" ] || continue

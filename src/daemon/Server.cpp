@@ -118,7 +118,9 @@ QueryResponse runKind(QueryKind K, const Program &O, const Program *T2,
     EL.Workers = 1;
     EL.ExhaustiveOracle = Oracle;
     if (K == QueryKind::ProgramDrf) {
-      Verdict<Interleaving> V = checkDataRaceFreedom(*TS, EL);
+      Verdict<Interleaving> V =
+          Oracle ? checkDataRaceFreedom(*TS, EL)
+                 : BehaviourCache::global().drfFor(*TS, EL);
       R.Kind = V.Kind;
       R.Reason = V.Reason;
       R.Detail = V.isProved()    ? "data-race-free"

@@ -177,6 +177,76 @@ public:
   /// flag on its next charge and unwinds.
   void poison(TruncationReason R) { exhaust(R); }
 
+  /// Batched charging handle for the hot search loops. A Scope reserves a
+  /// block of visit indices from the shared counter with one fetch_add and
+  /// hands them out locally, so at 8+ workers the shared cache line stops
+  /// being a contention point. The semantics are bit-exact with unbatched
+  /// charge(): each charge consumes one global index, the visit-cap check
+  /// is per-index (charge #n fails iff n exceeds MaxVisited), the clock /
+  /// cancel token / fault plan are consulted at exactly the indices
+  /// divisible by 256, and the sticky exhaustion flag is observed on every
+  /// charge so cancellation still unwinds within one check interval.
+  /// Unconsumed indices are returned at settle()/destruction, so once all
+  /// scopes of a query quiesce, visited() equals the exact number of
+  /// charges — the warmth-invariance contract the BehaviourCache replay
+  /// relies on.
+  class Scope {
+  public:
+    /// \p B may be null (unbudgeted query): charge() then always succeeds.
+    explicit Scope(Budget *B) : B(B) {}
+    ~Scope() { settle(); }
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+    /// Equivalent to B->charge(Bytes), amortising the shared fetch_add
+    /// over Block charges.
+    bool charge(uint64_t Bytes = 0) {
+      if (!B)
+        return true;
+      if (B->Exhausted.load(std::memory_order_relaxed) !=
+          TruncationReason::None)
+        return false;
+      if (Used == Cap) {
+        Base = B->Visited.fetch_add(Block, std::memory_order_relaxed);
+        Used = 0;
+        Cap = Block;
+      }
+      uint64_t V = Base + ++Used;
+      if (B->Spec.MaxVisited && V > B->Spec.MaxVisited) {
+        B->exhaust(TruncationReason::StateCap);
+        return false;
+      }
+      if (Bytes) {
+        uint64_t Bv =
+            B->Bytes_.fetch_add(Bytes, std::memory_order_relaxed) + Bytes;
+        if (B->Spec.MaxMemoryBytes && Bv > B->Spec.MaxMemoryBytes) {
+          B->exhaust(TruncationReason::MemoryCap);
+          return false;
+        }
+      }
+      if ((V & 0xFF) == 0 && !B->checkInterrupts())
+        return false;
+      return true;
+    }
+
+    /// Returns the unconsumed remainder of the current block to the
+    /// shared counter. Call at task boundaries (and implicitly from the
+    /// destructor) so visited() is exact at quiescence.
+    void settle() {
+      if (B && Cap > Used)
+        B->Visited.fetch_sub(Cap - Used, std::memory_order_relaxed);
+      Base = 0;
+      Used = Cap = 0;
+    }
+
+  private:
+    static constexpr uint32_t Block = 64;
+    Budget *B;
+    uint64_t Base = 0;
+    uint32_t Used = 0;
+    uint32_t Cap = 0;
+  };
+
   bool exhausted() const {
     return Exhausted.load(std::memory_order_relaxed) != TruncationReason::None;
   }
@@ -220,6 +290,42 @@ private:
   std::atomic<uint64_t> Visited{0};
   std::atomic<uint64_t> Bytes_{0};
   std::atomic<TruncationReason> Exhausted{TruncationReason::None};
+};
+
+/// Block-reserving view over a plain shared atomic tally (the engines'
+/// per-query visit counters). Same contention-avoidance idea as
+/// Budget::Scope: next() hands out 1-based global indices from a locally
+/// reserved block, and settle() (or destruction) returns the unconsumed
+/// remainder, so the counter is exact once all scopes quiesce.
+class CounterScope {
+public:
+  explicit CounterScope(std::atomic<uint64_t> &C) : C(C) {}
+  ~CounterScope() { settle(); }
+  CounterScope(const CounterScope &) = delete;
+  CounterScope &operator=(const CounterScope &) = delete;
+
+  uint64_t next() {
+    if (Used == Cap) {
+      Base = C.fetch_add(Block, std::memory_order_relaxed);
+      Used = 0;
+      Cap = Block;
+    }
+    return Base + ++Used;
+  }
+
+  void settle() {
+    if (Cap > Used)
+      C.fetch_sub(Cap - Used, std::memory_order_relaxed);
+    Base = 0;
+    Used = Cap = 0;
+  }
+
+private:
+  static constexpr uint32_t Block = 64;
+  std::atomic<uint64_t> &C;
+  uint64_t Base = 0;
+  uint32_t Used = 0;
+  uint32_t Cap = 0;
 };
 
 /// Tri-state result of a verification query.

@@ -2,6 +2,8 @@
 
 #include "support/Failure.h"
 
+#include <array>
+#include <bit>
 #include <cassert>
 #include <cstring>
 
@@ -14,6 +16,21 @@ inline uint64_t mix64(uint64_t Z) {
   Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
   return Z ^ (Z >> 31);
 }
+
+/// Exponentially sized stable storage: chunk I holds 64<<I items, so 32
+/// chunk pointers cover any uint32 index and an item, once written, never
+/// moves. Readers locate chunks through atomic pointers; writers allocate
+/// under the owner's lock and publish with a release store.
+constexpr unsigned StableBaseLog = 6; // first chunk: 64 items
+constexpr unsigned StableChunks = 32;
+
+inline unsigned stableChunkOf(uint32_t Idx) {
+  return std::bit_width((Idx >> StableBaseLog) + 1) - 1;
+}
+inline uint32_t stableBaseOf(unsigned Chunk) {
+  return (uint32_t{64} << Chunk) - 64;
+}
+inline size_t stableCapOf(unsigned Chunk) { return size_t{64} << Chunk; }
 
 } // namespace
 
@@ -33,14 +50,58 @@ struct InternPool::Shard {
     uint64_t Hash;
   };
 
-  mutable std::mutex M;
-  std::vector<std::unique_ptr<uint64_t[]>> Chunks;
-  size_t ChunkUsed = ChunkWords; // full: first intern allocates
-  std::vector<Entry> Entries;
-  std::vector<uint32_t> Slots; // entry index + 1; 0 = empty
-  uint64_t Bytes = 0;
+  /// Open-addressing slot table. Slots hold entry index + 1 (0 = empty)
+  /// and are published with release stores, so a lock-free probe that
+  /// loads a non-zero slot with acquire ordering sees the entry fully
+  /// written. Tables are immutable in size; growth swaps in a bigger one
+  /// and retires (but never frees) the old, so a racing reader's probe
+  /// stays within valid memory.
+  struct Table {
+    size_t Mask;
+    std::unique_ptr<std::atomic<uint32_t>[]> Slots;
+    explicit Table(size_t N) : Mask(N - 1), Slots(new std::atomic<uint32_t>[N]) {
+      for (size_t I = 0; I < N; ++I)
+        Slots[I].store(0, std::memory_order_relaxed);
+    }
+    size_t size() const { return Mask + 1; }
+  };
 
-  Shard() : Slots(64, 0) { Bytes += Slots.size() * sizeof(uint32_t); }
+  mutable std::mutex M;
+  std::atomic<Table *> Live;
+  std::vector<std::unique_ptr<Table>> Retired; // all tables, incl. live
+  std::array<std::atomic<Entry *>, StableChunks> EntryChunks{};
+  std::vector<std::unique_ptr<uint64_t[]>> WordChunks;
+  size_t ChunkUsed = ChunkWords; // full: first intern allocates
+  std::atomic<uint32_t> Count{0};
+  std::atomic<uint64_t> Bytes{0};
+
+  Shard() {
+    auto T = std::make_unique<Table>(64);
+    Bytes.fetch_add(T->size() * sizeof(std::atomic<uint32_t>),
+                    std::memory_order_relaxed);
+    Live.store(T.get(), std::memory_order_release);
+    Retired.push_back(std::move(T));
+  }
+
+  Entry &entryAt(uint32_t Idx) const {
+    unsigned C = stableChunkOf(Idx);
+    return EntryChunks[C].load(std::memory_order_acquire)[Idx -
+                                                          stableBaseOf(C)];
+  }
+
+  /// Ensures storage for entry \p Idx exists. Lock held.
+  Entry &entrySlotForWrite(uint32_t Idx, uint64_t &Charged) {
+    unsigned C = stableChunkOf(Idx);
+    Entry *Chunk = EntryChunks[C].load(std::memory_order_relaxed);
+    if (!Chunk) {
+      Chunk = new Entry[stableCapOf(C)];
+      Charged += stableCapOf(C) * sizeof(Entry);
+      Bytes.fetch_add(stableCapOf(C) * sizeof(Entry),
+                      std::memory_order_relaxed);
+      EntryChunks[C].store(Chunk, std::memory_order_release);
+    }
+    return Chunk[Idx - stableBaseOf(C)];
+  }
 
   const uint64_t *store(const uint64_t *Words, size_t N, uint64_t &Charged) {
     if (N == 0) { // e.g. the empty sleep-set signature
@@ -49,17 +110,17 @@ struct InternPool::Shard {
     }
     if (N > ChunkWords - ChunkUsed) {
       size_t Cap = N > ChunkWords ? N : ChunkWords;
-      Chunks.push_back(std::make_unique<uint64_t[]>(Cap));
+      WordChunks.push_back(std::make_unique<uint64_t[]>(Cap));
       ChunkUsed = 0;
       Charged += Cap * sizeof(uint64_t);
-      Bytes += Cap * sizeof(uint64_t);
+      Bytes.fetch_add(Cap * sizeof(uint64_t), std::memory_order_relaxed);
       if (Cap > ChunkWords) { // dedicated oversize chunk; retire it
         ChunkUsed = Cap;
-        std::memcpy(Chunks.back().get(), Words, N * sizeof(uint64_t));
-        return Chunks.back().get();
+        std::memcpy(WordChunks.back().get(), Words, N * sizeof(uint64_t));
+        return WordChunks.back().get();
       }
     }
-    uint64_t *Dst = Chunks.back().get() + ChunkUsed;
+    uint64_t *Dst = WordChunks.back().get() + ChunkUsed;
     std::memcpy(Dst, Words, N * sizeof(uint64_t));
     ChunkUsed += N;
     return Dst;
@@ -68,25 +129,59 @@ struct InternPool::Shard {
   /// \p ShardBits must match the probe-start computation in intern():
   /// lookups begin at (Hash >> ShardBits) & Mask, so the rehash must too,
   /// or post-growth probes miss existing entries and intern duplicates.
+  /// Lock held; the old table stays retired for racing readers.
   void growTable(unsigned ShardBits, uint64_t &Charged) {
-    std::vector<uint32_t> Old = std::move(Slots);
-    Slots.assign(Old.size() * 2, 0);
-    Charged += Slots.size() * sizeof(uint32_t);
-    Bytes += Slots.size() * sizeof(uint32_t);
-    size_t Mask = Slots.size() - 1;
-    for (uint32_t V : Old) {
+    Table *Old = Live.load(std::memory_order_relaxed);
+    auto Next = std::make_unique<Table>(Old->size() * 2);
+    Charged += Next->size() * sizeof(std::atomic<uint32_t>);
+    Bytes.fetch_add(Next->size() * sizeof(std::atomic<uint32_t>),
+                    std::memory_order_relaxed);
+    size_t Mask = Next->Mask;
+    for (size_t I = 0; I <= Old->Mask; ++I) {
+      uint32_t V = Old->Slots[I].load(std::memory_order_relaxed);
       if (!V)
         continue;
-      size_t I = (Entries[V - 1].Hash >> ShardBits) & Mask;
-      while (Slots[I])
-        I = (I + 1) & Mask;
-      Slots[I] = V;
+      size_t J = (entryAt(V - 1).Hash >> ShardBits) & Mask;
+      while (Next->Slots[J].load(std::memory_order_relaxed))
+        J = (J + 1) & Mask;
+      Next->Slots[J].store(V, std::memory_order_relaxed);
     }
+    Live.store(Next.get(), std::memory_order_release);
+    Retired.push_back(std::move(Next));
+  }
+
+  ~Shard() {
+    for (auto &C : EntryChunks)
+      delete[] C.load(std::memory_order_relaxed);
   }
 };
 
+namespace {
+
+/// Per-thread cache of recently interned spans. One direct-mapped line
+/// per low hash byte; entries are validated against the pool by word
+/// compare, and the never-reused pool generation makes a line from a
+/// dead pool (or a different live one) miss instead of aliasing.
+struct FrontCache {
+  struct Line {
+    uint64_t Hash = 0;
+    uint32_t Id = 0;
+    uint32_t Len = 0xFFFFFFFFu;
+  };
+  uint64_t Gen = 0;
+  std::array<Line, 256> Lines;
+};
+
+thread_local FrontCache TlsFront;
+
+std::atomic<uint64_t> NextGeneration{1};
+
+} // namespace
+
 InternPool::InternPool(unsigned ShardBits, Budget *Shared)
-    : ShardBits(ShardBits), Shared(Shared) {
+    : ShardBits(ShardBits),
+      Generation(NextGeneration.fetch_add(1, std::memory_order_relaxed)),
+      Shared(Shared) {
   Shards.reserve(1u << ShardBits);
   for (size_t I = 0; I < (1u << ShardBits); ++I)
     Shards.push_back(std::make_unique<Shard>());
@@ -100,63 +195,93 @@ InternPool::Result InternPool::intern(const uint64_t *Words, size_t N) {
   // contain it at their query boundary as Unknown(EngineFault).
   faultThrowBadAlloc(FaultSite::InternAlloc);
   uint64_t Hash = hashWords(Words, N);
+
+  // Front cache: a hit here touches no shared cache line at all.
+  FrontCache &F = TlsFront;
+  if (F.Gen != Generation) {
+    F.Gen = Generation;
+    F.Lines.fill({});
+  }
+  FrontCache::Line &L = F.Lines[Hash & 0xFF];
+  if (L.Hash == Hash && L.Len == N) {
+    auto [Ptr, Len] = view(L.Id);
+    if (Len == N && (N == 0 || std::memcmp(Ptr, Words, N * 8) == 0))
+      return {L.Id, false};
+  }
+
   Shard &S = *Shards[Hash & ((1u << ShardBits) - 1)];
+
+  // Lock-free probe of the live table. A hit is authoritative (slots are
+  // published after their entry is fully written); a miss may be stale,
+  // so it falls through to the locked path.
+  {
+    Shard::Table *T = S.Live.load(std::memory_order_acquire);
+    size_t Mask = T->Mask;
+    size_t I = (Hash >> ShardBits) & Mask;
+    while (uint32_t V = T->Slots[I].load(std::memory_order_acquire)) {
+      const Shard::Entry &E = S.entryAt(V - 1);
+      if (E.Hash == Hash && E.Len == N &&
+          (N == 0 || std::memcmp(E.Ptr, Words, N * sizeof(uint64_t)) == 0)) {
+        uint32_t Id = ((V - 1) << ShardBits) |
+                      static_cast<uint32_t>(Hash & ((1u << ShardBits) - 1));
+        L = {Hash, Id, static_cast<uint32_t>(N)};
+        return {Id, false};
+      }
+      I = (I + 1) & Mask;
+    }
+  }
+
   std::lock_guard<std::mutex> Lock(S.M);
-  size_t Mask = S.Slots.size() - 1;
+  Shard::Table *T = S.Live.load(std::memory_order_relaxed);
+  size_t Mask = T->Mask;
   size_t I = (Hash >> ShardBits) & Mask;
-  while (uint32_t V = S.Slots[I]) {
-    const Shard::Entry &E = S.Entries[V - 1];
+  while (uint32_t V = T->Slots[I].load(std::memory_order_relaxed)) {
+    const Shard::Entry &E = S.entryAt(V - 1);
     if (E.Hash == Hash && E.Len == N &&
-        (N == 0 || std::memcmp(E.Ptr, Words, N * sizeof(uint64_t)) == 0))
-      return {(static_cast<uint32_t>(V - 1) << ShardBits) |
-                  static_cast<uint32_t>(Hash & ((1u << ShardBits) - 1)),
-              false};
+        (N == 0 || std::memcmp(E.Ptr, Words, N * sizeof(uint64_t)) == 0)) {
+      uint32_t Id = ((V - 1) << ShardBits) |
+                    static_cast<uint32_t>(Hash & ((1u << ShardBits) - 1));
+      L = {Hash, Id, static_cast<uint32_t>(N)};
+      return {Id, false};
+    }
     I = (I + 1) & Mask;
   }
   uint64_t Charged = 0;
   const uint64_t *Ptr = S.store(Words, N, Charged);
-  size_t OldCap = S.Entries.capacity();
-  S.Entries.push_back({Ptr, static_cast<uint32_t>(N), Hash});
-  if (S.Entries.capacity() != OldCap) {
-    uint64_t Delta =
-        (S.Entries.capacity() - OldCap) * sizeof(Shard::Entry);
-    Charged += Delta;
-    S.Bytes += Delta;
-  }
-  uint32_t Idx = static_cast<uint32_t>(S.Entries.size() - 1);
-  S.Slots[I] = Idx + 1;
+  uint32_t Idx = S.Count.load(std::memory_order_relaxed);
+  Shard::Entry &E = S.entrySlotForWrite(Idx, Charged);
+  E = {Ptr, static_cast<uint32_t>(N), Hash};
+  // Publish: entry before slot, slot before count.
+  T->Slots[I].store(Idx + 1, std::memory_order_release);
+  S.Count.store(Idx + 1, std::memory_order_release);
   // Grow at ~70% load so probe sequences stay short.
-  if (S.Entries.size() * 10 > S.Slots.size() * 7)
+  if ((Idx + 1) * 10 > T->size() * 7)
     S.growTable(ShardBits, Charged);
   if (Shared && Charged)
     Shared->chargeBytes(Charged);
-  return {(Idx << ShardBits) |
-              static_cast<uint32_t>(Hash & ((1u << ShardBits) - 1)),
-          true};
+  uint32_t Id = (Idx << ShardBits) |
+                static_cast<uint32_t>(Hash & ((1u << ShardBits) - 1));
+  L = {Hash, Id, static_cast<uint32_t>(N)};
+  return {Id, true};
 }
 
 std::pair<const uint64_t *, uint32_t> InternPool::view(uint32_t Id) const {
   const Shard &S = *Shards[Id & ((1u << ShardBits) - 1)];
-  std::lock_guard<std::mutex> Lock(S.M);
-  const Shard::Entry &E = S.Entries[Id >> ShardBits];
+  const Shard::Entry &E = S.entryAt(Id >> ShardBits);
   return {E.Ptr, E.Len};
 }
 
 size_t InternPool::size() const {
   size_t N = 0;
-  for (const auto &S : Shards) {
-    std::lock_guard<std::mutex> Lock(S->M);
-    N += S->Entries.size();
-  }
+  for (const auto &S : Shards)
+    N += S->Count.load(std::memory_order_acquire);
   return N;
 }
 
 uint64_t InternPool::bytes() const {
   uint64_t N = 0;
-  for (const auto &S : Shards) {
-    std::lock_guard<std::mutex> Lock(S->M);
-    N += S->Bytes;
-  }
+  for (const auto &S : Shards)
+    N += S->Bytes.load(std::memory_order_relaxed);
   return N;
 }
 
@@ -181,42 +306,99 @@ bool sigSubset(const uint64_t *A, uint32_t An, const uint64_t *B,
 } // namespace
 
 struct SleepMemo::Shard {
-  struct Cell {
-    uint32_t Key;
-    uint32_t Head; ///< record index + 1; 0 = none
-  };
-  struct Record {
-    uint32_t Sig;
-    uint32_t Next; ///< record index + 1; 0 = end
-  };
+  /// A cell packs {state key, head record index + 1} into one atomic
+  /// word, so lock-free readers see key and chain head consistently.
   static constexpr uint32_t EmptyKey = 0xFFFFFFFFu;
-
-  std::mutex M;
-  std::vector<Cell> Cells;
-  std::vector<Record> Records;
-  size_t Used = 0;
-  uint64_t Bytes = 0;
-
-  Shard() : Cells(64, {EmptyKey, 0}) {
-    Bytes += Cells.size() * sizeof(Cell);
+  static uint64_t packCell(uint32_t Key, uint32_t Head) {
+    return static_cast<uint64_t>(Head) << 32 | Key;
   }
 
-  Cell &find(uint32_t Key) {
-    size_t Mask = Cells.size() - 1;
+  struct Record {
+    uint32_t Sig;
+    std::atomic<uint32_t> Next; ///< record index + 1; 0 = end
+  };
+
+  struct Table {
+    size_t Mask;
+    std::unique_ptr<std::atomic<uint64_t>[]> Cells;
+    explicit Table(size_t N)
+        : Mask(N - 1), Cells(new std::atomic<uint64_t>[N]) {
+      for (size_t I = 0; I < N; ++I)
+        Cells[I].store(packCell(EmptyKey, 0), std::memory_order_relaxed);
+    }
+    size_t size() const { return Mask + 1; }
+  };
+
+  std::mutex M;
+  std::atomic<Table *> Live;
+  std::vector<std::unique_ptr<Table>> Retired;
+  std::array<std::atomic<Record *>, StableChunks> RecordChunks{};
+  uint32_t RecordCount = 0; // written under lock only
+  size_t Used = 0;
+  std::atomic<uint64_t> Bytes{0};
+
+  Shard() {
+    auto T = std::make_unique<Table>(64);
+    Bytes.fetch_add(T->size() * sizeof(std::atomic<uint64_t>),
+                    std::memory_order_relaxed);
+    Live.store(T.get(), std::memory_order_release);
+    Retired.push_back(std::move(T));
+  }
+
+  Record &recordAt(uint32_t Idx) const {
+    unsigned C = stableChunkOf(Idx);
+    return RecordChunks[C].load(std::memory_order_acquire)[Idx -
+                                                           stableBaseOf(C)];
+  }
+
+  Record &recordSlotForWrite(uint32_t Idx, uint64_t &Charged) {
+    unsigned C = stableChunkOf(Idx);
+    Record *Chunk = RecordChunks[C].load(std::memory_order_relaxed);
+    if (!Chunk) {
+      Chunk = new Record[stableCapOf(C)];
+      Charged += stableCapOf(C) * sizeof(Record);
+      Bytes.fetch_add(stableCapOf(C) * sizeof(Record),
+                      std::memory_order_relaxed);
+      RecordChunks[C].store(Chunk, std::memory_order_release);
+    }
+    return Chunk[Idx - stableBaseOf(C)];
+  }
+
+  /// Probes \p T for \p Key. Returns the cell index holding the key or an
+  /// empty cell (insertion point when probing the live table under lock).
+  size_t probe(Table *T, uint32_t Key) const {
+    size_t Mask = T->Mask;
     size_t I = mix64(Key) & Mask;
-    while (Cells[I].Key != EmptyKey && Cells[I].Key != Key)
+    while (true) {
+      uint32_t K = static_cast<uint32_t>(
+          T->Cells[I].load(std::memory_order_acquire));
+      if (K == EmptyKey || K == Key)
+        return I;
       I = (I + 1) & Mask;
-    return Cells[I];
+    }
   }
 
   void growTable(uint64_t &Charged) {
-    std::vector<Cell> Old = std::move(Cells);
-    Cells.assign(Old.size() * 2, {EmptyKey, 0});
-    Charged += Cells.size() * sizeof(Cell);
-    Bytes += Cells.size() * sizeof(Cell);
-    for (const Cell &C : Old)
-      if (C.Key != EmptyKey)
-        find(C.Key) = C;
+    Table *Old = Live.load(std::memory_order_relaxed);
+    auto Next = std::make_unique<Table>(Old->size() * 2);
+    Charged += Next->size() * sizeof(std::atomic<uint64_t>);
+    Bytes.fetch_add(Next->size() * sizeof(std::atomic<uint64_t>),
+                    std::memory_order_relaxed);
+    for (size_t I = 0; I <= Old->Mask; ++I) {
+      uint64_t Cell = Old->Cells[I].load(std::memory_order_relaxed);
+      uint32_t Key = static_cast<uint32_t>(Cell);
+      if (Key == EmptyKey)
+        continue;
+      Next->Cells[probe(Next.get(), Key)].store(Cell,
+                                                std::memory_order_relaxed);
+    }
+    Live.store(Next.get(), std::memory_order_release);
+    Retired.push_back(std::move(Next));
+  }
+
+  ~Shard() {
+    for (auto &C : RecordChunks)
+      delete[] C.load(std::memory_order_relaxed);
   }
 };
 
@@ -233,40 +415,76 @@ SleepMemo::~SleepMemo() = default;
 bool SleepMemo::shouldExplore(uint32_t StateId, uint32_t SigId) {
   Shard &S = *Shards[mix64(StateId) & ((1u << ShardBits) - 1)];
   auto [CurPtr, CurLen] = Sigs.view(SigId);
+
+  // Lock-free prune check. Only the negative (prune) answer may be
+  // produced here: every record ever linked names a visit that really
+  // recorded that sleep set, so a subset hit through a stale table or a
+  // concurrently unlinked record is still a sound reason to prune. "No
+  // subset found" can be stale, so it falls to the locked re-check.
+  {
+    Shard::Table *T = S.Live.load(std::memory_order_acquire);
+    uint64_t Cell =
+        T->Cells[S.probe(T, StateId)].load(std::memory_order_acquire);
+    if (static_cast<uint32_t>(Cell) == StateId) {
+      uint32_t Link = static_cast<uint32_t>(Cell >> 32);
+      while (Link) {
+        const Shard::Record &R = S.recordAt(Link - 1);
+        if (R.Sig == SigId)
+          return false;
+        auto [RecPtr, RecLen] = Sigs.view(R.Sig);
+        if (sigSubset(RecPtr, RecLen, CurPtr, CurLen))
+          return false;
+        Link = R.Next.load(std::memory_order_acquire);
+      }
+    }
+  }
+
   std::lock_guard<std::mutex> Lock(S.M);
   uint64_t Charged = 0;
-  Shard::Cell &C = S.find(StateId);
-  if (C.Key == Shard::EmptyKey) {
-    C.Key = StateId;
+  Shard::Table *T = S.Live.load(std::memory_order_relaxed);
+  size_t CellIdx = S.probe(T, StateId);
+  uint64_t Cell = T->Cells[CellIdx].load(std::memory_order_relaxed);
+  uint32_t Head = 0;
+  if (static_cast<uint32_t>(Cell) == Shard::EmptyKey) {
     ++S.Used;
   } else {
     // Prune iff a recorded sleep set is a subset of the current one: that
     // visit explored every transition this visit would. While walking,
     // unlink records dominated by (strict supersets of) the new set.
-    uint32_t *Link = &C.Head;
-    while (*Link) {
-      Shard::Record &R = S.Records[*Link - 1];
+    Head = static_cast<uint32_t>(Cell >> 32);
+    std::atomic<uint32_t> *LinkSlot = nullptr; // null: head lives in Cell
+    uint32_t Link = Head;
+    while (Link) {
+      Shard::Record &R = S.recordAt(Link - 1);
+      uint32_t NextLink = R.Next.load(std::memory_order_relaxed);
       if (R.Sig == SigId)
         return false;
       auto [RecPtr, RecLen] = Sigs.view(R.Sig);
       if (sigSubset(RecPtr, RecLen, CurPtr, CurLen))
         return false;
-      if (sigSubset(CurPtr, CurLen, RecPtr, RecLen))
-        *Link = R.Next; // dominated: the new record covers it
-      else
-        Link = &R.Next;
+      if (sigSubset(CurPtr, CurLen, RecPtr, RecLen)) {
+        // Dominated: the new record covers it. Unlink in place; racing
+        // lock-free readers may still traverse the old link, which is
+        // harmless (the record stays valid and sound).
+        if (LinkSlot)
+          LinkSlot->store(NextLink, std::memory_order_release);
+        else
+          Head = NextLink;
+      } else {
+        LinkSlot = &R.Next;
+      }
+      Link = NextLink;
     }
   }
-  size_t OldCap = S.Records.capacity();
-  S.Records.push_back({SigId, C.Head});
-  if (S.Records.capacity() != OldCap) {
-    uint64_t Delta =
-        (S.Records.capacity() - OldCap) * sizeof(Shard::Record);
-    Charged += Delta;
-    S.Bytes += Delta;
-  }
-  C.Head = static_cast<uint32_t>(S.Records.size());
-  if (S.Used * 10 > S.Cells.size() * 7)
+  uint32_t Idx = S.RecordCount;
+  Shard::Record &NewRec = S.recordSlotForWrite(Idx, Charged);
+  NewRec.Sig = SigId;
+  NewRec.Next.store(Head, std::memory_order_relaxed);
+  S.RecordCount = Idx + 1;
+  // Publish the record before linking it as the cell head.
+  T->Cells[CellIdx].store(Shard::packCell(StateId, Idx + 1),
+                          std::memory_order_release);
+  if (S.Used * 10 > T->size() * 7)
     S.growTable(Charged);
   if (Shared && Charged)
     Shared->chargeBytes(Charged);
@@ -275,9 +493,7 @@ bool SleepMemo::shouldExplore(uint32_t StateId, uint32_t SigId) {
 
 uint64_t SleepMemo::bytes() const {
   uint64_t N = 0;
-  for (const auto &S : Shards) {
-    std::lock_guard<std::mutex> Lock(S->M);
-    N += S->Bytes;
-  }
+  for (const auto &S : Shards)
+    N += S->Bytes.load(std::memory_order_relaxed);
   return N;
 }

@@ -20,9 +20,18 @@
 /// and slot tables report their actual allocation sizes as they grow,
 /// replacing the seed's flat per-entry guess (ROADMAP item (e)).
 ///
-/// All structures are sharded by hash with a per-shard mutex, so the
-/// work-stealing search workers intern concurrently with little
-/// contention. Arena chunks never move, so a span view stays valid for
+/// Concurrency model: lookups — the overwhelmingly common case once the
+/// table is warm — are lock-free. Slot tables hold atomic entry indices
+/// published with release stores; entries live in chunked storage that
+/// never moves, so a probe that hits returns without touching the shard
+/// mutex. The mutex guards only insertion, arena growth and rehash.
+/// Rehashed tables are retired (not freed) until pool destruction, so a
+/// reader racing a grow probes a stale-but-valid table and at worst
+/// misses a fresh entry — then falls through to the authoritative locked
+/// path. A small thread-local front cache of recently interned spans
+/// (keyed by a never-reused pool generation and verified word-for-word
+/// against the arena) keeps hot spans from hammering cross-shard cache
+/// lines at all. Arena chunks never move, so a span view stays valid for
 /// the pool's lifetime.
 ///
 //===----------------------------------------------------------------------===//
@@ -32,6 +41,7 @@
 
 #include "support/Budget.h"
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -56,11 +66,12 @@ public:
     bool Inserted; ///< true on the first occurrence of the span
   };
 
-  /// Interns \p Words[0..N). Idempotent; thread-safe.
+  /// Interns \p Words[0..N). Idempotent; thread-safe. Warm lookups are
+  /// lock-free; only first occurrences take the shard mutex.
   Result intern(const uint64_t *Words, size_t N);
 
-  /// The words of a previously interned span. The pointer stays valid for
-  /// the pool's lifetime.
+  /// The words of a previously interned span. Lock-free; the pointer
+  /// stays valid for the pool's lifetime.
   std::pair<const uint64_t *, uint32_t> view(uint32_t Id) const;
 
   /// Number of distinct spans interned.
@@ -74,6 +85,7 @@ public:
 private:
   struct Shard;
   unsigned ShardBits;
+  uint64_t Generation; ///< process-unique, never reused (front-cache key)
   std::vector<std::unique_ptr<Shard>> Shards;
   Budget *Shared;
 };
@@ -84,6 +96,12 @@ private:
 /// superset of the transitions this visit would. Recording with plain
 /// "seen before?" instead is the classic unsound shortcut (a first visit
 /// with a big sleep set would mask transitions a later visit must take).
+///
+/// Read-mostly concurrency: the prune answer (false) may be produced
+/// lock-free — a record reached through a stale table or an unlinked
+/// chain entry still names a genuinely recorded visit, so pruning
+/// against it stays sound. The explore/record answer (true) is always
+/// re-derived under the shard mutex, keeping check-and-record atomic.
 class SleepMemo {
 public:
   /// \p ShardBits as for InternPool; \p Sigs is the pool whose ids the

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <bit>
 #include <cassert>
 #include <map>
 #include <memory>
@@ -431,23 +432,47 @@ RaceReport oracleFindAdjacentRace(const Traceset &T,
 //    fires as b.a; writes are always enabled.) The predicate is evaluated
 //    once per distinct interned state.
 //
-// Source sets (persistent sets): on top of sleep sets, collectBehaviours
-// restricts each expansion to ONE dependence-closed group of threads. A
-// conservative future footprint — every location read, every location
-// written, every monitor touched, and whether an external can be emitted
-// by ANY continuation of a thread's trace — is memoised per interned trie
-// node; threads whose footprints overlap (monitor overlap, write/write,
-// write/read, or both-external) are grouped by union-find, and only the
-// group with the fewest enabled transitions is expanded. Transitions of
-// threads outside the chosen group are independent of — and can never be
-// enabled or disabled by — every current AND future transition of the
-// group, which is exactly the persistent-set condition, so every maximal
-// execution of the full graph still has an explored representative and
-// every behaviour is still recorded (externals are pairwise dependent, so
-// all external-capable threads land in one group). Selection is a pure
-// function of the interned state, keeping the memoisation sound. The race
-// query is exempt: its state-local predicate needs every reachable state,
-// which persistent sets do not preserve.
+// Source sets (persistent sets): on top of sleep sets, both memoised
+// queries restrict each expansion to ONE dependence-closed group of
+// threads. A conservative future footprint — every location read, every
+// location written, every monitor touched, and whether an external can be
+// emitted by ANY continuation of a thread's trace — is memoised per
+// interned trie node; threads whose footprints overlap (monitor overlap,
+// write/write, write/read, or both-external) are grouped by union-find,
+// and only the group with the fewest enabled transitions is expanded.
+// Transitions of threads outside the chosen group are independent of —
+// and can never be enabled or disabled by — every current AND future
+// transition of the group, which is exactly the persistent-set condition,
+// so every maximal execution of the full graph still has an explored
+// representative and every behaviour is still recorded (externals are
+// pairwise dependent, so all external-capable threads land in one group).
+// Selection is a pure function of the interned state, keeping the
+// memoisation sound.
+//
+// Why the restriction also preserves the race query, even though it does
+// NOT visit every reachable state: the state graph is a finite DAG (each
+// step extends a thread trace inside a prefix-closed set). Claim: if a
+// race-firing state is reachable from s, the restricted search starting
+// at s visits some race-firing state. Induction on the height of s. Let
+// pi be a path from s to a state where checkRace fires, and G the group
+// chosen at s. If pi is empty the predicate fires at s itself. If pi
+// contains a step of a G-thread, commute the first such step t to the
+// front — every earlier step belongs to a thread outside G and is
+// independent of every (current and future) G-transition, so t·pi' is a
+// valid same-length path and t is explored from s; induct on the child.
+// If pi avoids G entirely, the racing accesses conflict, so their two
+// threads share one dependence group h. When h = G, both racing threads
+// sat still along pi and no pi-step (all outside G) can write a location
+// any G-thread's future reads or touch its monitors — so the racing
+// pair's enabledness and value conditions at pi's end held at s already,
+// and checkRace fires at s itself. When h != G, pick any enabled t in G
+// (the chosen group has an enabled transition by construction): t's
+// footprint is disjoint from every pi-step's and from both racing
+// threads', so t·pi is a valid path and still ends in a race-firing
+// state, now below the explored child t(s); induct on its height.
+// Sleep sets layer on top exactly as for behaviours (the predicate is
+// state-local and evaluated before expansion). The ExhaustiveOracle
+// equivalence matrix in test_parallel_enumerate keeps this honest.
 //===----------------------------------------------------------------------===//
 
 namespace {
@@ -637,6 +662,109 @@ bool footprintsDependent(const Footprint &X, const Footprint &Y) {
   return false;
 }
 
+/// Struct-of-arrays global state for the memoised engine. Memory and lock
+/// state live in dense vectors indexed by the query's symbol layout
+/// (every location/monitor the traceset can ever touch, collected from
+/// the root footprint), so the inner step loop streams over contiguous
+/// words instead of chasing std::map nodes, a worker handoff copies flat
+/// arrays, and the state encoding is a fixed-shape span.
+struct SoaState {
+  std::vector<Trace> Traces;      ///< per dense thread index
+  std::vector<uint32_t> TraceIds; ///< interned trie node per thread
+  std::vector<Value> Mem;         ///< per dense location index
+  std::vector<std::pair<ThreadId, int>> Locks; ///< per dense monitor index
+  std::vector<Value> Tail;        ///< behaviour so far (behaviours mode)
+  Interleaving Path;              ///< events from the root (race mode)
+  std::vector<SleepElem> Sleep;   ///< sorted by Id
+};
+
+/// Lock-free cache keyed by interned trie id: a chunked arena of atomic
+/// value pointers (chunk C holds 64<<C slots, so slots never move and 27
+/// chunk pointers cover the whole id space). find() is two acquire loads;
+/// publish() CAS-installs a heap value, and the loser of a compute race
+/// discards its duplicate — results are identical either way. Replaces
+/// the former mutex-sharded unordered_maps on the successor/footprint
+/// hot path.
+template <typename T> class IdTable {
+public:
+  IdTable() = default;
+  IdTable(const IdTable &) = delete;
+  IdTable &operator=(const IdTable &) = delete;
+  ~IdTable() {
+    for (unsigned C = 0; C < Chunks.size(); ++C) {
+      std::atomic<T *> *Chunk = Chunks[C].load(std::memory_order_relaxed);
+      if (!Chunk)
+        continue;
+      size_t Cap = size_t{64} << C;
+      for (size_t I = 0; I < Cap; ++I)
+        delete Chunk[I].load(std::memory_order_relaxed);
+      delete[] Chunk;
+    }
+  }
+
+  const T *find(uint32_t Id) const {
+    unsigned C = chunkOf(Id);
+    std::atomic<T *> *Chunk = Chunks[C].load(std::memory_order_acquire);
+    if (!Chunk)
+      return nullptr;
+    return Chunk[Id - baseOf(C)].load(std::memory_order_acquire);
+  }
+
+  /// Installs \p Val for \p Id unless another thread already did; returns
+  /// the winning value and whether this call inserted. Bytes of any chunk
+  /// this call allocated are added to \p ChunkBytes.
+  std::pair<const T *, bool> publish(uint32_t Id, std::unique_ptr<T> Val,
+                                     uint64_t &ChunkBytes) {
+    unsigned C = chunkOf(Id);
+    std::atomic<T *> *Chunk = Chunks[C].load(std::memory_order_acquire);
+    if (!Chunk) {
+      size_t Cap = size_t{64} << C;
+      auto *Fresh = new std::atomic<T *>[Cap];
+      for (size_t I = 0; I < Cap; ++I)
+        Fresh[I].store(nullptr, std::memory_order_relaxed);
+      std::atomic<T *> *Expected = nullptr;
+      if (Chunks[C].compare_exchange_strong(Expected, Fresh,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+        Chunk = Fresh;
+        ChunkBytes += Cap * sizeof(std::atomic<T *>);
+      } else {
+        delete[] Fresh;
+        Chunk = Expected;
+      }
+    }
+    std::atomic<T *> &Slot = Chunk[Id - baseOf(C)];
+    T *Expected = nullptr;
+    T *Raw = Val.release();
+    if (Slot.compare_exchange_strong(Expected, Raw,
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire))
+      return {Raw, true};
+    delete Raw;
+    return {Expected, false};
+  }
+
+private:
+  static unsigned chunkOf(uint32_t Id) {
+    return std::bit_width((Id >> 6) + 1u) - 1;
+  }
+  static uint32_t baseOf(unsigned C) { return (uint32_t{64} << C) - 64; }
+  std::array<std::atomic<std::atomic<T *> *>, 27> Chunks{};
+};
+
+/// Per-task charging and scratch context, threaded down the recursion.
+/// The two block-reserving scopes amortise the shared atomic traffic of
+/// the hot loop (Budget::Scope keeps bit-exact cap/interrupt semantics);
+/// the encode buffers are reused across every state a task visits.
+struct TaskCtx {
+  Budget::Scope Charge;
+  CounterScope Visits;
+  std::vector<uint64_t> Enc;    ///< state-encoding scratch
+  std::vector<uint64_t> SigEnc; ///< sleep-signature scratch
+  TaskCtx(Budget *Shared, std::atomic<uint64_t> &Counter)
+      : Charge(Shared), Visits(Counter) {}
+};
+
 /// The memoised behaviour/race searches on the interned + sleep-set + (when
 /// Workers != 1) work-stealing engine.
 class ReducedQuery {
@@ -657,20 +785,32 @@ public:
   }
 
   void run() {
-    NodeState Root;
+    SoaState Root;
     Root.Traces.assign(Tids.size(), Trace());
     uint64_t EmptyWord = TagTrace;
     try {
       // The root-state intern is the engine's very first allocation; an
       // injected InternAlloc failure can land here, before any search
-      // frame's containment is on the stack.
-      Root.TraceIds.assign(Tids.size(), Structs.intern(&EmptyWord, 1).Id);
+      // frame's containment is on the stack. The root footprint walk
+      // below interns the whole trace trie, so it lives here too — it
+      // both warms the successor/footprint caches and yields the dense
+      // symbol layout (every location/monitor the traceset can reach).
+      uint32_t RootId = Structs.intern(&EmptyWord, 1).Id;
+      Root.TraceIds.assign(Tids.size(), RootId);
+      const Footprint &RootF = footprintFor(RootId, Trace());
+      LocIds = RootF.Reads;
+      LocIds.insert(LocIds.end(), RootF.Writes.begin(), RootF.Writes.end());
+      std::sort(LocIds.begin(), LocIds.end());
+      LocIds.erase(std::unique(LocIds.begin(), LocIds.end()), LocIds.end());
+      MonIds = RootF.Monitors;
     } catch (...) {
       engineFault();
       std::lock_guard<std::mutex> Lock(ResM);
       Stats.Visited = VisitedCount.load(std::memory_order_relaxed);
       return;
     }
+    Root.Mem.assign(LocIds.size(), DefaultValue);
+    Root.Locks.assign(MonIds.size(), {0, 0});
     if (!RaceMode)
       Behaviours.insert(Behaviour{});
     if (!Parallel) {
@@ -680,7 +820,8 @@ public:
       // found so far" are exactly what Unknown(EngineFault) means, and
       // any witness already recorded stays definitive.
       try {
-        search(Root);
+        TaskCtx Ctx(Limits.Shared, VisitedCount);
+        search(Root, Ctx);
       } catch (...) {
         engineFault();
       }
@@ -691,8 +832,11 @@ public:
       {
         ThreadPool::TaskGroup G(*Pool);
         Group = &G;
-        auto R = std::make_shared<NodeState>(std::move(Root));
-        G.spawn([this, R] { search(*R); });
+        auto R = std::make_shared<SoaState>(std::move(Root));
+        G.spawn([this, R] {
+          TaskCtx Ctx(Limits.Shared, VisitedCount);
+          search(*R, Ctx);
+        });
         G.wait();
         // Parallel engine: every search frame runs inside a pool task,
         // so a throwing frame is captured by the group (and the group
@@ -730,28 +874,106 @@ private:
       Limits.Shared->poison(TruncationReason::EngineFault);
   }
 
-  /// [TagState | counts, trace ids, (loc,val)*, (mon,owner),(depth)*,
-  /// tail*]. Maps iterate sorted, so the encoding is canonical per state.
-  void encodeState(const NodeState &N, std::vector<uint64_t> &Out) const {
+  /// Dense index of a location/monitor in the query's symbol layout. The
+  /// layouts are tiny sorted vectors (every symbol the traceset can ever
+  /// touch, from the root footprint), so a branchless binary search beats
+  /// any map. Every action reachable by the search is covered.
+  size_t locIndex(SymbolId L) const {
+    return std::lower_bound(LocIds.begin(), LocIds.end(), L) -
+           LocIds.begin();
+  }
+  size_t monIndex(SymbolId M) const {
+    return std::lower_bound(MonIds.begin(), MonIds.end(), M) -
+           MonIds.begin();
+  }
+
+  bool soaEnabled(const SoaState &N, size_t Ti, const Action &A) const {
+    const Trace &Cur = N.Traces[Ti];
+    if (Cur.empty() && (!A.isStart() || A.entry() != Tids[Ti]))
+      return false;
+    if (A.isRead() && !A.isWildcard() &&
+        A.value() != N.Mem[locIndex(A.location())])
+      return false;
+    if (A.isLock()) {
+      const auto &Slot = N.Locks[monIndex(A.monitor())];
+      if (Slot.second > 0 && Slot.first != Tids[Ti])
+        return false;
+    }
+    return true;
+  }
+
+  struct SoaUndo {
+    uint32_t OldTraceId = 0;
+    Value OldMem = 0;
+    std::pair<ThreadId, int> OldLock{0, 0};
+    bool PushedTail = false;
+    bool PushedPath = false;
+  };
+
+  void applySoa(SoaState &N, size_t Ti, const Event &Ev, SoaUndo &U) {
+    const Action &A = Ev.Act;
+    N.Traces[Ti].push_back(A);
+    U.OldTraceId = N.TraceIds[Ti];
+    uint64_t W[2] = {TagTrace | N.TraceIds[Ti], actionWord(A)};
+    N.TraceIds[Ti] = Structs.intern(W, 2).Id;
+    if (A.isWrite()) {
+      Value &Slot = N.Mem[locIndex(A.location())];
+      U.OldMem = Slot;
+      Slot = A.value();
+    }
+    if (A.isLock() || A.isUnlock()) {
+      auto &Slot = N.Locks[monIndex(A.monitor())];
+      U.OldLock = Slot;
+      Slot = A.isLock() ? std::make_pair(Ev.Tid, Slot.second + 1)
+                        : std::make_pair(Slot.first, Slot.second - 1);
+    }
+    if (!RaceMode && A.isExternal()) {
+      N.Tail.push_back(A.value());
+      U.PushedTail = true;
+    }
+    if (RaceMode) {
+      N.Path.push_back(Ev);
+      U.PushedPath = true;
+    }
+  }
+
+  void undoSoa(SoaState &N, size_t Ti, const Event &Ev, const SoaUndo &U) {
+    const Action &A = Ev.Act;
+    if (U.PushedPath)
+      N.Path.pop_back();
+    if (U.PushedTail)
+      N.Tail.pop_back();
+    if (A.isLock() || A.isUnlock())
+      N.Locks[monIndex(A.monitor())] = U.OldLock;
+    if (A.isWrite())
+      N.Mem[locIndex(A.location())] = U.OldMem;
+    N.TraceIds[Ti] = U.OldTraceId;
+    N.Traces[Ti].pop_back();
+  }
+
+  /// [TagState | tail length, trace ids, memory values (two per word,
+  /// position-implicit locations), one word per monitor slot, tail*].
+  /// The dense layout is fixed per query, so positions are canonical; a
+  /// lock slot at depth 0 encodes as 0 regardless of its last owner
+  /// (semantically identical states must encode identically).
+  void encodeState(const SoaState &N, std::vector<uint64_t> &Out) const {
     Out.clear();
-    size_t NumLocks = 0;
-    for (const auto &[Mon, Slot] : N.LockDepth)
-      if (Slot.second > 0)
-        ++NumLocks;
-    Out.push_back(TagState |
-                  (static_cast<uint64_t>(N.Memory.size()) << 36) |
-                  (static_cast<uint64_t>(NumLocks) << 24) | N.Tail.size());
+    Out.reserve(1 + N.TraceIds.size() + (N.Mem.size() + 1) / 2 +
+                N.Locks.size() + N.Tail.size());
+    Out.push_back(TagState | N.Tail.size());
     for (uint32_t Id : N.TraceIds)
       Out.push_back(Id);
-    for (const auto &[Loc, V] : N.Memory)
-      Out.push_back((static_cast<uint64_t>(Loc) << 32) |
-                    static_cast<uint32_t>(V));
-    for (const auto &[Mon, Slot] : N.LockDepth)
-      if (Slot.second > 0) {
-        Out.push_back((static_cast<uint64_t>(Mon) << 32) |
-                      static_cast<uint32_t>(Slot.first));
-        Out.push_back(static_cast<uint64_t>(Slot.second));
-      }
+    for (size_t I = 0; I < N.Mem.size(); I += 2) {
+      uint64_t W = static_cast<uint32_t>(N.Mem[I]);
+      if (I + 1 < N.Mem.size())
+        W = (W << 32) | static_cast<uint32_t>(N.Mem[I + 1]);
+      Out.push_back(W);
+    }
+    for (const auto &Slot : N.Locks)
+      Out.push_back(Slot.second > 0
+                        ? (static_cast<uint64_t>(Slot.first) << 32) |
+                              static_cast<uint32_t>(Slot.second)
+                        : 0);
     for (Value V : N.Tail)
       Out.push_back(static_cast<uint32_t>(V));
   }
@@ -760,22 +982,19 @@ private:
   /// Traceset::successors walks the underlying std::set with full trace
   /// comparisons — the dominant per-expansion cost — but many states share
   /// the same per-thread traces, so one walk per *distinct* trace serves
-  /// every arrival. References stay valid across inserts (node-based map).
+  /// every arrival. The IdTable makes the warm lookup two atomic loads;
+  /// values never move once published.
   const std::vector<Action> &successorsFor(uint32_t Id, const Trace &Tr) {
-    SuccShard &S = SuccCache[Id % SuccCache.size()];
-    {
-      std::lock_guard<std::mutex> Lock(S.M);
-      auto It = S.Map.find(Id);
-      if (It != S.Map.end())
-        return It->second;
-    }
-    std::vector<Action> Succ = T.successors(Tr); // set walk, outside lock
-    std::lock_guard<std::mutex> Lock(S.M);
-    auto [It, Inserted] = S.Map.emplace(Id, std::move(Succ));
-    if (Inserted && Limits.Shared)
-      Limits.Shared->chargeBytes(It->second.capacity() * sizeof(Action) +
-                                 sizeof(void *) * 4);
-    return It->second;
+    if (const std::vector<Action> *Hit = SuccCache.find(Id))
+      return *Hit;
+    auto Val = std::make_unique<std::vector<Action>>(T.successors(Tr));
+    uint64_t ValBytes =
+        Val->capacity() * sizeof(Action) + sizeof(void *) * 4;
+    uint64_t ChunkBytes = 0;
+    auto [Ptr, Inserted] = SuccCache.publish(Id, std::move(Val), ChunkBytes);
+    if (Limits.Shared && (ChunkBytes || Inserted))
+      Limits.Shared->chargeBytes(ChunkBytes + (Inserted ? ValBytes : 0));
+    return *Ptr;
   }
 
   /// Future footprint of a thread trace, memoised by its interned trie id
@@ -785,13 +1004,8 @@ private:
   /// insert wins and the duplicate work is discarded — results are
   /// identical either way.
   const Footprint &footprintFor(uint32_t Id, const Trace &Tr) {
-    FootShard &S = FootCache[Id % FootCache.size()];
-    {
-      std::lock_guard<std::mutex> Lock(S.M);
-      auto It = S.Map.find(Id);
-      if (It != S.Map.end())
-        return It->second;
-    }
+    if (const Footprint *Hit = FootCache.find(Id))
+      return *Hit;
     Footprint F;
     Trace Child = Tr;
     for (const Action &A : successorsFor(Id, Tr)) {
@@ -831,24 +1045,27 @@ private:
     Canon(F.Reads);
     Canon(F.Writes);
     Canon(F.Monitors);
-    std::lock_guard<std::mutex> Lock(S.M);
-    auto [It, Inserted] = S.Map.emplace(Id, std::move(F));
-    if (Inserted && Limits.Shared)
-      Limits.Shared->chargeBytes(
-          (It->second.Reads.size() + It->second.Writes.size() +
-           It->second.Monitors.size()) *
-              sizeof(SymbolId) +
-          sizeof(Footprint) + sizeof(void *) * 4);
-    return It->second;
+    uint64_t ValBytes =
+        (F.Reads.size() + F.Writes.size() + F.Monitors.size()) *
+            sizeof(SymbolId) +
+        sizeof(Footprint) + sizeof(void *) * 4;
+    uint64_t ChunkBytes = 0;
+    auto [Ptr, Inserted] = FootCache.publish(
+        Id, std::make_unique<Footprint>(std::move(F)), ChunkBytes);
+    if (Limits.Shared && (ChunkBytes || Inserted))
+      Limits.Shared->chargeBytes(ChunkBytes + (Inserted ? ValBytes : 0));
+    return *Ptr;
   }
 
-  /// Persistent-set restriction for the behaviours query: groups threads
+  /// Persistent-set restriction, shared by both queries: groups threads
   /// by future-footprint dependence (union-find) and, when more than one
   /// group has an enabled transition, keeps only the group with the
   /// fewest enabled transitions (ties to the lowest thread index). The
   /// result is a pure function of the interned state: footprints depend
-  /// only on trie ids and enabledness only on the encoded state.
-  void restrictToSourceGroup(const NodeState &N,
+  /// only on trie ids and enabledness only on the encoded state. See the
+  /// section comment for why this preserves the race query's state-local
+  /// predicate as well as the behaviour set.
+  void restrictToSourceGroup(const SoaState &N,
                              const std::vector<const std::vector<Action> *>
                                  &Succ,
                              std::vector<char> &InGroup) {
@@ -856,7 +1073,7 @@ private:
     std::vector<unsigned> Enabled(NT, 0);
     for (size_t Ti = 0; Ti < NT; ++Ti)
       for (const Action &A : *Succ[Ti])
-        if (stepEnabled(Tids, N, Ti, A))
+        if (soaEnabled(N, Ti, A))
           ++Enabled[Ti];
     std::vector<size_t> Parent(NT);
     for (size_t I = 0; I < NT; ++I)
@@ -902,14 +1119,14 @@ private:
 
   /// State-local adjacent-race predicate (see file comment). Returns true
   /// (and records the witness, broadcasting stop) when a race fires at N.
-  bool checkRace(const NodeState &N,
+  bool checkRace(const SoaState &N,
                  const std::vector<const std::vector<Action> *> &Succ) {
     size_t NT = Tids.size();
     for (size_t Ti = 0; Ti < NT; ++Ti) {
       for (const Action &A : *Succ[Ti]) {
         if (!A.isNormalAccess())
           continue; // only normal accesses conflict (§3)
-        if (!stepEnabled(Tids, N, Ti, A))
+        if (!soaEnabled(N, Ti, A))
           continue;
         for (size_t Tj = 0; Tj < NT; ++Tj) {
           if (Tj == Ti || N.Traces[Tj].empty())
@@ -917,8 +1134,7 @@ private:
           for (const Action &B : *Succ[Tj]) {
             if (!A.conflictsWith(B))
               continue;
-            auto It = N.Memory.find(B.location());
-            Value MemNow = It == N.Memory.end() ? DefaultValue : It->second;
+            Value MemNow = N.Mem[locIndex(B.location())];
             Value AfterA = A.isWrite() ? A.value() : MemNow;
             Event EvA{Tids[Ti], A};
             Event EvB{Tids[Tj], B};
@@ -938,7 +1154,7 @@ private:
     return false;
   }
 
-  bool raceFound(const NodeState &N, const Event &First,
+  bool raceFound(const SoaState &N, const Event &First,
                  const Event &Second) {
     std::lock_guard<std::mutex> Lock(ResM);
     if (!HasRace) {
@@ -952,27 +1168,27 @@ private:
     return true;
   }
 
-  void search(NodeState &N, unsigned Depth = 0) {
+  void search(SoaState &N, TaskCtx &Ctx, unsigned Depth = 0) {
     if (StopFlag.load(std::memory_order_relaxed))
       return;
-    uint64_t V = VisitedCount.fetch_add(1, std::memory_order_relaxed) + 1;
+    uint64_t V = Ctx.Visits.next();
     if (V > Limits.MaxVisited) {
       truncate(TruncationReason::StateCap);
       return;
     }
-    if (Limits.Shared && !Limits.Shared->charge()) {
+    if (Limits.Shared && !Ctx.Charge.charge()) {
       truncate(Limits.Shared->reason());
       return;
     }
     // Intern the global state; prune revisits (subset rule under POR).
-    std::vector<uint64_t> Enc;
-    encodeState(N, Enc);
-    InternPool::Result State = Structs.intern(Enc.data(), Enc.size());
+    encodeState(N, Ctx.Enc);
+    InternPool::Result State = Structs.intern(Ctx.Enc.data(), Ctx.Enc.size());
     if (Memo) {
-      Enc.clear();
+      Ctx.SigEnc.clear();
       for (const SleepElem &S : N.Sleep)
-        Enc.push_back(S.Id);
-      InternPool::Result Sig = Sigs.intern(Enc.data(), Enc.size());
+        Ctx.SigEnc.push_back(S.Id);
+      InternPool::Result Sig =
+          Sigs.intern(Ctx.SigEnc.data(), Ctx.SigEnc.size());
       if (!Memo->shouldExplore(State.Id, Sig.Id))
         return;
     } else if (!State.Inserted) {
@@ -995,11 +1211,11 @@ private:
       truncate(TruncationReason::DepthCap);
     if (RaceMode && checkRace(N, Succ))
       return;
-    // Persistent-set restriction (behaviours only; a depth-capped thread
+    // Persistent-set restriction, both queries (a depth-capped thread
     // has an unexplorable future, so its footprint cannot vouch for it —
     // fall back to full expansion for this state).
     std::vector<char> InGroup(NT, 1);
-    if (!RaceMode && Limits.SourceSets && !DepthHit && NT > 1)
+    if (Limits.SourceSets && !DepthHit && NT > 1)
       restrictToSourceGroup(N, Succ, InGroup);
     // Expand in deterministic (thread, action) order.
     std::vector<SleepElem> Done; // earlier explored siblings
@@ -1010,7 +1226,7 @@ private:
       for (const Action &A : *Succ[Ti]) {
         if (StopFlag.load(std::memory_order_relaxed))
           return;
-        if (!stepEnabled(Tids, N, Ti, A))
+        if (!soaEnabled(N, Ti, A))
           continue;
         Event Ev{Tids[Ti], A};
         uint32_t EvId = 0;
@@ -1045,20 +1261,24 @@ private:
         }
         ++Degree;
         if (Group && Forks.shouldFork(*Pool, Depth)) {
-          // Hand the subtree to an idle worker: one NodeState copy.
-          auto Child = std::make_shared<NodeState>(N);
+          // Hand the subtree to an idle worker: one flat-array copy. The
+          // spawned task charges through its own scopes.
+          auto Child = std::make_shared<SoaState>(N);
           Child->Sleep = std::move(ChildSleep);
-          StepUndo U;
-          applyStep(*Child, Ti, Ev, &Structs, !RaceMode, RaceMode, U);
-          Group->spawn([this, Child, Depth] { search(*Child, Depth + 1); });
+          SoaUndo U;
+          applySoa(*Child, Ti, Ev, U);
+          Group->spawn([this, Child, Depth] {
+            TaskCtx ChildCtx(Limits.Shared, VisitedCount);
+            search(*Child, ChildCtx, Depth + 1);
+          });
         } else {
-          StepUndo U;
-          applyStep(N, Ti, Ev, &Structs, !RaceMode, RaceMode, U);
+          SoaUndo U;
+          applySoa(N, Ti, Ev, U);
           std::vector<SleepElem> Saved = std::move(N.Sleep);
           N.Sleep = std::move(ChildSleep);
-          search(N, Depth + 1);
+          search(N, Ctx, Depth + 1);
           N.Sleep = std::move(Saved);
-          undoStep(N, Ti, Ev, &Structs, U);
+          undoSoa(N, Ti, Ev, U);
         }
         if (Memo)
           Done.push_back({EvId, Ev});
@@ -1074,16 +1294,10 @@ private:
   bool Parallel;
   InternPool Structs; ///< trace trie nodes, events, states
   InternPool Sigs;    ///< sorted event-id sleep signatures
-  struct SuccShard {
-    std::mutex M;
-    std::unordered_map<uint32_t, std::vector<Action>> Map;
-  };
-  std::array<SuccShard, 16> SuccCache; ///< trie id -> successor actions
-  struct FootShard {
-    std::mutex M;
-    std::unordered_map<uint32_t, Footprint> Map;
-  };
-  std::array<FootShard, 16> FootCache; ///< trie id -> future footprint
+  IdTable<std::vector<Action>> SuccCache; ///< trie id -> successor actions
+  IdTable<Footprint> FootCache;           ///< trie id -> future footprint
+  std::vector<SymbolId> LocIds; ///< sorted distinct memory locations
+  std::vector<SymbolId> MonIds; ///< sorted distinct monitors
   ForkPolicy Forks;                    ///< adaptive fork-depth controller
   std::unique_ptr<SleepMemo> Memo;
   std::vector<ThreadId> Tids;
@@ -1121,7 +1335,10 @@ public:
       ThreadPool::TaskGroup G(*Pool);
       Group = &G;
       auto R = std::make_shared<NodeState>(std::move(Root));
-      G.spawn([this, R] { search(*R); });
+      G.spawn([this, R] {
+        TaskCtx Ctx(Limits.Shared, VisitedCount);
+        search(*R, Ctx);
+      });
       G.wait();
       // A throwing search frame is captured by the group and the rest of
       // the group drained; the visit sequence is incomplete, so the
@@ -1146,10 +1363,10 @@ private:
     Stats.truncate(R);
   }
 
-  void search(NodeState &N, unsigned Depth = 0) {
+  void search(NodeState &N, TaskCtx &Ctx, unsigned Depth = 0) {
     if (StopFlag.load(std::memory_order_relaxed))
       return;
-    uint64_t V = VisitedCount.fetch_add(1, std::memory_order_relaxed) + 1;
+    uint64_t V = Ctx.Visits.next();
     if (V > Limits.MaxVisited) {
       truncate(TruncationReason::StateCap);
       return;
@@ -1158,7 +1375,7 @@ private:
       truncate(TruncationReason::DepthCap);
       return;
     }
-    if (Limits.Shared && !Limits.Shared->charge()) {
+    if (Limits.Shared && !Ctx.Charge.charge()) {
       truncate(Limits.Shared->reason());
       return;
     }
@@ -1188,11 +1405,14 @@ private:
         auto Child = std::make_shared<NodeState>(N);
         StepUndo U;
         applyStep(*Child, Ti, Ev, nullptr, false, true, U);
-        Group->spawn([this, Child, Depth] { search(*Child, Depth + 1); });
+        Group->spawn([this, Child, Depth] {
+          TaskCtx ChildCtx(Limits.Shared, VisitedCount);
+          search(*Child, ChildCtx, Depth + 1);
+        });
       } else {
         StepUndo U;
         applyStep(N, Ti, Ev, nullptr, false, true, U);
-        search(N, Depth + 1);
+        search(N, Ctx, Depth + 1);
         undoStep(N, Ti, Ev, nullptr, U);
       }
     }

@@ -59,10 +59,14 @@ struct EnumerationLimits {
   /// Source-set (persistent-set) reduction layered on top of sleep sets:
   /// at each state, expansion is restricted to one dependence-closed group
   /// of threads whose *future* actions cannot interact with the other
-  /// groups'. Applies to collectBehaviours only — the race query's
-  /// state-local predicate needs every reachable state, which persistent
-  /// sets do not preserve. See docs/PERFORMANCE.md for the soundness
-  /// argument.
+  /// groups'. Applies to collectBehaviours and findAdjacentRace alike:
+  /// although the race predicate is state-local and reduction skips
+  /// states, every skipped state that would fire the predicate has a
+  /// witness in the explored subtree — the racing pair's dependence group
+  /// either is the chosen group (then the predicate already fires at the
+  /// restriction point) or is disjoint from it (then the pair is still
+  /// adjacent-enabled after the group's steps). See docs/PERFORMANCE.md
+  /// and the proof comment in trace/Enumerate.cpp for the full argument.
   bool SourceSets = true;
   /// Run the seed's sequential std::set-memoised engine instead of the
   /// parallel interned one. Cross-check oracle: equivalence tests assert

@@ -10,7 +10,6 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
-#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -56,9 +55,6 @@ using namespace tracesafe;
 
 namespace {
 
-using StoreBuffer = std::deque<std::pair<SymbolId, Value>>;
-using PsoBuffers = std::map<SymbolId, std::deque<Value>>;
-
 /// Dense ids for thread configurations. std::map keeps references stable
 /// and needs only ThreadState's operator<=>; the search holds the lock
 /// for one tree comparison path per lookup, which profiles far below the
@@ -71,14 +67,25 @@ public:
     std::lock_guard<std::mutex> Lock(M);
     auto [It, Inserted] =
         Map.try_emplace(S, static_cast<uint32_t>(Map.size()));
-    if (Inserted && Shared)
-      Shared->chargeBytes(sizeof(ThreadState) + 8 * sizeof(void *));
+    if (Inserted) {
+      ById.push_back(&It->first);
+      if (Shared)
+        Shared->chargeBytes(sizeof(ThreadState) + 8 * sizeof(void *));
+    }
     return It->second;
+  }
+
+  /// Canonical configuration for a dense id. Map nodes never move or get
+  /// erased, so the reference stays valid after the lock is dropped.
+  const ThreadState &state(uint32_t Id) {
+    std::lock_guard<std::mutex> Lock(M);
+    return *ById[Id];
   }
 
 private:
   std::mutex M;
   std::map<ThreadState, uint32_t> Map;
+  std::vector<const ThreadState *> ById; ///< id -> map key
   Budget *Shared;
 };
 
@@ -149,26 +156,103 @@ bool sleepContains(const std::vector<SleepElem> &Sleep, uint32_t Id) {
   return It != Sleep.end() && It->Id == Id;
 }
 
-/// Mutable global machine state. Copyable: every explored edge builds the
-/// child as one copy (the sequential explorers save/restore full copies
-/// per edge too), which doubles as the hand-off unit for forked subtrees.
+/// Mutable global machine state, struct-of-arrays. The sequential
+/// descent mutates one node in place (apply, recurse, undo); a full copy
+/// is made only when a subtree is handed to another worker — so the
+/// layout is built to make that hand-off copy a handful of contiguous
+/// memcpys instead of NT maps and deques of pointers.
+///
+/// Store buffers live in one fixed-stride array: thread Tid's buffer is
+/// Buf[Tid*Cap .. Tid*Cap+BufLen[Tid]), each entry a packed
+/// (Loc << 32 | Value) word in FIFO *insertion* order. Occupancy never
+/// exceeds Cap = min(MaxBufferedStores, MaxActionsPerThread): the
+/// enabledness rule refuses further non-volatile writes at the cap, and
+/// a thread cannot buffer more stores than actions it has taken. The one
+/// array serves both models — TSO drains the front entry, PSO drains the
+/// first entry of a given location (per-location FIFO order is exactly
+/// insertion order restricted to that location), and store-to-load
+/// forwarding is the last matching entry under either model.
+///
+/// Memory and locks are flat vectors sorted by symbol, mirroring the old
+/// std::map iteration order word for word in the state encoding — the
+/// memo granularity is unchanged.
 struct BufNode {
-  std::vector<ThreadState> Threads;
-  std::vector<uint32_t> ConfigIdv;   ///< dense config id per thread
-  std::vector<StoreBuffer> Tso;      ///< Model == Tso
-  std::vector<PsoBuffers> Pso;       ///< Model == Pso
+  std::vector<uint32_t> ConfigIdv; ///< dense config id per thread
+  std::vector<uint64_t> Buf;       ///< NT*Cap packed buffer entries
+  std::vector<uint32_t> BufLen;    ///< live entries per thread
   std::vector<uint64_t> ActionsDone;
-  std::map<SymbolId, Value> Memory;
-  std::map<SymbolId, std::pair<ThreadId, int>> Locks;
-  Behaviour Beh;                     ///< behaviour so far
-  std::vector<SleepElem> Sleep;      ///< sorted by Id
+  std::vector<std::pair<SymbolId, Value>> Memory; ///< sorted by location
+  std::vector<std::pair<SymbolId, std::pair<ThreadId, int>>>
+      Locks;                    ///< sorted by monitor; depths always > 0
+  Behaviour Beh;                ///< behaviour so far
+  std::vector<SleepElem> Sleep; ///< sorted by Id
 };
 
+constexpr uint64_t packEntry(SymbolId Loc, Value V) {
+  return (static_cast<uint64_t>(Loc) << 32) | static_cast<uint32_t>(V);
+}
+constexpr SymbolId entryLoc(uint64_t E) {
+  return static_cast<SymbolId>(E >> 32);
+}
+constexpr Value entryVal(uint64_t E) {
+  return static_cast<Value>(static_cast<uint32_t>(E));
+}
+
 /// A transition out of a node: the event plus, for instruction steps, the
-/// successor thread configuration computed by possibleStepsWithMemory.
+/// dense id of the silently-closed successor thread configuration.
 struct Transition {
   BufEvent Ev;
-  std::optional<Step> Instr;
+  uint32_t NextCfg = 0;     ///< closed successor config (instr steps)
+  bool SilentTrunc = false; ///< the closure hit MaxSilentRun
+};
+
+/// An action-boundary successor of a thread configuration with the
+/// silent closure already applied: the emitted action plus the closed
+/// successor's dense id.
+struct CachedStep {
+  Action Act;
+  uint32_t NextCfg;
+  bool Trunc; ///< closure hit MaxSilentRun
+};
+
+/// Lazily built per-configuration step table. Configurations repeat
+/// across the whole search (that is why they get dense ids), and their
+/// successors depend on nothing outside the configuration itself — except
+/// a load, whose single successor is keyed by the value read. Caching by
+/// id turns the per-node step generation (state copies, silent closures,
+/// config-map lookups) into table lookups.
+struct CfgSteps {
+  bool Known = false;
+  bool Done = false;
+  bool IsLoad = false;
+  SymbolId LoadLoc = 0;
+  std::vector<CachedStep> Fixed;                     ///< !IsLoad steps
+  std::vector<std::pair<Value, CachedStep>> ByValue; ///< IsLoad steps
+};
+
+/// Per-task charging and scratch context (same shape as the SC engine's):
+/// visit counting and budget charging go through block reservations so
+/// the shared atomics stop being a contention point, and the encoding
+/// buffers are reused across the task's whole subtree.
+struct TaskCtx {
+  Budget::Scope Charge;
+  CounterScope Visits;
+  std::vector<uint64_t> Enc, SigEnc;
+  /// Direct-mapped (Hi, Lo) -> interned-id cache for event words. A
+  /// subtree re-derives the same few dozen events at every node, so most
+  /// lookups hit here and skip the pool probe entirely; a collision just
+  /// falls through to the pool and takes over the slot.
+  struct EvSlot {
+    uint64_t Hi = 0, Lo = 0;
+    uint64_t IdPlus1 = 0; ///< 0 = empty
+  };
+  std::vector<EvSlot> EvCache;
+  /// Per-task config-id -> step table (see CfgSteps). Task-local, so no
+  /// synchronisation: a worker derives at most one table per
+  /// configuration it ever sees.
+  std::vector<CfgSteps> Cfg;
+  TaskCtx(Budget *Shared, std::atomic<uint64_t> &Counter)
+      : Charge(Shared), Visits(Counter), EvCache(256) {}
 };
 
 class BufferedSearch {
@@ -178,7 +262,11 @@ public:
       : P(P),
         Ctx(P, Limits.InputDomain.empty() ? defaultDomainFor(P)
                                           : Limits.InputDomain),
-        Limits(Limits), Model(Model), Parallel(Limits.Workers != 1),
+        Limits(Limits), Model(Model),
+        Cap(std::max<size_t>(
+            1, std::min(Limits.MaxBufferedStores,
+                        Limits.MaxActionsPerThread))),
+        Parallel(Limits.Workers != 1),
         Structs(Parallel ? 6 : 0, Limits.Shared),
         Sigs(Parallel ? 6 : 0, Limits.Shared),
         Configs(Limits.Shared),
@@ -193,24 +281,23 @@ public:
     BufNode Root;
     size_t NT = P.threadCount();
     bool Trunc = false;
+    std::vector<ThreadState> Init;
     for (ThreadId Tid = 0; Tid < NT; ++Tid) {
       bool T1 = false;
-      Root.Threads.push_back(silentClosure(initialThreadState(P, Tid), Ctx,
-                                           Limits.MaxSilentRun, &T1));
+      Init.push_back(silentClosure(initialThreadState(P, Tid), Ctx,
+                                   Limits.MaxSilentRun, &T1));
       Trunc |= T1;
     }
     if (Trunc)
       truncate(TruncationReason::SilentLoop);
-    if (Model == BufferModel::Tso)
-      Root.Tso.assign(NT, StoreBuffer{});
-    else
-      Root.Pso.assign(NT, PsoBuffers{});
+    Root.Buf.assign(NT * Cap, 0);
+    Root.BufLen.assign(NT, 0);
     Root.ActionsDone.assign(NT, 0);
     try {
       // The config-id side map is the engine's first allocation; a budget
       // or injected failure can land here, before any search frame's
       // containment is on the stack.
-      for (const ThreadState &S : Root.Threads)
+      for (const ThreadState &S : Init)
         Root.ConfigIdv.push_back(Configs.id(S));
     } catch (...) {
       engineFault();
@@ -222,7 +309,8 @@ public:
       // Sequential engine: an allocation failure (real or injected)
       // inside the pools unwinds to here and becomes a truncated result.
       try {
-        search(Root, 0);
+        TaskCtx RootCtx(Limits.Shared, VisitedCount);
+        search(Root, RootCtx, 0);
       } catch (...) {
         engineFault();
       }
@@ -234,7 +322,10 @@ public:
         ThreadPool::TaskGroup G(*Pool);
         Group = &G;
         auto R = std::make_shared<BufNode>(std::move(Root));
-        G.spawn([this, R] { search(*R, 0); });
+        G.spawn([this, R] {
+          TaskCtx RootCtx(Limits.Shared, VisitedCount);
+          search(*R, RootCtx, 0);
+        });
         G.wait();
         // A throwing search frame is captured by the group and the rest
         // drained; the result is incomplete, so it must read truncated.
@@ -271,83 +362,231 @@ private:
       Limits.Shared->poison(TruncationReason::EngineFault);
   }
 
-  /// Value thread \p Tid reads from \p Loc: own buffer (newest matching
-  /// entry), else memory.
-  Value readValue(const BufNode &N, ThreadId Tid, SymbolId Loc) const {
-    if (Model == BufferModel::Tso) {
-      const StoreBuffer &B = N.Tso[Tid];
-      for (auto It = B.rbegin(); It != B.rend(); ++It)
-        if (It->first == Loc)
-          return It->second;
+  const uint64_t *bufOf(const BufNode &N, ThreadId Tid) const {
+    return N.Buf.data() + static_cast<size_t>(Tid) * Cap;
+  }
+  uint64_t *bufOf(BufNode &N, ThreadId Tid) const {
+    return N.Buf.data() + static_cast<size_t>(Tid) * Cap;
+  }
+
+  /// Value in memory at \p Loc (sorted flat vector, DefaultValue when
+  /// never written).
+  static Value memValue(const BufNode &N, SymbolId Loc) {
+    auto It = std::lower_bound(
+        N.Memory.begin(), N.Memory.end(), Loc,
+        [](const std::pair<SymbolId, Value> &E, SymbolId L) {
+          return E.first < L;
+        });
+    return It != N.Memory.end() && It->first == Loc ? It->second
+                                                    : DefaultValue;
+  }
+
+  /// One-edge undo record for the in-place descent: exactly what
+  /// undoInPlace needs to restore the parent node after the child
+  /// subtree returns.
+  struct UndoRec {
+    ThreadId Tid = 0;
+    bool IsDrain = false;
+    uint32_t DrainIdx = 0;   ///< buffer position the drained entry left
+    uint64_t DrainEntry = 0; ///< the removed packed entry
+    uint32_t OldCfg = 0;     ///< pre-step configuration id (instr only)
+    enum class Mem : uint8_t { None, Overwrote, Inserted };
+    Mem MemKind = Mem::None;
+    SymbolId MemLoc = 0;
+    Value MemOld = 0;
+    bool PoppedStore = false; ///< non-volatile write appended one entry
+    enum class Lock : uint8_t {
+      None,
+      Relocked,    ///< depth bumped on an already-owned monitor
+      LockedNew,   ///< fresh monitor entry inserted
+      Unlocked,    ///< depth decremented, entry kept
+      UnlockedGone ///< depth hit zero, entry erased
+    };
+    Lock LockKind = Lock::None;
+    SymbolId Mon = 0;
+    bool PoppedBeh = false;
+  };
+
+  static void memStore(BufNode &N, SymbolId Loc, Value V, UndoRec &U) {
+    auto It = std::lower_bound(
+        N.Memory.begin(), N.Memory.end(), Loc,
+        [](const std::pair<SymbolId, Value> &E, SymbolId L) {
+          return E.first < L;
+        });
+    U.MemLoc = Loc;
+    if (It != N.Memory.end() && It->first == Loc) {
+      U.MemKind = UndoRec::Mem::Overwrote;
+      U.MemOld = It->second;
+      It->second = V;
     } else {
-      auto It = N.Pso[Tid].find(Loc);
-      if (It != N.Pso[Tid].end() && !It->second.empty())
-        return It->second.back();
+      U.MemKind = UndoRec::Mem::Inserted;
+      N.Memory.insert(It, {Loc, V});
     }
-    auto MIt = N.Memory.find(Loc);
-    return MIt == N.Memory.end() ? DefaultValue : MIt->second;
+  }
+
+  static void memUndo(BufNode &N, const UndoRec &U) {
+    if (U.MemKind == UndoRec::Mem::None)
+      return;
+    auto It = std::lower_bound(
+        N.Memory.begin(), N.Memory.end(), U.MemLoc,
+        [](const std::pair<SymbolId, Value> &E, SymbolId L) {
+          return E.first < L;
+        });
+    if (U.MemKind == UndoRec::Mem::Overwrote)
+      It->second = U.MemOld;
+    else
+      N.Memory.erase(It);
+  }
+
+  static std::vector<std::pair<SymbolId, std::pair<ThreadId, int>>>::
+      const_iterator
+      lockFind(const BufNode &N, SymbolId Mon) {
+    return std::lower_bound(
+        N.Locks.begin(), N.Locks.end(), Mon,
+        [](const std::pair<SymbolId, std::pair<ThreadId, int>> &E,
+           SymbolId M) { return E.first < M; });
+  }
+  static std::vector<std::pair<SymbolId, std::pair<ThreadId, int>>>::iterator
+  lockFind(BufNode &N, SymbolId Mon) {
+    return std::lower_bound(
+        N.Locks.begin(), N.Locks.end(), Mon,
+        [](const std::pair<SymbolId, std::pair<ThreadId, int>> &E,
+           SymbolId M) { return E.first < M; });
+  }
+
+  /// Value thread \p Tid reads from \p Loc: own buffer (newest matching
+  /// entry — under PSO that is the back of Loc's queue, i.e. the last
+  /// inserted entry with that location), else memory.
+  Value readValue(const BufNode &N, ThreadId Tid, SymbolId Loc) const {
+    const uint64_t *B = bufOf(N, Tid);
+    for (uint32_t I = N.BufLen[Tid]; I-- > 0;)
+      if (entryLoc(B[I]) == Loc)
+        return entryVal(B[I]);
+    return memValue(N, Loc);
   }
 
   bool buffersEmpty(const BufNode &N, ThreadId Tid) const {
-    if (Model == BufferModel::Tso)
-      return N.Tso[Tid].empty();
-    for (const auto &[Loc, Q] : N.Pso[Tid])
-      if (!Q.empty())
-        return false;
-    return true;
+    return N.BufLen[Tid] == 0;
   }
 
   size_t bufferedCount(const BufNode &N, ThreadId Tid) const {
-    if (Model == BufferModel::Tso)
-      return N.Tso[Tid].size();
-    size_t Count = 0;
-    for (const auto &[Loc, Q] : N.Pso[Tid])
-      Count += Q.size();
-    return Count;
+    return N.BufLen[Tid];
+  }
+
+  /// The step table for configuration \p C, built on first use.
+  CfgSteps &cfgSteps(TaskCtx &TC, uint32_t C) {
+    if (C >= TC.Cfg.size())
+      TC.Cfg.resize(std::max<size_t>(C + 1, TC.Cfg.size() * 2));
+    CfgSteps &E = TC.Cfg[C];
+    if (E.Known)
+      return E;
+    const ThreadState &S = Configs.state(C);
+    E.Done = S.done();
+    if (!E.Done && S.Cont.back()->kind() == StmtKind::Load) {
+      E.IsLoad = true;
+      E.LoadLoc = cast<LoadStmt>(*S.Cont.back()).loc();
+    } else if (!E.Done) {
+      // Everything except a load steps without consulting memory (the
+      // callback is never invoked).
+      std::vector<Step> Steps = possibleStepsWithMemory(
+          S, Ctx, [](SymbolId) { return DefaultValue; });
+      assert(!Steps.empty() && Steps[0].Act &&
+             "closed thread must have pending actions");
+      E.Fixed.reserve(Steps.size());
+      for (Step &St : Steps)
+        E.Fixed.push_back(closeStep(St));
+    }
+    E.Known = true;
+    return E;
+  }
+
+  /// Applies the silent closure to a raw step's successor and interns it.
+  CachedStep closeStep(Step &St) {
+    bool Trunc = false;
+    ThreadState Next = silentClosure(std::move(St.Next), Ctx,
+                                     Limits.MaxSilentRun, &Trunc);
+    return {*St.Act, Configs.id(Next), Trunc};
+  }
+
+  /// The unique step of load configuration \p C reading value \p V.
+  const CachedStep &loadStep(CfgSteps &E, uint32_t C, Value V) {
+    for (const auto &[Val, CS] : E.ByValue)
+      if (Val == V)
+        return CS;
+    std::vector<Step> Steps = possibleStepsWithMemory(
+        Configs.state(C), Ctx, [&](SymbolId) { return V; });
+    assert(Steps.size() == 1 && Steps[0].Act &&
+           "a load has exactly one successor per value");
+    E.ByValue.push_back({V, closeStep(Steps[0])});
+    return E.ByValue.back().second;
   }
 
   /// Every transition out of \p N, in deterministic (kind, thread,
   /// location/step) order: drains first, then instruction steps.
-  std::vector<Transition> transitionsOf(const BufNode &N) {
+  std::vector<Transition> transitionsOf(const BufNode &N, TaskCtx &TC) {
     std::vector<Transition> Out;
-    size_t NT = N.Threads.size();
+    size_t NT = N.ConfigIdv.size();
+    Out.reserve(NT * 2);
     for (ThreadId Tid = 0; Tid < NT; ++Tid) {
+      const uint64_t *B = bufOf(N, Tid);
+      uint32_t Len = N.BufLen[Tid];
       if (Model == BufferModel::Tso) {
-        if (N.Tso[Tid].empty())
+        if (Len == 0)
           continue;
         BufEvent Ev;
         Ev.Tid = Tid;
         Ev.IsDrain = true;
-        Ev.Loc = N.Tso[Tid].front().first;
-        Ev.Val = N.Tso[Tid].front().second;
-        Out.push_back({std::move(Ev), std::nullopt});
+        Ev.Loc = entryLoc(B[0]);
+        Ev.Val = entryVal(B[0]);
+        Out.push_back({std::move(Ev)});
       } else {
-        for (const auto &[Loc, Q] : N.Pso[Tid]) {
-          if (Q.empty())
-            continue;
+        // One drain per distinct buffered location, ascending; the front
+        // of a location's queue is its first entry in insertion order.
+        std::pair<SymbolId, Value> FrontsBuf[64];
+        std::vector<std::pair<SymbolId, Value>> FrontsHeap;
+        std::pair<SymbolId, Value> *Fronts = FrontsBuf;
+        if (Len > 64) {
+          FrontsHeap.resize(Len);
+          Fronts = FrontsHeap.data();
+        }
+        size_t NumFronts = 0;
+        for (uint32_t I = 0; I < Len; ++I) {
+          SymbolId Loc = entryLoc(B[I]);
+          bool Seen = false;
+          for (size_t F = 0; F < NumFronts; ++F)
+            if (Fronts[F].first == Loc) {
+              Seen = true;
+              break;
+            }
+          if (!Seen)
+            Fronts[NumFronts++] = {Loc, entryVal(B[I])};
+        }
+        std::sort(Fronts, Fronts + NumFronts);
+        for (size_t F = 0; F < NumFronts; ++F) {
           BufEvent Ev;
           Ev.Tid = Tid;
           Ev.IsDrain = true;
-          Ev.Loc = Loc;
-          Ev.Val = Q.front();
-          Out.push_back({std::move(Ev), std::nullopt});
+          Ev.Loc = Fronts[F].first;
+          Ev.Val = Fronts[F].second;
+          Out.push_back({std::move(Ev)});
         }
       }
     }
     for (ThreadId Tid = 0; Tid < NT; ++Tid) {
-      const ThreadState &S = N.Threads[Tid];
-      if (S.done())
+      CfgSteps &E = cfgSteps(TC, N.ConfigIdv[Tid]);
+      if (E.Done)
         continue;
       if (N.ActionsDone[Tid] >= Limits.MaxActionsPerThread) {
         truncate(TruncationReason::DepthCap);
         continue;
       }
-      std::vector<Step> Steps = possibleStepsWithMemory(
-          S, Ctx, [&](SymbolId Loc) { return readValue(N, Tid, Loc); });
-      assert(!Steps.empty() && Steps[0].Act &&
-             "closed thread must have pending actions");
-      for (Step &PendingStep : Steps) {
-        const Action &A = *PendingStep.Act;
+      const CachedStep *One = nullptr;
+      if (E.IsLoad)
+        One = &loadStep(E, N.ConfigIdv[Tid], readValue(N, Tid, E.LoadLoc));
+      size_t Count = E.IsLoad ? 1 : E.Fixed.size();
+      for (size_t K = 0; K < Count; ++K) {
+        const CachedStep &CS = E.IsLoad ? *One : E.Fixed[K];
+        const Action &A = CS.Act;
         // Enabledness under the store-buffer machine.
         if (A.isWrite() && !A.isVolatileAccess() &&
             bufferedCount(N, Tid) >= Limits.MaxBufferedStores)
@@ -355,73 +594,137 @@ private:
         if (A.isSynchronisation() && !buffersEmpty(N, Tid))
           continue; // Fence: drain the own buffer first.
         if (A.isLock()) {
-          auto It = N.Locks.find(A.monitor());
-          if (It != N.Locks.end() && It->second.second > 0 &&
-              It->second.first != Tid)
+          auto It = lockFind(N, A.monitor());
+          if (It != N.Locks.end() && It->first == A.monitor() &&
+              It->second.second > 0 && It->second.first != Tid)
             continue;
         }
         BufEvent Ev;
         Ev.Tid = Tid;
         Ev.Act = A;
-        Out.push_back({std::move(Ev), std::move(PendingStep)});
+        Out.push_back({std::move(Ev), CS.NextCfg, CS.Trunc});
       }
     }
     return Out;
   }
 
-  /// Applies \p T to \p C (already a private copy). External actions
-  /// record the extended behaviour immediately, matching the sequential
-  /// explorers (which record before recursing, so memo pruning of the
-  /// child never loses a behaviour).
-  void applyTo(BufNode &C, const Transition &T) {
+  /// Applies \p T to \p N, recording in \p U what undoInPlace needs to
+  /// restore \p N exactly. External actions record the extended behaviour
+  /// immediately, matching the sequential explorers (which record before
+  /// recursing, so memo pruning of the child never loses a behaviour).
+  void applyInPlace(BufNode &N, const Transition &T, UndoRec &U) {
     ThreadId Tid = T.Ev.Tid;
+    U.Tid = Tid;
     if (T.Ev.IsDrain) {
-      // Injected drain failure: unwinds through search() into the
-      // engine's containment (sequential catch or the task group).
+      // Injected drain failure: fires before any mutation and unwinds
+      // through search() into the engine's containment (sequential catch
+      // or the task group), so the node never needs a partial undo.
       faultThrowInjected(FaultSite::BufferedDrain);
-      if (Model == BufferModel::Tso) {
-        auto Entry = C.Tso[Tid].front();
-        C.Tso[Tid].pop_front();
-        C.Memory[Entry.first] = Entry.second;
-      } else {
-        auto It = C.Pso[Tid].find(T.Ev.Loc);
-        assert(It != C.Pso[Tid].end() && !It->second.empty());
-        Value V = It->second.front();
-        It->second.pop_front();
-        if (It->second.empty())
-          C.Pso[Tid].erase(It);
-        C.Memory[T.Ev.Loc] = V;
-      }
+      U.IsDrain = true;
+      uint64_t *B = bufOf(N, Tid);
+      uint32_t Len = N.BufLen[Tid];
+      // TSO commits the front entry; PSO commits the first entry of the
+      // drained location. Either way: remove one entry, shift the rest.
+      uint32_t I = 0;
+      if (Model == BufferModel::Pso)
+        while (I < Len && entryLoc(B[I]) != T.Ev.Loc)
+          ++I;
+      assert(I < Len && entryLoc(B[I]) == T.Ev.Loc);
+      U.DrainIdx = I;
+      U.DrainEntry = B[I];
+      Value V = entryVal(B[I]);
+      std::copy(B + I + 1, B + Len, B + I);
+      N.BufLen[Tid] = Len - 1;
+      memStore(N, T.Ev.Loc, V, U);
       return;
     }
     const Action &A = *T.Ev.Act;
-    bool Trunc = false;
-    C.Threads[Tid] =
-        silentClosure(T.Instr->Next, Ctx, Limits.MaxSilentRun, &Trunc);
-    if (Trunc)
+    if (T.SilentTrunc)
       truncate(TruncationReason::SilentLoop);
-    C.ConfigIdv[Tid] = Configs.id(C.Threads[Tid]);
-    ++C.ActionsDone[Tid];
+    U.OldCfg = N.ConfigIdv[Tid];
+    N.ConfigIdv[Tid] = T.NextCfg;
+    ++N.ActionsDone[Tid];
     if (A.isWrite()) {
-      if (A.isVolatileAccess())
-        C.Memory[A.location()] = A.value();
-      else if (Model == BufferModel::Tso)
-        C.Tso[Tid].emplace_back(A.location(), A.value());
-      else
-        C.Pso[Tid][A.location()].push_back(A.value());
+      if (A.isVolatileAccess()) {
+        memStore(N, A.location(), A.value(), U);
+      } else {
+        assert(N.BufLen[Tid] < Cap && "enabledness enforces the cap");
+        bufOf(N, Tid)[N.BufLen[Tid]++] = packEntry(A.location(), A.value());
+        U.PoppedStore = true;
+      }
     } else if (A.isLock()) {
-      auto &Slot = C.Locks[A.monitor()];
-      Slot = {Tid, Slot.second + 1};
+      U.Mon = A.monitor();
+      auto It = lockFind(N, U.Mon);
+      if (It != N.Locks.end() && It->first == U.Mon) {
+        // Enabledness admitted the lock, so an existing entry is already
+        // owned by Tid (depths in Locks are always > 0).
+        It->second = {Tid, It->second.second + 1};
+        U.LockKind = UndoRec::Lock::Relocked;
+      } else {
+        N.Locks.insert(It, {U.Mon, {Tid, 1}});
+        U.LockKind = UndoRec::Lock::LockedNew;
+      }
     } else if (A.isUnlock()) {
-      auto It = C.Locks.find(A.monitor());
-      assert(It != C.Locks.end() && It->second.first == Tid);
-      if (--It->second.second == 0)
-        C.Locks.erase(It);
+      U.Mon = A.monitor();
+      auto It = lockFind(N, U.Mon);
+      assert(It != N.Locks.end() && It->first == U.Mon &&
+             It->second.first == Tid);
+      if (--It->second.second == 0) {
+        N.Locks.erase(It);
+        U.LockKind = UndoRec::Lock::UnlockedGone;
+      } else {
+        U.LockKind = UndoRec::Lock::Unlocked;
+      }
     } else if (A.isExternal()) {
-      C.Beh.push_back(A.value());
+      N.Beh.push_back(A.value());
+      U.PoppedBeh = true;
       std::lock_guard<std::mutex> Lock(ResM);
-      Behaviours.insert(C.Beh);
+      Behaviours.insert(N.Beh);
     }
+  }
+
+  /// Inverse of applyInPlace.
+  void undoInPlace(BufNode &N, UndoRec &U) {
+    ThreadId Tid = U.Tid;
+    if (U.IsDrain) {
+      uint64_t *B = bufOf(N, Tid);
+      uint32_t Len = N.BufLen[Tid];
+      std::copy_backward(B + U.DrainIdx, B + Len, B + Len + 1);
+      B[U.DrainIdx] = U.DrainEntry;
+      N.BufLen[Tid] = Len + 1;
+      memUndo(N, U);
+      return;
+    }
+    --N.ActionsDone[Tid];
+    N.ConfigIdv[Tid] = U.OldCfg;
+    if (U.PoppedStore)
+      --N.BufLen[Tid];
+    memUndo(N, U);
+    switch (U.LockKind) {
+    case UndoRec::Lock::None:
+      break;
+    case UndoRec::Lock::Relocked:
+      lockFind(N, U.Mon)->second.second -= 1;
+      break;
+    case UndoRec::Lock::LockedNew:
+      N.Locks.erase(lockFind(N, U.Mon));
+      break;
+    case UndoRec::Lock::Unlocked:
+      lockFind(N, U.Mon)->second.second += 1;
+      break;
+    case UndoRec::Lock::UnlockedGone:
+      N.Locks.insert(lockFind(N, U.Mon), {U.Mon, {Tid, 1}});
+      break;
+    }
+    if (U.PoppedBeh)
+      N.Beh.pop_back();
+  }
+
+  /// Applies \p T to \p C (a private copy on the fork hand-off path);
+  /// the undo record is discarded.
+  void applyTo(BufNode &C, const Transition &T) {
+    UndoRec U;
+    applyInPlace(C, T, U);
   }
 
   /// Canonical length-prefixed word encoding of a node: injective by
@@ -430,36 +733,58 @@ private:
   /// an absent one identically, so merging them only tightens the memo.
   void encodeState(const BufNode &N, std::vector<uint64_t> &Out) const {
     Out.clear();
-    size_t NT = N.Threads.size();
+    size_t NT = N.ConfigIdv.size();
     Out.push_back(TagState | NT);
     for (size_t Ti = 0; Ti < NT; ++Ti) {
       Out.push_back(N.ConfigIdv[Ti]);
       Out.push_back(N.ActionsDone[Ti]);
+      const uint64_t *B = bufOf(N, static_cast<ThreadId>(Ti));
+      uint32_t Len = N.BufLen[Ti];
       if (Model == BufferModel::Tso) {
-        const StoreBuffer &B = N.Tso[Ti];
-        Out.push_back(B.size());
-        for (const auto &[Loc, V] : B)
-          Out.push_back((static_cast<uint64_t>(Loc) << 32) |
-                        static_cast<uint32_t>(V));
+        Out.push_back(Len);
+        Out.insert(Out.end(), B, B + Len);
       } else {
-        size_t NonEmpty = 0;
-        for (const auto &[Loc, Q] : N.Pso[Ti])
-          if (!Q.empty())
-            ++NonEmpty;
-        Out.push_back(NonEmpty);
-        for (const auto &[Loc, Q] : N.Pso[Ti]) {
-          if (Q.empty())
-            continue;
-          Out.push_back((static_cast<uint64_t>(Loc) << 32) | Q.size());
-          for (Value V : Q)
-            Out.push_back(static_cast<uint32_t>(V));
+        // Per-location queues in ascending location order, each queue
+        // front-to-back — word for word the old std::map encoding (the
+        // canonical order is what merges nodes whose cross-location
+        // insertion interleavings differ but whose queues agree).
+        SymbolId Locs[64];
+        std::vector<SymbolId> LocsHeap;
+        SymbolId *L = Locs;
+        size_t NumLocs = 0;
+        if (Len > 64) {
+          LocsHeap.resize(Len);
+          L = LocsHeap.data();
+        }
+        for (uint32_t I = 0; I < Len; ++I) {
+          SymbolId Loc = entryLoc(B[I]);
+          bool Seen = false;
+          for (size_t F = 0; F < NumLocs; ++F)
+            if (L[F] == Loc) {
+              Seen = true;
+              break;
+            }
+          if (!Seen)
+            L[NumLocs++] = Loc;
+        }
+        std::sort(L, L + NumLocs);
+        Out.push_back(NumLocs);
+        for (size_t F = 0; F < NumLocs; ++F) {
+          size_t HeadSlot = Out.size();
+          Out.push_back(0);
+          uint64_t QLen = 0;
+          for (uint32_t I = 0; I < Len; ++I)
+            if (entryLoc(B[I]) == L[F]) {
+              Out.push_back(static_cast<uint32_t>(entryVal(B[I])));
+              ++QLen;
+            }
+          Out[HeadSlot] = (static_cast<uint64_t>(L[F]) << 32) | QLen;
         }
       }
     }
     Out.push_back(N.Memory.size());
     for (const auto &[Loc, V] : N.Memory)
-      Out.push_back((static_cast<uint64_t>(Loc) << 32) |
-                    static_cast<uint32_t>(V));
+      Out.push_back(packEntry(Loc, V));
     size_t NumLocks = 0;
     for (const auto &[Mon, Slot] : N.Locks)
       if (Slot.second > 0)
@@ -476,7 +801,7 @@ private:
       Out.push_back(static_cast<uint32_t>(V));
   }
 
-  uint32_t internEvent(const BufEvent &Ev) {
+  uint32_t internEvent(const BufEvent &Ev, TaskCtx &TC) {
     uint64_t Hi = TagEvent | Ev.Tid;
     uint64_t Lo;
     if (Ev.IsDrain) {
@@ -486,46 +811,56 @@ private:
     } else {
       Lo = actionWord(*Ev.Act);
     }
+    size_t Slot = ((Hi * 0x9E3779B97F4A7C15ULL) ^
+                   (Lo * 0xC2B2AE3D27D4EB4FULL)) >>
+                  56; // EvCache holds 256 slots
+    TaskCtx::EvSlot &E = TC.EvCache[Slot];
+    if (E.IdPlus1 && E.Hi == Hi && E.Lo == Lo)
+      return static_cast<uint32_t>(E.IdPlus1 - 1);
     uint64_t W[2] = {Hi, Lo};
-    return Structs.intern(W, 2).Id;
+    uint32_t Id = Structs.intern(W, 2).Id;
+    E = {Hi, Lo, static_cast<uint64_t>(Id) + 1};
+    return Id;
   }
 
-  void search(BufNode &N, unsigned Depth) {
+  void search(BufNode &N, TaskCtx &TC, unsigned Depth) {
     if (StopFlag.load(std::memory_order_relaxed))
       return;
-    uint64_t V = VisitedCount.fetch_add(1, std::memory_order_relaxed) + 1;
+    uint64_t V = TC.Visits.next();
     if (V > Limits.MaxVisited) {
       truncate(TruncationReason::StateCap);
       return;
     }
-    if (Limits.Shared && !Limits.Shared->charge()) {
+    if (Limits.Shared && !TC.Charge.charge()) {
       truncate(Limits.Shared->reason());
       return;
     }
     // Intern the state; prune revisits (subset rule under POR).
-    std::vector<uint64_t> Enc;
-    encodeState(N, Enc);
+    encodeState(N, TC.Enc);
     faultThrowBadAlloc(FaultSite::BufferedIntern);
-    InternPool::Result State = Structs.intern(Enc.data(), Enc.size());
+    InternPool::Result State = Structs.intern(TC.Enc.data(), TC.Enc.size());
     if (Memo) {
-      Enc.clear();
+      TC.SigEnc.clear();
       for (const SleepElem &S : N.Sleep)
-        Enc.push_back(S.Id);
-      InternPool::Result Sig = Sigs.intern(Enc.data(), Enc.size());
+        TC.SigEnc.push_back(S.Id);
+      InternPool::Result Sig = Sigs.intern(TC.SigEnc.data(),
+                                           TC.SigEnc.size());
       if (!Memo->shouldExplore(State.Id, Sig.Id))
         return;
     } else if (!State.Inserted) {
       return;
     }
-    std::vector<Transition> Trans = transitionsOf(N);
+    std::vector<Transition> Trans = transitionsOf(N, TC);
     std::vector<SleepElem> Done; // earlier explored siblings
+    if (Memo)
+      Done.reserve(Trans.size());
     unsigned Degree = 0;
-    for (const Transition &T : Trans) {
+    for (Transition &T : Trans) {
       if (StopFlag.load(std::memory_order_relaxed))
         return;
       uint32_t EvId = 0;
       if (Memo) {
-        EvId = internEvent(T.Ev);
+        EvId = internEvent(T.Ev, TC);
         // Asleep: the sibling branch that explored this event covers
         // every schedule that starts with it here.
         if (sleepContains(N.Sleep, EvId))
@@ -534,6 +869,7 @@ private:
       ++Degree;
       std::vector<SleepElem> ChildSleep;
       if (Memo) {
+        ChildSleep.reserve(N.Sleep.size() + Done.size());
         for (const SleepElem &S : N.Sleep)
           if (independentEvents(S.Ev, T.Ev))
             ChildSleep.push_back(S);
@@ -553,12 +889,23 @@ private:
         auto Child = std::make_shared<BufNode>(N);
         Child->Sleep = std::move(ChildSleep);
         applyTo(*Child, T);
-        Group->spawn([this, Child, Depth] { search(*Child, Depth + 1); });
+        Group->spawn([this, Child, Depth] {
+          TaskCtx ChildCtx(Limits.Shared, VisitedCount);
+          search(*Child, ChildCtx, Depth + 1);
+        });
       } else {
-        BufNode Child = N;
-        Child.Sleep = std::move(ChildSleep);
-        applyTo(Child, T);
-        search(Child, Depth + 1);
+        // Descend in place: apply, recurse, undo. The per-edge node copy
+        // (NT map-backed ThreadStates plus five vectors) dominated the
+        // reduced sweep's profile. A throwing frame abandons the whole
+        // query at the root containment, so a node left mid-undo by an
+        // exception never escapes.
+        UndoRec U;
+        std::vector<SleepElem> SavedSleep = std::move(N.Sleep);
+        N.Sleep = std::move(ChildSleep);
+        applyInPlace(N, T, U);
+        search(N, TC, Depth + 1);
+        undoInPlace(N, U);
+        N.Sleep = std::move(SavedSleep);
       }
       if (Memo)
         Done.push_back({EvId, T.Ev});
@@ -571,6 +918,7 @@ private:
   LangContext Ctx;
   TsoLimits Limits;
   BufferModel Model;
+  size_t Cap; ///< per-thread buffer stride (see BufNode doc)
   bool Parallel;
   InternPool Structs; ///< states and event ids
   InternPool Sigs;    ///< sorted event-id sleep signatures

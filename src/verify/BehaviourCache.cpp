@@ -111,8 +111,12 @@ void BehaviourCache::touchLocked(LruState &Lru, uint64_t Footprint) {
       auto It = Tracesets.find(*Cold.Key);
       ColdLru = &It->second.Lru;
       ColdBytes = It->second.Footprint;
-    } else {
+    } else if (Cold.Kind == Family::Behaviour) {
       auto It = Behaviours.find(*Cold.Key);
+      ColdLru = &It->second.Lru;
+      ColdBytes = It->second.Footprint;
+    } else {
+      auto It = Drfs.find(*Cold.Key);
       ColdLru = &It->second.Lru;
       ColdBytes = It->second.Footprint;
     }
@@ -130,12 +134,18 @@ void BehaviourCache::evictLocked(const LruRef &Ref, bool FromProtected) {
       return;
     Freed = It->second.Footprint;
     Tracesets.erase(It);
-  } else {
+  } else if (Ref.Kind == Family::Behaviour) {
     auto It = Behaviours.find(*Ref.Key);
     if (It == Behaviours.end())
       return;
     Freed = It->second.Footprint;
     Behaviours.erase(It);
+  } else {
+    auto It = Drfs.find(*Ref.Key);
+    if (It == Drfs.end())
+      return;
+    Freed = It->second.Footprint;
+    Drfs.erase(It);
   }
   Counters.Bytes -= Freed;
   if (FromProtected)
@@ -305,6 +315,81 @@ BehaviourCache::behavioursFor(const Traceset &T,
   return Set;
 }
 
+Verdict<Interleaving>
+BehaviourCache::drfFor(const Traceset &T, const EnumerationLimits &Limits,
+                       DrfModel Model) {
+  std::string Key = behaviourKey(T, Limits);
+  Key.push_back(static_cast<char>(Model));
+
+  try {
+    faultThrowInjected(FaultSite::BehaviourCache);
+    std::lock_guard<std::mutex> Lock(M);
+    auto It = Drfs.find(Key);
+    if (It != Drfs.end()) {
+      ++Counters.DrfHits;
+      touchLocked(It->second.Lru, It->second.Footprint);
+      const DrfEntry &E = It->second;
+      TruncationReason R =
+          replayCost(Limits.Shared, E.CostVisits, E.CostBytes);
+      // A budget too small for the replay is a budget the cold search
+      // would have exhausted before reaching its verdict (the recorded
+      // cost is exactly the visits the verdict needed), so Unknown here
+      // is the verdict recomputation would return.
+      if (R != TruncationReason::None)
+        return Verdict<Interleaving>::unknown(R);
+      return E.Kind == VerdictKind::Proved
+                 ? Verdict<Interleaving>::proved()
+                 : Verdict<Interleaving>::refuted(E.Witness);
+    }
+    ++Counters.DrfMisses;
+  } catch (const InjectedFault &) {
+    std::lock_guard<std::mutex> Lock(M);
+    ++Counters.Faults;
+    ++Counters.DrfMisses;
+  }
+
+  Budget *Shared = Limits.Shared;
+  uint64_t V0 = Shared ? Shared->visited() : 0;
+  uint64_t B0 = Shared ? Shared->chargedBytes() : 0;
+  RaceReport Rep = findAdjacentRace(T, Limits);
+  Verdict<Interleaving> V =
+      Rep.HasRace ? Verdict<Interleaving>::refuted(Rep.Witness)
+      : Rep.Stats.Truncated
+          ? Verdict<Interleaving>::unknown(Rep.Stats.Reason)
+          : Verdict<Interleaving>::proved();
+
+  // Only definitive verdicts from complete searches are cacheable; an
+  // Unknown is an artefact of this query's budget, and a search that
+  // exhausted the budget has no trustworthy cost to replay.
+  if (V.isUnknown() || (Shared && Shared->exhausted()))
+    return V;
+
+  DrfEntry E;
+  E.Kind = V.Kind;
+  if (V.isRefuted())
+    E.Witness = *V.Witness;
+  E.CostVisits = Shared ? Shared->visited() - V0 : Rep.Stats.Visited;
+  E.CostBytes = Shared ? Shared->chargedBytes() - B0 : 0;
+  E.Footprint = Key.size() + E.Witness.size() * sizeof(Event) + 96;
+  try {
+    faultThrowInjected(FaultSite::BehaviourCache);
+    std::lock_guard<std::mutex> Lock(M);
+    reserveLocked(E.Footprint);
+    if (E.Footprint <= MaxBytes) {
+      uint64_t F = E.Footprint;
+      auto [Slot, Inserted] = Drfs.emplace(std::move(Key), std::move(E));
+      if (Inserted) {
+        Counters.Bytes += F;
+        linkLocked(Slot->second.Lru, Family::Drf, Slot->first);
+      }
+    }
+  } catch (const InjectedFault &) {
+    std::lock_guard<std::mutex> Lock(M);
+    ++Counters.Faults;
+  }
+  return V;
+}
+
 BehaviourCache::CacheStats BehaviourCache::stats() const {
   std::lock_guard<std::mutex> Lock(M);
   return Counters;
@@ -314,6 +399,7 @@ void BehaviourCache::clear() {
   std::lock_guard<std::mutex> Lock(M);
   Tracesets.clear();
   Behaviours.clear();
+  Drfs.clear();
   Probation.clear();
   Protected_.clear();
   ProtectedBytes = 0;

@@ -61,14 +61,25 @@ public:
     uint64_t TracesetMisses = 0;
     uint64_t BehaviourHits = 0;
     uint64_t BehaviourMisses = 0;
+    uint64_t DrfHits = 0;
+    uint64_t DrfMisses = 0;
     uint64_t Faults = 0;
     uint64_t Evictions = 0;
     uint64_t Clears = 0;
     uint64_t Bytes = 0; ///< approximate current footprint
 
-    uint64_t hits() const { return TracesetHits + BehaviourHits; }
-    uint64_t misses() const { return TracesetMisses + BehaviourMisses; }
+    uint64_t hits() const { return TracesetHits + BehaviourHits + DrfHits; }
+    uint64_t misses() const {
+      return TracesetMisses + BehaviourMisses + DrfMisses;
+    }
   };
+
+  /// Memory model a cached DRF verdict was computed under. The race query
+  /// currently runs on SC tracesets only; the byte lives in the key so
+  /// the SC-to-TSO portability work (ROADMAP item 3) can put per-model
+  /// race verdicts in the same family without a verdict ever leaking
+  /// across models.
+  enum class DrfModel : uint8_t { Sc = 0, Tso = 1, Pso = 2 };
 
   explicit BehaviourCache(uint64_t MaxBytes = 64ULL << 20)
       : MaxBytes(MaxBytes ? MaxBytes : 1) {}
@@ -100,6 +111,19 @@ public:
                                     const EnumerationLimits &Limits,
                                     EnumerationStats *Stats = nullptr);
 
+  /// Cached checkDataRaceFreedom, keyed like behavioursFor plus the
+  /// model byte. Only definitive verdicts from complete searches are
+  /// cached (Unknown is an artefact of this query's budget). A hit
+  /// replays the recorded cost; if the replay exhausts the budget the
+  /// call returns Unknown with the budget's reason — byte-identical to
+  /// recomputation, because the recorded cost is exactly the visits the
+  /// search needed to reach its verdict (a race search stops at the
+  /// witness), so a budget too small for the replay is a budget under
+  /// which the cold search would have been truncated first too.
+  Verdict<Interleaving> drfFor(const Traceset &T,
+                               const EnumerationLimits &Limits,
+                               DrfModel Model = DrfModel::Sc);
+
   CacheStats stats() const;
 
   /// Drops every entry (counters are kept; Clears is incremented).
@@ -111,9 +135,9 @@ public:
   static BehaviourCache &global();
 
 private:
-  /// Which family an LRU node belongs to (the two families share the
+  /// Which family an LRU node belongs to (the families share the
   /// recency lists so eviction pressure is global, like the byte cap).
-  enum class Family : uint8_t { Traceset, Behaviour };
+  enum class Family : uint8_t { Traceset, Behaviour, Drf };
 
   /// A node of the segmented LRU lists: enough to find (and erase) the
   /// owning map entry. Map key storage is stable under rehash, so the
@@ -144,6 +168,14 @@ private:
     uint64_t Footprint = 0;
     LruState Lru;
   };
+  struct DrfEntry {
+    VerdictKind Kind = VerdictKind::Proved; ///< never Unknown
+    Interleaving Witness;                   ///< populated when Refuted
+    uint64_t CostVisits = 0;
+    uint64_t CostBytes = 0;
+    uint64_t Footprint = 0;
+    LruState Lru;
+  };
 
   /// Moves a just-hit entry to the front of the protected segment,
   /// demoting protected tails back to probation if the segment outgrows
@@ -166,6 +198,7 @@ private:
   mutable std::mutex M;
   std::unordered_map<std::string, TracesetEntry> Tracesets;
   std::unordered_map<std::string, BehaviourEntry> Behaviours;
+  std::unordered_map<std::string, DrfEntry> Drfs;
   /// Segmented LRU: entries enter Probation (front = most recent) and are
   /// promoted to Protected on their first hit. Eviction drains probation
   /// tails first, so scan traffic cannot flush the re-used warm set.

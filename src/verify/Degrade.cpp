@@ -97,10 +97,15 @@ tracesafe::degradedDataRaceFreedom(const Traceset &T, const BudgetSpec &Spec,
   degrade(
       Spec, Cancel, Workers, Report,
       [&](const EnumerationLimits &L) {
-        V = checkDataRaceFreedom(T, L);
+        // Primary path goes through the cross-query verdict cache; a
+        // warm hit replays the recorded cost against this query's
+        // budget, so the verdict is byte-identical to recomputation.
+        V = BehaviourCache::global().drfFor(T, L);
         return V.isUnknown() ? V.Reason : TruncationReason::None;
       },
       [&](const EnumerationLimits &L) {
+        // Oracle fallback bypasses the cache: a fault in the primary
+        // path must not recur here.
         V = checkDataRaceFreedom(T, L);
         return V.isUnknown() ? V.Reason : TruncationReason::None;
       });

@@ -260,6 +260,152 @@ TEST(BehaviourCache, WarmthInvarianceSurvivesEviction) {
   EXPECT_EQ(Again.visited(), ColdVisits);
 }
 
+//===----------------------------------------------------------------------===//
+// DRF verdict caching (drfFor)
+//===----------------------------------------------------------------------===//
+
+Program drfProgram() {
+  return parseOrDie(R"(
+thread { sync m { x := 1; x := 2; } }
+thread { sync m { r0 := x; } print r0; }
+)");
+}
+
+TEST(BehaviourCache, DrfWarmHitIsByteIdenticalAndReplaysCost) {
+  // A cached race verdict must be indistinguishable from recomputation:
+  // same kind, same witness, and the same visit charge against the
+  // caller's budget (warmth invariance).
+  BehaviourCache Cache;
+  Program P = sbProgram();
+  ExploreLimits EL;
+  auto T = Cache.tracesetFor(P, {0, 1}, EL);
+  ASSERT_TRUE(T);
+
+  Budget Cold(BudgetSpec{});
+  EnumerationLimits L1;
+  L1.Shared = &Cold;
+  Verdict<Interleaving> A = Cache.drfFor(*T, L1);
+  ASSERT_TRUE(A.isRefuted());
+  uint64_t ColdVisits = Cold.visited();
+  EXPECT_GT(ColdVisits, 0u);
+
+  Budget Warm(BudgetSpec{});
+  EnumerationLimits L2;
+  L2.Shared = &Warm;
+  Verdict<Interleaving> B = Cache.drfFor(*T, L2);
+  ASSERT_TRUE(B.isRefuted());
+  EXPECT_EQ(B.Witness->str(), A.Witness->str());
+  EXPECT_EQ(Warm.visited(), ColdVisits);
+  BehaviourCache::CacheStats S = Cache.stats();
+  EXPECT_EQ(S.DrfMisses, 1u);
+  EXPECT_EQ(S.DrfHits, 1u);
+}
+
+TEST(BehaviourCache, DrfProvedVerdictsCacheToo) {
+  BehaviourCache Cache;
+  Program P = drfProgram();
+  ExploreLimits EL;
+  auto T = Cache.tracesetFor(P, {0, 1, 2}, EL);
+  ASSERT_TRUE(T);
+  EnumerationLimits L;
+  EXPECT_TRUE(Cache.drfFor(*T, L).isProved());
+  EXPECT_TRUE(Cache.drfFor(*T, L).isProved());
+  EXPECT_EQ(Cache.stats().DrfHits, 1u);
+}
+
+TEST(BehaviourCache, DrfWarmHitUnderTightBudgetStaysUnknown) {
+  // If recomputation would have exhausted this query's budget before
+  // reaching the verdict, the hit must report the same exhaustion — no
+  // free answers for warm callers.
+  BehaviourCache Cache;
+  Program P = sbProgram();
+  ExploreLimits EL;
+  auto T = Cache.tracesetFor(P, {0, 1}, EL);
+  ASSERT_TRUE(T);
+  EnumerationLimits L;
+  ASSERT_TRUE(Cache.drfFor(*T, L).isRefuted()); // cold, cached
+
+  Budget Tight(BudgetSpec{/*DeadlineMs=*/0, /*MaxVisited=*/1,
+                          /*MaxMemoryBytes=*/0});
+  EnumerationLimits LT;
+  LT.Shared = &Tight;
+  Verdict<Interleaving> V = Cache.drfFor(*T, LT);
+  EXPECT_TRUE(V.isUnknown());
+  EXPECT_EQ(V.Reason, TruncationReason::StateCap);
+  EXPECT_TRUE(Tight.exhausted());
+  EXPECT_EQ(Cache.stats().DrfHits, 1u) << "the truncated reply was a hit";
+}
+
+TEST(BehaviourCache, DrfUnknownVerdictsAreNotCached) {
+  // An Unknown is an artefact of one query's budget; the next query with
+  // headroom must recompute and only then populate the cache.
+  BehaviourCache Cache;
+  Program P = drfProgram();
+  ExploreLimits EL;
+  auto T = Cache.tracesetFor(P, {0, 1, 2}, EL);
+  ASSERT_TRUE(T);
+
+  Budget Tiny(BudgetSpec{/*DeadlineMs=*/0, /*MaxVisited=*/2,
+                         /*MaxMemoryBytes=*/0});
+  EnumerationLimits LT;
+  LT.Shared = &Tiny;
+  EXPECT_TRUE(Cache.drfFor(*T, LT).isUnknown());
+
+  EnumerationLimits Free;
+  EXPECT_TRUE(Cache.drfFor(*T, Free).isProved());
+  BehaviourCache::CacheStats S = Cache.stats();
+  EXPECT_EQ(S.DrfMisses, 2u);
+  EXPECT_EQ(S.DrfHits, 0u);
+}
+
+TEST(BehaviourCache, DrfModelsKeySeparately) {
+  // The same traceset queried under SC, TSO and PSO must occupy three
+  // distinct cache slots — a verdict for one model must never answer for
+  // another.
+  BehaviourCache Cache;
+  Program P = sbProgram();
+  ExploreLimits EL;
+  auto T = Cache.tracesetFor(P, {0, 1}, EL);
+  ASSERT_TRUE(T);
+  EnumerationLimits L;
+  Cache.drfFor(*T, L, BehaviourCache::DrfModel::Sc);
+  Cache.drfFor(*T, L, BehaviourCache::DrfModel::Tso);
+  Cache.drfFor(*T, L, BehaviourCache::DrfModel::Pso);
+  EXPECT_EQ(Cache.stats().DrfMisses, 3u);
+  EXPECT_EQ(Cache.stats().DrfHits, 0u);
+  Cache.drfFor(*T, L, BehaviourCache::DrfModel::Tso);
+  EXPECT_EQ(Cache.stats().DrfHits, 1u);
+}
+
+TEST(BehaviourCache, DrfInjectedFaultsDegradeToMissesNotWrongAnswers) {
+  BehaviourCache Cache;
+  Program P = sbProgram();
+  ExploreLimits EL;
+  auto T = Cache.tracesetFor(P, {0, 1}, EL);
+  ASSERT_TRUE(T);
+  EnumerationLimits L;
+  Verdict<Interleaving> Want = Cache.drfFor(*T, L);
+  ASSERT_TRUE(Want.isRefuted());
+
+  BehaviourCache Faulty;
+  auto T2 = Faulty.tracesetFor(P, {0, 1}, EL);
+  ASSERT_TRUE(T2);
+  FaultPlan Plan;
+  Plan.arm(FaultSite::BehaviourCache, /*FireAt=*/1, /*Repeat=*/100);
+  {
+    FaultPlan::Scope Armed(Plan);
+    Verdict<Interleaving> A = Faulty.drfFor(*T2, L);
+    Verdict<Interleaving> B = Faulty.drfFor(*T2, L);
+    ASSERT_TRUE(A.isRefuted());
+    ASSERT_TRUE(B.isRefuted());
+    EXPECT_EQ(A.Witness->str(), Want.Witness->str());
+    EXPECT_EQ(B.Witness->str(), Want.Witness->str());
+  }
+  BehaviourCache::CacheStats S = Faulty.stats();
+  EXPECT_GT(S.Faults, 0u);
+  EXPECT_EQ(S.DrfHits, 0u) << "faulted lookups must degrade to misses";
+}
+
 TEST(BehaviourCache, KeysSeparateDomainsAndLimits) {
   BehaviourCache Cache;
   Program P = sbProgram();

@@ -17,7 +17,9 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <set>
 #include <thread>
+#include <vector>
 
 using namespace tracesafe;
 
@@ -94,6 +96,107 @@ TEST(Budget, MergeReasonPrefersSpecific) {
   EXPECT_EQ(mergeReason(TruncationReason::StateCap,
                         TruncationReason::Deadline),
             TruncationReason::StateCap);
+}
+
+//===----------------------------------------------------------------------===//
+// Batched charging (Budget::Scope / CounterScope)
+//===----------------------------------------------------------------------===//
+
+TEST(BudgetScope, VisitedIsExactAtQuiescence) {
+  // The block reservation (64 at a time) must be invisible once scopes
+  // settle: for any charge count — including ones that are not a
+  // multiple of the block — visited() equals the number of charges.
+  for (uint64_t N : {1u, 63u, 64u, 65u, 1000u}) {
+    Budget B(BudgetSpec{});
+    {
+      Budget::Scope S(&B);
+      for (uint64_t I = 0; I < N; ++I)
+        ASSERT_TRUE(S.charge());
+    } // destructor settles
+    EXPECT_EQ(B.visited(), N) << "charges=" << N;
+  }
+}
+
+TEST(BudgetScope, StateCapFiresAtTheExactCharge) {
+  // Reserving a block must not let charges beyond the cap through, nor
+  // cut the budget short: with MaxVisited = 100, charges 1..100 succeed
+  // and charge 101 fails — bit-identical to the unbatched Budget::charge.
+  BudgetSpec Spec;
+  Spec.MaxVisited = 100;
+  Budget B(Spec);
+  Budget::Scope S(&B);
+  for (int I = 0; I < 100; ++I)
+    ASSERT_TRUE(S.charge()) << "charge " << (I + 1);
+  EXPECT_FALSE(S.charge());
+  EXPECT_TRUE(B.exhausted());
+  EXPECT_EQ(B.reason(), TruncationReason::StateCap);
+}
+
+TEST(BudgetScope, NullBudgetAlwaysSucceeds) {
+  Budget::Scope S(nullptr);
+  for (int I = 0; I < 200; ++I)
+    ASSERT_TRUE(S.charge(1 << 20));
+}
+
+TEST(BudgetScope, ConcurrentScopesSettleExactly) {
+  // Parallel tasks each hold their own scope; after the pool quiesces the
+  // shared tally is the exact sum of all charges, independent of how the
+  // block reservations interleaved.
+  Budget B(BudgetSpec{});
+  constexpr int Threads = 4;
+  constexpr uint64_t PerThread = 777; // deliberately not block-aligned
+  {
+    std::vector<std::thread> Ts;
+    for (int T = 0; T < Threads; ++T)
+      Ts.emplace_back([&B] {
+        Budget::Scope S(&B);
+        for (uint64_t I = 0; I < PerThread; ++I)
+          ASSERT_TRUE(S.charge());
+      });
+    for (auto &T : Ts)
+      T.join();
+  }
+  EXPECT_EQ(B.visited(), Threads * PerThread);
+}
+
+TEST(BudgetScope, BytesChargeStillHonoursMemoryCap) {
+  BudgetSpec Spec;
+  Spec.MaxMemoryBytes = 10'000;
+  Budget B(Spec);
+  Budget::Scope S(&B);
+  int Ok = 0;
+  while (S.charge(1'000) && Ok < 1'000)
+    ++Ok;
+  EXPECT_EQ(Ok, 10); // the 11th kilobyte breaches the cap
+  EXPECT_EQ(B.reason(), TruncationReason::MemoryCap);
+}
+
+TEST(CounterScope, IndicesAreUniqueAndExactAtQuiescence) {
+  // next() hands out 1-based global indices from reserved blocks; across
+  // concurrent scopes they must never collide, and once every scope has
+  // settled the counter equals the number of indices consumed.
+  std::atomic<uint64_t> Counter{0};
+  constexpr int Threads = 4;
+  constexpr uint64_t PerThread = 500;
+  std::vector<std::vector<uint64_t>> Seen(Threads);
+  {
+    std::vector<std::thread> Ts;
+    for (int T = 0; T < Threads; ++T)
+      Ts.emplace_back([&Counter, &Seen, T] {
+        CounterScope S(Counter);
+        for (uint64_t I = 0; I < PerThread; ++I)
+          Seen[T].push_back(S.next());
+      });
+    for (auto &T : Ts)
+      T.join();
+  }
+  EXPECT_EQ(Counter.load(), Threads * PerThread);
+  std::set<uint64_t> All;
+  for (const auto &V : Seen)
+    for (uint64_t I : V) {
+      EXPECT_GE(I, 1u);
+      EXPECT_TRUE(All.insert(I).second) << "index " << I << " duplicated";
+    }
 }
 
 TEST(Verdict, Helpers) {

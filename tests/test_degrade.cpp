@@ -11,6 +11,7 @@
 #include "lang/Explore.h"
 #include "lang/Parser.h"
 #include "support/Failure.h"
+#include "verify/BehaviourCache.h"
 #include "verify/Degrade.h"
 
 #include <gtest/gtest.h>
@@ -73,6 +74,10 @@ TEST(Degrade, HealthyPrimaryDoesNotFallBack) {
 }
 
 TEST(Degrade, FaultedPrimaryFallsBackToOracleAnswer) {
+  // These tests exercise the cold primary path; a verdict cached by an
+  // earlier test would (correctly, but unhelpfully here) satisfy the
+  // query without ever touching the faulted engine.
+  BehaviourCache::global().clear();
   Traceset Racy = tracesetFor(RacySource);
   Traceset Drf = tracesetFor(DrfSource);
   FaultPlan Plan;
@@ -137,6 +142,7 @@ TEST(Degrade, FaultedFallbackStaysUnknown) {
   // Both engines poisoned: the BudgetCharge site fires on every interrupt
   // check, so the fallback faults too — the verdict must stay
   // Unknown(EngineFault), never invent an answer.
+  BehaviourCache::global().clear();
   Traceset Racy = tracesetFor(RacySource);
   FaultPlan Plan;
   Plan.arm(FaultSite::BudgetCharge, 1, /*Repeat=*/~0ull);

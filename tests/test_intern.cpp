@@ -139,6 +139,50 @@ TEST(InternPool, ConcurrentInterningIsConsistent) {
   EXPECT_EQ(P.size(), Span);
 }
 
+TEST(InternPool, LockFreeReadsRaceWithGrowth) {
+  // The read fast path (hash probe over an atomically published slot
+  // table, plus view()) takes no lock; this drives it concurrently with
+  // enough fresh inserts to force several table growths and arena chunk
+  // allocations mid-probe. Readers hammer spans inserted before the storm
+  // and verify both id stability and payload round-trips — under TSan
+  // this is the proof the published-table scheme has no data race.
+  InternPool P(/*ShardBits=*/2);
+  constexpr uint64_t Hot = 512;
+  std::vector<uint32_t> HotIds(Hot);
+  for (uint64_t I = 0; I < Hot; ++I) {
+    uint64_t W[] = {I, ~I, I * 0x9E3779B97F4A7C15ULL};
+    HotIds[I] = P.intern(W, 3).Id;
+  }
+  ThreadPool Pool(4);
+  {
+    ThreadPool::TaskGroup G(Pool);
+    // Writers: force growth with a stream of fresh spans.
+    for (int Writer = 0; Writer < 2; ++Writer)
+      G.spawn([&P, Writer] {
+        for (uint64_t I = 0; I < 20'000; ++I) {
+          uint64_t W[] = {(uint64_t)Writer << 32 | I, I * 131, I * 137, I};
+          P.intern(W, 4);
+        }
+      });
+    // Readers: re-intern hot spans (hit path) and view their payloads.
+    for (int Reader = 0; Reader < 4; ++Reader)
+      G.spawn([&P, &HotIds] {
+        for (int Round = 0; Round < 50; ++Round)
+          for (uint64_t I = 0; I < Hot; ++I) {
+            uint64_t W[] = {I, ~I, I * 0x9E3779B97F4A7C15ULL};
+            InternPool::Result R = P.intern(W, 3);
+            ASSERT_FALSE(R.Inserted);
+            ASSERT_EQ(R.Id, HotIds[I]);
+            auto [Ptr, Len] = P.view(R.Id);
+            ASSERT_EQ(Len, 3u);
+            ASSERT_EQ(Ptr[0], I);
+            ASSERT_EQ(Ptr[2], I * 0x9E3779B97F4A7C15ULL);
+          }
+      });
+  }
+  EXPECT_EQ(P.size(), Hot + 2 * 20'000);
+}
+
 TEST(SleepMemo, SubsetPruneRule) {
   InternPool Sigs;
   SleepMemo Memo(/*ShardBits=*/0, Sigs);
@@ -189,6 +233,43 @@ TEST(SleepMemo, ConcurrentVisitsNeverBothPrune) {
         for (uint32_t S = 0; S < States; ++S)
           if (Memo.shouldExplore(S, Sig))
             Explored[S].fetch_add(1);
+      });
+  }
+  for (uint32_t S = 0; S < States; ++S)
+    EXPECT_EQ(Explored[S].load(), 1) << "state " << S;
+}
+
+TEST(SleepMemo, LockFreePrunesRaceWithRecordingVisits) {
+  // shouldExplore answers "prune" (false) without the shard lock when a
+  // dominating record is already published. Mix recording first visits
+  // with a flood of read-mostly revisits across many states while new
+  // signatures keep landing in the signature pool (invalidating the
+  // thread-local front cache via the generation counter). The invariant
+  // from ConcurrentVisitsNeverBothPrune must survive the fast path:
+  // exactly one explorer per (state, dominant signature).
+  InternPool Sigs(/*ShardBits=*/2);
+  SleepMemo Memo(/*ShardBits=*/2, Sigs);
+  constexpr uint32_t States = 300;
+  std::vector<std::atomic<int>> Explored(States);
+  ThreadPool Pool(4);
+  {
+    ThreadPool::TaskGroup G(Pool);
+    // Churn: grow the signature pool so readers' caches go stale.
+    G.spawn([&Sigs] {
+      for (uint64_t I = 0; I < 30'000; ++I) {
+        uint64_t W[] = {I | (1ULL << 40), I * 31};
+        Sigs.intern(W, 2);
+      }
+    });
+    for (int Worker = 0; Worker < 6; ++Worker)
+      G.spawn([&Memo, &Sigs, &Explored, Worker] {
+        uint64_t W[] = {7};
+        uint32_t Sig = Sigs.intern(W, 1).Id;
+        for (int Round = 0; Round < 40; ++Round)
+          for (uint32_t S = 0; S < States; ++S)
+            if (Memo.shouldExplore(S, Sig))
+              Explored[S].fetch_add(1);
+        (void)Worker;
       });
   }
   for (uint32_t S = 0; S < States; ++S)

@@ -225,6 +225,64 @@ TEST(ParallelEnumerate, SourceSetsPruneDisjointThreadGroups) {
       << "source sets explored more than plain sleep sets";
 }
 
+TEST(ParallelEnumerate, RaceVerdictSourceSetMatrixMatchesOracle) {
+  // The race query now runs under source-set reduction too (see the
+  // soundness argument in trace/Enumerate.cpp): across the corpus and a
+  // seeded random sweep, every (sleep × source × workers) combination
+  // must return the oracle's race verdict.
+  std::vector<std::pair<std::string, Traceset>> Suite;
+  for (size_t I = 0; I < std::size(Corpus); ++I)
+    Suite.emplace_back("corpus[" + std::to_string(I) + "]",
+                       tracesetFor(Corpus[I]));
+  for (uint64_t Seed = 1; Seed <= 12; ++Seed) {
+    Rng R(Seed);
+    GenOptions G;
+    G.Discipline = static_cast<GenDiscipline>(Seed % 4);
+    Program P = generateProgram(R, G);
+    ExploreLimits L;
+    L.MaxActions = 9;
+    Suite.emplace_back("seed " + std::to_string(Seed),
+                       programTraceset(P, defaultDomainFor(P, 2), L));
+  }
+  for (const auto &[Tag, T] : Suite) {
+    RaceReport Want = findAdjacentRace(T, limitsFor(1, /*Oracle=*/true));
+    ASSERT_FALSE(Want.Stats.Truncated) << Tag;
+    for (bool Sleep : {true, false})
+      for (bool Source : {true, false})
+        for (unsigned Workers : {1u, 4u}) {
+          EnumerationLimits L = limitsFor(Workers);
+          L.SleepSets = Sleep;
+          L.SourceSets = Source;
+          RaceReport Got = findAdjacentRace(T, L);
+          ASSERT_FALSE(Got.Stats.Truncated)
+              << Tag << " sleep=" << Sleep << " source=" << Source;
+          EXPECT_EQ(Want.HasRace, Got.HasRace)
+              << Tag << " sleep=" << Sleep << " source=" << Source
+              << " workers=" << Workers;
+          if (Got.HasRace)
+            EXPECT_TRUE(Got.Witness.isExecutionOf(T))
+                << Tag << ": witness is not an execution";
+        }
+  }
+}
+
+TEST(ParallelEnumerate, RaceSourceSetsPruneDisjointThreadGroups) {
+  // Disjoint-location threads cannot race; the source-set-restricted
+  // race search should prove it while exploring no more states than the
+  // sleep-set-only search.
+  Traceset T = tracesetFor("thread { x := 1; r0 := x; print r0; }\n"
+                           "thread { y := 1; r1 := y; print r1; }\n");
+  EnumerationLimits On = limitsFor(1);
+  EnumerationLimits Off = limitsFor(1);
+  Off.SourceSets = false;
+  RaceReport With = findAdjacentRace(T, On);
+  RaceReport Without = findAdjacentRace(T, Off);
+  EXPECT_FALSE(With.HasRace);
+  EXPECT_FALSE(Without.HasRace);
+  EXPECT_LE(With.Stats.Visited, Without.Stats.Visited)
+      << "race-query source sets explored more than plain sleep sets";
+}
+
 TEST(ParallelEnumerate, ExploreWorkersDeterministic) {
   // programTraceset must return the identical traceset for every width.
   Program P = parseOrDie(Corpus[2]);

@@ -107,6 +107,35 @@ thread { y := 1; r2 := x; print r2; }
       << "sleep-set POR did not prune any store-buffer interleavings";
 }
 
+TEST(TsoParallel, BufferBoundEdgesMatchOracle) {
+  // The flat per-thread buffer array sizes its stride from
+  // min(MaxBufferedStores, MaxActionsPerThread); the tight bounds (1 =
+  // every store drains before the next, 2 = one pending reorder window)
+  // are where an off-by-one in the packed drain/append logic would show.
+  // The answer must track the oracle at the *same* bound, at every width.
+  Program P = parseOrDie(R"(
+thread { x := 1; x := 2; r1 := y; print r1; }
+thread { y := 1; y := 2; r2 := x; print r2; }
+)");
+  for (size_t Bound : {size_t(1), size_t(2), size_t(8)}) {
+    TsoLimits O = oracle();
+    O.MaxBufferedStores = Bound;
+    std::set<Behaviour> WantTso = tsoBehaviours(P, O, nullptr);
+    std::set<Behaviour> WantPso = psoBehaviours(P, O, nullptr);
+    for (unsigned Workers : {1u, 8u})
+      for (bool Reduce : {true, false}) {
+        TsoLimits L = limits(Workers, Reduce);
+        L.MaxBufferedStores = Bound;
+        EXPECT_EQ(tsoBehaviours(P, L, nullptr), WantTso)
+            << "TSO bound=" << Bound << " workers=" << Workers
+            << " reduction=" << Reduce;
+        EXPECT_EQ(psoBehaviours(P, L, nullptr), WantPso)
+            << "PSO bound=" << Bound << " workers=" << Workers
+            << " reduction=" << Reduce;
+      }
+  }
+}
+
 TEST(TsoParallel, SharedBudgetExhaustionIsReportedNotWrong) {
   Program P = parseOrDie(R"(
 thread { x := 1; x := 2; r1 := y; print r1; }
