@@ -2,7 +2,8 @@
 """Diff two merged BENCH_results.json files per family, with a tolerance.
 
 Usage: check_bench_regression.py BASELINE.json CURRENT.json
-           [--tolerance PCT] [--families REGEX]
+           [--tolerance PCT] [--throughput-tolerance PCT]
+           [--families REGEX]
 
 Rows are grouped by (family, engine, por, workers) — the configuration
 key merge_bench_json.py parses out of the benchmark names — and each
@@ -11,6 +12,12 @@ the merge script uses for its speedup section. A configuration present
 in both files whose current best is more than PCT percent slower than
 the baseline best is a regression; the script lists every comparison,
 flags regressions, and exits 1 if any were found (2 on usage errors).
+
+Configurations whose rows carry bytes_per_second (the racelog streaming
+benches) are compared on throughput instead: best = maximum MB/s, and a
+drop of more than --throughput-tolerance percent (default 15) fails.
+Throughput rows scan fixed inputs, so MB/s is the quantity the family
+advertises and ns/op would double-count input-size changes.
 
 Configurations present on only one side are listed as added/removed but
 are never failures: benches come and go with the code under test.
@@ -32,14 +39,23 @@ def config_key(row):
 
 
 def best_by_config(doc, pattern):
+    """Per configuration: best (minimum) ns/op and, for rows that carry
+    it, best (maximum) bytes/sec."""
     best = {}
     for row in doc.get("benchmarks", []):
         if pattern and not pattern.search(row["family"]):
             continue
         key = config_key(row)
         ns = float(row["ns_per_op"])
-        if key not in best or ns < best[key]:
-            best[key] = ns
+        bps = float(row["bytes_per_second"]) \
+            if "bytes_per_second" in row else None
+        if key not in best:
+            best[key] = {"ns": ns, "bps": bps}
+        else:
+            best[key]["ns"] = min(best[key]["ns"], ns)
+            if bps is not None:
+                prev = best[key]["bps"]
+                best[key]["bps"] = bps if prev is None else max(prev, bps)
     return best
 
 
@@ -66,6 +82,9 @@ def main(argv):
     ap.add_argument("current")
     ap.add_argument("--tolerance", type=float, default=10.0,
                     help="allowed slowdown in percent (default 10)")
+    ap.add_argument("--throughput-tolerance", type=float, default=15.0,
+                    help="allowed throughput drop in percent for rows "
+                         "reporting bytes/sec (default 15)")
     ap.add_argument("--families", default=None,
                     help="only check families matching this regex")
     args = ap.parse_args(argv[1:])
@@ -94,30 +113,41 @@ def main(argv):
     regressions = []
     improved = 0
     for key in sorted(base.keys() & cur.keys()):
-        b, c = base[key], cur[key]
-        delta = (c - b) / b * 100.0 if b else 0.0
+        bb, cc = base[key], cur[key]
+        if bb["bps"] is not None and cc["bps"] is not None:
+            # Throughput configuration: compare MB/s, higher is better.
+            b, c = bb["bps"], cc["bps"]
+            delta = (b - c) / b * 100.0 if b else 0.0
+            tol = args.throughput_tolerance
+            shown = (f"{fmt_key(key)}: {b / 1e6:.1f}MB/s -> "
+                     f"{c / 1e6:.1f}MB/s ({-delta:+.1f}%)")
+        else:
+            b, c = bb["ns"], cc["ns"]
+            delta = (c - b) / b * 100.0 if b else 0.0
+            tol = args.tolerance
+            shown = (f"{fmt_key(key)}: {fmt_ns(b)} -> {fmt_ns(c)} "
+                     f"({delta:+.1f}%)")
         mark = " "
-        if delta > args.tolerance:
+        if delta > tol:
             mark = "!"
-            regressions.append((key, b, c, delta))
+            regressions.append((key, shown))
         elif delta < 0:
             mark = "+"
             improved += 1
-        print(f"{mark} {fmt_key(key)}: {fmt_ns(b)} -> {fmt_ns(c)} "
-              f"({delta:+.1f}%)")
+        print(f"{mark} {shown}")
     for key in sorted(base.keys() - cur.keys()):
-        print(f"- {fmt_key(key)}: removed (baseline {fmt_ns(base[key])})")
+        print(f"- {fmt_key(key)}: removed "
+              f"(baseline {fmt_ns(base[key]['ns'])})")
     for key in sorted(cur.keys() - base.keys()):
-        print(f"* {fmt_key(key)}: added ({fmt_ns(cur[key])})")
+        print(f"* {fmt_key(key)}: added ({fmt_ns(cur[key]['ns'])})")
 
     shared = len(base.keys() & cur.keys())
     print(f"\n{shared} configurations compared, {improved} improved, "
           f"{len(regressions)} regressed (tolerance {args.tolerance:.1f}%)")
     if regressions:
         print("regressions:")
-        for key, b, c, delta in regressions:
-            print(f"  {fmt_key(key)}: {fmt_ns(b)} -> {fmt_ns(c)} "
-                  f"({delta:+.1f}%)")
+        for _key, shown in regressions:
+            print(f"  {shown}")
         return 1
     return 0
 

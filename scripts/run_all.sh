@@ -62,6 +62,19 @@ cmake --build build-asan --target test_protocol test_daemon \
 ./build-asan/tests/test_daemon
 ./build-asan/tests/test_daemon_chaos
 
+# Racelog stage under ASan: the log-format/engine suite (torn tails,
+# flipped CRCs, injected detect faults) plus an end-to-end generate+scan
+# through the CLI — the writer, CRC framing, and both engines touch every
+# byte they produce (see docs/TRACELOG.md).
+echo "===== sanitizer racelog smoke ====="
+cmake --build build-asan --target test_racelog racelog_scan
+./build-asan/tests/test_racelog
+./build-asan/examples/racelog_scan --gen mixed --events 200000 \
+  --out build-asan/racelog_smoke.tsrl
+./build-asan/examples/racelog_scan --shards 4 \
+  build-asan/racelog_smoke.tsrl && rc=0 || rc=$?
+[ "$rc" -eq 1 ] || { echo "expected races in the mixed log (rc=$rc)"; exit 1; }
+
 # ThreadSanitizer pass: rebuild with TSan and drive the parallel engine —
 # pool + interning unit tests, the POR-vs-oracle equivalence suites (SC
 # enumeration and the TSO/PSO buffered engine), and a parallel fuzz
@@ -70,11 +83,15 @@ echo "===== thread sanitizer parallel smoke ====="
 cmake -B build-tsan -G Ninja -DTRACESAFE_TSAN=ON
 cmake --build build-tsan --target \
   test_threadpool test_intern test_parallel_enumerate test_tso_parallel \
-  fuzz_harness
+  test_racelog_differential fuzz_harness
 ./build-tsan/tests/test_threadpool
 ./build-tsan/tests/test_intern
 ./build-tsan/tests/test_parallel_enumerate
 ./build-tsan/tests/test_tso_parallel
+# The racelog differential suite drives the pooled shard pipeline (worker
+# tasks + interned clock snapshots) on every trace — the racelog TSan
+# surface.
+./build-tsan/tests/test_racelog_differential
 ./build-tsan/examples/fuzz_harness --programs 100 --deadline-ms 60000 \
   --seed 3 --no-thin-air --query-deadline-ms 50 --jobs 4 --semantic
 

@@ -180,6 +180,8 @@ const char *daemon::queryKindName(QueryKind K) {
     return "drf-guarantee";
   case QueryKind::ThinAir:
     return "thin-air";
+  case QueryKind::RaceLog:
+    return "racelog";
   }
   return "invalid";
 }
@@ -259,7 +261,7 @@ bool daemon::decodeSubmit(const std::string &Payload, QueryRequest &Q) {
       !R.str(Q.Transformed) || !R.done())
     return false;
   if (Kind < static_cast<uint8_t>(QueryKind::ProgramDrf) ||
-      Kind > static_cast<uint8_t>(QueryKind::ThinAir))
+      Kind > static_cast<uint8_t>(QueryKind::RaceLog))
     return false;
   Q.Kind = static_cast<QueryKind>(Kind);
   Q.Budget.DeadlineMs = static_cast<int64_t>(DeadlineMs);

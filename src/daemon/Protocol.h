@@ -114,13 +114,17 @@ enum class QueryKind : uint8_t {
   Behaviours = 2,   ///< enumerate Program's SC behaviours
   DrfGuarantee = 3, ///< DRF guarantee for (Program, Transformed)
   ThinAir = 4,      ///< out-of-thin-air guarantee for the pair
+  RaceLog = 5,      ///< streaming HB race scan of a TSRL event log
 };
 
 const char *queryKindName(QueryKind K);
 
 struct QueryRequest {
   QueryKind Kind = QueryKind::ProgramDrf;
-  std::string Program;     ///< .tsl source of the original program
+  /// .tsl source of the original program — except for RaceLog queries,
+  /// where this carries the raw TSRL log image (the payload strings are
+  /// length-prefixed and binary-safe end to end).
+  std::string Program;
   std::string Transformed; ///< .tsl source of the pair queries' second leg
   /// Requested per-query budget; field-wise 0 = "whatever the server's
   /// quota ceiling allows". The server clamps every field to its ceiling.

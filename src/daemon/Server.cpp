@@ -2,6 +2,7 @@
 
 #include "lang/Explore.h"
 #include "lang/Parser.h"
+#include "racelog/Detect.h"
 #include "support/Failure.h"
 #include "support/ThreadPool.h"
 #include "trace/Enumerate.h"
@@ -175,12 +176,52 @@ QueryResponse runKind(QueryKind K, const Program &O, const Program *T2,
   return R;
 }
 
+/// RaceLog queries bypass the program pipeline entirely: Q.Program is a
+/// TSRL log image, scanned by the streaming detector. Primary = epoch
+/// engine over 4 address shards; the degraded fallback (EngineFault only,
+/// like every other kind) is the full-vector-clock oracle engine inline.
+QueryResponse runRaceLog(const std::string &Log, Budget &B, bool Oracle) {
+  QueryResponse R;
+  R.Status = ResponseStatus::Ok;
+  racelog::RaceLogOptions O;
+  O.Epochs = !Oracle;
+  O.Shards = Oracle ? 1u : 4u;
+  O.Workers = 1;
+  O.Shared = &B;
+  racelog::RaceLogReport Rep = racelog::scanRaceLog(Log, O);
+  if (!Rep.FormatOk) {
+    R.Status = ResponseStatus::BadRequest;
+    R.Detail = "bad log: " + Rep.FormatError;
+    return R;
+  }
+  R.Kind = Rep.verdict();
+  if (Rep.Stats.Truncated)
+    R.Reason = Rep.Stats.Reason;
+  R.Detail = Rep.str();
+  return R;
+}
+
 } // namespace
 
 QueryResponse daemon::evaluateQuery(const QueryRequest &Q,
                                     const BudgetSpec &Ceiling,
                                     const CancelToken *Cancel) {
   QueryResponse R;
+  if (Q.Kind == QueryKind::RaceLog) {
+    BudgetSpec Spec = clampBudget(Q.Budget, Ceiling);
+    Budget B(Spec, Cancel);
+    R = runRaceLog(Q.Program, B, /*Oracle=*/false);
+    R.Visited = B.visited();
+    if (R.Status == ResponseStatus::Ok && R.Kind == VerdictKind::Unknown &&
+        R.Reason == TruncationReason::EngineFault) {
+      Budget B2(remainingBudget(Spec, B), Cancel);
+      QueryResponse R2 = runRaceLog(Q.Program, B2, /*Oracle=*/true);
+      R2.Degraded = true;
+      R2.Visited = B.visited() + B2.visited();
+      return R2;
+    }
+    return R;
+  }
   ParseResult O = parseProgram(Q.Program);
   if (!O) {
     R.Status = ResponseStatus::BadRequest;
@@ -377,7 +418,7 @@ std::vector<JournalEntry> loadDaemonJournal(const std::string &Path) {
           !parseU64(T[6], E.Q.Budget.MaxMemoryBytes))
         continue;
       if (Kind < static_cast<uint64_t>(QueryKind::ProgramDrf) ||
-          Kind > static_cast<uint64_t>(QueryKind::ThinAir))
+          Kind > static_cast<uint64_t>(QueryKind::RaceLog))
         continue;
       E.Q.Kind = static_cast<QueryKind>(Kind);
       E.Q.Budget.DeadlineMs = static_cast<int64_t>(Deadline);

@@ -1,0 +1,138 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Streaming happens-before race detection over binary event logs.
+///
+/// scanRaceLog ingests a TSRL log (racelog/Log.h) and answers the paper's
+/// §3 happens-before race question for the *observed* execution: is there
+/// a pair of conflicting accesses unordered by program order + release/
+/// acquire synchronisation? This is the production-scale counterpart of
+/// the enumerative checker in trace/HappensBefore.cpp — one trace of an
+/// arbitrarily large program instead of every trace of a tiny one — and
+/// the two are differentially tested against each other on every
+/// interleaving the enumerator can produce (tests/test_racelog_
+/// differential.cpp).
+///
+/// Two engines share the per-variable state machine:
+///  - the epoch engine (default; FastTrack-style): the last write and, in
+///    the common case, the last read are scalar (tid, clock) epochs; a
+///    full read vector clock is allocated only once a variable is read
+///    concurrently. O(1) per access on race-free same-thread runs.
+///  - the full-vector-clock oracle (Options.Epochs = false; DJIT+-style):
+///    every variable carries a whole read vector clock and every write
+///    scans it. The simple engine the epoch optimisation is checked
+///    against — same racy-location set, same first racy event per
+///    location, by the FastTrack equivalence argument (docs/
+///    PERFORMANCE.md).
+///
+/// Sharding: with Options.Shards > 1 the scan runs as a pipeline —
+/// synchronisation events update the live thread clocks sequentially (in
+/// log order), accesses are stamped with their thread's current clock
+/// (interned once per sync step into an InternPool, the PR-7 lock-free
+/// discipline) and routed by address hash to per-shard detectors, which
+/// the window barrier runs on the shared ThreadPool. Every address lives
+/// in exactly one shard and its accesses arrive in log order, so the
+/// racy-location set and the first racy event per location are identical
+/// for every shard count and worker width.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACESAFE_RACELOG_DETECT_H
+#define TRACESAFE_RACELOG_DETECT_H
+
+#include "racelog/Log.h"
+#include "support/Budget.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tracesafe {
+namespace racelog {
+
+struct RaceLogOptions {
+  /// Address shards for the detect stage (rounded up to a power of two,
+  /// clamped to [1, 64]). 1 = the inline single-table fast path.
+  unsigned Shards = 1;
+  /// 1 = everything in the calling thread (shards processed in order);
+  /// anything else = per-shard detection tasks on the shared ThreadPool.
+  /// Verdicts are identical for every width.
+  unsigned Workers = 1;
+  /// False selects the full-vector-clock oracle engine.
+  bool Epochs = true;
+  /// Pipeline window: accesses routed between two shard barriers. Bounds
+  /// the routed-queue memory, does not affect results.
+  size_t WindowEvents = 1 << 16;
+  /// Cap on reported RaceRecords (the racy-location *count* in Stats is
+  /// always exact). Races are reported first-per-location in log order.
+  size_t MaxRaces = 64;
+  /// Optional shared query budget. One visit is charged per ingested
+  /// event (identically for every engine/shard configuration, so a
+  /// query's Visited is deterministic); state-table and clock-arena
+  /// growth charge real byte sizes.
+  Budget *Shared = nullptr;
+};
+
+/// The first race on one location: the earliest access to Addr that is
+/// unordered with some prior conflicting access.
+struct RaceRecord {
+  uint64_t Addr = 0;
+  uint64_t EventIndex = 0; ///< log index (0-based) of the racing access
+  uint32_t Tid = 0;        ///< thread of the racing access
+  uint32_t PrevTid = 0;    ///< thread of the prior conflicting access
+  bool Write = false;      ///< the racing access is a write
+  bool PrevWrite = false;  ///< the prior access was a write
+
+  friend bool operator==(const RaceRecord &, const RaceRecord &) = default;
+};
+
+struct RaceLogStats {
+  uint64_t Events = 0;      ///< events ingested (== budget visits charged)
+  uint64_t Blocks = 0;
+  uint64_t PayloadBytes = 0;///< record bytes scanned
+  uint64_t Threads = 0;     ///< distinct tids seen
+  uint64_t RacyLocations = 0; ///< exact count of racy addresses
+  uint64_t ReadShares = 0;  ///< epoch engine: reads spilled to full clocks
+  bool TornTail = false;    ///< a torn/corrupt tail was dropped
+  uint64_t DroppedBytes = 0;
+  bool Truncated = false;
+  TruncationReason Reason = TruncationReason::None;
+};
+
+struct RaceLogReport {
+  /// False when the file header is unusable (not a log at all — distinct
+  /// from a torn tail, which still yields a verdict on the valid prefix).
+  bool FormatOk = true;
+  std::string FormatError;
+  /// First race per racy location, sorted by EventIndex, capped at
+  /// Options.MaxRaces.
+  std::vector<RaceRecord> Races;
+  RaceLogStats Stats;
+
+  /// Refuted = races found (definitive even under truncation); Proved =
+  /// the *complete* log scanned race-free; Unknown = unusable header,
+  /// truncated scan, or a torn tail (a race-free valid prefix proves
+  /// nothing about the events the recorder lost).
+  VerdictKind verdict() const {
+    if (!Races.empty())
+      return VerdictKind::Refuted;
+    if (!FormatOk || Stats.Truncated || Stats.TornTail)
+      return VerdictKind::Unknown;
+    return VerdictKind::Proved;
+  }
+
+  /// One-line summary ("race-free events=..." / "races=... first=...").
+  std::string str() const;
+};
+
+/// Scans \p LogBytes (a whole TSRL log image). Never throws: engine
+/// faults — including the FaultSite::RaceDetect injection point, probed
+/// once per block — are contained as Unknown(EngineFault), mirroring the
+/// enumeration engines' robustness contract.
+RaceLogReport scanRaceLog(std::string_view LogBytes,
+                          const RaceLogOptions &Options = {});
+
+} // namespace racelog
+} // namespace tracesafe
+
+#endif // TRACESAFE_RACELOG_DETECT_H

@@ -1,0 +1,233 @@
+#include "racelog/Log.h"
+
+using namespace tracesafe;
+using namespace tracesafe::racelog;
+
+//===----------------------------------------------------------------------===//
+// CRC32, slice-by-8
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Eight derived tables: table 0 is the classic byte-at-a-time table, and
+/// T[k][b] extends T[k-1][b] by one zero byte, so eight input bytes fold
+/// into eight independent table reads per iteration instead of eight
+/// serially dependent ones. Same polynomial and check value as the
+/// daemon's CRC — only the walk differs.
+struct Crc32Slice8 {
+  uint32_t T[8][256];
+  Crc32Slice8() {
+    for (uint32_t I = 0; I < 256; ++I) {
+      uint32_t C = I;
+      for (int K = 0; K < 8; ++K)
+        C = (C & 1) ? 0xEDB88320u ^ (C >> 1) : C >> 1;
+      T[0][I] = C;
+    }
+    for (int K = 1; K < 8; ++K)
+      for (uint32_t I = 0; I < 256; ++I)
+        T[K][I] = T[0][T[K - 1][I] & 0xFF] ^ (T[K - 1][I] >> 8);
+  }
+};
+
+const Crc32Slice8 &crcTables() {
+  static Crc32Slice8 Tables;
+  return Tables;
+}
+
+uint32_t loadU32(const char *P) {
+  uint32_t V;
+  std::memcpy(&V, P, 4);
+  return V;
+}
+
+void storeU32(char *P, uint32_t V) { std::memcpy(P, &V, 4); }
+
+} // namespace
+
+uint32_t racelog::crc32(const void *Data, size_t Len) {
+  const Crc32Slice8 &Tb = crcTables();
+  const auto *P = static_cast<const unsigned char *>(Data);
+  uint32_t C = 0xFFFFFFFFu;
+  while (Len >= 8) {
+    uint32_t Lo, Hi;
+    std::memcpy(&Lo, P, 4);
+    std::memcpy(&Hi, P + 4, 4);
+    Lo ^= C;
+    C = Tb.T[7][Lo & 0xFF] ^ Tb.T[6][(Lo >> 8) & 0xFF] ^
+        Tb.T[5][(Lo >> 16) & 0xFF] ^ Tb.T[4][Lo >> 24] ^
+        Tb.T[3][Hi & 0xFF] ^ Tb.T[2][(Hi >> 8) & 0xFF] ^
+        Tb.T[1][(Hi >> 16) & 0xFF] ^ Tb.T[0][Hi >> 24];
+    P += 8;
+    Len -= 8;
+  }
+  while (Len--)
+    C = Tb.T[0][(C ^ *P++) & 0xFF] ^ (C >> 8);
+  return C ^ 0xFFFFFFFFu;
+}
+
+const char *racelog::opName(Op O) {
+  switch (O) {
+  case Op::Read:
+    return "read";
+  case Op::Write:
+    return "write";
+  case Op::Acquire:
+    return "acquire";
+  case Op::Release:
+    return "release";
+  case Op::Fork:
+    return "fork";
+  case Op::Join:
+    return "join";
+  }
+  return "invalid";
+}
+
+//===----------------------------------------------------------------------===//
+// Record codec
+//===----------------------------------------------------------------------===//
+
+void racelog::encodeEvent(const LogEvent &E, char *Out) {
+  Out[0] = static_cast<char>(E.Kind);
+  Out[1] = 0; // flags, reserved
+  uint16_t Tid = static_cast<uint16_t>(E.Tid);
+  std::memcpy(Out + 2, &Tid, 2);
+  uint32_t Aux = E.Target;
+  std::memcpy(Out + 4, &Aux, 4);
+  std::memcpy(Out + 8, &E.Addr, 8);
+}
+
+//===----------------------------------------------------------------------===//
+// Writer
+//===----------------------------------------------------------------------===//
+
+LogWriter::LogWriter(size_t PerBlock)
+    : EventsPerBlock(PerBlock ? PerBlock : DefaultEventsPerBlock) {
+  Out.resize(FileHeaderSize, 0);
+  storeU32(Out.data(), FileMagic);
+  Out[4] = static_cast<char>(FormatVersion);
+  Pending.reserve(EventsPerBlock * EventRecordSize);
+}
+
+void LogWriter::append(const LogEvent &E) {
+  char Rec[EventRecordSize];
+  encodeEvent(E, Rec);
+  Pending.append(Rec, EventRecordSize);
+  ++Events;
+  if (Pending.size() >= EventsPerBlock * EventRecordSize)
+    flushBlock();
+}
+
+void LogWriter::flushBlock() {
+  if (Pending.empty())
+    return;
+  char Hdr[BlockHeaderSize] = {};
+  storeU32(Hdr, BlockMagic);
+  storeU32(Hdr + 4, static_cast<uint32_t>(Pending.size()));
+  storeU32(Hdr + 8,
+           static_cast<uint32_t>(Pending.size() / EventRecordSize));
+  storeU32(Hdr + 12, crc32(Pending.data(), Pending.size()));
+  Out.append(Hdr, BlockHeaderSize);
+  Out += Pending;
+  Pending.clear();
+}
+
+std::string LogWriter::finish() {
+  flushBlock();
+  return std::move(Out);
+}
+
+//===----------------------------------------------------------------------===//
+// Reader
+//===----------------------------------------------------------------------===//
+
+BlockCursor::BlockCursor(std::string_view Bytes) : Bytes(Bytes) {
+  if (Bytes.size() < FileHeaderSize) {
+    Error = Bytes.empty() ? "empty file (no header)"
+                          : "short file header";
+    return;
+  }
+  if (loadU32(Bytes.data()) != FileMagic) {
+    Error = "bad file magic (not a TSRL log)";
+    return;
+  }
+  if (static_cast<uint8_t>(Bytes[4]) != FormatVersion) {
+    Error = "unsupported format version";
+    return;
+  }
+  HeaderOk = true;
+  Pos = FileHeaderSize;
+}
+
+std::string_view BlockCursor::nextPayload() {
+  if (!HeaderOk || Done)
+    return {};
+  if (Pos == Bytes.size()) {
+    Done = true;
+    return {};
+  }
+  auto tear = [&](const char *Why) -> std::string_view {
+    Done = Torn = true;
+    Error = Why;
+    return {};
+  };
+  if (Bytes.size() - Pos < BlockHeaderSize)
+    return tear("torn block header");
+  const char *Hdr = Bytes.data() + Pos;
+  if (loadU32(Hdr) != BlockMagic)
+    return tear("bad block magic");
+  uint32_t Len = loadU32(Hdr + 4);
+  uint32_t Count = loadU32(Hdr + 8);
+  if (Len == 0 || Len > MaxBlockPayload || Len % EventRecordSize != 0 ||
+      Count != Len / EventRecordSize)
+    return tear("bad block length");
+  if (Bytes.size() - Pos - BlockHeaderSize < Len)
+    return tear("torn block payload");
+  std::string_view Payload = Bytes.substr(Pos + BlockHeaderSize, Len);
+  if (crc32(Payload.data(), Payload.size()) != loadU32(Hdr + 12))
+    return tear("block crc mismatch");
+  Pos += BlockHeaderSize + Len;
+  ++Blocks;
+  return Payload;
+}
+
+bool racelog::decodeLog(std::string_view Bytes, std::vector<LogEvent> &Out,
+                        DecodedLog *Info) {
+  BlockCursor Cur(Bytes);
+  DecodedLog Local;
+  DecodedLog &D = Info ? *Info : Local;
+  if (!Cur.ok()) {
+    D.Error = Cur.error();
+    return false;
+  }
+  for (std::string_view P = Cur.nextPayload(); !P.empty();
+       P = Cur.nextPayload()) {
+    size_t Kept = Out.size();
+    bool Bad = false;
+    for (size_t Off = 0; Off < P.size(); Off += EventRecordSize) {
+      LogEvent E;
+      if (!decodeEvent(P.data() + Off, E)) {
+        Bad = true;
+        break;
+      }
+      Out.push_back(E);
+    }
+    if (Bad) {
+      // A CRC-valid block with an invalid record: the recorder wrote
+      // something this reader does not understand. Drop the whole block
+      // and everything after it (valid-prefix rule, record granularity).
+      Out.resize(Kept);
+      D.TornTail = true;
+      D.DroppedBytes = Bytes.size() - (P.data() - Bytes.data()) +
+                       BlockHeaderSize;
+      D.Blocks = Cur.blocks() - 1;
+      return true;
+    }
+    D.Blocks = Cur.blocks();
+  }
+  if (Cur.tornTail()) {
+    D.TornTail = true;
+    D.DroppedBytes = Cur.droppedBytes();
+  }
+  return true;
+}

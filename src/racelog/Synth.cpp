@@ -1,0 +1,93 @@
+#include "racelog/Synth.h"
+
+#include "racelog/Log.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+
+using namespace tracesafe;
+using namespace tracesafe::racelog;
+
+namespace {
+
+uint32_t clampThreads(uint32_t T) {
+  return std::clamp(T, 1u, MaxTids - 1);
+}
+
+uint32_t clampLocations(uint32_t L) { return std::max(L, 1u); }
+
+} // namespace
+
+std::string racelog::makeRaceFreeLog(const SynthOptions &O) {
+  const uint32_t Threads = clampThreads(O.Threads);
+  const uint32_t Locations = clampLocations(O.Locations);
+  Rng R(O.Seed);
+  LogWriter W;
+  // Runs of one thread touching its private range: realistic recorder
+  // output (threads are scheduled in slices) and the detector's same-
+  // thread fast path territory.
+  constexpr uint64_t Run = 64;
+  while (W.events() < O.Events) {
+    uint32_t T = static_cast<uint32_t>(R.below(Threads));
+    uint64_t Base = (static_cast<uint64_t>(T) + 1) << 32;
+    for (uint64_t I = 0; I < Run; ++I) {
+      uint64_t Addr = Base + R.below(Locations);
+      W.append(R.chance(3, 4) ? Op::Read : Op::Write, T, Addr);
+    }
+  }
+  return W.finish();
+}
+
+std::string racelog::makeMixedLog(const SynthOptions &O) {
+  const uint32_t Threads = clampThreads(O.Threads);
+  const uint32_t Locations = clampLocations(O.Locations);
+  const uint32_t NumLocks = std::max(Locations / 64, 1u);
+  const uint32_t RacyPool = std::max(Locations / 16, 1u);
+  Rng R(O.Seed * 0x9E3779B97F4A7C15ULL + 1);
+  LogWriter W;
+  constexpr uint64_t Burst = 16;
+  while (W.events() < O.Events) {
+    uint32_t T = static_cast<uint32_t>(R.below(Threads));
+    if (R.chance(9, 10)) {
+      // Lock-protected shared burst: pick a lock, access only addresses
+      // associated with it. Race-free, but every address is handed
+      // between threads through the lock clock — cross-thread reads and
+      // writes, the expensive case for full read vector clocks.
+      uint64_t Lock = R.below(NumLocks);
+      W.append(Op::Acquire, T, Lock << 1);
+      for (uint64_t I = 0; I < Burst; ++I) {
+        uint64_t Addr = (1ULL << 40) + Lock + NumLocks * R.below(64);
+        W.append(R.chance(3, 10) ? Op::Read : Op::Write, T, Addr);
+      }
+      W.append(Op::Release, T, Lock << 1);
+    } else {
+      // Unprotected burst over the racy pool.
+      for (uint64_t I = 0; I < Burst; ++I) {
+        uint64_t Addr = (1ULL << 41) + R.below(RacyPool);
+        W.append(R.chance(1, 2) ? Op::Read : Op::Write, T, Addr);
+      }
+    }
+  }
+  return W.finish();
+}
+
+std::string racelog::makeLockHeavyLog(const SynthOptions &O) {
+  const uint32_t Threads = clampThreads(O.Threads);
+  const uint32_t Locations = clampLocations(O.Locations);
+  const uint32_t NumLocks = std::max(Locations / 4, 1u);
+  Rng R(O.Seed * 0x2545F4914F6CDD1DULL + 2);
+  LogWriter W;
+  while (W.events() < O.Events) {
+    uint32_t T = static_cast<uint32_t>(R.below(Threads));
+    uint64_t Lock = R.below(NumLocks);
+    W.append(Op::Acquire, T, Lock << 1);
+    // Two protected accesses per critical section: half of all events are
+    // synchronisation, the stress case for the sequential clock pass.
+    for (int I = 0; I < 2; ++I) {
+      uint64_t Addr = (1ULL << 40) + Lock * 4 + R.below(4);
+      W.append(R.chance(1, 2) ? Op::Read : Op::Write, T, Addr);
+    }
+    W.append(Op::Release, T, Lock << 1);
+  }
+  return W.finish();
+}

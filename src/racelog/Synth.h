@@ -1,0 +1,51 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic synthetic TSRL workloads for benchmarks, tests and the
+/// racelog_scan demo mode.
+///
+/// Three mixes, all seeded (same options -> byte-identical log):
+///  - race-free: every thread owns a private address range and accesses it
+///    in runs — the epoch engine's same-epoch fast path dominates, which
+///    is what the single-thread MB/s headline measures.
+///  - mixed: cross-thread traffic. Most bursts are properly lock-protected
+///    accesses to shared addresses (race-free but forcing clock joins and
+///    cross-thread read hand-offs — the oracle engine pays an O(threads)
+///    read-clock scan per write here, the epoch engine does not), plus a
+///    small unprotected pool that genuinely races.
+///  - lock-heavy: short bursts, each bracketed by acquire/release on one
+///    of many locks; synchronisation-dominated and race-free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACESAFE_RACELOG_SYNTH_H
+#define TRACESAFE_RACELOG_SYNTH_H
+
+#include <cstdint>
+#include <string>
+
+namespace tracesafe {
+namespace racelog {
+
+struct SynthOptions {
+  uint64_t Events = 1 << 20; ///< approximate; generators round to bursts
+  uint32_t Threads = 8;      ///< clamped to [1, MaxTids)
+  uint32_t Locations = 1u << 14; ///< distinct data addresses (per scope)
+  uint64_t Seed = 1;
+};
+
+/// Private-ownership mix: race-free by address disjointness, no locks.
+std::string makeRaceFreeLog(const SynthOptions &O);
+
+/// Shared mix: ~90% lock-protected cross-thread bursts + ~10% unprotected
+/// bursts over a small racy pool. Contains real races.
+std::string makeMixedLog(const SynthOptions &O);
+
+/// Lock-bracketed mix: every access protected, ~half of all events are
+/// acquire/release. Race-free.
+std::string makeLockHeavyLog(const SynthOptions &O);
+
+} // namespace racelog
+} // namespace tracesafe
+
+#endif // TRACESAFE_RACELOG_SYNTH_H

@@ -46,6 +46,8 @@ const char *tracesafe::faultSiteName(FaultSite S) {
     return "accept";
   case FaultSite::Admission:
     return "admission";
+  case FaultSite::RaceDetect:
+    return "race-detect";
   case FaultSite::Count_:
     break;
   }

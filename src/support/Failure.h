@@ -43,6 +43,7 @@ enum class FaultSite : uint8_t {
   ProtoWrite,     ///< daemon protocol write fails mid-frame
   Accept,         ///< daemon accept loop drops an incoming connection
   Admission,      ///< daemon admission control spuriously sheds a request
+  RaceDetect,     ///< racelog detect loop throws InjectedFault mid-scan
   Count_,
 };
 

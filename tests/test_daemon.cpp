@@ -11,6 +11,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "daemon/Client.h"
+#include "racelog/Log.h"
+#include "racelog/Synth.h"
 #include "daemon/Server.h"
 #include "support/Failure.h"
 
@@ -419,6 +421,94 @@ TEST(Daemon, ClampBudgetIsFieldWise) {
   // A zero ceiling is unbounded: the request passes through.
   C = clampBudget(Looser, BudgetSpec{});
   EXPECT_EQ(C.MaxVisited, 50'000u);
+}
+
+
+TEST(Daemon, RaceLogQueriesAreServed) {
+  ServerOptions O;
+  O.SocketPath = uniqueSocket("racelog");
+  ServerFixture Server(O);
+  ClientOptions CO;
+  CO.SocketPath = Server.Opts.SocketPath;
+  CO.Name = "racelog-test";
+  DaemonClient Client(CO);
+
+  auto logQuery = [](std::string Log) {
+    QueryRequest Q;
+    Q.Kind = QueryKind::RaceLog;
+    Q.Program = std::move(Log); // binary log image rides the Program field
+    return Q;
+  };
+  racelog::SynthOptions SO;
+  SO.Events = 4000;
+  SO.Threads = 6;
+  SO.Seed = 5;
+
+  // Racy and race-free logs get definitive verdicts, identical to the
+  // shared evaluator's (the chaos suite's replay contract).
+  QueryRequest Racy = logQuery(racelog::makeMixedLog(SO));
+  QueryRequest Clean = logQuery(racelog::makeLockHeavyLog(SO));
+  QueryResponse RacyR = Client.call(Racy);
+  EXPECT_EQ(RacyR.Status, ResponseStatus::Ok);
+  EXPECT_EQ(RacyR.Kind, VerdictKind::Refuted);
+  EXPECT_EQ(RacyR.str(), evaluateQuery(Racy, TestCeiling).str());
+  QueryResponse CleanR = Client.call(Clean);
+  EXPECT_EQ(CleanR.Kind, VerdictKind::Proved);
+  EXPECT_EQ(CleanR.str(), evaluateQuery(Clean, TestCeiling).str());
+
+  // Garbage bytes are a structured BadRequest, not a crash; the
+  // connection survives for the next query.
+  QueryResponse Bad = Client.call(logQuery("this is not a TSRL log"));
+  EXPECT_EQ(Bad.Status, ResponseStatus::BadRequest);
+  EXPECT_NE(Bad.Detail.find("bad log"), std::string::npos);
+
+  // A torn tail over a race-free prefix is Unknown, with the tail noted.
+  std::string Torn = racelog::makeLockHeavyLog(SO);
+  Torn.resize(Torn.size() - 11);
+  QueryResponse TornR = Client.call(logQuery(Torn));
+  EXPECT_EQ(TornR.Status, ResponseStatus::Ok);
+  EXPECT_EQ(TornR.Kind, VerdictKind::Unknown);
+  EXPECT_NE(TornR.Detail.find("torn-tail"), std::string::npos);
+
+  // The per-query quota applies: a tiny visit cap truncates with a
+  // structured state-cap reason, never a wrong verdict.
+  QueryRequest Capped = logQuery(racelog::makeLockHeavyLog(SO));
+  Capped.Budget.MaxVisited = 100;
+  QueryResponse CappedR = Client.call(Capped);
+  EXPECT_EQ(CappedR.Kind, VerdictKind::Unknown);
+  EXPECT_EQ(CappedR.Reason, TruncationReason::StateCap);
+  Server.shutdown();
+}
+
+TEST(Daemon, RaceLogRetransmissionsReplayStoredVerdicts) {
+  ServerOptions O;
+  O.SocketPath = uniqueSocket("racelogidem");
+  ServerFixture Server(O);
+  racelog::SynthOptions SO;
+  SO.Events = 4000;
+  QueryRequest Q;
+  Q.Kind = QueryKind::RaceLog;
+  Q.Program = racelog::makeMixedLog(SO);
+  ClientOptions CO;
+  CO.SocketPath = Server.Opts.SocketPath;
+  CO.Name = "racelog-idem";
+  CO.FirstRequestId = 1;
+  QueryResponse First, Second;
+  {
+    DaemonClient A(CO);
+    First = A.call(Q);
+  }
+  {
+    DaemonClient B(CO); // same identity, same request id: a retransmit
+    Second = B.call(Q);
+  }
+  // Byte-identical replay relies on the scan's deterministic Visited
+  // (one visit per ingested event, whatever the engine configuration).
+  EXPECT_EQ(First.str(), Second.str());
+  ServerStats S = Server.shutdown();
+  EXPECT_EQ(S.Admitted, 1u);
+  EXPECT_EQ(S.Completed, 1u);
+  EXPECT_EQ(S.Replayed, 1u);
 }
 
 } // namespace
